@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablations of Tomur's design choices (DESIGN.md §5):
+ *   1. analytic round-robin fluid solver vs discrete-event
+ *      simulation of the same queue system;
+ *   2. adaptive-profiling thresholds (eps1) vs cost and accuracy;
+ *   3. traffic-attribute fusion in the memory model vs a
+ *      counters-only model under changing traffic.
+ */
+
+#include "common.hh"
+
+#include <cmath>
+
+#include "hw/accel_des.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+namespace {
+
+void
+ablationRrSolver()
+{
+    std::printf("\n[1] analytic RR solver vs discrete-event "
+                "simulation\n");
+    Rng rng(77);
+    RunningStats rel_err;
+    for (int i = 0; i < 60; ++i) {
+        std::vector<hw::AccelQueue> queues;
+        int n = 2 + static_cast<int>(rng.uniformInt(3u));
+        for (int q = 0; q < n; ++q) {
+            hw::AccelQueue a;
+            a.serviceTime = rng.uniform(0.5e-6, 4e-6);
+            a.closedLoop = rng.chance(0.4);
+            if (!a.closedLoop)
+                a.arrivalRate = rng.uniform(5e4, 8e5);
+            queues.push_back(a);
+        }
+        auto analytic = hw::solveRoundRobin(queues);
+        hw::DesOptions opts;
+        opts.duration = 0.5;
+        opts.warmup = 0.05;
+        opts.seed = 1000 + i;
+        auto des = hw::simulateRoundRobin(queues, opts);
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+            if (des[q].throughput <= 0.0)
+                continue;
+            rel_err.add(std::fabs(analytic[q].throughput -
+                                  des[q].throughput) /
+                        des[q].throughput);
+        }
+    }
+    std::printf("    mean |analytic - DES| / DES = %.2f%%  "
+                "(max %.2f%%, %zu queues)\n",
+                100.0 * rel_err.mean(), 100.0 * rel_err.max(),
+                rel_err.count());
+}
+
+void
+ablationAdaptiveThresholds(BenchEnv &env)
+{
+    std::printf("\n[2] adaptive-profiling eps1 sensitivity "
+                "(FlowStats)\n");
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    // Shared test set.
+    struct TestPoint
+    {
+        traffic::TrafficProfile p;
+        const core::BenchLibrary::MemBenchEntry *bench;
+        double truth, solo;
+    };
+    std::vector<TestPoint> tests;
+    Rng rng = env.rng.split();
+    for (int i = 0; i < 30; ++i) {
+        TestPoint t;
+        t.p = env.randomProfile();
+        t.bench = &env.lib->randomMemBench(rng);
+        auto ms = env.bed.run(
+            {env.workload("FlowStats", t.p), t.bench->workload});
+        t.truth = ms[0].throughput;
+        t.solo = env.solo("FlowStats", t.p);
+        tests.push_back(std::move(t));
+    }
+
+    AsciiTable table({"eps1", "samples used", "MAPE (%)"});
+    for (double eps1 : {0.005, 0.03, 0.15}) {
+        core::TrainOptions topts;
+        topts.adaptive.quota = 120;
+        topts.adaptive.eps1 = eps1;
+        core::TrainReport report;
+        auto model = env.trainer->train(env.nf("FlowStats"), defaults,
+                                        topts, &report);
+        std::vector<double> truth, pred;
+        for (const auto &t : tests) {
+            truth.push_back(t.truth);
+            pred.push_back(
+                model.predict({t.bench->level}, t.p, t.solo));
+        }
+        table.addRow({fmtDouble(eps1, 3),
+                      strf("%zu", report.memorySamples),
+                      fmtDouble(ml::mape(truth, pred), 1)});
+    }
+    table.print(stdout);
+}
+
+void
+ablationTrafficFusion(BenchEnv &env)
+{
+    std::printf("\n[3] traffic-attribute fusion in the memory model "
+                "(FlowStats, memory-only, random traffic)\n");
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    core::TrainOptions aware, blind;
+    aware.adaptive.quota = blind.adaptive.quota = 140;
+    blind.memory.trafficAware = false;
+    auto m_aware =
+        env.trainer->train(env.nf("FlowStats"), defaults, aware);
+    auto m_blind =
+        env.trainer->train(env.nf("FlowStats"), defaults, blind);
+
+    AccuracyTracker acc;
+    Rng rng = env.rng.split();
+    for (int i = 0; i < 30; ++i) {
+        auto p = env.randomProfile();
+        const auto &bench = env.lib->randomMemBench(rng);
+        auto ms = env.bed.run(
+            {env.workload("FlowStats", p), bench.workload});
+        double solo = env.solo("FlowStats", p);
+        acc.add("fused", ms[0].throughput,
+                m_aware.predict({bench.level}, p, solo));
+        acc.add("counters-only", ms[0].throughput,
+                m_blind.predict({bench.level}, p, solo));
+    }
+    AsciiTable table({"memory model", "MAPE (%)"});
+    table.addRow({"counters + traffic attrs (Tomur)",
+                  fmtDouble(acc.mape("fused"), 1)});
+    table.addRow({"counters only",
+                  fmtDouble(acc.mape("counters-only"), 1)});
+    table.print(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablations: solver fidelity, adaptive thresholds, "
+                "traffic fusion",
+                "design-choice deep dives called out in DESIGN.md");
+    BenchEnv env;
+    ablationRrSolver();
+    ablationAdaptiveThresholds(env);
+    ablationTrafficFusion(env);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension experiment: configuration-aware prediction (§8 future
+ * work). The IPTunnel MTU is treated as a configuration attribute:
+ * anchor models are trained at adaptively chosen MTUs and
+ * interpolated for unseen configurations. A config-blind model
+ * (trained at the default MTU only) mispredicts reconfigured
+ * deployments badly.
+ */
+
+#include "common.hh"
+
+#include "tomur/config_aware.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Extension: configuration-aware prediction "
+                "(IPTunnel MTU)",
+                "config-aware anchors + interpolation stay accurate "
+                "across MTUs; a default-config model does not");
+    BenchEnv env;
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    // Config-blind baseline: one model at the default MTU (1280).
+    core::TrainOptions topts;
+    topts.adaptive.quota = 80;
+    auto blind =
+        env.trainer->train(env.nf("IPTunnel"), defaults, topts);
+
+    // Config-aware family over MTU in [400, 1400].
+    core::ConfigAttribute attr{"tunnel_mtu", 400.0, 1400.0};
+    core::ConfigAwareOptions copts;
+    copts.maxConfigPoints = 4;
+    copts.train.adaptive.quota = 80;
+    auto aware = core::ConfigAwareModel::train(
+        *env.trainer,
+        [&](double mtu) {
+            return nfs::makeIpTunnel(static_cast<std::size_t>(mtu));
+        },
+        attr, defaults, copts);
+    std::printf("anchors trained at MTUs:");
+    for (double v : aware.anchorValues())
+        std::printf(" %.0f", v);
+    std::printf("\n\n");
+
+    AsciiTable table({"MTU", "measured (Kpps)", "config-aware (Kpps)",
+                      "config-blind (Kpps)", "aware err (%)",
+                      "blind err (%)"});
+    AccuracyTracker acc;
+    Rng rng = env.rng.split();
+    for (double mtu : {450.0, 600.0, 750.0, 900.0, 1100.0, 1350.0}) {
+        auto nf = nfs::makeIpTunnel(static_cast<std::size_t>(mtu));
+        const auto &bench = env.lib->randomMemBench(rng);
+        auto ms = env.bed.run(
+            {env.trainer->workloadOf(*nf, defaults), bench.workload});
+        double truth = ms[0].throughput;
+        double solo =
+            env.bed.runSolo(env.trainer->workloadOf(*nf, defaults))
+                .truthThroughput;
+        double p_aware =
+            aware.predict(mtu, {bench.level}, defaults, solo);
+        double p_blind = blind.predict({bench.level}, defaults);
+        acc.add("aware", truth, p_aware);
+        acc.add("blind", truth, p_blind);
+        table.addRow(
+            {fmtDouble(mtu, 0), fmtDouble(truth / 1e3, 1),
+             fmtDouble(p_aware / 1e3, 1), fmtDouble(p_blind / 1e3, 1),
+             fmtDouble(ml::absPctError(truth, p_aware), 1),
+             fmtDouble(ml::absPctError(truth, p_blind), 1)});
+    }
+    table.print(stdout);
+    std::printf("MAPE: config-aware %.1f%%  config-blind %.1f%%\n",
+                acc.mape("aware"), acc.mape("blind"));
+    return 0;
+}

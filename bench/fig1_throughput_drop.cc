@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 1: throughput drop ratios of the evaluation NFs when
+ * co-located with up to three other random NFs from Table 1.
+ * Paper: 4.2%-62.2% drop at the 95th percentile, 1.9%-10.6% at the
+ * median, varying strongly across NFs.
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Figure 1: throughput drop under random co-location",
+                "drops span ~2-11% at the median and up to ~62% at "
+                "the 95th percentile, heavier for accelerator NFs");
+    BenchEnv env;
+    auto defaults = traffic::TrafficProfile::defaults();
+    auto names = nfs::evaluationNfNames();
+
+    constexpr int kSets = 40;
+    AsciiTable table({"NF", "median drop (%)", "p95 drop (%)",
+                      "max drop (%)"});
+    for (const auto &target : names) {
+        double solo = env.solo(target, defaults);
+        std::vector<double> drops;
+        for (int s = 0; s < kSets; ++s) {
+            int n_comp = 1 + static_cast<int>(env.rng.uniformInt(3u));
+            std::vector<framework::WorkloadProfile> deploy = {
+                env.workload(target, defaults)};
+            for (int c = 0; c < n_comp; ++c) {
+                const auto &comp = env.rng.pick(names);
+                deploy.push_back(env.workload(comp, defaults));
+            }
+            auto ms = env.bed.run(deploy);
+            drops.push_back(
+                100.0 * (1.0 - ms[0].truthThroughput / solo));
+        }
+        table.addRow({target, fmtDouble(median(drops), 1),
+                      fmtDouble(percentile(drops, 95), 1),
+                      fmtDouble(maxOf(drops), 1)});
+    }
+    table.print(stdout);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 2: single-resource models under multi-resource contention.
+ * Paper (a): using only the memory model (SLOMO) or only the regex
+ * model yields ~20% median and up to ~60% worst-case error on
+ * FlowMonitor when both resources are contended.
+ * Paper (b): sum/min composition helps but depends on the execution
+ * pattern — sum suits run-to-completion NF1, min suits pipeline NF2.
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Figure 2: single-resource models fail under "
+                "multi-resource contention",
+                "(a) ~20% median error; (b) no single strawman "
+                "composition wins for both execution patterns");
+    BenchEnv env;
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    // ---- (a) FlowMonitor with memory-only / regex-only models ----
+    slomo::SlomoTrainer strainer(*env.lib);
+    auto slomo_model = strainer.train(env.nf("FlowMonitor"), defaults);
+    core::TrainOptions topts;
+    topts.adaptive.quota = 80;
+    auto tomur_model =
+        env.trainer->train(env.nf("FlowMonitor"), defaults, topts);
+    double solo = env.solo("FlowMonitor", defaults);
+
+    AccuracyTracker acc;
+    Rng rng = env.rng.split();
+    for (int i = 0; i < 40; ++i) {
+        const auto &mem = env.lib->randomMemBench(rng);
+        double knob = rng.uniform(300.0, 1200.0);
+        double rate = rng.chance(0.1) ? 0.0 : rng.uniform(0.5e5, 4e5);
+        const auto &rx =
+            env.lib->accelBench(hw::AccelKind::Regex, rate, knob);
+        auto ms = env.bed.run({env.workload("FlowMonitor", defaults),
+                               mem.workload, rx.workload});
+        double truth = ms[0].throughput;
+        acc.add("memory-only (SLOMO)", truth,
+                slomo_model.predict({mem.level, rx.level}, defaults));
+        auto b = tomur_model.predictDetailed({mem.level, rx.level},
+                                             defaults, solo);
+        acc.add("regex-only", truth, b.accelOnlyThroughput[0]);
+    }
+    std::printf("\n(a) absolute percentage error of FlowMonitor "
+                "predictions:\n");
+    AsciiTable a({"model", "error distribution (%)"});
+    a.addRow({"memory-only (SLOMO)",
+              boxRow(acc.errors("memory-only (SLOMO)"))});
+    a.addRow({"regex-only", boxRow(acc.errors("regex-only"))});
+    a.print(stdout);
+
+    // ---- (b) sum vs min composition across execution patterns ----
+    std::printf("\n(b) MAPE (%%) of strawman compositions:\n");
+    AsciiTable b({"NF", "pattern", "sum", "min"});
+    struct Case
+    {
+        const char *label;
+        std::unique_ptr<framework::NetworkFunction> nf;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"NF1", nfs::makeSyntheticNf1(
+                                env.dev,
+                                framework::ExecutionPattern::
+                                    RunToCompletion)});
+    cases.push_back({"NF2", nfs::makeSyntheticNf2(
+                                env.dev,
+                                framework::ExecutionPattern::
+                                    Pipeline)});
+    for (auto &c : cases) {
+        auto model = env.trainer->train(*c.nf, defaults, topts);
+        double c_solo =
+            env.bed.runSolo(env.trainer->workloadOf(*c.nf, defaults))
+                .truthThroughput;
+        AccuracyTracker cacc;
+        Rng crng = env.rng.split();
+        for (int i = 0; i < 30; ++i) {
+            const auto &mem = env.lib->randomMemBench(crng);
+            const auto &rx = env.lib->accelBench(
+                hw::AccelKind::Regex, crng.uniform(0.5e5, 3.5e5),
+                crng.uniform(300.0, 1200.0));
+            auto ms = env.bed.run(
+                {env.trainer->workloadOf(*c.nf, defaults),
+                 mem.workload, rx.workload});
+            double truth = ms[0].throughput;
+            cacc.add("sum", truth,
+                     model.predictComposed(core::CompositionKind::Sum,
+                                           {mem.level, rx.level},
+                                           defaults, c_solo));
+            cacc.add("min", truth,
+                     model.predictComposed(core::CompositionKind::Min,
+                                           {mem.level, rx.level},
+                                           defaults, c_solo));
+        }
+        b.addRow({c.label, framework::patternName(c.nf->pattern()),
+                  fmtDouble(cacc.mape("sum"), 1),
+                  fmtDouble(cacc.mape("min"), 1)});
+    }
+    b.print(stdout);
+    return 0;
+}

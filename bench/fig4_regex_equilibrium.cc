@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4: throughput of co-running regex-NF and regex-bench as a
+ * function of regex-bench's arrival rate, for several MTBRs.
+ * Paper (O1/O2): linear decline of regex-NF as the bench's rate
+ * rises, then both settle at a shared equilibrium throughput that
+ * depends on the MTBR.
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Figure 4: regex accelerator round-robin equilibrium",
+                "linear throughput decline, then a common plateau; "
+                "the equilibrium point falls as MTBR rises");
+    BenchEnv env;
+    auto base = traffic::TrafficProfile::defaults();
+
+    for (double mtbr : {194.0, 600.0, 1000.0}) {
+        auto p = base.withAttribute(traffic::Attribute::Mtbr, mtbr);
+        auto nf = nfs::makeRegexNf(env.dev);
+        auto w = env.trainer->workloadOf(*nf, p);
+
+        std::printf("\nMTBR = %.0f matches/MB\n", mtbr);
+        AsciiTable table({"bench rate (Kpps)", "regex-NF (Kpps)",
+                          "regex-bench (Kpps)"});
+        for (double rate = 50e3; rate <= 1050e3; rate += 100e3) {
+            nfs::RegexBenchConfig cfg;
+            cfg.requestRate = rate;
+            auto bench = nfs::makeRegexBench(env.dev, cfg);
+            auto wb = env.trainer->workloadOf(*bench, p);
+            auto ms = env.bed.run({w, wb});
+            table.addRow({fmtDouble(rate / 1e3, 0),
+                          fmtDouble(ms[0].truthThroughput / 1e3, 1),
+                          fmtDouble(ms[1].truthThroughput / 1e3, 1)});
+        }
+        table.print(stdout);
+    }
+    return 0;
+}

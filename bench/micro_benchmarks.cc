@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the library's hot paths:
+ * regex scanning (DFA and NFA), payload synthesis, gradient-boosting
+ * training and inference, cache fixed point, round-robin solver,
+ * and full testbed equilibrium solves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "hw/accel_des.hh"
+#include "hw/cache.hh"
+#include "regex/generator.hh"
+
+using namespace tomur;
+
+namespace {
+
+std::vector<std::uint8_t>
+samplePayload(std::size_t len, double mtbr)
+{
+    traffic::TrafficProfile p;
+    p.mtbr = mtbr;
+    p.packetSize = len + 42;
+    static auto rules = regex::defaultRuleSet();
+    traffic::TrafficGen gen(p, &rules, 42);
+    return gen.makePayload();
+}
+
+void
+BM_RegexDfaScan(benchmark::State &state)
+{
+    regex::MultiMatcher matcher(regex::defaultRuleSet());
+    auto payload = samplePayload(1434, 600);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matcher.countMatches(payload));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_RegexDfaScan);
+
+void
+BM_RegexNfaScan(benchmark::State &state)
+{
+    auto rules = regex::tinyRuleSet();
+    std::vector<regex::Pattern> pats;
+    for (const auto &r : rules.rules)
+        pats.push_back(regex::parseOrDie(r.pattern));
+    regex::Nfa nfa(pats);
+    auto payload = samplePayload(256, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nfa.countMatches(payload.data(), payload.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_RegexNfaScan);
+
+void
+BM_PayloadSynthesis(benchmark::State &state)
+{
+    auto rules = regex::defaultRuleSet();
+    traffic::TrafficProfile p;
+    p.mtbr = 600;
+    traffic::TrafficGen gen(p, &rules, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.makePayload());
+}
+BENCHMARK(BM_PayloadSynthesis);
+
+void
+BM_GbrTrain(benchmark::State &state)
+{
+    Rng rng(5);
+    ml::Dataset data({"a", "b", "c"});
+    for (int i = 0; i < 300; ++i) {
+        double a = rng.uniform(0, 1), b = rng.uniform(0, 1),
+               c = rng.uniform(0, 1);
+        data.add({a, b, c}, a * 3 + (b > 0.5 ? 2 : 0) + c * c);
+    }
+    ml::GbrParams params;
+    params.numTrees = 50;
+    for (auto _ : state) {
+        ml::GradientBoostingRegressor gbr(params);
+        gbr.fit(data);
+        benchmark::DoNotOptimize(gbr.predict({0.5, 0.5, 0.5}));
+    }
+}
+BENCHMARK(BM_GbrTrain);
+
+void
+BM_GbrPredict(benchmark::State &state)
+{
+    Rng rng(5);
+    ml::Dataset data({"a", "b"});
+    for (int i = 0; i < 200; ++i) {
+        double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        data.add({a, b}, a + b);
+    }
+    ml::GradientBoostingRegressor gbr;
+    gbr.fit(data);
+    std::vector<double> x = {0.3, 0.7};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gbr.predict(x));
+}
+BENCHMARK(BM_GbrPredict);
+
+void
+BM_CacheFixedPoint(benchmark::State &state)
+{
+    std::vector<hw::CacheWorkload> w = {
+        {2e6, 30e6, 1.0}, {12e6, 40e6, 1.0}, {6e6, 10e6, 0.5}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            hw::solveCacheSharing(6e6, 0.02, w));
+}
+BENCHMARK(BM_CacheFixedPoint);
+
+void
+BM_RoundRobinSolver(benchmark::State &state)
+{
+    std::vector<hw::AccelQueue> queues = {{1e-6, 0, true},
+                                          {2e-6, 3e5, false},
+                                          {0.5e-6, 1e5, false}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hw::solveRoundRobin(queues));
+}
+BENCHMARK(BM_RoundRobinSolver);
+
+void
+BM_RoundRobinDes(benchmark::State &state)
+{
+    std::vector<hw::AccelQueue> queues = {{1e-6, 0, true},
+                                          {2e-6, 3e5, false}};
+    hw::DesOptions opts;
+    opts.duration = 0.05;
+    opts.warmup = 0.005;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            hw::simulateRoundRobin(queues, opts));
+}
+BENCHMARK(BM_RoundRobinDes);
+
+void
+BM_TestbedSolve(benchmark::State &state)
+{
+    static bench::BenchEnv env;
+    auto defaults = traffic::TrafficProfile::defaults();
+    std::vector<framework::WorkloadProfile> deploy = {
+        env.workload("FlowMonitor", defaults),
+        env.workload("FlowStats", defaults),
+        env.workload("NIDS", defaults)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(env.bed.run(deploy));
+}
+BENCHMARK(BM_TestbedSolve);
+
+void
+BM_WorkloadProfiling(benchmark::State &state)
+{
+    static bench::BenchEnv env;
+    auto rules = regex::defaultRuleSet();
+    traffic::TrafficProfile p;
+    p.flowCount = 4096;
+    for (auto _ : state) {
+        auto nf = nfs::makeFlowStats();
+        benchmark::DoNotOptimize(
+            framework::profileWorkload(*nf, p, &rules));
+    }
+}
+BENCHMARK(BM_WorkloadProfiling);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 4: composition strategies across execution patterns, on the
+ * synthetic NF1 (memory + regex) and NF2 (memory + regex +
+ * compression), each in pipeline and run-to-completion variants.
+ * Paper: Tomur's execution-pattern composition is best or tied in
+ * all four cases (MAPE < 2%); min matches it for pipelines, sum is
+ * closer for run-to-completion but neither wins everywhere.
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Table 4: composition strategies by execution "
+                "pattern",
+                "Tomur best in all cases; min ties on pipelines; "
+                "sum/min each fail somewhere");
+    BenchEnv env;
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    AsciiTable table({"NF", "pattern", "sum MAPE", "min MAPE",
+                      "Tomur MAPE"});
+    for (int which : {1, 2}) {
+        for (auto pattern :
+             {framework::ExecutionPattern::Pipeline,
+              framework::ExecutionPattern::RunToCompletion}) {
+            auto nf = which == 1
+                ? nfs::makeSyntheticNf1(env.dev, pattern)
+                : nfs::makeSyntheticNf2(env.dev, pattern);
+            core::TrainOptions topts;
+            topts.adaptive.quota = 80;
+            auto model = env.trainer->train(*nf, defaults, topts);
+            double solo =
+                env.bed
+                    .runSolo(env.trainer->workloadOf(*nf, defaults))
+                    .truthThroughput;
+
+            AccuracyTracker acc;
+            Rng rng = env.rng.split();
+            for (int i = 0; i < 30; ++i) {
+                const auto &mem = env.lib->randomMemBench(rng);
+                // Moderate, open-loop accelerator load: the additive
+                // sojourn regime Eq. 4 models (heavy closed-loop
+                // contention instead pins the NF at its round-robin
+                // share, where min composition is exact).
+                const auto &rx = env.lib->accelBench(
+                    hw::AccelKind::Regex,
+                    rng.uniform(0.5e5, 3.5e5),
+                    rng.uniform(300.0, 1200.0));
+                std::vector<framework::WorkloadProfile> deploy = {
+                    env.trainer->workloadOf(*nf, defaults),
+                    mem.workload, rx.workload};
+                std::vector<core::ContentionLevel> levels = {
+                    mem.level, rx.level};
+                if (which == 2) {
+                    const auto &cb = env.lib->accelBench(
+                        hw::AccelKind::Compression,
+                        rng.uniform(0.5e5, 2.5e5), 4000.0);
+                    deploy.push_back(cb.workload);
+                    levels.push_back(cb.level);
+                }
+                if (deploy.size() > 4)
+                    deploy.resize(4);
+                auto ms = env.bed.run(deploy);
+                double truth = ms[0].throughput;
+                acc.add("sum", truth,
+                        model.predictComposed(
+                            core::CompositionKind::Sum, levels,
+                            defaults, solo));
+                acc.add("min", truth,
+                        model.predictComposed(
+                            core::CompositionKind::Min, levels,
+                            defaults, solo));
+                acc.add("tomur", truth,
+                        model.predict(levels, defaults, solo));
+            }
+            table.addRow({which == 1 ? "NF1" : "NF2",
+                          framework::patternName(pattern),
+                          fmtDouble(acc.mape("sum"), 1),
+                          fmtDouble(acc.mape("min"), 1),
+                          fmtDouble(acc.mape("tomur"), 1)});
+        }
+    }
+    table.print(stdout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 6: contention-aware scheduling.
+ * Paper: over random arrival sequences (SLA = 5-20% allowed drop),
+ * Monopolization wastes ~196% resources with 0 violations; Greedy
+ * wastes ~19% with ~16.5% violations; SLOMO packs too tightly
+ * (negative wastage, ~24% violations); Tomur is near-optimal
+ * (~0.5% wastage, ~1.9% violations).
+ *
+ * Scale substitution: the paper runs 100 sequences of 500 arrivals
+ * against an exhaustive-search optimum; we run 8 sequences of 48
+ * arrivals against a true-measurement-guided oracle (documented in
+ * DESIGN.md).
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+using namespace tomur::usecases;
+
+int
+main()
+{
+    printHeader("Table 6: contention-aware scheduling",
+                "Tomur near the oracle with few violations; Greedy "
+                "violates SLAs; SLOMO overpacks; Monopolization "
+                "wastes NICs");
+    BenchEnv env;
+    std::vector<std::string> mix = {"FlowStats", "IPRouter",
+                                    "FlowClassifier", "NAT",
+                                    "NIDS", "FlowMonitor"};
+    PlacementContext ctx(*env.lib, mix,
+                         traffic::TrafficProfile::defaults(), 80);
+    std::printf("  models trained\n");
+    std::fflush(stdout);
+
+    constexpr int kSequences = 8;
+    constexpr int kArrivals = 48;
+    std::map<Strategy, RunningStats> wastage, violations;
+    Rng rng = env.rng.split();
+
+    for (int s = 0; s < kSequences; ++s) {
+        std::vector<Arrival> arrivals;
+        for (int i = 0; i < kArrivals; ++i) {
+            Arrival a;
+            a.nfName = mix[rng.uniformInt(mix.size())];
+            a.profile = traffic::TrafficProfile::defaults();
+            a.slaMaxDrop = rng.uniform(0.05, 0.20);
+            arrivals.push_back(std::move(a));
+        }
+        int oracle = ctx.oracleNics(arrivals);
+        for (auto strat :
+             {Strategy::Monopolization, Strategy::Greedy,
+              Strategy::Slomo, Strategy::Tomur}) {
+            auto out = ctx.place(arrivals, strat);
+            wastage[strat].add(
+                100.0 * (out.nicsUsed - oracle) / oracle);
+            violations[strat].add(out.violationRate());
+        }
+    }
+
+    AsciiTable table({"Approach", "Resource wastage (%)",
+                      "SLA violations (%)"});
+    for (auto strat : {Strategy::Monopolization, Strategy::Greedy,
+                       Strategy::Slomo, Strategy::Tomur}) {
+        table.addRow({strategyName(strat),
+                      fmtDouble(wastage[strat].mean(), 1),
+                      fmtDouble(violations[strat].mean(), 1)});
+    }
+    table.print(stdout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 9 (§8): generalisation to a second SoC SmartNIC — a
+ * Pensando-like configuration running a Firewall NF (flow walk +
+ * payload matching) under memory contention and dynamic traffic.
+ * Paper: Tomur 0.9% MAPE vs SLOMO 18.4%.
+ */
+
+#include "common.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+int
+main()
+{
+    printHeader("Table 9: Pensando-like SmartNIC, Firewall NF",
+                "Tomur ~1% MAPE vs SLOMO ~18%: the models carry over "
+                "to a different SoC NIC");
+    BenchEnv env(hw::pensando());
+    slomo::SlomoTrainer strainer(*env.lib);
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    core::TrainOptions topts;
+    topts.adaptive.quota = 140;
+    auto tomur =
+        env.trainer->train(env.nf("Firewall"), defaults, topts);
+    auto slomo = strainer.train(env.nf("Firewall"), defaults);
+
+    AccuracyTracker acc;
+    Rng rng = env.rng.split();
+    for (int i = 0; i < 50; ++i) {
+        auto p = env.randomProfile();
+        const auto &bench = env.lib->randomMemBench(rng);
+        auto ms = env.bed.run(
+            {env.workload("Firewall", p), bench.workload});
+        double truth = ms[0].throughput;
+        acc.add("tomur", truth,
+                tomur.predict({bench.level}, p,
+                              env.solo("Firewall", p)));
+        acc.add("slomo", truth, slomo.predict({bench.level}, p));
+    }
+
+    AsciiTable table({"NF", "approach", "MAPE (%)", "±5% Acc. (%)",
+                      "±10% Acc. (%)"});
+    table.addRow({"Firewall", "SLOMO", fmtDouble(acc.mape("slomo"), 1),
+                  fmtDouble(acc.accWithin("slomo", 5), 1),
+                  fmtDouble(acc.accWithin("slomo", 10), 1)});
+    table.addRow({"Firewall", "Tomur", fmtDouble(acc.mape("tomur"), 1),
+                  fmtDouble(acc.accWithin("tomur", 5), 1),
+                  fmtDouble(acc.accWithin("tomur", 10), 1)});
+    table.print(stdout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: predict an NF's throughput before co-locating it.
+ *
+ * The workflow mirrors the paper's (Appendix F): profile the
+ * synthetic benches once, train a Tomur model for the target NF
+ * offline, then predict what happens when it shares the NIC with
+ * other NFs — and check the prediction against a real deployment.
+ */
+
+#include <cstdio>
+
+#include "nfs/registry.hh"
+#include "regex/ruleset.hh"
+#include "tomur/profiler.hh"
+
+using namespace tomur;
+
+int
+main()
+{
+    // --- Testbed: a BlueField-2-like SmartNIC -------------------
+    auto rules = regex::defaultRuleSet();
+    framework::DeviceSet dev;
+    dev.regex = std::make_shared<framework::RegexDevice>(rules);
+    dev.compression =
+        std::make_shared<framework::CompressionDevice>();
+    dev.crypto = std::make_shared<framework::CryptoDevice>();
+    sim::Testbed nic(hw::blueField2());
+
+    // --- One-time offline effort: profile the synthetic benches --
+    std::printf("Profiling synthetic benches (one-time)...\n");
+    core::BenchLibrary library(nic, dev, rules);
+    core::TomurTrainer trainer(library);
+
+    // --- Train a model for the target NF ------------------------
+    auto traffic_profile = traffic::TrafficProfile::defaults();
+    auto target = nfs::makeFlowMonitor(dev);
+    std::printf("Training Tomur model for %s...\n",
+                target->name().c_str());
+    auto model = trainer.train(*target, traffic_profile);
+    std::printf("  detected execution pattern: %s\n",
+                framework::patternName(model.pattern()));
+
+    // --- Describe the prospective co-residents ------------------
+    auto nids = nfs::makeNids(dev);
+    auto flowstats = nfs::makeFlowStats();
+    std::vector<core::ContentionLevel> competitors = {
+        trainer.contentionOf(*nids, traffic_profile),
+        trainer.contentionOf(*flowstats, traffic_profile),
+    };
+
+    // --- Predict, then verify against a real deployment ---------
+    double solo =
+        nic.runSolo(trainer.workloadOf(*target, traffic_profile))
+            .truthThroughput;
+    double predicted =
+        model.predict(competitors, traffic_profile, solo);
+
+    auto measured = nic.run({
+        trainer.workloadOf(*target, traffic_profile),
+        trainer.workloadOf(*nids, traffic_profile),
+        trainer.workloadOf(*flowstats, traffic_profile),
+    });
+
+    std::printf("\n%s co-located with NIDS + FlowStats @ %s:\n",
+                target->name().c_str(),
+                traffic_profile.toString().c_str());
+    std::printf("  solo throughput      : %8.1f Kpps\n", solo / 1e3);
+    std::printf("  predicted (Tomur)    : %8.1f Kpps\n",
+                predicted / 1e3);
+    std::printf("  measured             : %8.1f Kpps\n",
+                measured[0].throughput / 1e3);
+    std::printf("  prediction error     : %8.1f %%\n",
+                100.0 *
+                    std::abs(predicted - measured[0].throughput) /
+                    measured[0].throughput);
+    return 0;
+}

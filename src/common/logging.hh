@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user error (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations and aborts; warn()/inform() never stop
+ * execution.
+ */
+
+#ifndef TOMUR_COMMON_LOGGING_HH
+#define TOMUR_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace tomur {
+
+/** Print "fatal: <msg>" to stderr and exit(1). For user errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print "panic: <msg>" to stderr and abort(). For internal bugs. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const std::string &msg);
+
+/** Print "info: <msg>" to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_LOGGING_HH

@@ -1,0 +1,130 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tomur {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::uniformInt(0)");
+    // Rejection-free multiply-shift (Lemire); tiny bias acceptable for
+    // simulation purposes but we keep the rejection loop for exactness.
+    std::uint64_t threshold = (-n) % n;
+    for (;;) {
+        std::uint64_t r = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(r) * n;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo >= threshold)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (hi < lo)
+        panic("Rng::uniformInt: hi < lo");
+    return lo + static_cast<std::int64_t>(
+        uniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormalFactor(double sigma)
+{
+    return std::exp(normal() * sigma);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)());
+}
+
+} // namespace tomur

@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tomur {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / xs.size();
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / (xs.size() - 1));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile: p out of range");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * (xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - lo;
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    return percentile(xs, 50.0);
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+BoxStats
+BoxStats::from(const std::vector<double> &xs)
+{
+    BoxStats b;
+    b.p5 = percentile(xs, 5.0);
+    b.p25 = percentile(xs, 25.0);
+    b.p50 = percentile(xs, 50.0);
+    b.p75 = percentile(xs, 75.0);
+    b.p95 = percentile(xs, 95.0);
+    return b;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+} // namespace tomur

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Summary statistics used throughout the evaluation harnesses.
+ */
+
+#ifndef TOMUR_COMMON_STATS_HH
+#define TOMUR_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tomur {
+
+/** Mean of a sample (0 for an empty sample). */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (0 for n < 2). */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ * @param xs sample (not required to be sorted)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Median (50th percentile). */
+double median(const std::vector<double> &xs);
+
+/** Minimum (0 for empty). */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum (0 for empty). */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Five-number summary matching the paper's box-and-whisker plots:
+ * whiskers at 5th/95th percentile, box at 25th/75th, line at median.
+ */
+struct BoxStats
+{
+    double p5 = 0.0;
+    double p25 = 0.0;
+    double p50 = 0.0;
+    double p75 = 0.0;
+    double p95 = 0.0;
+
+    /** Compute from a sample. */
+    static BoxStats from(const std::vector<double> &xs);
+};
+
+/** Online accumulator for mean/min/max/count without storing samples. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_STATS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small string formatting helpers (gcc 12 lacks std::format).
+ */
+
+#ifndef TOMUR_COMMON_STRUTIL_HH
+#define TOMUR_COMMON_STRUTIL_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace tomur {
+
+/** printf-style formatting into a std::string. */
+std::string strf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split on a delimiter character (keeps empty fields). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 1);
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_STRUTIL_HH

@@ -1,0 +1,64 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tomur {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("AsciiTable::addRow: arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::toString() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c];
+            line.append(widths[c] - row[c].size() + 1, ' ');
+            line += "|";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (std::size_t w : widths) {
+        sep.append(w + 2, '-');
+        sep += "+";
+    }
+    sep += "\n";
+
+    std::string out = sep + renderRow(header_) + sep;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+void
+AsciiTable::print(std::FILE *out) const
+{
+    std::string s = toString();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+} // namespace tomur

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit
+ * paper-style result tables.
+ */
+
+#ifndef TOMUR_COMMON_TABLE_HH
+#define TOMUR_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tomur {
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   AsciiTable t({"NF", "MAPE (%)"});
+ *   t.addRow({"NIDS", "1.5"});
+ *   t.print(stdout);
+ * @endcode
+ */
+class AsciiTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append one data row (must match header arity). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to the given stream. */
+    void print(std::FILE *out) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_TABLE_HH

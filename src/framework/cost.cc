@@ -1,0 +1,33 @@
+#include "framework/cost.hh"
+
+namespace tomur::framework {
+
+void
+CostContext::addMemAccess(const MemRegion &region, double reads,
+                          double writes)
+{
+    memReads_ += reads;
+    memWrites_ += writes;
+    auto &use = regions_[region.name];
+    use.bytes = region.bytes;
+    use.reuse = region.reuse;
+    use.accesses += reads + writes;
+}
+
+void
+CostContext::offload(const AccelRequest &req)
+{
+    offloads_.push_back(req);
+}
+
+void
+CostContext::reset()
+{
+    instructions_ = 0.0;
+    memReads_ = 0.0;
+    memWrites_ = 0.0;
+    offloads_.clear();
+    regions_.clear();
+}
+
+} // namespace tomur::framework

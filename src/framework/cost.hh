@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-packet resource-cost accounting.
+ *
+ * Elements process packets functionally (real parsing, table updates,
+ * payload scans) and simultaneously record the resource demand of
+ * that work: retired instructions, LLC-visible memory accesses per
+ * named region, and accelerator requests. The workload profiler
+ * aggregates these into a WorkloadProfile the testbed can schedule.
+ */
+
+#ifndef TOMUR_FRAMEWORK_COST_HH
+#define TOMUR_FRAMEWORK_COST_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/config.hh"
+
+namespace tomur::framework {
+
+/** One accelerator request recorded during packet processing. */
+struct AccelRequest
+{
+    hw::AccelKind kind = hw::AccelKind::Regex;
+    double bytes = 0.0;
+    double matches = 0.0; ///< regex match events (0 for compression)
+};
+
+/**
+ * A named data region an NF touches, with its current size and reuse
+ * behaviour. Elements own their regions and keep `bytes` up to date
+ * as structures grow (e.g. flow tables).
+ */
+struct MemRegion
+{
+    std::string name;
+    double bytes = 0.0;
+    /** Temporal reuse of accesses to this region (see CacheWorkload). */
+    double reuse = 1.0;
+};
+
+/** Accumulated cost of processing packets. */
+class CostContext
+{
+  public:
+    /** Add retired instructions. */
+    void addInstructions(double n) { instructions_ += n; }
+
+    /**
+     * Record LLC-visible accesses to a region.
+     * @param region descriptor (identity keyed by name)
+     */
+    void addMemAccess(const MemRegion &region, double reads,
+                      double writes);
+
+    /** Record an accelerator request. */
+    void offload(const AccelRequest &req);
+
+    double instructions() const { return instructions_; }
+    double memReads() const { return memReads_; }
+    double memWrites() const { return memWrites_; }
+    const std::vector<AccelRequest> &offloads() const
+    {
+        return offloads_;
+    }
+
+    /** Per-region access-weighted stats observed so far. */
+    struct RegionUse
+    {
+        double bytes = 0.0;  ///< last observed region size
+        double reuse = 1.0;
+        double accesses = 0.0;
+    };
+    const std::map<std::string, RegionUse> &regions() const
+    {
+        return regions_;
+    }
+
+    /** Clear all accumulators. */
+    void reset();
+
+    /**
+     * When false, accelerator devices skip functional work (payload
+     * scans/compression) and record no requests. Used by the profiler
+     * to warm flow-table state over large flow counts cheaply; the
+     * measurement phase always runs fully functional.
+     */
+    void setAccelFunctional(bool on) { accelFunctional_ = on; }
+    bool accelFunctional() const { return accelFunctional_; }
+
+  private:
+    bool accelFunctional_ = true;
+    double instructions_ = 0.0;
+    double memReads_ = 0.0;
+    double memWrites_ = 0.0;
+    std::vector<AccelRequest> offloads_;
+    std::map<std::string, RegionUse> regions_;
+};
+
+} // namespace tomur::framework
+
+#endif // TOMUR_FRAMEWORK_COST_HH

@@ -1,0 +1,6 @@
+#include "framework/element.hh"
+
+// Element is header-only apart from the vtable anchor below.
+
+namespace tomur::framework {
+} // namespace tomur::framework

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Click-like packet-processing elements.
+ *
+ * An NF is a chain of elements (a simplified Click configuration).
+ * Each element both performs the real packet transformation and
+ * records its resource cost into the CostContext.
+ */
+
+#ifndef TOMUR_FRAMEWORK_ELEMENT_HH
+#define TOMUR_FRAMEWORK_ELEMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/cost.hh"
+#include "net/packet.hh"
+
+namespace tomur::framework {
+
+/** What an element decided about the packet. */
+enum class Verdict
+{
+    Forward, ///< pass to the next element
+    Drop,    ///< discard (end of chain)
+};
+
+/** Nominal instruction costs for common operations, used by elements
+ *  when annotating their work. Values are in retired instructions and
+ *  reflect typical ARMv8 packet-processing budgets. */
+namespace cost {
+constexpr double parseHeaders = 120;
+constexpr double hashFlow = 60;
+constexpr double tableProbe = 40;
+constexpr double checksum = 90;
+constexpr double perByteTouch = 0.4; ///< per payload byte handled
+constexpr double accelSubmit = 250;  ///< doorbell + descriptor setup
+constexpr double accelReap = 150;
+}
+
+/**
+ * Base class for packet-processing elements.
+ */
+class Element
+{
+  public:
+    explicit Element(std::string name) : name_(std::move(name)) {}
+    virtual ~Element() = default;
+
+    Element(const Element &) = delete;
+    Element &operator=(const Element &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Process one packet, recording costs into ctx. */
+    virtual Verdict process(net::Packet &pkt, CostContext &ctx) = 0;
+
+    /** Reset any per-run state (flow tables, counters). */
+    virtual void reset() {}
+
+    /** Current memory regions owned by this element. */
+    virtual std::vector<MemRegion> regions() const { return {}; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace tomur::framework
+
+#endif // TOMUR_FRAMEWORK_ELEMENT_HH

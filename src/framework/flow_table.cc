@@ -1,0 +1,6 @@
+#include "framework/flow_table.hh"
+
+// FlowTable is a header-only template; this TU anchors the target.
+
+namespace tomur::framework {
+} // namespace tomur::framework

@@ -1,0 +1,89 @@
+#include "framework/nf.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::framework {
+
+const char *
+patternName(ExecutionPattern p)
+{
+    switch (p) {
+      case ExecutionPattern::Pipeline:
+        return "pipeline";
+      case ExecutionPattern::RunToCompletion:
+        return "run-to-completion";
+    }
+    panic("patternName: bad pattern");
+}
+
+NetworkFunction::NetworkFunction(std::string name,
+                                 ExecutionPattern pattern)
+    : name_(std::move(name)), pattern_(pattern)
+{
+}
+
+void
+NetworkFunction::setCores(int n)
+{
+    if (n < 1)
+        fatal(strf("NF %s: invalid core count %d", name_.c_str(), n));
+    cores_ = n;
+}
+
+int
+NetworkFunction::queueCount(hw::AccelKind kind) const
+{
+    return queues_[static_cast<int>(kind)];
+}
+
+void
+NetworkFunction::setQueueCount(hw::AccelKind kind, int n)
+{
+    if (n < 1)
+        fatal(strf("NF %s: invalid queue count %d", name_.c_str(), n));
+    queues_[static_cast<int>(kind)] = n;
+}
+
+void
+NetworkFunction::setPacedRate(double pps)
+{
+    if (pps < 0.0)
+        fatal(strf("NF %s: negative paced rate", name_.c_str()));
+    pacedRate_ = pps;
+}
+
+void
+NetworkFunction::add(std::unique_ptr<Element> element)
+{
+    elements_.push_back(std::move(element));
+}
+
+Verdict
+NetworkFunction::processPacket(net::Packet &pkt, CostContext &ctx)
+{
+    for (auto &e : elements_) {
+        if (e->process(pkt, ctx) == Verdict::Drop)
+            return Verdict::Drop;
+    }
+    return Verdict::Forward;
+}
+
+void
+NetworkFunction::reset()
+{
+    for (auto &e : elements_)
+        e->reset();
+}
+
+std::vector<MemRegion>
+NetworkFunction::regions() const
+{
+    std::vector<MemRegion> out;
+    for (const auto &e : elements_)
+        for (const auto &r : e->regions())
+            out.push_back(r);
+    return out;
+}
+
+} // namespace tomur::framework

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Network function: a named chain of elements plus deployment
+ * metadata (execution pattern, core allocation, accelerator queue
+ * counts).
+ */
+
+#ifndef TOMUR_FRAMEWORK_NF_HH
+#define TOMUR_FRAMEWORK_NF_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/element.hh"
+#include "hw/config.hh"
+
+namespace tomur::framework {
+
+/** How the NF schedules its per-packet work across resources
+ *  (paper §4.2). */
+enum class ExecutionPattern
+{
+    Pipeline,        ///< stages decoupled; throughput = slowest stage
+    RunToCompletion, ///< a core carries the packet end to end
+};
+
+/** Pattern name for reports. */
+const char *patternName(ExecutionPattern p);
+
+/**
+ * A deployable network function.
+ */
+class NetworkFunction
+{
+  public:
+    NetworkFunction(std::string name, ExecutionPattern pattern);
+
+    NetworkFunction(const NetworkFunction &) = delete;
+    NetworkFunction &operator=(const NetworkFunction &) = delete;
+    virtual ~NetworkFunction() = default;
+
+    const std::string &name() const { return name_; }
+    ExecutionPattern pattern() const { return pattern_; }
+
+    /** Dedicated SoC cores (the paper pins 2 per NF). */
+    int cores() const { return cores_; }
+    void setCores(int n);
+
+    /** Request queues toward an accelerator (n_j in Eq. 2). */
+    int queueCount(hw::AccelKind kind) const;
+    void setQueueCount(hw::AccelKind kind, int n);
+
+    /**
+     * Open-loop pacing in packets/s; 0 means closed loop (driven at
+     * maximum rate, the paper's default). The synthetic benchmark NFs
+     * use pacing to assert controllable contention levels (§6).
+     */
+    double pacedRate() const { return pacedRate_; }
+    void setPacedRate(double pps);
+
+    /** Append an element to the chain. */
+    void add(std::unique_ptr<Element> element);
+
+    /** Run one packet through the chain. */
+    Verdict processPacket(net::Packet &pkt, CostContext &ctx);
+
+    /** Reset all element state. */
+    void reset();
+
+    /** Union of element memory regions. */
+    std::vector<MemRegion> regions() const;
+
+    const std::vector<std::unique_ptr<Element>> &elements() const
+    {
+        return elements_;
+    }
+
+  private:
+    std::string name_;
+    ExecutionPattern pattern_;
+    int cores_ = 2;
+    double pacedRate_ = 0.0;
+    int queues_[hw::numAccelKinds] = {1, 1, 1};
+    std::vector<std::unique_ptr<Element>> elements_;
+};
+
+} // namespace tomur::framework
+
+#endif // TOMUR_FRAMEWORK_NF_HH

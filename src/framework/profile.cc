@@ -1,0 +1,99 @@
+#include "framework/profile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tomur::framework {
+
+WorkloadProfile
+profileWorkload(NetworkFunction &nf,
+                const traffic::TrafficProfile &traffic_profile,
+                const regex::RuleSet *ruleset,
+                const ProfileOptions &opts)
+{
+    if (opts.samplePackets == 0)
+        fatal("profileWorkload: zero sample packets");
+
+    nf.reset();
+    traffic::TrafficGen gen(traffic_profile, ruleset, opts.seed);
+
+    // Phase 1: warm per-flow state so data-structure footprints match
+    // the flow count (accelerator-non-functional, empty payloads —
+    // flow state depends only on addressing).
+    if (opts.warmFlows) {
+        CostContext warm_ctx;
+        warm_ctx.setAccelFunctional(false);
+        std::uint64_t n = std::min<std::uint64_t>(
+            traffic_profile.flowCount, opts.maxWarmupPackets);
+        // Reuse one buffer, rewriting the addressing per flow: the
+        // warm-up only needs flow identity, not payload bytes.
+        net::Packet pkt =
+            net::PacketBuilder::build(gen.flowTuple(0), {});
+        for (std::uint64_t i = 0; i < n; ++i) {
+            // Restore the TTL before rewriting (NFs may have
+            // decremented or re-addressed the shared buffer).
+            pkt.bytes()[net::ethHeaderLen + 8] = 64;
+            pkt.rewriteAddressing(gen.flowTuple(i));
+            nf.processPacket(pkt, warm_ctx);
+        }
+    }
+
+    // Phase 2: measure over fully-functional sample packets.
+    CostContext ctx;
+    double frame_bytes = 0.0;
+    std::size_t drops = 0;
+    for (std::size_t i = 0; i < opts.samplePackets; ++i) {
+        net::Packet pkt = gen.next();
+        frame_bytes += static_cast<double>(pkt.size());
+        if (nf.processPacket(pkt, ctx) == Verdict::Drop)
+            ++drops;
+    }
+
+    const double n = static_cast<double>(opts.samplePackets);
+    WorkloadProfile w;
+    w.nfName = nf.name();
+    w.pattern = nf.pattern();
+    w.cores = nf.cores();
+    w.traffic = traffic_profile;
+    w.pacedRate = nf.pacedRate();
+    w.instrPerPacket = ctx.instructions() / n;
+    w.llcReadsPerPacket = ctx.memReads() / n;
+    w.llcWritesPerPacket = ctx.memWrites() / n;
+    w.frameBytes = frame_bytes / n;
+    w.dropFraction = static_cast<double>(drops) / n;
+
+    // Working set: sum of region footprints; reuse: access-weighted.
+    double wss = 0.0, reuse_weighted = 0.0, accesses = 0.0;
+    for (const auto &[name, use] : ctx.regions()) {
+        wss += use.bytes;
+        reuse_weighted += use.reuse * use.accesses;
+        accesses += use.accesses;
+    }
+    w.wssBytes = wss;
+    w.reuse = accesses > 0.0 ? reuse_weighted / accesses : 1.0;
+
+    // Accelerator demand.
+    double req_count[hw::numAccelKinds] = {};
+    double req_bytes[hw::numAccelKinds] = {};
+    double req_matches[hw::numAccelKinds] = {};
+    for (const auto &r : ctx.offloads()) {
+        int k = static_cast<int>(r.kind);
+        req_count[k] += 1.0;
+        req_bytes[k] += r.bytes;
+        req_matches[k] += r.matches;
+    }
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        AccelUse &use = w.accel[k];
+        if (req_count[k] <= 0.0)
+            continue;
+        use.used = true;
+        use.requestsPerPacket = req_count[k] / n;
+        use.bytesPerRequest = req_bytes[k] / req_count[k];
+        use.matchesPerRequest = req_matches[k] / req_count[k];
+        use.queues = nf.queueCount(static_cast<hw::AccelKind>(k));
+    }
+    return w;
+}
+
+} // namespace tomur::framework

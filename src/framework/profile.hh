@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Workload profiling: run sample traffic through an NF and distil its
+ * per-packet resource demand into a WorkloadProfile the testbed can
+ * schedule. This corresponds to deploying the NF and watching it
+ * process real packets — no source-level knowledge is extracted
+ * beyond what execution reveals.
+ */
+
+#ifndef TOMUR_FRAMEWORK_PROFILE_HH
+#define TOMUR_FRAMEWORK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "framework/nf.hh"
+#include "regex/matcher.hh"
+#include "traffic/generator.hh"
+#include "traffic/profile.hh"
+
+namespace tomur::framework {
+
+/** Per-accelerator demand of a workload. */
+struct AccelUse
+{
+    bool used = false;
+    double requestsPerPacket = 0.0;
+    double bytesPerRequest = 0.0;
+    double matchesPerRequest = 0.0;
+    int queues = 1;
+};
+
+/**
+ * The resource demand of one NF under one traffic profile.
+ */
+struct WorkloadProfile
+{
+    std::string nfName;
+    ExecutionPattern pattern = ExecutionPattern::RunToCompletion;
+    int cores = 2;
+
+    double instrPerPacket = 0.0;
+    double llcReadsPerPacket = 0.0;
+    double llcWritesPerPacket = 0.0;
+    double wssBytes = 0.0;
+    double reuse = 1.0;         ///< access-weighted temporal reuse
+    double frameBytes = 0.0;    ///< mean wire size per packet
+    double dropFraction = 0.0;  ///< share of packets dropped
+    double pacedRate = 0.0;     ///< open-loop pacing (0 = closed loop)
+
+    AccelUse accel[hw::numAccelKinds];
+
+    traffic::TrafficProfile traffic;
+
+    /** Does the workload touch the given accelerator? */
+    bool
+    usesAccel(hw::AccelKind kind) const
+    {
+        return accel[static_cast<int>(kind)].used;
+    }
+
+    const AccelUse &
+    accelUse(hw::AccelKind kind) const
+    {
+        return accel[static_cast<int>(kind)];
+    }
+};
+
+/** Profiling options. */
+struct ProfileOptions
+{
+    std::size_t samplePackets = 384;
+    std::uint64_t seed = 12345;
+    /**
+     * Warm per-flow state by pushing one (payload-free, accelerator-
+     * non-functional) packet per distinct flow before measuring, so
+     * table footprints reflect the profile's flow count.
+     */
+    bool warmFlows = true;
+    /** Cap on warm-up packets (one per flow up to this). */
+    std::size_t maxWarmupPackets = 600000;
+};
+
+/**
+ * Profile one NF under one traffic profile.
+ *
+ * The NF is reset, warmed across the profile's flows, then measured
+ * over opts.samplePackets fully-functional packets.
+ *
+ * @param ruleset ruleset for MTBR payload synthesis (may be null for
+ *        mtbr == 0 profiles)
+ */
+WorkloadProfile
+profileWorkload(NetworkFunction &nf,
+                const traffic::TrafficProfile &traffic_profile,
+                const regex::RuleSet *ruleset,
+                const ProfileOptions &opts = {});
+
+} // namespace tomur::framework
+
+#endif // TOMUR_FRAMEWORK_PROFILE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Accelerator queue system with round-robin scheduling.
+ *
+ * NFs interact with onboard accelerators through per-NF request
+ * queues served round-robin (one request per non-empty queue per
+ * cycle), as the BlueField regex driver does [9]. The analytic solver
+ * computes each queue's equilibrium throughput and request sojourn
+ * time in a fluid model; accel_des.hh provides a discrete-event
+ * simulation of the same system used to validate the solver.
+ */
+
+#ifndef TOMUR_HW_ACCEL_HH
+#define TOMUR_HW_ACCEL_HH
+
+#include <vector>
+
+namespace tomur::hw {
+
+/** One request queue attached to an accelerator engine. */
+struct AccelQueue
+{
+    double serviceTime = 0.0; ///< mean per-request service time (s)
+    /**
+     * Offered request arrival rate (req/s). Ignored when closedLoop
+     * is set.
+     */
+    double arrivalRate = 0.0;
+    /**
+     * Closed-loop source: the submitter always has a request ready
+     * (an NF driven at its maximum rate), so the queue is backlogged
+     * whenever the engine can serve it.
+     */
+    bool closedLoop = false;
+};
+
+/** Solver output for one queue. */
+struct AccelQueueResult
+{
+    double throughput = 0.0;  ///< completed requests per second
+    double sojournTime = 0.0; ///< mean queueing + service time (s)
+    bool backlogged = false;  ///< queue never runs empty
+};
+
+/**
+ * Solve the round-robin fluid equilibrium.
+ *
+ * Closed-loop queues are always backlogged. An open queue becomes
+ * backlogged when its offered rate exceeds the fair round-robin share
+ * it would receive; the solver finds the consistent backlogged set by
+ * iterated water-filling. When any queue is backlogged the engine is
+ * fully utilised and each backlogged queue completes one request per
+ * round (round length = total busy time of all queues).
+ */
+std::vector<AccelQueueResult>
+solveRoundRobin(const std::vector<AccelQueue> &queues);
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_ACCEL_HH

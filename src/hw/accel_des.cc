@@ -1,0 +1,109 @@
+#include "hw/accel_des.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tomur::hw {
+
+std::vector<DesQueueStats>
+simulateRoundRobin(const std::vector<AccelQueue> &queues,
+                   const DesOptions &opts)
+{
+    const std::size_t n = queues.size();
+    std::vector<DesQueueStats> out(n);
+    if (n == 0)
+        return out;
+
+    Rng rng(opts.seed);
+    auto serviceSample = [&](std::size_t q) {
+        double s = queues[q].serviceTime;
+        if (opts.exponentialService) {
+            double u;
+            do {
+                u = rng.uniform();
+            } while (u <= 1e-12);
+            return -s * std::log(u);
+        }
+        return s;
+    };
+
+    // Pending request arrival times per queue.
+    std::vector<std::deque<double>> pending(n);
+    std::vector<double> next_arrival(
+        n, std::numeric_limits<double>::infinity());
+    for (std::size_t q = 0; q < n; ++q) {
+        if (queues[q].closedLoop) {
+            pending[q].push_back(0.0);
+        } else if (queues[q].arrivalRate > 0.0) {
+            // Stagger first arrivals to avoid lock-step artifacts.
+            next_arrival[q] =
+                rng.uniform() / queues[q].arrivalRate;
+        }
+    }
+
+    std::vector<double> sojourn_sum(n, 0.0);
+    std::vector<std::uint64_t> completions(n, 0);
+
+    double now = 0.0;
+    std::size_t rr = 0;
+    while (now < opts.duration) {
+        // Deliver due open-loop arrivals.
+        for (std::size_t q = 0; q < n; ++q) {
+            while (next_arrival[q] <= now) {
+                pending[q].push_back(next_arrival[q]);
+                next_arrival[q] += 1.0 / queues[q].arrivalRate;
+            }
+        }
+
+        // Find the next non-empty queue in cyclic order.
+        std::size_t chosen = n;
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t q = (rr + k) % n;
+            if (!pending[q].empty()) {
+                chosen = q;
+                break;
+            }
+        }
+
+        if (chosen == n) {
+            // Idle: jump to the earliest future arrival.
+            double t = std::numeric_limits<double>::infinity();
+            for (std::size_t q = 0; q < n; ++q)
+                t = std::min(t, next_arrival[q]);
+            if (!std::isfinite(t))
+                break; // nothing will ever arrive
+            now = t;
+            continue;
+        }
+
+        double arrived = pending[chosen].front();
+        pending[chosen].pop_front();
+        double done = now + serviceSample(chosen);
+        if (done >= opts.warmup) {
+            ++completions[chosen];
+            sojourn_sum[chosen] += done - arrived;
+        }
+        now = done;
+        if (queues[chosen].closedLoop)
+            pending[chosen].push_back(now); // depth-1 resubmit
+        rr = (chosen + 1) % n;
+    }
+
+    double measured = opts.duration - opts.warmup;
+    if (measured <= 0.0)
+        panic("simulateRoundRobin: warmup >= duration");
+    for (std::size_t q = 0; q < n; ++q) {
+        out[q].completions = completions[q];
+        out[q].throughput = completions[q] / measured;
+        out[q].meanSojourn = completions[q]
+            ? sojourn_sum[q] / completions[q] : 0.0;
+    }
+    return out;
+}
+
+} // namespace tomur::hw

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Discrete-event simulation of the round-robin accelerator queue
+ * system. Serves as ground truth for validating the analytic fluid
+ * solver in accel.hh (see tests and bench/ablation_models).
+ */
+
+#ifndef TOMUR_HW_ACCEL_DES_HH
+#define TOMUR_HW_ACCEL_DES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accel.hh"
+
+namespace tomur::hw {
+
+/** DES measurement for one queue. */
+struct DesQueueStats
+{
+    std::uint64_t completions = 0;
+    double throughput = 0.0;   ///< completions / simulated duration
+    double meanSojourn = 0.0;  ///< mean request sojourn time (s)
+};
+
+/** DES options. */
+struct DesOptions
+{
+    double duration = 1.0;        ///< simulated seconds
+    double warmup = 0.05;         ///< discard completions before this
+    bool exponentialService = false;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Event-driven simulation: a single server visits queues in cyclic
+ * order, serving one request per non-empty queue and skipping empty
+ * ones. Open queues receive deterministic arrivals at their offered
+ * rate; closed-loop queues resubmit immediately on completion
+ * (depth 1).
+ */
+std::vector<DesQueueStats>
+simulateRoundRobin(const std::vector<AccelQueue> &queues,
+                   const DesOptions &opts = {});
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_ACCEL_DES_HH

@@ -1,0 +1,114 @@
+#include "hw/cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tomur::hw {
+
+double
+missRatioAt(const CacheWorkload &w, double occupancy_bytes,
+            double miss_floor)
+{
+    if (w.wssBytes <= 0.0)
+        return miss_floor;
+    double coverage = std::min(1.0, occupancy_bytes / w.wssBytes);
+    double m = 1.0 - w.reuse * coverage;
+    return std::max(miss_floor, m);
+}
+
+std::vector<CacheShare>
+solveCacheSharing(double llc_bytes, double miss_floor,
+                  const std::vector<CacheWorkload> &workloads)
+{
+    if (llc_bytes <= 0.0 || miss_floor <= 0.0)
+        panic("solveCacheSharing: bad configuration");
+    const std::size_t n = workloads.size();
+    std::vector<CacheShare> out(n);
+    if (n == 0)
+        return out;
+
+    // Total demand fits: everyone holds their full working set.
+    double total_wss = 0.0;
+    for (const auto &w : workloads)
+        total_wss += w.wssBytes;
+    if (total_wss <= llc_bytes) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i].occupancyBytes = workloads[i].wssBytes;
+            out[i].missRatio =
+                missRatioAt(workloads[i], workloads[i].wssBytes,
+                            miss_floor);
+        }
+        return out;
+    }
+
+    // Under LRU, steady-state occupancy is proportional to insertion
+    // rate: occ_i = lambda * A_i * m_i(occ_i), capped at WSS, where
+    // lambda (bytes of residency bought per insertion/s) is a shared
+    // "price" fixed by the capacity constraint sum(occ) = C.
+    //
+    // Per workload, occ_i(lambda) has a closed form and is continuous
+    // and non-decreasing in lambda, so bisection on lambda finds the
+    // unique fixed point (no damped iteration, no multi-stability).
+    auto occAt = [&](const CacheWorkload &w, double lambda) {
+        if (w.wssBytes <= 0.0 || w.accessRate <= 0.0)
+            return 0.0;
+        double la = lambda * w.accessRate;
+        double occ;
+        if (w.reuse <= 0.0) {
+            occ = la; // pure streaming: m = 1 regardless
+        } else {
+            // Unsaturated branch: occ = la * (1 - reuse*occ/wss)
+            //   => occ = la * wss / (wss + la * reuse).
+            occ = la * w.wssBytes / (w.wssBytes + la * w.reuse);
+            // Once the miss floor binds, insertions stop falling.
+            double m = 1.0 - w.reuse * occ / w.wssBytes;
+            if (m < miss_floor)
+                occ = la * miss_floor;
+        }
+        return std::min(occ, w.wssBytes);
+    };
+
+    double lo = 0.0;
+    double hi = 1.0;
+    auto totalOcc = [&](double lambda) {
+        double s = 0.0;
+        for (const auto &w : workloads)
+            s += occAt(w, lambda);
+        return s;
+    };
+    // Expand hi until demand covers capacity (total WSS > C, so a
+    // finite price always exists unless nobody accesses the cache).
+    for (int i = 0; i < 200 && totalOcc(hi) < llc_bytes; ++i)
+        hi *= 2.0;
+    if (totalOcc(hi) < llc_bytes) {
+        // Degenerate: no active accessors; split by WSS.
+        for (std::size_t i = 0; i < n; ++i) {
+            double occ = llc_bytes * workloads[i].wssBytes /
+                         total_wss;
+            out[i].occupancyBytes =
+                std::min(occ, workloads[i].wssBytes);
+            out[i].missRatio = missRatioAt(
+                workloads[i], out[i].occupancyBytes, miss_floor);
+        }
+        return out;
+    }
+    for (int iter = 0; iter < 100; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (totalOcc(mid) < llc_bytes)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double lambda = 0.5 * (lo + hi);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i].occupancyBytes = occAt(workloads[i], lambda);
+        out[i].missRatio = missRatioAt(
+            workloads[i], out[i].occupancyBytes, miss_floor);
+    }
+    return out;
+}
+
+} // namespace tomur::hw

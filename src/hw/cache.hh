@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared last-level-cache contention model.
+ *
+ * Under LRU, a workload's steady-state occupancy is proportional to
+ * its line-insertion rate (access rate x miss ratio), capped at its
+ * working-set size; its miss ratio in turn falls with occupancy.
+ * solveCacheSharing() computes the coupled fixed point. The model
+ * reproduces the two regimes the paper measures on BlueField-2
+ * (Appendix B, Fig. 9): below the LLC capacity the competitor's WSS
+ * dominates, above it the competitor's access rate dominates.
+ */
+
+#ifndef TOMUR_HW_CACHE_HH
+#define TOMUR_HW_CACHE_HH
+
+#include <vector>
+
+namespace tomur::hw {
+
+/** One workload's memory behaviour as seen by the LLC. */
+struct CacheWorkload
+{
+    double wssBytes = 0.0;   ///< bytes of distinct data touched
+    double accessRate = 0.0; ///< LLC accesses per second
+    /**
+     * Fraction of accesses with temporal reuse. 1.0 models random
+     * reuse over the working set (hash tables); near 0 models
+     * streaming (no reuse regardless of occupancy).
+     */
+    double reuse = 1.0;
+};
+
+/** Result for one workload. */
+struct CacheShare
+{
+    double occupancyBytes = 0.0;
+    double missRatio = 1.0;
+};
+
+/**
+ * Solve the cache-sharing fixed point.
+ *
+ * @param llc_bytes total LLC capacity
+ * @param miss_floor compulsory miss floor (> 0)
+ * @param workloads per-workload demands
+ * @return per-workload occupancy and miss ratio, index-aligned
+ */
+std::vector<CacheShare>
+solveCacheSharing(double llc_bytes, double miss_floor,
+                  const std::vector<CacheWorkload> &workloads);
+
+/**
+ * Miss ratio of a workload with the given occupancy:
+ * 1 - reuse * min(1, occupancy / wss), floored at miss_floor.
+ */
+double missRatioAt(const CacheWorkload &w, double occupancy_bytes,
+                   double miss_floor);
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_CACHE_HH

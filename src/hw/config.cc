@@ -1,0 +1,90 @@
+#include "hw/config.hh"
+
+#include "common/logging.hh"
+
+namespace tomur::hw {
+
+const char *
+accelName(AccelKind kind)
+{
+    switch (kind) {
+      case AccelKind::Regex:
+        return "regex";
+      case AccelKind::Compression:
+        return "compression";
+      case AccelKind::Crypto:
+        return "crypto";
+    }
+    panic("accelName: bad kind");
+}
+
+NicConfig
+blueField2()
+{
+    NicConfig c;
+    c.name = "bluefield2";
+    c.cores = 8;
+    c.coreHz = 2.5e9;
+    c.baseIpc = 1.2;
+    c.llcBytes = 6.0 * 1024 * 1024;
+    c.cacheLineBytes = 64;
+    c.llcHitTime = 30e-9;
+    c.dramTime = 90e-9;
+    c.dramPeakBytesPerSec = 4e9; // effective random-access bandwidth
+    c.missFloor = 0.02;
+    c.nicLineRateBytesPerSec = 2 * 12.5e9;
+
+    AccelConfig regex;
+    regex.present = true;
+    regex.setupTime = 0.2e-6;
+    regex.bytesPerSec = 8e9;
+    regex.perMatchTime = 0.5e-6;
+    c.accel[static_cast<int>(AccelKind::Regex)] = regex;
+
+    AccelConfig comp;
+    comp.present = true;
+    comp.setupTime = 0.3e-6;
+    comp.bytesPerSec = 4e9;
+    comp.perMatchTime = 0.0;
+    c.accel[static_cast<int>(AccelKind::Compression)] = comp;
+
+    AccelConfig crypto;
+    crypto.present = true;
+    crypto.setupTime = 0.15e-6;
+    crypto.bytesPerSec = 12e9;
+    crypto.perMatchTime = 0.0;
+    c.accel[static_cast<int>(AccelKind::Crypto)] = crypto;
+    return c;
+}
+
+NicConfig
+pensando()
+{
+    NicConfig c;
+    c.name = "pensando";
+    c.cores = 16;
+    c.coreHz = 2.8e9;
+    c.baseIpc = 1.4;
+    c.llcBytes = 8.0 * 1024 * 1024;
+    c.cacheLineBytes = 64;
+    c.llcHitTime = 25e-9;
+    c.dramTime = 80e-9;
+    c.dramPeakBytesPerSec = 6e9;
+    c.missFloor = 0.02;
+    c.nicLineRateBytesPerSec = 2 * 12.5e9;
+
+    AccelConfig regex;
+    regex.present = true;
+    regex.setupTime = 0.25e-6;
+    regex.bytesPerSec = 10e9;
+    regex.perMatchTime = 0.4e-6;
+    c.accel[static_cast<int>(AccelKind::Regex)] = regex;
+
+    AccelConfig comp;
+    comp.present = false; // Pensando config models regex only (§8)
+    c.accel[static_cast<int>(AccelKind::Compression)] = comp;
+    c.accel[static_cast<int>(AccelKind::Crypto)] = AccelConfig{};
+    return c;
+}
+
+} // namespace tomur::hw

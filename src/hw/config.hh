@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SmartNIC hardware configuration.
+ *
+ * Parameters are calibrated to public BlueField-2 specifications
+ * (8x ARMv8 A72 @ 2.5 GHz, 6 MB L3, 16 GB DDR4, regex + compression
+ * accelerators) and a Pensando-like second configuration used for the
+ * generalisation experiment (Table 9).
+ */
+
+#ifndef TOMUR_HW_CONFIG_HH
+#define TOMUR_HW_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tomur::hw {
+
+/** Kinds of onboard hardware accelerators. */
+enum class AccelKind
+{
+    Regex,
+    Compression,
+    Crypto,
+};
+
+/** Number of accelerator kinds (array sizing). */
+constexpr int numAccelKinds = 3;
+
+/** Accelerator name for reports. */
+const char *accelName(AccelKind kind);
+
+/**
+ * One accelerator engine's service-time parameters. A request over B
+ * payload bytes producing M matches (regex) costs
+ * setupTime + B / bytesPerSec + M * perMatchTime seconds.
+ */
+struct AccelConfig
+{
+    bool present = false;
+    double setupTime = 0.0;    ///< per-request fixed overhead (s)
+    double bytesPerSec = 0.0;  ///< streaming scan/compress rate
+    double perMatchTime = 0.0; ///< extra time per reported match (s)
+};
+
+/** Whole-NIC configuration. */
+struct NicConfig
+{
+    std::string name;
+    int cores = 8;
+    double coreHz = 2.5e9;
+    double baseIpc = 1.2;       ///< instructions per cycle, no stalls
+
+    double llcBytes = 6.0 * 1024 * 1024;
+    double cacheLineBytes = 64;
+    double llcHitTime = 30e-9;  ///< LLC hit latency (s)
+    double dramTime = 90e-9;    ///< uncontended DRAM access (s)
+    double dramPeakBytesPerSec = 17e9;
+    double missFloor = 0.02;    ///< compulsory miss floor
+
+    double nicLineRateBytesPerSec = 2 * 12.5e9; ///< dual 100 GbE
+
+    AccelConfig accel[numAccelKinds];
+
+    const AccelConfig &
+    accelerator(AccelKind kind) const
+    {
+        return accel[static_cast<int>(kind)];
+    }
+};
+
+/** NVIDIA BlueField-2-like configuration (the paper's main testbed). */
+NicConfig blueField2();
+
+/** AMD Pensando-like configuration (the paper's §8 generalisation). */
+NicConfig pensando();
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_CONFIG_HH

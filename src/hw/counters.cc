@@ -1,0 +1,42 @@
+#include "hw/counters.hh"
+
+namespace tomur::hw {
+
+const std::vector<std::string> &
+PerfCounters::featureNames()
+{
+    static const std::vector<std::string> names = {
+        "IPC", "IRT", "L2CRD", "L2CWR", "MEMRD", "MEMWR", "WSS",
+    };
+    return names;
+}
+
+std::vector<double>
+PerfCounters::toVector() const
+{
+    return {ipc,         instrRetired, l2ReadRate, l2WriteRate,
+            memReadRate, memWriteRate, wssBytes};
+}
+
+PerfCounters
+PerfCounters::operator+(const PerfCounters &o) const
+{
+    PerfCounters r = *this;
+    r += o;
+    return r;
+}
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &o)
+{
+    ipc += o.ipc;
+    instrRetired += o.instrRetired;
+    l2ReadRate += o.l2ReadRate;
+    l2WriteRate += o.l2WriteRate;
+    memReadRate += o.memReadRate;
+    memWriteRate += o.memWriteRate;
+    wssBytes += o.wssBytes;
+    return *this;
+}
+
+} // namespace tomur::hw

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Performance counters (Table 13 of the paper): the feature vector
+ * SLOMO and Tomur's memory model consume. The testbed emits one
+ * PerfCounters per running NF; a competitor set's contention level is
+ * the aggregate of the competitors' counters, as in SLOMO.
+ */
+
+#ifndef TOMUR_HW_COUNTERS_HH
+#define TOMUR_HW_COUNTERS_HH
+
+#include <string>
+#include <vector>
+
+namespace tomur::hw {
+
+/** The 7 counters of Table 13. Rates are per second. */
+struct PerfCounters
+{
+    double ipc = 0.0;          ///< instructions per cycle
+    double instrRetired = 0.0; ///< IRT: instructions retired /s
+    double l2ReadRate = 0.0;   ///< L2CRD: L2 data cache reads /s
+    double l2WriteRate = 0.0;  ///< L2CWR: L2 data cache writes /s
+    double memReadRate = 0.0;  ///< MEMRD: DRAM reads /s
+    double memWriteRate = 0.0; ///< MEMWR: DRAM writes /s
+    double wssBytes = 0.0;     ///< WSS: working set size
+
+    /** Feature order used across all models. */
+    static const std::vector<std::string> &featureNames();
+
+    /** Convert to the model feature vector (featureNames() order). */
+    std::vector<double> toVector() const;
+
+    /**
+     * Aggregate contention level of a competitor set: rates and WSS
+     * add; IPC sums as combined pressure (as SLOMO aggregates
+     * competitor counters).
+     */
+    PerfCounters operator+(const PerfCounters &o) const;
+    PerfCounters &operator+=(const PerfCounters &o);
+
+    /** Cache access rate (reads + writes), the paper's CAR metric. */
+    double cacheAccessRate() const
+    {
+        return l2ReadRate + l2WriteRate;
+    }
+};
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_COUNTERS_HH

@@ -1,0 +1,21 @@
+#include "hw/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tomur::hw {
+
+double
+dramLatencyFactor(double demand_bytes_per_sec,
+                  double peak_bytes_per_sec)
+{
+    if (peak_bytes_per_sec <= 0.0)
+        panic("dramLatencyFactor: bad peak bandwidth");
+    double u = std::max(0.0, demand_bytes_per_sec / peak_bytes_per_sec);
+    u = std::min(u, 0.97);
+    constexpr double k = 0.8;
+    return 1.0 + k * u * u / (1.0 - u);
+}
+
+} // namespace tomur::hw

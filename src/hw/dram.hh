@@ -1,0 +1,24 @@
+/**
+ * @file
+ * DRAM bandwidth contention: a convex latency inflation factor as
+ * aggregate miss traffic approaches the effective peak bandwidth.
+ */
+
+#ifndef TOMUR_HW_DRAM_HH
+#define TOMUR_HW_DRAM_HH
+
+namespace tomur::hw {
+
+/**
+ * Latency multiplier for a DRAM access when the memory controller
+ * carries `demand_bytes_per_sec` of traffic against a peak of
+ * `peak_bytes_per_sec`. Returns 1 at zero load and grows as
+ * 1 + k * u^2 / (1 - u) with utilisation capped below 1, so the
+ * closed-loop testbed always finds an equilibrium.
+ */
+double dramLatencyFactor(double demand_bytes_per_sec,
+                         double peak_bytes_per_sec);
+
+} // namespace tomur::hw
+
+#endif // TOMUR_HW_DRAM_HH

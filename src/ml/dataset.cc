@@ -1,0 +1,62 @@
+#include "ml/dataset.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names))
+{
+}
+
+void
+Dataset::add(std::vector<double> features, double label)
+{
+    if (names_.empty() && x_.empty()) {
+        // Unnamed dataset: adopt arity from the first row.
+        names_.resize(features.size());
+        for (std::size_t i = 0; i < names_.size(); ++i)
+            names_[i] = strf("f%zu", i);
+    }
+    if (features.size() != names_.size())
+        panic(strf("Dataset::add: arity %zu != %zu", features.size(),
+                   names_.size()));
+    x_.push_back(std::move(features));
+    y_.push_back(label);
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double test_fraction, Rng &rng) const
+{
+    if (test_fraction < 0.0 || test_fraction > 1.0)
+        panic("Dataset::split: bad fraction");
+    std::vector<std::size_t> idx(size());
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+    std::size_t n_test =
+        static_cast<std::size_t>(test_fraction * size());
+    Dataset train(names_), test(names_);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        auto &dst = k < n_test ? test : train;
+        dst.add(x_[idx[k]], y_[idx[k]]);
+    }
+    return {std::move(train), std::move(test)};
+}
+
+void
+Dataset::append(const Dataset &other)
+{
+    if (!other.empty() && !empty() &&
+        other.numFeatures() != numFeatures()) {
+        panic("Dataset::append: arity mismatch");
+    }
+    if (empty())
+        names_ = other.names_;
+    for (std::size_t i = 0; i < other.size(); ++i)
+        add(other.x_[i], other.y_[i]);
+}
+
+} // namespace tomur::ml

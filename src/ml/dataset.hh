@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Row-major regression dataset plus split helpers.
+ */
+
+#ifndef TOMUR_ML_DATASET_HH
+#define TOMUR_ML_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tomur::ml {
+
+/** Feature matrix with labels. All rows share one arity. */
+class Dataset
+{
+  public:
+    Dataset() = default;
+
+    /** Construct with named features (names used in diagnostics). */
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    /** Append one sample; arity must match. */
+    void add(std::vector<double> features, double label);
+
+    std::size_t size() const { return y_.size(); }
+    std::size_t numFeatures() const { return names_.size(); }
+    bool empty() const { return y_.empty(); }
+
+    const std::vector<double> &row(std::size_t i) const { return x_[i]; }
+    double label(std::size_t i) const { return y_[i]; }
+    const std::vector<std::string> &featureNames() const
+    {
+        return names_;
+    }
+    const std::vector<double> &labels() const { return y_; }
+
+    /**
+     * Random train/test split.
+     * @param test_fraction fraction of samples in the test set
+     */
+    std::pair<Dataset, Dataset> split(double test_fraction,
+                                      Rng &rng) const;
+
+    /** Concatenate another dataset (same arity). */
+    void append(const Dataset &other);
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> x_;
+    std::vector<double> y_;
+};
+
+} // namespace tomur::ml
+
+#endif // TOMUR_ML_DATASET_HH

@@ -1,0 +1,83 @@
+#include "ml/gbr.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tomur::ml {
+
+GradientBoostingRegressor::GradientBoostingRegressor(GbrParams params)
+    : params_(params)
+{
+}
+
+void
+GradientBoostingRegressor::fit(const Dataset &data)
+{
+    if (data.empty())
+        fatal("GradientBoostingRegressor::fit: empty dataset");
+    trees_.clear();
+
+    base_ = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        base_ += data.label(i);
+    base_ /= data.size();
+
+    std::vector<double> pred(data.size(), base_);
+    std::vector<double> residual(data.size());
+    std::vector<std::size_t> all(data.size());
+    std::iota(all.begin(), all.end(), 0);
+
+    Rng rng(params_.seed);
+    TreeParams tp;
+    tp.maxDepth = params_.maxDepth;
+    tp.minSamplesLeaf = params_.minSamplesLeaf;
+
+    std::size_t n_sub = std::max<std::size_t>(
+        2, static_cast<std::size_t>(params_.subsample * data.size()));
+
+    for (int m = 0; m < params_.numTrees; ++m) {
+        for (std::size_t i = 0; i < data.size(); ++i)
+            residual[i] = data.label(i) - pred[i];
+
+        std::vector<std::size_t> rows;
+        if (n_sub >= data.size()) {
+            rows = all;
+        } else {
+            std::vector<std::size_t> idx(all);
+            rng.shuffle(idx);
+            rows.assign(idx.begin(), idx.begin() + n_sub);
+        }
+
+        RegressionTree tree;
+        tree.fit(data, residual, rows, tp);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            pred[i] += params_.learningRate * tree.predict(data.row(i));
+        trees_.push_back(std::move(tree));
+    }
+    fitted_ = true;
+}
+
+double
+GradientBoostingRegressor::predict(
+    const std::vector<double> &features) const
+{
+    if (!fitted_)
+        panic("GradientBoostingRegressor::predict before fit");
+    double y = base_;
+    for (const auto &t : trees_)
+        y += params_.learningRate * t.predict(features);
+    return y;
+}
+
+std::vector<double>
+GradientBoostingRegressor::predictAll(const Dataset &data) const
+{
+    std::vector<double> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out[i] = predict(data.row(i));
+    return out;
+}
+
+} // namespace tomur::ml

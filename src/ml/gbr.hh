@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gradient-boosting regressor with least-squares loss — the model
+ * family SLOMO [42] uses (sklearn's GradientBoostingRegressor) and
+ * that Tomur adopts for the memory-subsystem per-resource model.
+ */
+
+#ifndef TOMUR_ML_GBR_HH
+#define TOMUR_ML_GBR_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/tree.hh"
+
+namespace tomur::ml {
+
+/** Boosting hyper-parameters (sklearn-like defaults). */
+struct GbrParams
+{
+    int numTrees = 150;
+    double learningRate = 0.1;
+    int maxDepth = 3;
+    std::size_t minSamplesLeaf = 2;
+    /** Row subsample fraction per tree (stochastic gradient boosting;
+     *  also what makes different seeds yield different models). */
+    double subsample = 0.8;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Least-squares gradient boosting: F_0 = mean(y);
+ * F_m = F_{m-1} + lr * tree_m(residuals).
+ */
+class GradientBoostingRegressor
+{
+  public:
+    explicit GradientBoostingRegressor(GbrParams params = {});
+
+    /** Fit on a dataset (labels taken from the dataset). */
+    void fit(const Dataset &data);
+
+    /** Predict one sample. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Predict many samples. */
+    std::vector<double>
+    predictAll(const Dataset &data) const;
+
+    bool fitted() const { return fitted_; }
+    const GbrParams &params() const { return params_; }
+
+    /** Serialize the fitted ensemble to a text stream. */
+    void save(std::ostream &out) const;
+
+    /** Load from save() output. @return false on malformed input. */
+    bool load(std::istream &in);
+
+  private:
+    GbrParams params_;
+    double base_ = 0.0;
+    std::vector<RegressionTree> trees_;
+    bool fitted_ = false;
+};
+
+} // namespace tomur::ml
+
+#endif // TOMUR_ML_GBR_HH

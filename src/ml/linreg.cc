@@ -1,0 +1,121 @@
+#include "ml/linreg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tomur::ml {
+
+namespace {
+
+/**
+ * Solve A x = b with Gaussian elimination and partial pivoting.
+ * A is n x n row-major and is destroyed.
+ */
+bool
+solveLinear(std::vector<double> &a, std::vector<double> &b,
+            std::size_t n)
+{
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        double best = std::fabs(a[col * n + col]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double v = std::fabs(a[r * n + col]);
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            return false;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(b[col], b[pivot]);
+        }
+        double d = a[col * n + col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double f = a[r * n + col] / d;
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r * n + c] -= f * a[col * n + c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (std::size_t col = n; col-- > 0;) {
+        double s = b[col];
+        for (std::size_t c = col + 1; c < n; ++c)
+            s -= a[col * n + c] * b[c];
+        b[col] = s / a[col * n + col];
+    }
+    return true;
+}
+
+} // namespace
+
+void
+LinearRegression::fit(const Dataset &data, double ridge)
+{
+    if (data.empty())
+        fatal("LinearRegression::fit: empty dataset");
+    const std::size_t f = data.numFeatures();
+    const std::size_t n = f + 1; // plus intercept column
+
+    // Normal equations over the augmented design matrix [1 | X].
+    std::vector<double> ata(n * n, 0.0);
+    std::vector<double> atb(n, 0.0);
+    std::vector<double> aug(n);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        aug[0] = 1.0;
+        for (std::size_t j = 0; j < f; ++j)
+            aug[j + 1] = data.row(i)[j];
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                ata[r * n + c] += aug[r] * aug[c];
+            atb[r] += aug[r] * data.label(i);
+        }
+    }
+    for (std::size_t r = 1; r < n; ++r)
+        ata[r * n + r] += ridge;
+
+    if (!solveLinear(ata, atb, n))
+        fatal("LinearRegression::fit: singular system");
+
+    intercept_ = atb[0];
+    coef_.assign(atb.begin() + 1, atb.end());
+    fitted_ = true;
+}
+
+void
+LinearRegression::fit1d(const std::vector<double> &x,
+                        const std::vector<double> &y, double ridge)
+{
+    if (x.size() != y.size())
+        panic("LinearRegression::fit1d: size mismatch");
+    Dataset d({"x"});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        d.add({x[i]}, y[i]);
+    fit(d, ridge);
+}
+
+double
+LinearRegression::predict(const std::vector<double> &features) const
+{
+    if (!fitted_)
+        panic("LinearRegression::predict before fit");
+    if (features.size() != coef_.size())
+        panic("LinearRegression::predict: arity mismatch");
+    double y = intercept_;
+    for (std::size_t i = 0; i < coef_.size(); ++i)
+        y += coef_[i] * features[i];
+    return y;
+}
+
+double
+LinearRegression::predict1d(double x) const
+{
+    return predict({x});
+}
+
+} // namespace tomur::ml

@@ -1,0 +1,69 @@
+#include "ml/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tomur::ml {
+
+double
+absPctError(double truth, double predicted)
+{
+    if (truth == 0.0)
+        panic("absPctError: zero ground truth");
+    return 100.0 * std::fabs(predicted - truth) / std::fabs(truth);
+}
+
+std::vector<double>
+absPctErrors(const std::vector<double> &truth,
+             const std::vector<double> &predicted)
+{
+    if (truth.size() != predicted.size())
+        panic("absPctErrors: size mismatch");
+    std::vector<double> out(truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        out[i] = absPctError(truth[i], predicted[i]);
+    return out;
+}
+
+double
+mape(const std::vector<double> &truth,
+     const std::vector<double> &predicted)
+{
+    if (truth.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double e : absPctErrors(truth, predicted))
+        s += e;
+    return s / truth.size();
+}
+
+double
+accWithin(const std::vector<double> &truth,
+          const std::vector<double> &predicted, double pct)
+{
+    if (truth.empty())
+        return 0.0;
+    std::size_t ok = 0;
+    for (double e : absPctErrors(truth, predicted))
+        ok += e <= pct;
+    return 100.0 * ok / truth.size();
+}
+
+double
+rmse(const std::vector<double> &truth,
+     const std::vector<double> &predicted)
+{
+    if (truth.size() != predicted.size())
+        panic("rmse: size mismatch");
+    if (truth.empty())
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        double d = predicted[i] - truth[i];
+        s += d * d;
+    }
+    return std::sqrt(s / truth.size());
+}
+
+} // namespace tomur::ml

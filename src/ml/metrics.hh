@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Prediction accuracy metrics used throughout the evaluation:
+ * MAPE and the paper's ±5% / ±10% accuracy scores (§7.1).
+ */
+
+#ifndef TOMUR_ML_METRICS_HH
+#define TOMUR_ML_METRICS_HH
+
+#include <vector>
+
+namespace tomur::ml {
+
+/** Absolute percentage error of one prediction, in percent. */
+double absPctError(double truth, double predicted);
+
+/** Mean absolute percentage error, in percent. */
+double mape(const std::vector<double> &truth,
+            const std::vector<double> &predicted);
+
+/**
+ * Share of predictions whose absolute percentage error is within
+ * +-pct, in percent of the test set ("±5% Acc." / "±10% Acc.").
+ */
+double accWithin(const std::vector<double> &truth,
+                 const std::vector<double> &predicted, double pct);
+
+/** Root mean squared error. */
+double rmse(const std::vector<double> &truth,
+            const std::vector<double> &predicted);
+
+/** Per-sample absolute percentage errors, in percent. */
+std::vector<double> absPctErrors(const std::vector<double> &truth,
+                                 const std::vector<double> &predicted);
+
+} // namespace tomur::ml
+
+#endif // TOMUR_ML_METRICS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Text serialization of the ML models (save/load round trips).
+ *
+ * The format is line-oriented and versioned by a leading magic token
+ * per object; floating-point values are written with max_digits10 so
+ * reloaded models predict bit-identically.
+ */
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "ml/gbr.hh"
+#include "ml/linreg.hh"
+#include "ml/tree.hh"
+
+namespace tomur::ml {
+
+namespace {
+
+void
+writeDouble(std::ostream &out, double v)
+{
+    out << std::setprecision(17) << v;
+}
+
+bool
+expectToken(std::istream &in, const char *token)
+{
+    std::string got;
+    in >> got;
+    return static_cast<bool>(in) && got == token;
+}
+
+} // namespace
+
+void
+RegressionTree::save(std::ostream &out) const
+{
+    out << "tree " << nodes_.size() << "\n";
+    for (const Node &n : nodes_) {
+        out << n.feature << " ";
+        writeDouble(out, n.threshold);
+        out << " ";
+        writeDouble(out, n.value);
+        out << " " << n.left << " " << n.right << "\n";
+    }
+}
+
+bool
+RegressionTree::load(std::istream &in)
+{
+    if (!expectToken(in, "tree"))
+        return false;
+    std::size_t count = 0;
+    in >> count;
+    if (!in || count > 10'000'000)
+        return false;
+    std::vector<Node> nodes(count);
+    for (auto &n : nodes) {
+        in >> n.feature >> n.threshold >> n.value >> n.left >>
+            n.right;
+        if (!in)
+            return false;
+        // Children must stay in range (or be absent on leaves).
+        auto bad = [&](int idx) {
+            return idx < -1 || idx >= static_cast<int>(count);
+        };
+        if (bad(n.left) || bad(n.right))
+            return false;
+    }
+    nodes_ = std::move(nodes);
+    return true;
+}
+
+void
+GradientBoostingRegressor::save(std::ostream &out) const
+{
+    if (!fitted_)
+        panic("GradientBoostingRegressor::save before fit");
+    out << "gbr " << trees_.size() << " ";
+    writeDouble(out, base_);
+    out << " ";
+    writeDouble(out, params_.learningRate);
+    out << "\n";
+    for (const auto &t : trees_)
+        t.save(out);
+}
+
+bool
+GradientBoostingRegressor::load(std::istream &in)
+{
+    if (!expectToken(in, "gbr"))
+        return false;
+    std::size_t count = 0;
+    double base = 0.0, lr = 0.0;
+    in >> count >> base >> lr;
+    if (!in || count > 1'000'000 || lr <= 0.0)
+        return false;
+    std::vector<RegressionTree> trees(count);
+    for (auto &t : trees) {
+        if (!t.load(in))
+            return false;
+    }
+    trees_ = std::move(trees);
+    base_ = base;
+    params_.learningRate = lr;
+    params_.numTrees = static_cast<int>(count);
+    fitted_ = true;
+    return true;
+}
+
+void
+LinearRegression::save(std::ostream &out) const
+{
+    if (!fitted_)
+        panic("LinearRegression::save before fit");
+    out << "linreg " << coef_.size() << " ";
+    writeDouble(out, intercept_);
+    for (double c : coef_) {
+        out << " ";
+        writeDouble(out, c);
+    }
+    out << "\n";
+}
+
+bool
+LinearRegression::load(std::istream &in)
+{
+    if (!expectToken(in, "linreg"))
+        return false;
+    std::size_t count = 0;
+    double b0 = 0.0;
+    in >> count >> b0;
+    if (!in || count > 1'000'000)
+        return false;
+    std::vector<double> coef(count);
+    for (auto &c : coef) {
+        in >> c;
+        if (!in)
+            return false;
+    }
+    intercept_ = b0;
+    coef_ = std::move(coef);
+    fitted_ = true;
+    return true;
+}
+
+} // namespace tomur::ml

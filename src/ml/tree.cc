@@ -1,0 +1,155 @@
+#include "ml/tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tomur::ml {
+
+namespace {
+
+double
+meanOf(const std::vector<double> &labels,
+       const std::vector<std::size_t> &rows)
+{
+    double s = 0.0;
+    for (std::size_t r : rows)
+        s += labels[r];
+    return rows.empty() ? 0.0 : s / rows.size();
+}
+
+} // namespace
+
+void
+RegressionTree::fit(const Dataset &data,
+                    const std::vector<double> &labels,
+                    const std::vector<std::size_t> &rows,
+                    const TreeParams &params)
+{
+    nodes_.clear();
+    if (rows.empty())
+        panic("RegressionTree::fit: no rows");
+    std::vector<std::size_t> work = rows;
+    grow(data, labels, work, 0, params);
+}
+
+int
+RegressionTree::grow(const Dataset &data,
+                     const std::vector<double> &labels,
+                     std::vector<std::size_t> &rows, int depth,
+                     const TreeParams &params)
+{
+    Node node;
+    node.value = meanOf(labels, rows);
+    int node_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+
+    if (depth >= params.maxDepth ||
+        rows.size() < 2 * params.minSamplesLeaf) {
+        return node_idx;
+    }
+
+    // Exact greedy split: for each feature, sort rows by value and
+    // scan split points, tracking the SSE reduction via prefix sums.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    double total_sum = 0.0;
+    for (std::size_t r : rows)
+        total_sum += labels[r];
+    const double n = static_cast<double>(rows.size());
+
+    std::vector<std::size_t> order(rows);
+    for (std::size_t f = 0; f < data.numFeatures(); ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return data.row(a)[f] < data.row(b)[f];
+                  });
+        double left_sum = 0.0;
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            left_sum += labels[order[k]];
+            double lv = data.row(order[k])[f];
+            double rv = data.row(order[k + 1])[f];
+            if (lv == rv)
+                continue; // cannot split between equal values
+            std::size_t nl = k + 1;
+            std::size_t nr = order.size() - nl;
+            if (nl < params.minSamplesLeaf ||
+                nr < params.minSamplesLeaf) {
+                continue;
+            }
+            double right_sum = total_sum - left_sum;
+            // SSE reduction = sum^2/n terms (constant part cancels).
+            double gain = left_sum * left_sum / nl +
+                          right_sum * right_sum / nr -
+                          total_sum * total_sum / n;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = static_cast<int>(f);
+                best_threshold = 0.5 * (lv + rv);
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_idx;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : rows) {
+        if (data.row(r)[best_feature] <= best_threshold)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty())
+        return node_idx;
+
+    nodes_[node_idx].feature = best_feature;
+    nodes_[node_idx].threshold = best_threshold;
+    int l = grow(data, labels, left_rows, depth + 1, params);
+    int r = grow(data, labels, right_rows, depth + 1, params);
+    nodes_[node_idx].left = l;
+    nodes_[node_idx].right = r;
+    return node_idx;
+}
+
+double
+RegressionTree::predict(const std::vector<double> &features) const
+{
+    if (nodes_.empty())
+        panic("RegressionTree::predict before fit");
+    int idx = 0;
+    for (;;) {
+        const Node &node = nodes_[idx];
+        if (node.feature < 0)
+            return node.value;
+        idx = features[node.feature] <= node.threshold ? node.left
+                                                       : node.right;
+    }
+}
+
+int
+RegressionTree::depth() const
+{
+    // Depth via iterative traversal over the implicit structure.
+    if (nodes_.empty())
+        return 0;
+    std::vector<std::pair<int, int>> stack = {{0, 1}};
+    int max_depth = 0;
+    while (!stack.empty()) {
+        auto [idx, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        const Node &node = nodes_[idx];
+        if (node.feature >= 0) {
+            stack.push_back({node.left, d + 1});
+            stack.push_back({node.right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+} // namespace tomur::ml

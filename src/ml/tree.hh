@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Least-squares regression tree (CART), the base learner for the
+ * gradient-boosting regressor.
+ */
+
+#ifndef TOMUR_ML_TREE_HH
+#define TOMUR_ML_TREE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace tomur::ml {
+
+/** Tree growth parameters. */
+struct TreeParams
+{
+    int maxDepth = 3;
+    std::size_t minSamplesLeaf = 2;
+};
+
+/**
+ * Binary regression tree fit by exact greedy least-squares splits.
+ */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit on a subset of rows of a dataset.
+     * @param data feature matrix provider
+     * @param labels regression targets (may differ from data labels,
+     *        e.g. boosting residuals), index-aligned with data rows
+     * @param rows indices of rows to train on
+     */
+    void fit(const Dataset &data, const std::vector<double> &labels,
+             const std::vector<std::size_t> &rows,
+             const TreeParams &params);
+
+    /** Predict one sample. */
+    double predict(const std::vector<double> &features) const;
+
+    /** Number of nodes (0 before fit). */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /** Depth of the fitted tree. */
+    int depth() const;
+
+    /** Serialize to a line-oriented text stream. */
+    void save(std::ostream &out) const;
+
+    /** Load from save() output. @return false on malformed input. */
+    bool load(std::istream &in);
+
+  private:
+    struct Node
+    {
+        int feature = -1;       ///< -1 for leaves
+        double threshold = 0.0; ///< go left when x[feature] <= threshold
+        double value = 0.0;     ///< leaf prediction
+        int left = -1;
+        int right = -1;
+    };
+
+    int grow(const Dataset &data, const std::vector<double> &labels,
+             std::vector<std::size_t> &rows, int depth,
+             const TreeParams &params);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace tomur::ml
+
+#endif // TOMUR_ML_TREE_HH

@@ -1,0 +1,216 @@
+#include "net/headers.hh"
+
+#include "common/strutil.hh"
+
+namespace tomur::net {
+
+std::string
+MacAddr::toString() const
+{
+    return strf("%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                bytes[2], bytes[3], bytes[4], bytes[5]);
+}
+
+MacAddr
+MacAddr::fromId(std::uint64_t id)
+{
+    MacAddr m;
+    m.bytes[0] = 0x02; // locally administered
+    for (int i = 1; i < 6; ++i)
+        m.bytes[i] = static_cast<std::uint8_t>(id >> (8 * (5 - i)));
+    return m;
+}
+
+std::string
+Ipv4Addr::toString() const
+{
+    return strf("%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+}
+
+Ipv4Addr
+Ipv4Addr::fromOctets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+{
+    return Ipv4Addr{(std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                    (std::uint32_t(c) << 8) | d};
+}
+
+std::uint64_t
+FiveTuple::hash() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    };
+    mix(srcIp.value);
+    mix(dstIp.value);
+    mix((std::uint64_t(srcPort) << 32) | (std::uint64_t(dstPort) << 16) |
+        proto);
+    return h;
+}
+
+std::string
+FiveTuple::toString() const
+{
+    return strf("%s:%u -> %s:%u proto=%u", srcIp.toString().c_str(),
+                srcPort, dstIp.toString().c_str(), dstPort, proto);
+}
+
+std::uint16_t
+loadBe16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | p[3];
+}
+
+void
+storeBe16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+}
+
+void
+storeBe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t
+internetChecksum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    while (len > 1) {
+        sum += loadBe16(data);
+        data += 2;
+        len -= 2;
+    }
+    if (len)
+        sum += std::uint32_t(*data) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+void
+writeEth(std::uint8_t *p, const EthHeader &h)
+{
+    for (int i = 0; i < 6; ++i)
+        p[i] = h.dst.bytes[i];
+    for (int i = 0; i < 6; ++i)
+        p[6 + i] = h.src.bytes[i];
+    storeBe16(p + 12, h.etherType);
+}
+
+void
+writeIpv4(std::uint8_t *p, const Ipv4Header &h)
+{
+    p[0] = h.versionIhl;
+    p[1] = h.tos;
+    storeBe16(p + 2, h.totalLen);
+    storeBe16(p + 4, h.id);
+    storeBe16(p + 6, h.flagsFrag);
+    p[8] = h.ttl;
+    p[9] = h.proto;
+    storeBe16(p + 10, 0); // checksum placeholder
+    storeBe32(p + 12, h.src.value);
+    storeBe32(p + 16, h.dst.value);
+    storeBe16(p + 10, internetChecksum(p, ipv4HeaderLen));
+}
+
+void
+writeTcp(std::uint8_t *p, const TcpHeader &h)
+{
+    storeBe16(p, h.srcPort);
+    storeBe16(p + 2, h.dstPort);
+    storeBe32(p + 4, h.seq);
+    storeBe32(p + 8, h.ack);
+    p[12] = static_cast<std::uint8_t>(h.dataOffset << 4);
+    p[13] = h.flags;
+    storeBe16(p + 14, h.window);
+    storeBe16(p + 16, h.checksum);
+    storeBe16(p + 18, h.urgent);
+}
+
+void
+writeUdp(std::uint8_t *p, const UdpHeader &h)
+{
+    storeBe16(p, h.srcPort);
+    storeBe16(p + 2, h.dstPort);
+    storeBe16(p + 4, h.length);
+    storeBe16(p + 6, h.checksum);
+}
+
+bool
+readEth(const std::uint8_t *p, std::size_t len, EthHeader &out)
+{
+    if (len < ethHeaderLen)
+        return false;
+    for (int i = 0; i < 6; ++i)
+        out.dst.bytes[i] = p[i];
+    for (int i = 0; i < 6; ++i)
+        out.src.bytes[i] = p[6 + i];
+    out.etherType = loadBe16(p + 12);
+    return true;
+}
+
+bool
+readIpv4(const std::uint8_t *p, std::size_t len, Ipv4Header &out)
+{
+    if (len < ipv4HeaderLen)
+        return false;
+    out.versionIhl = p[0];
+    out.tos = p[1];
+    out.totalLen = loadBe16(p + 2);
+    out.id = loadBe16(p + 4);
+    out.flagsFrag = loadBe16(p + 6);
+    out.ttl = p[8];
+    out.proto = p[9];
+    out.checksum = loadBe16(p + 10);
+    out.src.value = loadBe32(p + 12);
+    out.dst.value = loadBe32(p + 16);
+    return (out.versionIhl >> 4) == 4 && out.headerLen() >= ipv4HeaderLen;
+}
+
+bool
+readTcp(const std::uint8_t *p, std::size_t len, TcpHeader &out)
+{
+    if (len < tcpHeaderLen)
+        return false;
+    out.srcPort = loadBe16(p);
+    out.dstPort = loadBe16(p + 2);
+    out.seq = loadBe32(p + 4);
+    out.ack = loadBe32(p + 8);
+    out.dataOffset = p[12] >> 4;
+    out.flags = p[13];
+    out.window = loadBe16(p + 14);
+    out.checksum = loadBe16(p + 16);
+    out.urgent = loadBe16(p + 18);
+    return true;
+}
+
+bool
+readUdp(const std::uint8_t *p, std::size_t len, UdpHeader &out)
+{
+    if (len < udpHeaderLen)
+        return false;
+    out.srcPort = loadBe16(p);
+    out.dstPort = loadBe16(p + 2);
+    out.length = loadBe16(p + 4);
+    out.checksum = loadBe16(p + 6);
+    return true;
+}
+
+} // namespace tomur::net

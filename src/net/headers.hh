@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Wire-format protocol headers (Ethernet/IPv4/TCP/UDP) and flow keys.
+ *
+ * Headers are plain structs in host byte order; serialization to and
+ * from big-endian wire format is explicit so that network functions
+ * genuinely parse packet bytes.
+ */
+
+#ifndef TOMUR_NET_HEADERS_HH
+#define TOMUR_NET_HEADERS_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace tomur::net {
+
+/** Ethernet header length in bytes. */
+constexpr std::size_t ethHeaderLen = 14;
+/** IPv4 header length without options. */
+constexpr std::size_t ipv4HeaderLen = 20;
+/** TCP header length without options. */
+constexpr std::size_t tcpHeaderLen = 20;
+/** UDP header length. */
+constexpr std::size_t udpHeaderLen = 8;
+
+/** EtherType for IPv4. */
+constexpr std::uint16_t etherTypeIpv4 = 0x0800;
+
+/** IP protocol numbers used by the NFs. */
+enum class IpProto : std::uint8_t
+{
+    Icmp = 1,
+    Tcp = 6,
+    Udp = 17,
+};
+
+/** 48-bit MAC address. */
+struct MacAddr
+{
+    std::array<std::uint8_t, 6> bytes{};
+
+    bool operator==(const MacAddr &o) const = default;
+
+    /** "aa:bb:cc:dd:ee:ff" rendering. */
+    std::string toString() const;
+
+    /** Derive a deterministic MAC from an integer id. */
+    static MacAddr fromId(std::uint64_t id);
+};
+
+/** IPv4 address in host order. */
+struct Ipv4Addr
+{
+    std::uint32_t value = 0;
+
+    bool operator==(const Ipv4Addr &o) const = default;
+    auto operator<=>(const Ipv4Addr &o) const = default;
+
+    /** Dotted-quad rendering. */
+    std::string toString() const;
+
+    /** Build from four octets a.b.c.d. */
+    static Ipv4Addr fromOctets(std::uint8_t a, std::uint8_t b,
+                               std::uint8_t c, std::uint8_t d);
+};
+
+/** Ethernet header (host-order fields). */
+struct EthHeader
+{
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t etherType = etherTypeIpv4;
+};
+
+/** IPv4 header without options (host-order fields). */
+struct Ipv4Header
+{
+    std::uint8_t versionIhl = 0x45;
+    std::uint8_t tos = 0;
+    std::uint16_t totalLen = 0;
+    std::uint16_t id = 0;
+    std::uint16_t flagsFrag = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t proto = static_cast<std::uint8_t>(IpProto::Udp);
+    std::uint16_t checksum = 0;
+    Ipv4Addr src;
+    Ipv4Addr dst;
+
+    /** Header length in bytes derived from IHL. */
+    std::size_t headerLen() const { return (versionIhl & 0x0f) * 4u; }
+
+    /** "more fragments" flag. */
+    bool moreFragments() const { return flagsFrag & 0x2000; }
+
+    /** Fragment offset in 8-byte units. */
+    std::uint16_t fragOffset() const { return flagsFrag & 0x1fff; }
+};
+
+/** TCP header without options (host-order fields). */
+struct TcpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t dataOffset = 5; ///< in 32-bit words
+    std::uint8_t flags = 0;
+    std::uint16_t window = 0xffff;
+    std::uint16_t checksum = 0;
+    std::uint16_t urgent = 0;
+};
+
+/** UDP header (host-order fields). */
+struct UdpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint16_t length = 0;
+    std::uint16_t checksum = 0;
+};
+
+/** Canonical 5-tuple flow key. */
+struct FiveTuple
+{
+    Ipv4Addr srcIp;
+    Ipv4Addr dstIp;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint8_t proto = static_cast<std::uint8_t>(IpProto::Udp);
+
+    bool operator==(const FiveTuple &o) const = default;
+
+    /** 64-bit mixing hash (stable across runs). */
+    std::uint64_t hash() const;
+
+    /** Human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Big-endian helpers. */
+std::uint16_t loadBe16(const std::uint8_t *p);
+std::uint32_t loadBe32(const std::uint8_t *p);
+void storeBe16(std::uint8_t *p, std::uint16_t v);
+void storeBe32(std::uint8_t *p, std::uint32_t v);
+
+/** RFC 1071 Internet checksum over a byte range. */
+std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
+
+/** Serialize headers to wire format (buffers must be large enough). */
+void writeEth(std::uint8_t *p, const EthHeader &h);
+void writeIpv4(std::uint8_t *p, const Ipv4Header &h);
+void writeTcp(std::uint8_t *p, const TcpHeader &h);
+void writeUdp(std::uint8_t *p, const UdpHeader &h);
+
+/** Parse headers from wire format. @return false on truncation. */
+bool readEth(const std::uint8_t *p, std::size_t len, EthHeader &out);
+bool readIpv4(const std::uint8_t *p, std::size_t len, Ipv4Header &out);
+bool readTcp(const std::uint8_t *p, std::size_t len, TcpHeader &out);
+bool readUdp(const std::uint8_t *p, std::size_t len, UdpHeader &out);
+
+} // namespace tomur::net
+
+template <>
+struct std::hash<tomur::net::FiveTuple>
+{
+    std::size_t
+    operator()(const tomur::net::FiveTuple &t) const noexcept
+    {
+        return static_cast<std::size_t>(t.hash());
+    }
+};
+
+#endif // TOMUR_NET_HEADERS_HH

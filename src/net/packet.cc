@@ -1,0 +1,222 @@
+#include "net/packet.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tomur::net {
+
+Packet::Packet(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes))
+{
+}
+
+std::optional<EthHeader>
+Packet::eth() const
+{
+    EthHeader h;
+    if (!readEth(bytes_.data(), bytes_.size(), h))
+        return std::nullopt;
+    return h;
+}
+
+std::optional<Ipv4Header>
+Packet::ipv4() const
+{
+    if (bytes_.size() < ethHeaderLen)
+        return std::nullopt;
+    Ipv4Header h;
+    if (!readIpv4(bytes_.data() + ethHeaderLen,
+                  bytes_.size() - ethHeaderLen, h)) {
+        return std::nullopt;
+    }
+    return h;
+}
+
+std::optional<TcpHeader>
+Packet::tcp() const
+{
+    auto ip = ipv4();
+    if (!ip || ip->proto != static_cast<std::uint8_t>(IpProto::Tcp))
+        return std::nullopt;
+    std::size_t off = ethHeaderLen + ip->headerLen();
+    if (bytes_.size() < off)
+        return std::nullopt;
+    TcpHeader h;
+    if (!readTcp(bytes_.data() + off, bytes_.size() - off, h))
+        return std::nullopt;
+    return h;
+}
+
+std::optional<UdpHeader>
+Packet::udp() const
+{
+    auto ip = ipv4();
+    if (!ip || ip->proto != static_cast<std::uint8_t>(IpProto::Udp))
+        return std::nullopt;
+    std::size_t off = ethHeaderLen + ip->headerLen();
+    if (bytes_.size() < off)
+        return std::nullopt;
+    UdpHeader h;
+    if (!readUdp(bytes_.data() + off, bytes_.size() - off, h))
+        return std::nullopt;
+    return h;
+}
+
+std::optional<FiveTuple>
+Packet::fiveTuple() const
+{
+    auto ip = ipv4();
+    if (!ip)
+        return std::nullopt;
+    FiveTuple t;
+    t.srcIp = ip->src;
+    t.dstIp = ip->dst;
+    t.proto = ip->proto;
+    if (ip->proto == static_cast<std::uint8_t>(IpProto::Tcp)) {
+        auto h = tcp();
+        if (!h)
+            return std::nullopt;
+        t.srcPort = h->srcPort;
+        t.dstPort = h->dstPort;
+    } else if (ip->proto == static_cast<std::uint8_t>(IpProto::Udp)) {
+        auto h = udp();
+        if (!h)
+            return std::nullopt;
+        t.srcPort = h->srcPort;
+        t.dstPort = h->dstPort;
+    } else {
+        return std::nullopt;
+    }
+    return t;
+}
+
+std::size_t
+Packet::payloadOffset() const
+{
+    auto ip = ipv4();
+    if (!ip)
+        return bytes_.size();
+    std::size_t off = ethHeaderLen + ip->headerLen();
+    if (ip->proto == static_cast<std::uint8_t>(IpProto::Tcp)) {
+        auto h = tcp();
+        if (!h)
+            return bytes_.size();
+        off += std::size_t(h->dataOffset) * 4;
+    } else if (ip->proto == static_cast<std::uint8_t>(IpProto::Udp)) {
+        off += udpHeaderLen;
+    } else {
+        return bytes_.size();
+    }
+    return std::min(off, bytes_.size());
+}
+
+std::span<const std::uint8_t>
+Packet::payload() const
+{
+    std::size_t off = payloadOffset();
+    return {bytes_.data() + off, bytes_.size() - off};
+}
+
+void
+Packet::rewriteAddressing(const FiveTuple &tuple)
+{
+    auto ip = ipv4();
+    if (!ip)
+        return;
+    std::uint8_t *ipp = bytes_.data() + ethHeaderLen;
+    storeBe32(ipp + 12, tuple.srcIp.value);
+    storeBe32(ipp + 16, tuple.dstIp.value);
+    std::size_t l4off = ethHeaderLen + ip->headerLen();
+    if (bytes_.size() >= l4off + 4 &&
+        (ip->proto == static_cast<std::uint8_t>(IpProto::Tcp) ||
+         ip->proto == static_cast<std::uint8_t>(IpProto::Udp))) {
+        storeBe16(bytes_.data() + l4off, tuple.srcPort);
+        storeBe16(bytes_.data() + l4off + 2, tuple.dstPort);
+    }
+    storeBe16(ipp + 10, 0);
+    storeBe16(ipp + 10, internetChecksum(ipp, ip->headerLen()));
+}
+
+bool
+Packet::decrementTtl()
+{
+    auto ip = ipv4();
+    if (!ip || ip->ttl <= 1)
+        return false;
+    std::uint8_t *ipp = bytes_.data() + ethHeaderLen;
+    ipp[8] = static_cast<std::uint8_t>(ip->ttl - 1);
+    storeBe16(ipp + 10, 0);
+    storeBe16(ipp + 10, internetChecksum(ipp, ip->headerLen()));
+    return true;
+}
+
+bool
+Packet::ipv4ChecksumOk() const
+{
+    auto ip = ipv4();
+    if (!ip)
+        return false;
+    return internetChecksum(bytes_.data() + ethHeaderLen,
+                            ip->headerLen()) == 0;
+}
+
+Packet
+PacketBuilder::build(const FiveTuple &tuple,
+                     std::span<const std::uint8_t> payload,
+                     std::uint16_t ipId)
+{
+    const bool is_tcp =
+        tuple.proto == static_cast<std::uint8_t>(IpProto::Tcp);
+    const std::size_t l4len = is_tcp ? tcpHeaderLen : udpHeaderLen;
+    const std::size_t ip_total = ipv4HeaderLen + l4len + payload.size();
+    std::vector<std::uint8_t> buf(ethHeaderLen + ip_total);
+
+    EthHeader eth;
+    eth.src = MacAddr::fromId(tuple.srcIp.value);
+    eth.dst = MacAddr::fromId(tuple.dstIp.value);
+    writeEth(buf.data(), eth);
+
+    Ipv4Header ip;
+    ip.totalLen = static_cast<std::uint16_t>(ip_total);
+    ip.id = ipId;
+    ip.proto = tuple.proto;
+    ip.src = tuple.srcIp;
+    ip.dst = tuple.dstIp;
+    writeIpv4(buf.data() + ethHeaderLen, ip);
+
+    std::uint8_t *l4 = buf.data() + ethHeaderLen + ipv4HeaderLen;
+    if (is_tcp) {
+        TcpHeader t;
+        t.srcPort = tuple.srcPort;
+        t.dstPort = tuple.dstPort;
+        t.flags = 0x18; // PSH|ACK
+        writeTcp(l4, t);
+    } else {
+        UdpHeader u;
+        u.srcPort = tuple.srcPort;
+        u.dstPort = tuple.dstPort;
+        u.length = static_cast<std::uint16_t>(udpHeaderLen +
+                                              payload.size());
+        writeUdp(l4, u);
+    }
+    std::copy(payload.begin(), payload.end(), l4 + l4len);
+    return Packet(std::move(buf));
+}
+
+std::size_t
+PacketBuilder::frameSize(std::size_t payload_len, IpProto proto)
+{
+    std::size_t l4 =
+        proto == IpProto::Tcp ? tcpHeaderLen : udpHeaderLen;
+    return ethHeaderLen + ipv4HeaderLen + l4 + payload_len;
+}
+
+std::size_t
+PacketBuilder::payloadForFrame(std::size_t frame_len, IpProto proto)
+{
+    std::size_t overhead = frameSize(0, proto);
+    return frame_len > overhead ? frame_len - overhead : 0;
+}
+
+} // namespace tomur::net

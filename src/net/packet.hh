@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Packet buffer with lazy header views.
+ *
+ * A Packet owns its wire bytes. Network functions parse headers out of
+ * the bytes and may rewrite them in place (e.g. NAT); the builder
+ * produces well-formed Ethernet/IPv4/{TCP,UDP} frames.
+ */
+
+#ifndef TOMUR_NET_PACKET_HH
+#define TOMUR_NET_PACKET_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.hh"
+
+namespace tomur::net {
+
+/**
+ * A single packet: owned wire bytes plus parse helpers.
+ */
+class Packet
+{
+  public:
+    Packet() = default;
+
+    /** Construct from raw wire bytes. */
+    explicit Packet(std::vector<std::uint8_t> bytes);
+
+    /** Total frame length in bytes. */
+    std::size_t size() const { return bytes_.size(); }
+
+    /** Raw byte access. */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> &bytes() { return bytes_; }
+
+    /** Parse the Ethernet header. */
+    std::optional<EthHeader> eth() const;
+
+    /** Parse the IPv4 header (assumes EtherType IPv4). */
+    std::optional<Ipv4Header> ipv4() const;
+
+    /** Parse the TCP header (assumes IPv4/TCP). */
+    std::optional<TcpHeader> tcp() const;
+
+    /** Parse the UDP header (assumes IPv4/UDP). */
+    std::optional<UdpHeader> udp() const;
+
+    /** Extract the canonical 5-tuple, if the packet is IPv4 TCP/UDP. */
+    std::optional<FiveTuple> fiveTuple() const;
+
+    /** L4 payload view (empty span if not IPv4 TCP/UDP). */
+    std::span<const std::uint8_t> payload() const;
+
+    /** Byte offset of the L4 payload, or size() if none. */
+    std::size_t payloadOffset() const;
+
+    /**
+     * Rewrite the IPv4 src/dst and L4 ports in place and refresh the
+     * IPv4 checksum. Used by NAT-style functions.
+     */
+    void rewriteAddressing(const FiveTuple &tuple);
+
+    /** Decrement TTL and refresh the IPv4 checksum; false if expired. */
+    bool decrementTtl();
+
+    /** Verify the IPv4 header checksum. */
+    bool ipv4ChecksumOk() const;
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Builds well-formed packets for a flow.
+ */
+class PacketBuilder
+{
+  public:
+    /**
+     * Build an Ethernet/IPv4/{UDP,TCP} frame.
+     *
+     * @param tuple flow addressing
+     * @param payload L4 payload bytes
+     * @param ipId IPv4 identification field
+     */
+    static Packet build(const FiveTuple &tuple,
+                        std::span<const std::uint8_t> payload,
+                        std::uint16_t ipId = 0);
+
+    /**
+     * Total frame size for a given payload size (UDP framing).
+     */
+    static std::size_t frameSize(std::size_t payload_len, IpProto proto);
+
+    /**
+     * Payload size needed for a given total frame size (>= minimum
+     * header stack); clamps to zero.
+     */
+    static std::size_t payloadForFrame(std::size_t frame_len,
+                                       IpProto proto);
+};
+
+} // namespace tomur::net
+
+#endif // TOMUR_NET_PACKET_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Firewall: the Pensando generalisation NF (§8) — a flow walk over
+ * the hardware flow table updating entry metadata, plus payload
+ * matching against the input traffic's flows. Uses memory and the
+ * regex engine.
+ */
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Per-flow firewall metadata. */
+struct FirewallEntry
+{
+    std::uint64_t packets = 0;
+    std::uint64_t matches = 0;
+    bool blocked = false;
+};
+
+class FirewallElement : public Element
+{
+  public:
+    explicit FirewallElement(std::shared_ptr<fw::RegexDevice> regex)
+        : Element("Firewall"), regex_(std::move(regex)),
+          table_("firewall_table")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        FirewallEntry &e = table_.findOrInsert(*tuple, ctx);
+        ++e.packets;
+        if (e.blocked)
+            return Verdict::Drop;
+
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap + 90);
+        auto scan = regex_->scan(pkt.payload(), ctx);
+        e.matches += scan.matchCount;
+        // Block a flow that keeps triggering signatures.
+        if (e.matches > 8)
+            e.blocked = true;
+        return Verdict::Forward;
+    }
+
+    void reset() override { table_.clear(); }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {table_.region()};
+    }
+
+  private:
+    std::shared_ptr<fw::RegexDevice> regex_;
+    framework::FlowTable<FirewallEntry> table_;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeFirewall(const DeviceSet &dev)
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "Firewall", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FirewallElement>(dev.regex));
+    return nf;
+}
+
+} // namespace tomur::nfs

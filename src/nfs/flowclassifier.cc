@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FlowClassifier: DPDK ip_pipeline-style flow classification — hash
+ * the 5-tuple into a class id, keep per-flow hit counters. Traffic-
+ * sensitive through its classification table.
+ */
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Per-flow classification record. */
+struct ClassEntry
+{
+    std::uint32_t classId = 0;
+    std::uint64_t hits = 0;
+};
+
+constexpr std::uint32_t kClasses = 16;
+
+class FlowClassifierElement : public Element
+{
+  public:
+    FlowClassifierElement()
+        : Element("FlowClassifier"), table_("classifier_table")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        bool inserted = false;
+        ClassEntry &e = table_.findOrInsert(*tuple, ctx, &inserted);
+        if (inserted) {
+            e.classId =
+                static_cast<std::uint32_t>(tuple->hash() % kClasses);
+        }
+        ++e.hits;
+        ++classHits_[e.classId];
+        ctx.addInstructions(110); // key construction + action table
+        ctx.addMemAccess(classTableRegion_, 1.0, 1.0);
+        return Verdict::Forward;
+    }
+
+    void
+    reset() override
+    {
+        table_.clear();
+        for (auto &h : classHits_)
+            h = 0;
+    }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {table_.region(), classTableRegion_};
+    }
+
+    std::uint64_t classHits(std::uint32_t cls) const
+    {
+        return cls < kClasses ? classHits_[cls] : 0;
+    }
+
+  private:
+    framework::FlowTable<ClassEntry> table_;
+    MemRegion classTableRegion_{"class_actions", 8.0 * 1024, 1.0};
+    std::uint64_t classHits_[kClasses] = {};
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeFlowClassifier()
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "FlowClassifier", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FlowClassifierElement>());
+    return nf;
+}
+
+} // namespace tomur::nfs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FlowMonitor: per-flow status plus hardware payload scanning — the
+ * flow table tracks per-flow match counters fed by the regex
+ * accelerator. Pipeline execution: the scan stage is decoupled from
+ * the flow-state stage (Metron-style).
+ */
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Per-flow monitoring record. */
+struct MonitorEntry
+{
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t suspicious = 0; ///< packets with any rule hit
+};
+
+class FlowMonitorElement : public Element
+{
+  public:
+    explicit FlowMonitorElement(
+        std::shared_ptr<fw::RegexDevice> regex)
+        : Element("FlowMonitor"), regex_(std::move(regex)),
+          table_("flowmonitor_table")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        MonitorEntry &e = table_.findOrInsert(*tuple, ctx);
+        ++e.packets;
+        e.bytes += pkt.size();
+        // Status maintenance: rolling rate estimate, reverse-path
+        // entry, and per-flow histogram bucket updates.
+        ctx.addInstructions(180);
+        ctx.addMemAccess(table_.region(), 6.0, 2.0);
+
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        auto scan = regex_->scan(pkt.payload(), ctx);
+        e.matches += scan.matchCount;
+        if (scan.matchedRules)
+            ++e.suspicious;
+        ctx.addInstructions(60); // merge scan result into the record
+        return Verdict::Forward;
+    }
+
+    void reset() override { table_.clear(); }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {table_.region()};
+    }
+
+  private:
+    std::shared_ptr<fw::RegexDevice> regex_;
+    framework::FlowTable<MonitorEntry> table_;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeFlowMonitor(const DeviceSet &dev)
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "FlowMonitor", fw::ExecutionPattern::Pipeline);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FlowMonitorElement>(dev.regex));
+    return nf;
+}
+
+} // namespace tomur::nfs

@@ -1,0 +1,68 @@
+#include "nfs/flowstats.hh"
+
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+FlowStatsElement::FlowStatsElement(std::uint64_t aging_period)
+    : Element("FlowStats"), table_("flowstats_table"),
+      agingPeriod_(aging_period)
+{
+}
+
+Verdict
+FlowStatsElement::process(net::Packet &pkt, CostContext &ctx)
+{
+    auto tuple = pkt.fiveTuple();
+    if (!tuple)
+        return Verdict::Drop;
+    ++tick_;
+    FlowStatsEntry &e = table_.findOrInsert(*tuple, ctx);
+    if (e.packets == 0)
+        e.firstSeen = tick_;
+    ++e.packets;
+    e.bytes += pkt.size();
+    e.lastSeen = tick_;
+    ctx.addInstructions(90);
+
+    // Amortised aging sweep: touch a small stripe of the table.
+    if (tick_ % agingPeriod_ == 0) {
+        ctx.addInstructions(120);
+        ctx.addMemAccess(table_.region(), 4.0, 0.0);
+    }
+    return Verdict::Forward;
+}
+
+void
+FlowStatsElement::reset()
+{
+    table_.clear();
+    tick_ = 0;
+}
+
+std::vector<MemRegion>
+FlowStatsElement::regions() const
+{
+    return {table_.region()};
+}
+
+const FlowStatsEntry *
+FlowStatsElement::peek(const net::FiveTuple &flow)
+{
+    CostContext scratch;
+    return table_.find(flow, scratch);
+}
+
+std::unique_ptr<NetworkFunction>
+makeFlowStats()
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "FlowStats", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FlowStatsElement>());
+    return nf;
+}
+
+} // namespace tomur::nfs

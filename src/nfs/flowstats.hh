@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FlowStats: per-flow packet/byte statistics with aging (Click-style
+ * AggregateCounter + aging sweep). Traffic-sensitive through its flow
+ * table footprint.
+ */
+
+#ifndef TOMUR_NFS_FLOWSTATS_HH
+#define TOMUR_NFS_FLOWSTATS_HH
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+
+namespace tomur::nfs {
+
+/** Per-flow statistics record. */
+struct FlowStatsEntry
+{
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t firstSeen = 0;
+    std::uint64_t lastSeen = 0;
+};
+
+/**
+ * The statistics-keeping element.
+ */
+class FlowStatsElement : public Element
+{
+  public:
+    /** @param aging_period sweep one table stripe every N packets */
+    explicit FlowStatsElement(std::uint64_t aging_period = 64);
+
+    Verdict process(net::Packet &pkt, CostContext &ctx) override;
+    void reset() override;
+    std::vector<MemRegion> regions() const override;
+
+    /** Lookup a flow's statistics (test/diagnostic use). */
+    const FlowStatsEntry *peek(const net::FiveTuple &flow);
+
+    std::uint64_t flowsTracked() const { return table_.size(); }
+
+  private:
+    framework::FlowTable<FlowStatsEntry> table_;
+    std::uint64_t agingPeriod_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace tomur::nfs
+
+#endif // TOMUR_NFS_FLOWSTATS_HH

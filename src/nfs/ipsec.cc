@@ -1,0 +1,107 @@
+/**
+ * @file
+ * IPsecGateway: ESP tunnel-mode encryption — per-flow security
+ * association lookup, payload encryption on the crypto accelerator
+ * (ChaCha20 standing in for the NIC's inline crypto engine), and ESP
+ * header bookkeeping. Extension NF exercising the paper's claim that
+ * the queue-based accelerator model carries over to other
+ * accelerators such as crypto (§4.1.1).
+ */
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Security association state per flow. */
+struct SaEntry
+{
+    std::uint32_t spi = 0;      ///< security parameter index
+    std::uint32_t sequence = 0; ///< ESP sequence number
+    fw::CryptoDevice::Key key;
+};
+
+class IpsecElement : public Element
+{
+  public:
+    explicit IpsecElement(std::shared_ptr<fw::CryptoDevice> crypto)
+        : Element("EspEncrypt"), crypto_(std::move(crypto)),
+          sadb_("ipsec_sadb")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        bool inserted = false;
+        SaEntry &sa = sadb_.findOrInsert(*tuple, ctx, &inserted);
+        if (inserted) {
+            sa.spi = nextSpi_++;
+            // Derive a per-SA key from the SPI (a real IKE exchange
+            // is out of scope; determinism keeps tests simple).
+            for (int i = 0; i < 8; ++i)
+                sa.key.words[i] = sa.spi * 0x9e3779b9u + i;
+            ctx.addInstructions(400); // SA setup path
+        }
+        ++sa.sequence;
+
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        auto payload = pkt.payload();
+        auto cipher =
+            crypto_->encrypt(payload, ctx, sa.key, sa.sequence);
+        // Write the ciphertext back in place (ESP trailer/ICV
+        // bookkeeping approximated as header costs).
+        std::size_t off = pkt.payloadOffset();
+        std::copy(cipher.begin(), cipher.end(),
+                  pkt.bytes().begin() + off);
+        ctx.addInstructions(fw::cost::checksum + 90);
+        ctx.addMemAccess(packetPoolRegion(), 1.0, 1.0);
+        ++encrypted_;
+        return Verdict::Forward;
+    }
+
+    void
+    reset() override
+    {
+        sadb_.clear();
+        nextSpi_ = 0x1000;
+        encrypted_ = 0;
+    }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {sadb_.region()};
+    }
+
+    std::uint64_t encrypted() const { return encrypted_; }
+
+  private:
+    std::shared_ptr<fw::CryptoDevice> crypto_;
+    fw::FlowTable<SaEntry> sadb_;
+    std::uint32_t nextSpi_ = 0x1000;
+    std::uint64_t encrypted_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeIpsecGateway(const DeviceSet &dev)
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "IPsecGateway", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<IpsecElement>(dev.crypto));
+    return nf;
+}
+
+} // namespace tomur::nfs

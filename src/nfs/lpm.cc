@@ -1,0 +1,80 @@
+#include "nfs/lpm.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tomur::nfs {
+
+LpmTable::LpmTable()
+{
+    nodes_.push_back(Node{}); // root
+}
+
+void
+LpmTable::insert(net::Ipv4Addr prefix, int prefix_len,
+                 std::uint32_t next_hop)
+{
+    if (prefix_len < 0 || prefix_len > 32)
+        panic("LpmTable::insert: bad prefix length");
+    std::int32_t cur = 0;
+    for (int bit = 0; bit < prefix_len; ++bit) {
+        int dir = (prefix.value >> (31 - bit)) & 1;
+        if (nodes_[cur].child[dir] < 0) {
+            nodes_[cur].child[dir] =
+                static_cast<std::int32_t>(nodes_.size());
+            nodes_.push_back(Node{});
+        }
+        cur = nodes_[cur].child[dir];
+    }
+    nodes_[cur].nextHop = static_cast<std::int32_t>(next_hop);
+}
+
+std::optional<std::uint32_t>
+LpmTable::lookup(net::Ipv4Addr addr, std::size_t &steps) const
+{
+    std::int32_t cur = 0;
+    std::int32_t best = nodes_[0].nextHop;
+    steps = 1;
+    for (int bit = 0; bit < 32; ++bit) {
+        int dir = (addr.value >> (31 - bit)) & 1;
+        cur = nodes_[cur].child[dir];
+        if (cur < 0)
+            break;
+        ++steps;
+        if (nodes_[cur].nextHop >= 0)
+            best = nodes_[cur].nextHop;
+    }
+    if (best < 0)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(best);
+}
+
+double
+LpmTable::bytes() const
+{
+    return static_cast<double>(nodes_.size() * sizeof(Node));
+}
+
+framework::MemRegion
+LpmTable::region() const
+{
+    return framework::MemRegion{"lpm_trie", bytes(), 1.0};
+}
+
+LpmTable
+LpmTable::synthetic(std::size_t routes, std::uint64_t seed)
+{
+    LpmTable t;
+    Rng rng(seed);
+    t.insert(net::Ipv4Addr{0}, 0, 0); // default route
+    for (std::size_t i = 0; i < routes; ++i) {
+        int len = static_cast<int>(rng.uniformInt(8, 28));
+        std::uint32_t addr = static_cast<std::uint32_t>(rng());
+        addr &= ~((len == 32) ? 0u : (0xffffffffu >> len));
+        t.insert(net::Ipv4Addr{addr}, len,
+                 static_cast<std::uint32_t>(1 + rng.uniformInt(64u)));
+    }
+    return t;
+}
+
+} // namespace tomur::nfs

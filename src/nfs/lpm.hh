@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Longest-prefix-match routing table (binary trie), the substrate of
+ * IPRouter. Performs real per-bit trie walks and reports the trie
+ * footprint to the cost model.
+ */
+
+#ifndef TOMUR_NFS_LPM_HH
+#define TOMUR_NFS_LPM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "framework/element.hh"
+#include "net/headers.hh"
+
+namespace tomur::nfs {
+
+/**
+ * Binary trie keyed by IPv4 prefixes.
+ */
+class LpmTable
+{
+  public:
+    LpmTable();
+
+    /** Insert a prefix -> next hop mapping. */
+    void insert(net::Ipv4Addr prefix, int prefix_len,
+                std::uint32_t next_hop);
+
+    /**
+     * Longest-prefix lookup.
+     * @param steps out-param: trie nodes visited
+     * @return next hop, or nullopt when no prefix covers the address
+     */
+    std::optional<std::uint32_t> lookup(net::Ipv4Addr addr,
+                                        std::size_t &steps) const;
+
+    /** Number of trie nodes. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Byte footprint of the trie. */
+    double bytes() const;
+
+    /** Memory region descriptor. */
+    framework::MemRegion region() const;
+
+    /**
+     * Populate with a deterministic synthetic FIB of `routes`
+     * prefixes (mixed /8-/28 lengths) plus a default route.
+     */
+    static LpmTable synthetic(std::size_t routes,
+                              std::uint64_t seed = 7);
+
+  private:
+    struct Node
+    {
+        std::int32_t child[2] = {-1, -1};
+        std::int32_t nextHop = -1; ///< -1: no route terminates here
+    };
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace tomur::nfs
+
+#endif // TOMUR_NFS_LPM_HH

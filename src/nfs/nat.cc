@@ -1,0 +1,97 @@
+/**
+ * @file
+ * NAT: IPv4 source NAT modeled on MazuNAT — allocate an external
+ * (address, port) per flow, rewrite addressing, refresh checksums.
+ * Traffic-sensitive via the mapping table.
+ */
+
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** One NAT binding. */
+struct NatBinding
+{
+    std::uint32_t externalIp = 0;
+    std::uint16_t externalPort = 0;
+    std::uint64_t lastUsed = 0;
+};
+
+class NatElement : public Element
+{
+  public:
+    NatElement()
+        : Element("MazuNat"), table_("nat_bindings")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        ++tick_;
+        bool inserted = false;
+        NatBinding &b = table_.findOrInsert(*tuple, ctx, &inserted);
+        if (inserted) {
+            // Allocate the next external port from the pool.
+            b.externalIp =
+                net::Ipv4Addr::fromOctets(100, 64, 0, 1).value;
+            b.externalPort =
+                static_cast<std::uint16_t>(1024 + (nextPort_++ %
+                                                   60000));
+            ctx.addInstructions(160); // pool allocation path
+        }
+        b.lastUsed = tick_;
+
+        net::FiveTuple rewritten = *tuple;
+        rewritten.srcIp.value = b.externalIp;
+        rewritten.srcPort = b.externalPort;
+        pkt.rewriteAddressing(rewritten);
+        ctx.addInstructions(fw::cost::checksum + 70);
+        ctx.addMemAccess(packetPoolRegion(), 1.0, 1.0);
+        return Verdict::Forward;
+    }
+
+    void
+    reset() override
+    {
+        table_.clear();
+        nextPort_ = 0;
+        tick_ = 0;
+    }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {table_.region()};
+    }
+
+    std::uint64_t bindings() const { return table_.size(); }
+
+  private:
+    framework::FlowTable<NatBinding> table_;
+    std::uint64_t nextPort_ = 0;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeNat()
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "NAT", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<NatElement>());
+    return nf;
+}
+
+} // namespace tomur::nfs

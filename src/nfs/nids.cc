@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NIDS: inline intrusion prevention — each packet's payload is
+ * inspected by the regex accelerator and the packet is dropped when
+ * an alert rule fires. Run-to-completion: the forwarding decision
+ * must wait for the scan verdict.
+ */
+
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Rules whose match means "block" (rule ids in the default set). */
+constexpr std::uint64_t kAlertMask = 0x0f0f0f0f0f0f0f0fULL;
+
+class NidsElement : public Element
+{
+  public:
+    explicit NidsElement(std::shared_ptr<fw::RegexDevice> regex)
+        : Element("Nids"), regex_(std::move(regex))
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        auto scan = regex_->scan(pkt.payload(), ctx);
+        ctx.addInstructions(40); // verdict evaluation
+        if (scan.matchedRules & kAlertMask) {
+            ++blocked_;
+            return Verdict::Drop;
+        }
+        return Verdict::Forward;
+    }
+
+    void reset() override { blocked_ = 0; }
+    std::uint64_t blocked() const { return blocked_; }
+
+  private:
+    std::shared_ptr<fw::RegexDevice> regex_;
+    std::uint64_t blocked_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makeNids(const DeviceSet &dev)
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "NIDS", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<NidsElement>(dev.regex));
+    return nf;
+}
+
+} // namespace tomur::nfs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PacketFilter: DOCA-style hardware pattern matching filter — drop
+ * any packet whose payload matches a filter rule.
+ */
+
+#include "nfs/common_elements.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+class PacketFilterElement : public Element
+{
+  public:
+    explicit PacketFilterElement(
+        std::shared_ptr<fw::RegexDevice> regex)
+        : Element("PacketFilter"), regex_(std::move(regex))
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        auto scan = regex_->scan(pkt.payload(), ctx);
+        if (scan.matchedRules) {
+            ++filtered_;
+            return Verdict::Drop;
+        }
+        return Verdict::Forward;
+    }
+
+    void reset() override { filtered_ = 0; }
+    std::uint64_t filtered() const { return filtered_; }
+
+  private:
+    std::shared_ptr<fw::RegexDevice> regex_;
+    std::uint64_t filtered_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<NetworkFunction>
+makePacketFilter(const DeviceSet &dev)
+{
+    auto nf = std::make_unique<NetworkFunction>(
+        "PacketFilter", fw::ExecutionPattern::RunToCompletion);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<PacketFilterElement>(dev.regex));
+    return nf;
+}
+
+} // namespace tomur::nfs

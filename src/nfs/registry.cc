@@ -1,0 +1,68 @@
+#include "nfs/registry.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::nfs {
+
+const std::vector<NfInfo> &
+catalog()
+{
+    static const std::vector<NfInfo> entries = {
+        {"FlowStats", false, false, false, true, "Click"},
+        {"IPRouter", false, false, false, false, "Click"},
+        {"IPTunnel", false, false, false, true, "Click"},
+        {"NAT", false, false, false, true, "Click"},
+        {"FlowMonitor", true, false, false, true, "Click"},
+        {"NIDS", true, false, false, true, "Click"},
+        {"IPCompGateway", true, true, false, true, "Click"},
+        {"ACL", false, false, false, false, "DPDK"},
+        {"FlowClassifier", false, false, false, true, "DPDK"},
+        {"FlowTracker", false, false, false, true, "DOCA"},
+        {"PacketFilter", true, false, false, true, "DOCA"},
+        {"IPsecGateway", false, false, true, true, "Click"},
+    };
+    return entries;
+}
+
+std::unique_ptr<NetworkFunction>
+makeByName(const std::string &name, const DeviceSet &dev)
+{
+    if (name == "FlowStats")
+        return makeFlowStats();
+    if (name == "IPRouter")
+        return makeIpRouter();
+    if (name == "IPTunnel")
+        return makeIpTunnel();
+    if (name == "NAT")
+        return makeNat();
+    if (name == "FlowMonitor")
+        return makeFlowMonitor(dev);
+    if (name == "NIDS")
+        return makeNids(dev);
+    if (name == "IPCompGateway")
+        return makeIpCompGateway(dev);
+    if (name == "ACL")
+        return makeAcl();
+    if (name == "FlowClassifier")
+        return makeFlowClassifier();
+    if (name == "FlowTracker")
+        return makeFlowTracker();
+    if (name == "PacketFilter")
+        return makePacketFilter(dev);
+    if (name == "Firewall")
+        return makeFirewall(dev);
+    if (name == "IPsecGateway")
+        return makeIpsecGateway(dev);
+    fatal(strf("makeByName: unknown NF '%s'", name.c_str()));
+}
+
+std::vector<std::string>
+evaluationNfNames()
+{
+    return {"ACL",            "NIDS",       "IPTunnel",
+            "IPRouter",       "FlowClassifier", "FlowTracker",
+            "FlowStats",      "FlowMonitor",    "NAT"};
+}
+
+} // namespace tomur::nfs

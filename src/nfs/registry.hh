@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Catalog of the paper's network functions (Table 1) plus the
+ * synthetic benchmark NFs (§6). Each NF is produced by a factory so
+ * experiments can instantiate fresh, stateless copies.
+ */
+
+#ifndef TOMUR_NFS_REGISTRY_HH
+#define TOMUR_NFS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/accel_dev.hh"
+#include "framework/nf.hh"
+
+namespace tomur::nfs {
+
+using framework::DeviceSet;
+using framework::NetworkFunction;
+
+/** Flow statistics with aging (Click). */
+std::unique_ptr<NetworkFunction> makeFlowStats();
+
+/** L3 packet routing (Click). */
+std::unique_ptr<NetworkFunction> makeIpRouter();
+
+/** L3 fragmentation tunnel (Click), default 1280-byte MTU. */
+std::unique_ptr<NetworkFunction> makeIpTunnel();
+
+/** L3 fragmentation tunnel with a configured MTU (§8 extension:
+ *  the MTU is a configuration attribute). */
+std::unique_ptr<NetworkFunction> makeIpTunnel(std::size_t mtu);
+
+/** IPv4 NAT based on MazuNAT (Click). */
+std::unique_ptr<NetworkFunction> makeNat();
+
+/** Per-flow status + hardware payload scanning monitor (Click). */
+std::unique_ptr<NetworkFunction> makeFlowMonitor(const DeviceSet &dev);
+
+/** Intrusion prevention by hardware packet inspection (Click). */
+std::unique_ptr<NetworkFunction> makeNids(const DeviceSet &dev);
+
+/** Payload scanning + compression gateway (Click). */
+std::unique_ptr<NetworkFunction>
+makeIpCompGateway(const DeviceSet &dev);
+
+/** Access control list based on DPDK ACL. */
+std::unique_ptr<NetworkFunction> makeAcl();
+
+/** Flow tracking via hash table (DPDK). */
+std::unique_ptr<NetworkFunction> makeFlowClassifier();
+
+/** Hardware-assisted flow tracking pipeline (DOCA). */
+std::unique_ptr<NetworkFunction> makeFlowTracker();
+
+/** Hardware pattern matching packet filter (DOCA). */
+std::unique_ptr<NetworkFunction> makePacketFilter(const DeviceSet &dev);
+
+/** Flow-walk firewall used on the Pensando SmartNIC (§8). */
+std::unique_ptr<NetworkFunction> makeFirewall(const DeviceSet &dev);
+
+/** ESP tunnel gateway on the crypto accelerator (extension NF). */
+std::unique_ptr<NetworkFunction>
+makeIpsecGateway(const DeviceSet &dev);
+
+/** Catalog entry describing one NF. */
+struct NfInfo
+{
+    std::string name;
+    bool usesRegex = false;
+    bool usesCompression = false;
+    bool usesCrypto = false;
+    /** Paper Table 1 column "T": performance depends on traffic. */
+    bool trafficSensitive = false;
+    const char *framework = "Click";
+};
+
+/** All Table 1 NFs. */
+const std::vector<NfInfo> &catalog();
+
+/** Instantiate an NF by catalog name (fatal on unknown name). */
+std::unique_ptr<NetworkFunction> makeByName(const std::string &name,
+                                            const DeviceSet &dev);
+
+/** The 9 NFs of the paper's overall-accuracy evaluation (Table 2). */
+std::vector<std::string> evaluationNfNames();
+
+} // namespace tomur::nfs
+
+#endif // TOMUR_NFS_REGISTRY_HH

@@ -1,0 +1,176 @@
+#include "nfs/synthetic.hh"
+
+#include "common/rng.hh"
+#include "framework/flow_table.hh"
+#include "nfs/common_elements.hh"
+
+namespace tomur::nfs {
+
+namespace fw = framework;
+
+namespace {
+
+/** Plain scan element (no flow state). */
+class ScanElement : public Element
+{
+  public:
+    explicit ScanElement(std::shared_ptr<fw::RegexDevice> regex)
+        : Element("Scan"), regex_(std::move(regex))
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        regex_->scan(pkt.payload(), ctx);
+        return Verdict::Forward;
+    }
+
+  private:
+    std::shared_ptr<fw::RegexDevice> regex_;
+};
+
+/** Compression stage element. */
+class CompressElement : public Element
+{
+  public:
+    explicit CompressElement(
+        std::shared_ptr<fw::CompressionDevice> comp)
+        : Element("Compress"), comp_(std::move(comp))
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        ctx.addInstructions(fw::cost::accelSubmit +
+                            fw::cost::accelReap);
+        comp_->compress(pkt.payload(), ctx);
+        return Verdict::Forward;
+    }
+
+  private:
+    std::shared_ptr<fw::CompressionDevice> comp_;
+};
+
+/**
+ * Dedicated memory-work element: per-packet state touches over a
+ * multi-megabyte region, so the synthetic NFs have a CPU+memory stage
+ * whose speed genuinely depends on LLC/DRAM contention (the paper's
+ * NF1/NF2 stress both memory and accelerators, §7.3).
+ */
+class MemTouchElement : public Element
+{
+  public:
+    MemTouchElement(double accesses, double wss_bytes)
+        : Element("MemTouch"), accesses_(accesses),
+          region_{"synthetic_state", wss_bytes, 1.0}, rng_(0x515)
+    {
+        array_.resize(static_cast<std::size_t>(
+                          std::min(wss_bytes, 2.0 * 1024 * 1024)) / 8,
+                      3);
+    }
+
+    Verdict
+    process(net::Packet &, CostContext &ctx) override
+    {
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 8; ++i)
+            acc ^= array_[rng_.uniformInt(array_.size())];
+        (void)acc;
+        ctx.addInstructions(5.0 * accesses_);
+        ctx.addMemAccess(region_, accesses_ * 0.75,
+                         accesses_ * 0.25);
+        return Verdict::Forward;
+    }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {region_};
+    }
+
+  private:
+    double accesses_;
+    MemRegion region_;
+    tomur::Rng rng_;
+    std::vector<std::uint64_t> array_;
+};
+
+/** Memory-work element: per-flow counters (modest footprint). */
+class FlowStateElement : public Element
+{
+  public:
+    FlowStateElement()
+        : Element("FlowState"), table_("synthetic_flow_state")
+    {
+    }
+
+    Verdict
+    process(net::Packet &pkt, CostContext &ctx) override
+    {
+        auto tuple = pkt.fiveTuple();
+        if (!tuple)
+            return Verdict::Drop;
+        std::uint64_t &count = table_.findOrInsert(*tuple, ctx);
+        ++count;
+        ctx.addInstructions(150);
+        return Verdict::Forward;
+    }
+
+    void reset() override { table_.clear(); }
+
+    std::vector<MemRegion>
+    regions() const override
+    {
+        return {table_.region()};
+    }
+
+  private:
+    fw::FlowTable<std::uint64_t> table_;
+};
+
+} // namespace
+
+std::unique_ptr<fw::NetworkFunction>
+makeRegexNf(const fw::DeviceSet &dev)
+{
+    auto nf = std::make_unique<fw::NetworkFunction>(
+        "regex-NF", fw::ExecutionPattern::Pipeline);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<ScanElement>(dev.regex));
+    return nf;
+}
+
+std::unique_ptr<fw::NetworkFunction>
+makeSyntheticNf1(const fw::DeviceSet &dev,
+                 fw::ExecutionPattern pattern)
+{
+    auto nf = std::make_unique<fw::NetworkFunction>(
+        std::string("NF1-") + fw::patternName(pattern), pattern);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FlowStateElement>());
+    nf->add(std::make_unique<MemTouchElement>(40.0,
+                                              4.0 * 1024 * 1024));
+    nf->add(std::make_unique<ScanElement>(dev.regex));
+    return nf;
+}
+
+std::unique_ptr<fw::NetworkFunction>
+makeSyntheticNf2(const fw::DeviceSet &dev,
+                 fw::ExecutionPattern pattern)
+{
+    auto nf = std::make_unique<fw::NetworkFunction>(
+        std::string("NF2-") + fw::patternName(pattern), pattern);
+    nf->add(std::make_unique<ParseElement>());
+    nf->add(std::make_unique<FlowStateElement>());
+    nf->add(std::make_unique<MemTouchElement>(40.0,
+                                              4.0 * 1024 * 1024));
+    nf->add(std::make_unique<ScanElement>(dev.regex));
+    nf->add(std::make_unique<CompressElement>(dev.compression));
+    return nf;
+}
+
+} // namespace tomur::nfs

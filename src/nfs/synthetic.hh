@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic NFs used by the paper's microbenchmarks: regex-NF
+ * (§4.1.1, Fig. 4), and NF1/NF2 (§7.3, Table 4) in pipeline and
+ * run-to-completion variants.
+ */
+
+#ifndef TOMUR_NFS_SYNTHETIC_HH
+#define TOMUR_NFS_SYNTHETIC_HH
+
+#include <memory>
+
+#include "framework/accel_dev.hh"
+#include "framework/nf.hh"
+
+namespace tomur::nfs {
+
+/**
+ * regex-NF: a minimal closed-loop pattern-matching NF — parse and
+ * scan every payload. Its regex service time follows the traffic
+ * profile's MTBR.
+ */
+std::unique_ptr<framework::NetworkFunction>
+makeRegexNf(const framework::DeviceSet &dev);
+
+/**
+ * NF1: memory work (flow state) + regex scanning, in the given
+ * execution pattern.
+ */
+std::unique_ptr<framework::NetworkFunction>
+makeSyntheticNf1(const framework::DeviceSet &dev,
+                 framework::ExecutionPattern pattern);
+
+/**
+ * NF2: NF1 plus hardware compression (three resources).
+ */
+std::unique_ptr<framework::NetworkFunction>
+makeSyntheticNf2(const framework::DeviceSet &dev,
+                 framework::ExecutionPattern pattern);
+
+} // namespace tomur::nfs
+
+#endif // TOMUR_NFS_SYNTHETIC_HH

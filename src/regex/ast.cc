@@ -1,0 +1,89 @@
+#include "regex/ast.hh"
+
+namespace tomur::regex {
+
+std::unique_ptr<Node>
+Node::clone() const
+{
+    auto n = std::make_unique<Node>();
+    n->kind = kind;
+    n->bytes = bytes;
+    n->repeatMin = repeatMin;
+    n->repeatMax = repeatMax;
+    n->children.reserve(children.size());
+    for (const auto &c : children)
+        n->children.push_back(c->clone());
+    return n;
+}
+
+std::unique_ptr<Node>
+makeByte(std::uint8_t b)
+{
+    auto n = std::make_unique<Node>();
+    n->kind = NodeKind::ByteClass;
+    n->bytes.set(b);
+    return n;
+}
+
+std::unique_ptr<Node>
+makeClass(const ByteSet &set)
+{
+    auto n = std::make_unique<Node>();
+    n->kind = NodeKind::ByteClass;
+    n->bytes = set;
+    return n;
+}
+
+ByteSet
+digitSet()
+{
+    ByteSet s;
+    for (int c = '0'; c <= '9'; ++c)
+        s.set(c);
+    return s;
+}
+
+ByteSet
+wordSet()
+{
+    ByteSet s = digitSet();
+    for (int c = 'a'; c <= 'z'; ++c)
+        s.set(c);
+    for (int c = 'A'; c <= 'Z'; ++c)
+        s.set(c);
+    s.set('_');
+    return s;
+}
+
+ByteSet
+spaceSet()
+{
+    ByteSet s;
+    s.set(' ');
+    s.set('\t');
+    s.set('\r');
+    s.set('\n');
+    s.set('\f');
+    s.set('\v');
+    return s;
+}
+
+ByteSet
+anySet()
+{
+    ByteSet s;
+    s.set();
+    s.reset('\n');
+    return s;
+}
+
+ByteSet
+printableSet()
+{
+    ByteSet s;
+    for (int c = 0x20; c <= 0x7e; ++c)
+        s.set(c);
+    return s;
+}
+
+} // namespace tomur::regex

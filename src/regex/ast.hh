@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regular-expression abstract syntax tree.
+ *
+ * The supported dialect covers what L7-filter-style protocol patterns
+ * need: literals, escapes, character classes with ranges and negation,
+ * '.', alternation, grouping, the *, +, ?, {m}, {m,}, {m,n} repeats,
+ * and '^' / '$' anchors at pattern boundaries.
+ */
+
+#ifndef TOMUR_REGEX_AST_HH
+#define TOMUR_REGEX_AST_HH
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tomur::regex {
+
+/** Set of byte values a class node matches. */
+using ByteSet = std::bitset<256>;
+
+/** AST node kinds. */
+enum class NodeKind
+{
+    Empty,     ///< matches the empty string
+    ByteClass, ///< matches one byte in a set
+    Concat,    ///< sequence of children
+    Alternate, ///< any one child
+    Repeat,    ///< child repeated [min, max] times (max < 0 = infinity)
+};
+
+/** One AST node; children owned via unique_ptr. */
+struct Node
+{
+    NodeKind kind = NodeKind::Empty;
+    ByteSet bytes;                                ///< for ByteClass
+    std::vector<std::unique_ptr<Node>> children;  ///< Concat/Alternate
+    int repeatMin = 0;                            ///< for Repeat
+    int repeatMax = -1;                           ///< for Repeat
+
+    /** Deep copy. */
+    std::unique_ptr<Node> clone() const;
+};
+
+/** A parsed pattern: AST plus anchor flags. */
+struct Pattern
+{
+    std::unique_ptr<Node> root;
+    bool anchorStart = false; ///< '^' at pattern start
+    bool anchorEnd = false;   ///< '$' at pattern end
+    std::string source;       ///< original text (for diagnostics)
+};
+
+/** Make a single-byte class node. */
+std::unique_ptr<Node> makeByte(std::uint8_t b);
+
+/** Make a class node from a set. */
+std::unique_ptr<Node> makeClass(const ByteSet &set);
+
+/** ByteSet helpers for common escapes. */
+ByteSet digitSet();
+ByteSet wordSet();
+ByteSet spaceSet();
+ByteSet anySet();       ///< '.' (any byte except '\n')
+ByteSet printableSet(); ///< printable ASCII, used by the generator
+
+} // namespace tomur::regex
+
+#endif // TOMUR_REGEX_AST_HH

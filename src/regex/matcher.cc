@@ -1,0 +1,105 @@
+#include "regex/matcher.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::regex {
+
+std::vector<Pattern>
+MultiMatcher::parseAll(const RuleSet &rules)
+{
+    std::vector<Pattern> out;
+    out.reserve(rules.rules.size());
+    for (const Rule &r : rules.rules) {
+        ParseOptions opts;
+        opts.caseInsensitive = r.caseInsensitive;
+        auto res = parse(r.pattern, opts);
+        if (!res.ok) {
+            fatal(strf("ruleset '%s', rule '%s': %s",
+                       rules.name.c_str(), r.name.c_str(),
+                       res.error.c_str()));
+        }
+        out.push_back(std::move(res.pattern));
+    }
+    return out;
+}
+
+MultiMatcher::MultiMatcher(const RuleSet &rules,
+                           std::size_t dfa_state_budget)
+    : patterns_(parseAll(rules))
+{
+    if (patterns_.empty())
+        fatal(strf("ruleset '%s' is empty", rules.name.c_str()));
+    names_.reserve(rules.rules.size());
+    for (const Rule &r : rules.rules)
+        names_.push_back(r.name);
+
+    engines_.reserve(patterns_.size());
+    for (std::size_t i = 0; i < patterns_.size(); ++i) {
+        Engine e;
+        // Single-pattern NFA: the automaton still tags accepts with
+        // rule id 0; the engine index supplies the real rule id.
+        std::vector<Pattern> one;
+        one.push_back(Pattern{patterns_[i].root->clone(),
+                              patterns_[i].anchorStart,
+                              patterns_[i].anchorEnd,
+                              patterns_[i].source});
+        e.nfa = std::make_unique<Nfa>(one);
+        e.dfa = Dfa::build(*e.nfa, dfa_state_budget);
+        if (!e.dfa) {
+            warn(strf("rule '%s': DFA budget exceeded, using NFA path",
+                      names_[i].c_str()));
+        }
+        engines_.push_back(std::move(e));
+    }
+}
+
+bool
+MultiMatcher::usesDfa() const
+{
+    for (const auto &e : engines_)
+        if (!e.dfa)
+            return false;
+    return true;
+}
+
+std::uint64_t
+MultiMatcher::countMatches(std::span<const std::uint8_t> data) const
+{
+    std::uint64_t total = 0;
+    for (const auto &e : engines_) {
+        total += e.dfa ? e.dfa->countMatches(data.data(), data.size())
+                       : e.nfa->countMatches(data.data(), data.size());
+    }
+    return total;
+}
+
+std::uint64_t
+MultiMatcher::matchedRules(std::span<const std::uint8_t> data) const
+{
+    std::uint64_t rules = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const auto &e = engines_[i];
+        std::uint64_t m =
+            e.dfa ? e.dfa->matchedRules(data.data(), data.size())
+                  : e.nfa->matchedRules(data.data(), data.size());
+        if (m)
+            rules |= std::uint64_t(1) << i;
+    }
+    return rules;
+}
+
+bool
+MultiMatcher::anyMatch(std::span<const std::uint8_t> data) const
+{
+    for (const auto &e : engines_) {
+        std::uint64_t m =
+            e.dfa ? e.dfa->matchedRules(data.data(), data.size())
+                  : e.nfa->matchedRules(data.data(), data.size());
+        if (m)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tomur::regex

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-pattern matcher: the functional model of a hardware regex
+ * engine. Compiles a ruleset once, then scans payloads counting match
+ * events exactly as rxpbench-style tooling reports them.
+ */
+
+#ifndef TOMUR_REGEX_MATCHER_HH
+#define TOMUR_REGEX_MATCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "regex/dfa.hh"
+#include "regex/nfa.hh"
+#include "regex/parser.hh"
+
+namespace tomur::regex {
+
+/** One named rule of a ruleset. */
+struct Rule
+{
+    std::string name;
+    std::string pattern;
+    bool caseInsensitive = false;
+};
+
+/** A named collection of rules (e.g. the L7-filter protocol set). */
+struct RuleSet
+{
+    std::string name;
+    std::vector<Rule> rules;
+};
+
+/**
+ * Compiled multi-pattern matcher.
+ *
+ * Each rule compiles to its own NFA and (budget permitting) DFA; a
+ * scan runs every rule's automaton over the payload. Per-rule DFAs
+ * stay small even when a combined automaton would blow up, which is
+ * also how multi-engine hardware matchers partition rule groups.
+ * Counts are one event per (rule, end-offset).
+ */
+class MultiMatcher
+{
+  public:
+    /** Compile a ruleset (fatal() on any parse error). */
+    explicit MultiMatcher(const RuleSet &rules,
+                          std::size_t dfa_state_budget = 4096);
+
+    /** Number of rules compiled. */
+    int numRules() const { return static_cast<int>(engines_.size()); }
+
+    /** True when every rule uses the DFA fast path. */
+    bool usesDfa() const;
+
+    /** Count match events over a payload. */
+    std::uint64_t countMatches(std::span<const std::uint8_t> data) const;
+
+    /** Bitmask of rules that matched at least once. */
+    std::uint64_t matchedRules(std::span<const std::uint8_t> data) const;
+
+    /** Convenience: does any rule match? */
+    bool anyMatch(std::span<const std::uint8_t> data) const;
+
+    /** Access the parsed patterns (e.g. for payload generation). */
+    const std::vector<Pattern> &patterns() const { return patterns_; }
+
+    /** Rule names, index-aligned with pattern/rule ids. */
+    const std::vector<std::string> &ruleNames() const { return names_; }
+
+  private:
+    static std::vector<Pattern> parseAll(const RuleSet &rules);
+
+    /** One rule's compiled automata. */
+    struct Engine
+    {
+        std::unique_ptr<Nfa> nfa;
+        std::unique_ptr<Dfa> dfa; ///< null if over budget
+    };
+
+    std::vector<Pattern> patterns_;
+    std::vector<std::string> names_;
+    std::vector<Engine> engines_;
+};
+
+} // namespace tomur::regex
+
+#endif // TOMUR_REGEX_MATCHER_HH

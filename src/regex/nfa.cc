@@ -1,0 +1,366 @@
+#include "regex/nfa.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::regex {
+
+namespace {
+
+/** Cap on counted-repeat expansion to bound automaton size. */
+constexpr int maxRepeatExpansion = 256;
+
+} // namespace
+
+bool
+Nfa::matchesEmpty(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::Empty:
+        return true;
+      case NodeKind::ByteClass:
+        return false;
+      case NodeKind::Concat:
+        for (const auto &c : n.children)
+            if (!matchesEmpty(*c))
+                return false;
+        return true;
+      case NodeKind::Alternate:
+        for (const auto &c : n.children)
+            if (matchesEmpty(*c))
+                return true;
+        return false;
+      case NodeKind::Repeat:
+        return n.repeatMin == 0 || matchesEmpty(*n.children[0]);
+    }
+    return false;
+}
+
+int
+Nfa::addState(NfaState s)
+{
+    states_.push_back(std::move(s));
+    return static_cast<int>(states_.size()) - 1;
+}
+
+void
+Nfa::patch(const Frag &f, int target)
+{
+    for (auto [idx, slot] : f.outs) {
+        if (slot == 0)
+            states_[idx].next = target;
+        else
+            states_[idx].next2 = target;
+    }
+}
+
+Nfa::Frag
+Nfa::build(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::Empty: {
+        // A no-op split with one dangling branch.
+        NfaState s;
+        s.kind = NfaState::Kind::Split;
+        s.next2 = -2; // unused marker; next2 stays -2 (no branch)
+        int idx = addState(s);
+        states_[idx].next2 = idx; // self on unused branch: harmless
+        Frag f;
+        f.start = idx;
+        f.outs = {{idx, 0}};
+        // Make the second branch identical to the first by patching
+        // both slots together would double-add; instead use a single
+        // dangling slot and a dead second branch pointing to itself
+        // is wrong. Re-do: represent Empty as Split with both slots
+        // dangling to the same continuation.
+        states_[idx].next2 = -1;
+        f.outs.push_back({idx, 1});
+        return f;
+      }
+      case NodeKind::ByteClass: {
+        NfaState s;
+        s.kind = NfaState::Kind::Byte;
+        s.bytes = n.bytes;
+        int idx = addState(s);
+        Frag f;
+        f.start = idx;
+        f.outs = {{idx, 0}};
+        return f;
+      }
+      case NodeKind::Concat: {
+        Frag acc;
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+            Frag f = build(*n.children[i]);
+            if (i == 0) {
+                acc = std::move(f);
+            } else {
+                patch(acc, f.start);
+                acc.outs = std::move(f.outs);
+            }
+        }
+        if (acc.start < 0)
+            return build(Node{}); // empty concat
+        return acc;
+      }
+      case NodeKind::Alternate: {
+        // Chain of splits, one per extra branch.
+        Frag acc = build(*n.children[0]);
+        for (std::size_t i = 1; i < n.children.size(); ++i) {
+            Frag g = build(*n.children[i]);
+            NfaState s;
+            s.kind = NfaState::Kind::Split;
+            s.next = acc.start;
+            s.next2 = g.start;
+            int idx = addState(s);
+            Frag merged;
+            merged.start = idx;
+            merged.outs = std::move(acc.outs);
+            merged.outs.insert(merged.outs.end(), g.outs.begin(),
+                               g.outs.end());
+            acc = std::move(merged);
+        }
+        return acc;
+      }
+      case NodeKind::Repeat: {
+        const Node &child = *n.children[0];
+        int min = n.repeatMin;
+        int max = n.repeatMax;
+        if (min > maxRepeatExpansion ||
+            (max > 0 && max > maxRepeatExpansion)) {
+            fatal(strf("counted repeat {%d,%d} exceeds expansion cap",
+                       min, max));
+        }
+        if (max < 0) {
+            // child{min,} = child^min followed by child*
+            Frag acc;
+            acc.start = -1;
+            for (int i = 0; i < min; ++i) {
+                Frag f = build(child);
+                if (acc.start < 0) {
+                    acc = std::move(f);
+                } else {
+                    patch(acc, f.start);
+                    acc.outs = std::move(f.outs);
+                }
+            }
+            // Kleene star
+            Frag body = build(child);
+            NfaState s;
+            s.kind = NfaState::Kind::Split;
+            s.next = body.start;
+            s.next2 = -1;
+            int split = addState(s);
+            patch(body, split);
+            Frag star;
+            star.start = split;
+            star.outs = {{split, 1}};
+            if (acc.start < 0)
+                return star;
+            patch(acc, star.start);
+            acc.outs = std::move(star.outs);
+            return acc;
+        }
+        // child{min,max}: min copies then (max - min) optional copies.
+        Frag acc;
+        acc.start = -1;
+        std::vector<std::pair<int, int>> optional_outs;
+        for (int i = 0; i < max; ++i) {
+            Frag f = build(child);
+            int entry = f.start;
+            if (i >= min) {
+                NfaState s;
+                s.kind = NfaState::Kind::Split;
+                s.next = entry;
+                s.next2 = -1;
+                int split = addState(s);
+                optional_outs.push_back({split, 1});
+                entry = split;
+            }
+            if (acc.start < 0) {
+                acc.start = entry;
+                acc.outs = std::move(f.outs);
+            } else {
+                patch(acc, entry);
+                acc.outs = std::move(f.outs);
+            }
+        }
+        if (acc.start < 0) {
+            // {0,0}: equivalent to Empty
+            Node empty;
+            empty.kind = NodeKind::Empty;
+            return build(empty);
+        }
+        acc.outs.insert(acc.outs.end(), optional_outs.begin(),
+                        optional_outs.end());
+        return acc;
+      }
+    }
+    panic("Nfa::build: bad node kind");
+}
+
+Nfa::Nfa(const std::vector<Pattern> &patterns)
+{
+    if (patterns.empty())
+        fatal("Nfa: empty pattern list");
+    if (patterns.size() > static_cast<std::size_t>(maxRules))
+        fatal(strf("Nfa: more than %d rules", maxRules));
+    numRules_ = static_cast<int>(patterns.size());
+
+    // Root: chain of splits fanning out to each pattern's entry.
+    std::vector<int> entries;
+    for (int r = 0; r < numRules_; ++r) {
+        const Pattern &p = patterns[r];
+        if (!p.root)
+            fatal("Nfa: pattern without AST");
+        if (matchesEmpty(*p.root))
+            fatal(strf("Nfa: rule %d ('%s') matches the empty string",
+                       r, p.source.c_str()));
+        Frag f = build(*p.root);
+        NfaState acc;
+        acc.kind = NfaState::Kind::Accept;
+        acc.rule = r;
+        acc.atEnd = p.anchorEnd;
+        int acc_idx = addState(acc);
+        patch(f, acc_idx);
+        int entry = f.start;
+        if (!p.anchorStart) {
+            // Implicit ".*" prefix: loop state consuming any byte.
+            NfaState any;
+            any.kind = NfaState::Kind::Byte;
+            any.bytes.set();
+            int any_idx = addState(any);
+            NfaState loop;
+            loop.kind = NfaState::Kind::Split;
+            loop.next = entry;
+            loop.next2 = any_idx;
+            int loop_idx = addState(loop);
+            states_[any_idx].next = loop_idx;
+            entry = loop_idx;
+        }
+        entries.push_back(entry);
+    }
+
+    int root = entries[0];
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        NfaState s;
+        s.kind = NfaState::Kind::Split;
+        s.next = root;
+        s.next2 = entries[i];
+        root = addState(s);
+    }
+    start_ = root;
+}
+
+void
+Nfa::closure(std::vector<std::uint64_t> &set) const
+{
+    // Worklist expansion along split (epsilon) edges.
+    auto test = [&set](int i) {
+        return (set[i >> 6] >> (i & 63)) & 1;
+    };
+    auto mark = [&set](int i) {
+        set[i >> 6] |= std::uint64_t(1) << (i & 63);
+    };
+    std::vector<int> work;
+    for (std::size_t w = 0; w < set.size(); ++w) {
+        std::uint64_t bits = set[w];
+        while (bits) {
+            int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            work.push_back(static_cast<int>(w * 64 + b));
+        }
+    }
+    while (!work.empty()) {
+        int i = work.back();
+        work.pop_back();
+        const NfaState &s = states_[i];
+        if (s.kind != NfaState::Kind::Split)
+            continue;
+        if (s.next >= 0 && !test(s.next)) {
+            mark(s.next);
+            work.push_back(s.next);
+        }
+        if (s.next2 >= 0 && !test(s.next2)) {
+            mark(s.next2);
+            work.push_back(s.next2);
+        }
+    }
+}
+
+void
+Nfa::simulate(const std::uint8_t *data, std::size_t len,
+              std::uint64_t *match_count,
+              std::uint64_t *matched_rules) const
+{
+    const std::size_t words = (states_.size() + 63) / 64;
+    std::vector<std::uint64_t> cur(words, 0), nxt(words, 0);
+    cur[start_ >> 6] |= std::uint64_t(1) << (start_ & 63);
+    closure(cur);
+
+    std::uint64_t count = 0;
+    std::uint64_t rules = 0;
+
+    auto scanAccepts = [&](const std::vector<std::uint64_t> &set,
+                           bool at_end) {
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t bits = set[w];
+            while (bits) {
+                int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const NfaState &s = states_[w * 64 + b];
+                if (s.kind == NfaState::Kind::Accept &&
+                    (!s.atEnd || at_end)) {
+                    ++count;
+                    rules |= std::uint64_t(1) << s.rule;
+                }
+            }
+        }
+    };
+
+    for (std::size_t pos = 0; pos < len; ++pos) {
+        std::uint8_t byte = data[pos];
+        for (auto &w : nxt)
+            w = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t bits = cur[w];
+            while (bits) {
+                int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                const NfaState &s = states_[w * 64 + b];
+                if (s.kind == NfaState::Kind::Byte &&
+                    s.bytes.test(byte) && s.next >= 0) {
+                    nxt[s.next >> 6] |=
+                        std::uint64_t(1) << (s.next & 63);
+                }
+            }
+        }
+        closure(nxt);
+        scanAccepts(nxt, pos + 1 == len);
+        std::swap(cur, nxt);
+    }
+
+    if (match_count)
+        *match_count = count;
+    if (matched_rules)
+        *matched_rules = rules;
+}
+
+std::uint64_t
+Nfa::countMatches(const std::uint8_t *data, std::size_t len) const
+{
+    std::uint64_t count = 0;
+    simulate(data, len, &count, nullptr);
+    return count;
+}
+
+std::uint64_t
+Nfa::matchedRules(const std::uint8_t *data, std::size_t len) const
+{
+    std::uint64_t rules = 0;
+    simulate(data, len, nullptr, &rules);
+    return rules;
+}
+
+} // namespace tomur::regex

@@ -1,0 +1,444 @@
+#include "regex/parser.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::regex {
+
+namespace {
+
+/**
+ * Hand-written recursive-descent parser. Grammar:
+ *
+ *   pattern   := '^'? alt '$'?          (anchors only at boundaries)
+ *   alt       := concat ('|' concat)*
+ *   concat    := repeat*
+ *   repeat    := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+ *   atom      := '(' alt ')' | '[' class ']' | '.' | escape | literal
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &src, ParseOptions opts)
+        : src_(src), opts_(opts)
+    {}
+
+    ParseResult
+    run()
+    {
+        ParseResult res;
+        res.pattern.source = src_;
+        if (peek() == '^') {
+            res.pattern.anchorStart = true;
+            ++pos_;
+        }
+        auto node = parseAlt();
+        if (!node) {
+            res.error = error_;
+            return res;
+        }
+        if (pos_ < src_.size() && src_[pos_] == '$' &&
+            pos_ + 1 == src_.size()) {
+            res.pattern.anchorEnd = true;
+            ++pos_;
+        }
+        if (pos_ != src_.size()) {
+            res.error = strf("unexpected '%c' at offset %zu",
+                             src_[pos_], pos_);
+            return res;
+        }
+        res.pattern.root = std::move(node);
+        res.ok = true;
+        return res;
+    }
+
+  private:
+    int
+    peek() const
+    {
+        return pos_ < src_.size()
+            ? static_cast<unsigned char>(src_[pos_]) : -1;
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = strf("%s at offset %zu", msg.c_str(), pos_);
+        return false;
+    }
+
+    std::unique_ptr<Node>
+    parseAlt()
+    {
+        auto first = parseConcat();
+        if (!first)
+            return nullptr;
+        if (peek() != '|')
+            return first;
+        auto alt = std::make_unique<Node>();
+        alt->kind = NodeKind::Alternate;
+        alt->children.push_back(std::move(first));
+        while (peek() == '|') {
+            ++pos_;
+            auto next = parseConcat();
+            if (!next)
+                return nullptr;
+            alt->children.push_back(std::move(next));
+        }
+        return alt;
+    }
+
+    std::unique_ptr<Node>
+    parseConcat()
+    {
+        auto cat = std::make_unique<Node>();
+        cat->kind = NodeKind::Concat;
+        for (;;) {
+            int c = peek();
+            if (c < 0 || c == '|' || c == ')')
+                break;
+            // '$' is only an anchor if it ends the whole pattern.
+            if (c == '$' && pos_ + 1 == src_.size())
+                break;
+            auto r = parseRepeat();
+            if (!r)
+                return nullptr;
+            cat->children.push_back(std::move(r));
+        }
+        if (cat->children.empty()) {
+            auto empty = std::make_unique<Node>();
+            empty->kind = NodeKind::Empty;
+            return empty;
+        }
+        if (cat->children.size() == 1)
+            return std::move(cat->children[0]);
+        return cat;
+    }
+
+    std::unique_ptr<Node>
+    parseRepeat()
+    {
+        auto atom = parseAtom();
+        if (!atom)
+            return nullptr;
+        for (;;) {
+            int c = peek();
+            int min = 0, max = -1;
+            if (c == '*') {
+                ++pos_;
+            } else if (c == '+') {
+                ++pos_;
+                min = 1;
+            } else if (c == '?') {
+                ++pos_;
+                min = 0;
+                max = 1;
+            } else if (c == '{') {
+                std::size_t save = pos_;
+                if (!parseBounds(min, max)) {
+                    pos_ = save;
+                    break;
+                }
+            } else {
+                break;
+            }
+            auto rep = std::make_unique<Node>();
+            rep->kind = NodeKind::Repeat;
+            rep->repeatMin = min;
+            rep->repeatMax = max;
+            rep->children.push_back(std::move(atom));
+            atom = std::move(rep);
+        }
+        return atom;
+    }
+
+    bool
+    parseBounds(int &min, int &max)
+    {
+        // Called at '{'. Returns false (no error) when the braces do not
+        // form a valid bound; the caller treats '{' as a literal then.
+        std::size_t p = pos_ + 1;
+        int m = 0;
+        bool have_digit = false;
+        while (p < src_.size() && std::isdigit((unsigned char)src_[p])) {
+            m = m * 10 + (src_[p] - '0');
+            have_digit = true;
+            ++p;
+        }
+        if (!have_digit)
+            return false;
+        min = m;
+        if (p < src_.size() && src_[p] == '}') {
+            max = m;
+            pos_ = p + 1;
+            return true;
+        }
+        if (p >= src_.size() || src_[p] != ',')
+            return false;
+        ++p;
+        if (p < src_.size() && src_[p] == '}') {
+            max = -1;
+            pos_ = p + 1;
+            return true;
+        }
+        int n = 0;
+        have_digit = false;
+        while (p < src_.size() && std::isdigit((unsigned char)src_[p])) {
+            n = n * 10 + (src_[p] - '0');
+            have_digit = true;
+            ++p;
+        }
+        if (!have_digit || p >= src_.size() || src_[p] != '}' || n < m)
+            return false;
+        max = n;
+        pos_ = p + 1;
+        return true;
+    }
+
+    std::unique_ptr<Node>
+    parseAtom()
+    {
+        int c = peek();
+        if (c < 0) {
+            fail("unexpected end of pattern");
+            return nullptr;
+        }
+        if (c == '(') {
+            ++pos_;
+            // Non-capturing group syntax is accepted and ignored.
+            if (pos_ + 1 < src_.size() && src_[pos_] == '?' &&
+                src_[pos_ + 1] == ':') {
+                pos_ += 2;
+            }
+            auto inner = parseAlt();
+            if (!inner)
+                return nullptr;
+            if (peek() != ')') {
+                fail("missing ')'");
+                return nullptr;
+            }
+            ++pos_;
+            return inner;
+        }
+        if (c == '[')
+            return parseClass();
+        if (c == '.') {
+            ++pos_;
+            return makeClass(anySet());
+        }
+        if (c == '\\')
+            return parseEscape();
+        if (c == '*' || c == '+' || c == '?') {
+            fail("repeat with nothing to repeat");
+            return nullptr;
+        }
+        ++pos_;
+        return literal(static_cast<std::uint8_t>(c));
+    }
+
+    std::unique_ptr<Node>
+    literal(std::uint8_t b)
+    {
+        if (opts_.caseInsensitive && std::isalpha(b)) {
+            ByteSet s;
+            s.set(std::tolower(b));
+            s.set(std::toupper(b));
+            return makeClass(s);
+        }
+        return makeByte(b);
+    }
+
+    bool
+    escapeSet(int c, ByteSet &out)
+    {
+        switch (c) {
+          case 'd': out = digitSet(); return true;
+          case 'D': out = ~digitSet(); return true;
+          case 'w': out = wordSet(); return true;
+          case 'W': out = ~wordSet(); return true;
+          case 's': out = spaceSet(); return true;
+          case 'S': out = ~spaceSet(); return true;
+          default: return false;
+        }
+    }
+
+    int
+    escapeChar(int c)
+    {
+        switch (c) {
+          case 'n': return '\n';
+          case 'r': return '\r';
+          case 't': return '\t';
+          case 'f': return '\f';
+          case 'v': return '\v';
+          case '0': return '\0';
+          default: return c;
+        }
+    }
+
+    std::unique_ptr<Node>
+    parseEscape()
+    {
+        ++pos_; // consume backslash
+        int c = peek();
+        if (c < 0) {
+            fail("dangling backslash");
+            return nullptr;
+        }
+        ++pos_;
+        ByteSet set;
+        if (escapeSet(c, set))
+            return makeClass(set);
+        if (c == 'x') {
+            int hi = hexDigit();
+            int lo = hexDigit();
+            if (hi < 0 || lo < 0) {
+                fail("bad \\x escape");
+                return nullptr;
+            }
+            return makeByte(static_cast<std::uint8_t>(hi * 16 + lo));
+        }
+        return literal(static_cast<std::uint8_t>(escapeChar(c)));
+    }
+
+    int
+    hexDigit()
+    {
+        int c = peek();
+        if (c < 0)
+            return -1;
+        ++pos_;
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    }
+
+    std::unique_ptr<Node>
+    parseClass()
+    {
+        ++pos_; // consume '['
+        bool negate = false;
+        if (peek() == '^') {
+            negate = true;
+            ++pos_;
+        }
+        ByteSet set;
+        bool first = true;
+        for (;;) {
+            int c = peek();
+            if (c < 0) {
+                fail("missing ']'");
+                return nullptr;
+            }
+            if (c == ']' && !first) {
+                ++pos_;
+                break;
+            }
+            first = false;
+            int lo;
+            if (c == '\\') {
+                ++pos_;
+                int e = peek();
+                if (e < 0) {
+                    fail("dangling backslash in class");
+                    return nullptr;
+                }
+                ++pos_;
+                ByteSet esc;
+                if (escapeSet(e, esc)) {
+                    set |= esc;
+                    continue;
+                }
+                if (e == 'x') {
+                    int hi = hexDigit();
+                    int lo2 = hexDigit();
+                    if (hi < 0 || lo2 < 0) {
+                        fail("bad \\x escape in class");
+                        return nullptr;
+                    }
+                    lo = hi * 16 + lo2;
+                } else {
+                    lo = escapeChar(e);
+                }
+            } else {
+                ++pos_;
+                lo = c;
+            }
+            int hi = lo;
+            if (peek() == '-' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] != ']') {
+                ++pos_; // consume '-'
+                int c2 = peek();
+                if (c2 == '\\') {
+                    ++pos_;
+                    int e = peek();
+                    ++pos_;
+                    if (e == 'x') {
+                        int h = hexDigit();
+                        int l = hexDigit();
+                        if (h < 0 || l < 0) {
+                            fail("bad \\x escape in class range");
+                            return nullptr;
+                        }
+                        hi = h * 16 + l;
+                    } else {
+                        hi = escapeChar(e);
+                    }
+                } else {
+                    ++pos_;
+                    hi = c2;
+                }
+                if (hi < lo) {
+                    fail("reversed class range");
+                    return nullptr;
+                }
+            }
+            for (int b = lo; b <= hi; ++b) {
+                set.set(b);
+                if (opts_.caseInsensitive && std::isalpha(b)) {
+                    set.set(std::tolower(b));
+                    set.set(std::toupper(b));
+                }
+            }
+        }
+        if (negate)
+            set = ~set;
+        if (set.none()) {
+            fail("empty character class");
+            return nullptr;
+        }
+        return makeClass(set);
+    }
+
+    const std::string &src_;
+    ParseOptions opts_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &src, ParseOptions opts)
+{
+    return Parser(src, opts).run();
+}
+
+Pattern
+parseOrDie(const std::string &src, ParseOptions opts)
+{
+    auto res = parse(src, opts);
+    if (!res.ok)
+        fatal(strf("regex parse error in '%s': %s", src.c_str(),
+                   res.error.c_str()));
+    return std::move(res.pattern);
+}
+
+} // namespace tomur::regex

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for the regex dialect described in ast.hh.
+ */
+
+#ifndef TOMUR_REGEX_PARSER_HH
+#define TOMUR_REGEX_PARSER_HH
+
+#include <string>
+
+#include "regex/ast.hh"
+
+namespace tomur::regex {
+
+/** Parse options. */
+struct ParseOptions
+{
+    bool caseInsensitive = false;
+};
+
+/**
+ * Result of a parse attempt. On failure, ok is false and error holds a
+ * message with the offending offset.
+ */
+struct ParseResult
+{
+    bool ok = false;
+    Pattern pattern;
+    std::string error;
+};
+
+/** Parse a pattern string. */
+ParseResult parse(const std::string &src, ParseOptions opts = {});
+
+/** Parse a pattern or call fatal() with the parse error. */
+Pattern parseOrDie(const std::string &src, ParseOptions opts = {});
+
+} // namespace tomur::regex
+
+#endif // TOMUR_REGEX_PARSER_HH

@@ -1,0 +1,56 @@
+#include "regex/ruleset.hh"
+
+namespace tomur::regex {
+
+RuleSet
+defaultRuleSet()
+{
+    // Patterns are intentionally unanchored (no '^') so that protocol
+    // signatures embedded anywhere in a payload are reported, matching
+    // how the synthetic MTBR-targeted payloads place them.
+    RuleSet rs;
+    rs.name = "l7-default";
+    rs.rules = {
+        {"http-request",
+         "(get|post|head|put|delete) [\\x21-\\x7e]{1,16} http/1\\.[01]",
+         true},
+        {"http-response", "http/1\\.[01] [1-5][0-9][0-9]", true},
+        {"ssh", "ssh-[12]\\.[0-9]+-[\\x21-\\x7e]{2,12}", false},
+        {"bittorrent", "\\x13bittorrent protocol", false},
+        {"ftp-banner", "220[ -][\\x21-\\x7e ]{0,20}ftp", true},
+        {"smtp", "(ehlo|helo|mail from:|rcpt to:)[ ][\\x21-\\x7e]{1,20}",
+         true},
+        {"pop3", "\\+ok [\\x21-\\x7e]{2,16} pop3", true},
+        {"imap", "\\* ok [\\x21-\\x7e ]{2,20}imap", true},
+        {"dns-like", "\\x01\\x00\\x00\\x01\\x00\\x00\\x00\\x00\\x00\\x00",
+         false},
+        {"sip", "(invite|register|options) sip:[a-z0-9@.]{3,24}", true},
+        {"rtsp", "rtsp/1\\.0 (200|401|404)", false},
+        {"smb", "\\xffsmb[\\x72\\x73\\x25]", false},
+        {"tls-hello", "\\x16\\x03[\\x00-\\x03]..\\x01", false},
+        {"irc", "(nick|join #)[a-z0-9_]{2,12}", true},
+        {"telnet-iac", "\\xff[\\xfb-\\xfe][\\x01-\\x28]", false},
+        {"mysql-greet", "\\x0a[5-9]\\.[0-9]\\.[0-9]{1,2}\\x00", false},
+        {"vnc", "rfb 00[1-9]\\.00[0-9]", false},
+        {"gnutella", "gnutella connect/[01]\\.[0-9]", true},
+        {"ntp-like", "\\x1b\\x00{3}", false},
+        {"quic-like", "q0[0-9][0-9]\\x01", false},
+    };
+    return rs;
+}
+
+RuleSet
+tinyRuleSet()
+{
+    RuleSet rs;
+    rs.name = "tiny";
+    rs.rules = {
+        {"alpha", "abc+d", false},
+        {"beta", "x[0-9]{2}y", false},
+        {"gamma", "(foo|bar)baz", false},
+        {"delta", "end$", false},
+    };
+    return rs;
+}
+
+} // namespace tomur::regex

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Built-in protocol rulesets.
+ *
+ * The paper uses the L7-filter pattern collection [8] for all
+ * regex-based NFs. The collection itself is not redistributable here,
+ * so defaultRuleSet() ships a simplified set of protocol-signature
+ * patterns in the same style (HTTP, SSH, BitTorrent, SMTP, ...) with
+ * comparable structure: keyword cores, small alternations, classes,
+ * and bounded repeats.
+ */
+
+#ifndef TOMUR_REGEX_RULESET_HH
+#define TOMUR_REGEX_RULESET_HH
+
+#include "regex/matcher.hh"
+
+namespace tomur::regex {
+
+/** The default L7-filter-style protocol signature set (~20 rules). */
+RuleSet defaultRuleSet();
+
+/** A small 4-rule set used by unit tests and micro-benchmarks. */
+RuleSet tinyRuleSet();
+
+} // namespace tomur::regex
+
+#endif // TOMUR_REGEX_RULESET_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The SmartNIC testbed: co-locates workloads on one NIC model and
+ * solves the coupled performance equilibrium — shared-LLC occupancy,
+ * DRAM bandwidth congestion, and round-robin accelerator sharing —
+ * then reports per-NF throughput and performance counters with
+ * measurement noise.
+ *
+ * This object stands in for the physical BlueField-2 deployment: the
+ * prediction frameworks only ever see its measured outputs
+ * (throughput + Table 13 counters), never the solver internals.
+ */
+
+#ifndef TOMUR_SIM_TESTBED_HH
+#define TOMUR_SIM_TESTBED_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "framework/profile.hh"
+#include "hw/accel.hh"
+#include "hw/config.hh"
+#include "hw/counters.hh"
+
+namespace tomur::sim {
+
+/** Which resource limits an NF's throughput. */
+enum class Bottleneck
+{
+    CpuMemory,   ///< core compute + memory stalls
+    Regex,       ///< regex accelerator stage / sojourn
+    Compression, ///< compression accelerator stage / sojourn
+    Crypto,      ///< crypto accelerator stage / sojourn
+    NicLineRate, ///< wire bandwidth
+    Pacing,      ///< open-loop pacing (benchmark NFs)
+};
+
+/** Bottleneck name for reports. */
+const char *bottleneckName(Bottleneck b);
+
+/** One NF's measured behaviour in a deployment. */
+struct Measurement
+{
+    std::string nfName;
+    double throughput = 0.0; ///< packets/s (noisy, as measured)
+    hw::PerfCounters counters;
+
+    // Ground-truth internals (noise-free), used only for validating
+    // the models and the diagnosis use case -- a real testbed exposes
+    // these via hotspot profiling (perf), not via the NIC.
+    double truthThroughput = 0.0;
+    double cpuMemTimePerPacket = 0.0;
+    double accelSojourn[hw::numAccelKinds] = {};
+    double accelStageCapacity[hw::numAccelKinds] = {};
+    Bottleneck bottleneck = Bottleneck::CpuMemory;
+};
+
+/** Testbed options. */
+struct TestbedOptions
+{
+    /** Relative measurement noise (log-normal sigma); 0 disables. */
+    double noiseSigma = 0.01;
+    std::uint64_t seed = 2024;
+    int maxIterations = 400;
+    double damping = 0.5;
+};
+
+/**
+ * A NIC plus its measurement harness.
+ */
+class Testbed
+{
+  public:
+    explicit Testbed(hw::NicConfig config, TestbedOptions opts = {});
+
+    /** Deploy a set of workloads together and measure all of them. */
+    std::vector<Measurement>
+    run(const std::vector<framework::WorkloadProfile> &workloads);
+
+    /** Deploy one workload alone. */
+    Measurement runSolo(const framework::WorkloadProfile &workload);
+
+    const hw::NicConfig &config() const { return config_; }
+
+  private:
+    /** Noise-free equilibrium solve. */
+    std::vector<Measurement>
+    solve(const std::vector<framework::WorkloadProfile> &w) const;
+
+    hw::NicConfig config_;
+    TestbedOptions opts_;
+    Rng rng_;
+};
+
+} // namespace tomur::sim
+
+#endif // TOMUR_SIM_TESTBED_HH

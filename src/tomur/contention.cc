@@ -1,0 +1,34 @@
+#include "tomur/contention.hh"
+
+namespace tomur::core {
+
+hw::PerfCounters
+aggregateCounters(const std::vector<ContentionLevel> &competitors)
+{
+    hw::PerfCounters agg;
+    for (const auto &c : competitors)
+        agg += c.counters;
+    return agg;
+}
+
+std::vector<double>
+memoryFeatures(const std::vector<ContentionLevel> &competitors,
+               const traffic::TrafficProfile &profile)
+{
+    std::vector<double> v = aggregateCounters(competitors).toVector();
+    for (double a : profile.toVector())
+        v.push_back(a);
+    return v;
+}
+
+std::vector<std::string>
+memoryFeatureNames()
+{
+    std::vector<std::string> names = hw::PerfCounters::featureNames();
+    for (int a = 0; a < traffic::numAttributes; ++a)
+        names.push_back(
+            traffic::attributeName(static_cast<traffic::Attribute>(a)));
+    return names;
+}
+
+} // namespace tomur::core

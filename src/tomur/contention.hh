@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Contention-level descriptors (Appendix F of the paper).
+ *
+ * A deployed NF applies contention on each shared resource. For the
+ * memory subsystem the level is its Table 13 counter vector; for an
+ * accelerator it is the queue count and per-request service time
+ * (and the offered request rate, so partially-loaded competitors are
+ * not over-counted). These descriptors are what a target NF's models
+ * consume about its competitors — never the competitors' internals.
+ */
+
+#ifndef TOMUR_TOMUR_CONTENTION_HH
+#define TOMUR_TOMUR_CONTENTION_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hh"
+#include "hw/counters.hh"
+#include "traffic/profile.hh"
+
+namespace tomur::core {
+
+/** Contention one workload applies on one accelerator. */
+struct AccelContention
+{
+    bool used = false;
+    int queues = 1;
+    /** Per-request service time at the workload's traffic (s). */
+    double serviceTime = 0.0;
+    /**
+     * Offered request rate (req/s over all queues). closedLoop set
+     * means the submitter saturates its share (max-rate NFs that are
+     * accelerator-bound; synthetic benches below saturation are
+     * open).
+     */
+    double offeredRate = 0.0;
+    bool closedLoop = false;
+};
+
+/** Full contention level of one workload under one traffic profile. */
+struct ContentionLevel
+{
+    std::string name;
+    /** Memory-subsystem contention: the Table 13 counters. */
+    hw::PerfCounters counters;
+    AccelContention accel[hw::numAccelKinds];
+
+    const AccelContention &
+    accelContention(hw::AccelKind kind) const
+    {
+        return accel[static_cast<int>(kind)];
+    }
+};
+
+/** Aggregate competitor memory contention (SLOMO-style sum). */
+hw::PerfCounters
+aggregateCounters(const std::vector<ContentionLevel> &competitors);
+
+/**
+ * Model input feature vector: aggregated competitor counters plus
+ * the target's traffic attribute vector (§5.1.2).
+ */
+std::vector<double>
+memoryFeatures(const std::vector<ContentionLevel> &competitors,
+               const traffic::TrafficProfile &profile);
+
+/** Feature names matching memoryFeatures() order. */
+std::vector<std::string> memoryFeatureNames();
+
+} // namespace tomur::core
+
+#endif // TOMUR_TOMUR_CONTENTION_HH

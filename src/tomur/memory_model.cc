@@ -1,0 +1,63 @@
+#include "tomur/memory_model.hh"
+
+#include "common/logging.hh"
+
+namespace tomur::core {
+
+MemoryModel::MemoryModel(MemoryModelOptions opts) : opts_(opts)
+{
+    if (opts_.seeds < 1)
+        fatal("MemoryModel: need at least one seed");
+}
+
+std::vector<std::string>
+MemoryModel::featureNames() const
+{
+    if (opts_.trafficAware)
+        return memoryFeatureNames();
+    return hw::PerfCounters::featureNames();
+}
+
+std::vector<double>
+MemoryModel::featuresFor(
+    const std::vector<ContentionLevel> &competitors,
+    const traffic::TrafficProfile &profile) const
+{
+    if (opts_.trafficAware)
+        return memoryFeatures(competitors, profile);
+    return aggregateCounters(competitors).toVector();
+}
+
+void
+MemoryModel::fit(const ml::Dataset &data)
+{
+    models_.clear();
+    for (int s = 0; s < opts_.seeds; ++s) {
+        ml::GbrParams p = opts_.gbr;
+        p.seed = opts_.gbr.seed + static_cast<std::uint64_t>(s);
+        ml::GradientBoostingRegressor gbr(p);
+        gbr.fit(data);
+        models_.push_back(std::move(gbr));
+    }
+    fitted_ = true;
+}
+
+double
+MemoryModel::predictRow(const std::vector<double> &features) const
+{
+    if (!fitted_)
+        panic("MemoryModel::predict before fit");
+    double sum = 0.0;
+    for (const auto &m : models_)
+        sum += m.predict(features);
+    return sum / models_.size();
+}
+
+double
+MemoryModel::predict(const std::vector<ContentionLevel> &competitors,
+                     const traffic::TrafficProfile &profile) const
+{
+    return predictRow(featuresFor(competitors, profile));
+}
+
+} // namespace tomur::core

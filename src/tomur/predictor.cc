@@ -1,0 +1,103 @@
+#include "tomur/predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "net/packet.hh"
+
+namespace tomur::core {
+
+namespace fw = framework;
+
+double
+TomurModel::soloThroughput(const traffic::TrafficProfile &p) const
+{
+    if (soloModels_.empty())
+        panic("TomurModel::soloThroughput before training");
+    double sum = 0.0;
+    for (const auto &m : soloModels_)
+        sum += m.predict(p.toVector());
+    return sum / soloModels_.size();
+}
+
+PredictionBreakdown
+TomurModel::predictDetailed(
+    const std::vector<ContentionLevel> &competitors,
+    const traffic::TrafficProfile &profile, double solo_hint) const
+{
+    PredictionBreakdown out;
+    double t_solo = solo_hint > 0.0
+        ? solo_hint
+        : std::max(1.0, soloThroughput(profile));
+    out.soloThroughput = t_solo;
+
+    // Memory-only prediction: learned damage ratio times baseline.
+    double ratio =
+        std::clamp(memory_.predict(competitors, profile), 0.0, 1.0);
+    double t_mem = ratio * t_solo;
+    out.memoryOnlyThroughput = t_mem;
+
+    std::vector<double> drops = {t_solo - t_mem};
+    double worst_drop = drops[0];
+    out.dominantResource = 0;
+
+    // Accelerator-only predictions.
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (!accel_[k]) {
+            out.accelOnlyThroughput[k] = t_solo;
+            continue;
+        }
+        out.accelUsed[k] = true;
+        std::vector<AccelContention> comp;
+        for (const auto &c : competitors) {
+            if (c.accel[k].used)
+                comp.push_back(c.accel[k]);
+        }
+        double payload = static_cast<double>(
+            net::PacketBuilder::payloadForFrame(
+                profile.packetSize, net::IpProto::Udp));
+        double stage = accel_[k]->predictThroughput(
+            profile.mtbr, payload, comp);
+        double t_k = std::clamp(stage, 0.0, t_solo);
+        out.accelOnlyThroughput[k] = t_k;
+        double drop = t_solo - t_k;
+        drops.push_back(drop);
+        if (drop > worst_drop) {
+            worst_drop = drop;
+            out.dominantResource = k + 1;
+        }
+    }
+
+    out.predicted = compose(CompositionKind::ExecutionPattern,
+                            pattern_, t_solo, drops);
+    return out;
+}
+
+double
+TomurModel::predict(const std::vector<ContentionLevel> &competitors,
+                    const traffic::TrafficProfile &profile,
+                    double solo_hint) const
+{
+    return predictDetailed(competitors, profile, solo_hint)
+        .predicted;
+}
+
+double
+TomurModel::predictComposed(
+    CompositionKind kind,
+    const std::vector<ContentionLevel> &competitors,
+    const traffic::TrafficProfile &profile, double solo_hint) const
+{
+    auto d = predictDetailed(competitors, profile, solo_hint);
+    std::vector<double> drops = {d.soloThroughput -
+                                 d.memoryOnlyThroughput};
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (d.accelUsed[k]) {
+            drops.push_back(d.soloThroughput -
+                            d.accelOnlyThroughput[k]);
+        }
+    }
+    return compose(kind, pattern_, d.soloThroughput, drops);
+}
+
+} // namespace tomur::core

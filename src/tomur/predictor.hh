@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The trained Tomur model for one NF: per-resource models composed
+ * by execution pattern (§3, Appendix F.3). Prediction consumes only
+ * competitor contention levels and the target's traffic profile.
+ */
+
+#ifndef TOMUR_TOMUR_PREDICTOR_HH
+#define TOMUR_TOMUR_PREDICTOR_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "framework/nf.hh"
+#include "tomur/accel_model.hh"
+#include "tomur/adaptive.hh"
+#include "tomur/composition.hh"
+#include "tomur/memory_model.hh"
+
+namespace tomur::core {
+
+/** Per-resource breakdown of one prediction. */
+struct PredictionBreakdown
+{
+    double soloThroughput = 0.0;
+    double memoryOnlyThroughput = 0.0;
+    double accelOnlyThroughput[hw::numAccelKinds] = {};
+    bool accelUsed[hw::numAccelKinds] = {};
+    double predicted = 0.0;
+    /** Resource with the largest predicted drop ("bottleneck"):
+     *  0 = memory, otherwise 1 + accelerator kind index
+     *  (1 = regex, 2 = compression, 3 = crypto). */
+    int dominantResource = 0;
+};
+
+/**
+ * A trained predictive model for one NF.
+ */
+class TomurModel
+{
+  public:
+    TomurModel() = default;
+
+    const std::string &nfName() const { return nfName_; }
+    framework::ExecutionPattern pattern() const { return pattern_; }
+
+    /**
+     * Predict throughput under the given competitors and traffic.
+     *
+     * @param solo_hint the NF's profiled solo throughput at this
+     *        traffic profile (Appendix F.3 input (3)); pass a
+     *        non-positive value to fall back to the memory model's
+     *        zero-contention estimate.
+     */
+    double
+    predict(const std::vector<ContentionLevel> &competitors,
+            const traffic::TrafficProfile &profile,
+            double solo_hint = -1.0) const;
+
+    /** Predict with the per-resource breakdown (diagnosis §7.5.2). */
+    PredictionBreakdown
+    predictDetailed(const std::vector<ContentionLevel> &competitors,
+                    const traffic::TrafficProfile &profile,
+                    double solo_hint = -1.0) const;
+
+    /**
+     * Predict with an alternative composition strategy (used by the
+     * Table 4 / Fig. 2(b) comparisons).
+     */
+    double
+    predictComposed(CompositionKind kind,
+                    const std::vector<ContentionLevel> &competitors,
+                    const traffic::TrafficProfile &profile,
+                    double solo_hint = -1.0) const;
+
+    /** Predicted solo throughput at a traffic profile. */
+    double soloThroughput(const traffic::TrafficProfile &p) const;
+
+    /** The memory per-resource model. */
+    const MemoryModel &memoryModel() const { return memory_; }
+
+    /** The accelerator model for a kind (nullopt if unused). */
+    const std::optional<AccelQueueModel> &
+    accelModel(hw::AccelKind kind) const
+    {
+        return accel_[static_cast<int>(kind)];
+    }
+
+    /**
+     * Serialize the whole trained model to a text stream so the
+     * offline training cost is paid once: a loaded model predicts
+     * bit-identically to the original.
+     */
+    void save(std::ostream &out) const;
+
+    /** Load from save() output. @return false on malformed input. */
+    bool load(std::istream &in);
+
+  private:
+    friend class TomurTrainer;
+
+    std::string nfName_;
+    framework::ExecutionPattern pattern_ =
+        framework::ExecutionPattern::RunToCompletion;
+    /**
+     * Memory per-resource model. Trained on the *relative* throughput
+     * (T_contended / T_solo at the same traffic profile): the GBR
+     * learns contention damage, while the traffic dependence of the
+     * baseline lives in soloModel_ (the profiled sensitivity curve).
+     */
+    MemoryModel memory_;
+    /** Solo throughput vs traffic attributes (seed-averaged GBR). */
+    std::vector<ml::GradientBoostingRegressor> soloModels_;
+    std::optional<AccelQueueModel> accel_[hw::numAccelKinds];
+};
+
+} // namespace tomur::core
+
+#endif // TOMUR_TOMUR_PREDICTOR_HH

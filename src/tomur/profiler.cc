@@ -1,0 +1,450 @@
+#include "tomur/profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "net/packet.hh"
+
+namespace tomur::core {
+
+namespace fw = framework;
+
+namespace {
+
+constexpr double MB = 1024.0 * 1024.0;
+
+/** Tiny traffic profile for the bench NFs themselves (they are not
+ *  flow-sensitive; 16 flows keeps their profiling instant). */
+traffic::TrafficProfile
+benchTraffic(double mtbr = 0.0, std::uint64_t packet_size = 1500)
+{
+    traffic::TrafficProfile p;
+    p.flowCount = 16;
+    p.packetSize = packet_size;
+    p.mtbr = mtbr;
+    return p;
+}
+
+} // namespace
+
+BenchLibrary::BenchLibrary(sim::Testbed &testbed,
+                           const fw::DeviceSet &devices,
+                           const regex::RuleSet &rules)
+    : testbed_(testbed), devices_(devices), rules_(rules)
+{
+    const double wss_grid[] = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48};
+    const double car_grid[] = {5e6,  10e6, 20e6, 40e6,
+                               60e6, 80e6, 100e6};
+    const double ipa_grid[] = {2, 16, 48};
+    for (double wss : wss_grid) {
+        for (double car : car_grid) {
+            for (double ipa : ipa_grid) {
+                MemBenchEntry e;
+                e.config.wssBytes = wss * MB;
+                e.config.targetAccessRate = car;
+                e.config.instructionsPerAccess = ipa;
+                e.config.mode = nfs::MemAccessMode::Random;
+                auto nf = nfs::makeMemBench(e.config);
+                e.workload =
+                    fw::profileWorkload(*nf, benchTraffic(),
+                                        nullptr);
+                auto m = testbed_.runSolo(e.workload);
+                e.level.name = strf("mem-bench(%.0fMB,%.0fM,%.0f)",
+                                    wss, car / 1e6, ipa);
+                e.level.counters = m.counters;
+                memBenches_.push_back(std::move(e));
+            }
+        }
+    }
+    // A stripe of streaming-mode entries widens the behaviour space.
+    for (double wss : {4.0, 8.0, 16.0, 32.0}) {
+        MemBenchEntry e;
+        e.config.wssBytes = wss * MB;
+        e.config.targetAccessRate = 40e6;
+        e.config.mode = nfs::MemAccessMode::Stream;
+        auto nf = nfs::makeMemBench(e.config);
+        e.workload = fw::profileWorkload(*nf, benchTraffic(), nullptr);
+        auto m = testbed_.runSolo(e.workload);
+        e.level.name = strf("mem-bench-stream(%.0fMB)", wss);
+        e.level.counters = m.counters;
+        memBenches_.push_back(std::move(e));
+    }
+}
+
+const BenchLibrary::MemBenchEntry &
+BenchLibrary::randomMemBench(Rng &rng) const
+{
+    return memBenches_[rng.uniformInt(memBenches_.size())];
+}
+
+const BenchLibrary::AccelBenchEntry &
+BenchLibrary::accelBench(hw::AccelKind kind, double rate, double knob)
+{
+    auto key = std::make_tuple(static_cast<int>(kind), rate, knob);
+    auto it = accelCache_.find(key);
+    if (it != accelCache_.end())
+        return it->second;
+
+    AccelBenchEntry e;
+    e.kind = kind;
+    e.requestRate = rate;
+
+    std::unique_ptr<fw::NetworkFunction> nf;
+    traffic::TrafficProfile tp;
+    if (kind == hw::AccelKind::Regex) {
+        nfs::RegexBenchConfig cfg;
+        cfg.requestRate = rate;
+        nf = nfs::makeRegexBench(devices_, cfg);
+        tp = benchTraffic(knob); // knob = bench MTBR
+    } else if (kind == hw::AccelKind::Compression) {
+        nfs::CompressionBenchConfig cfg;
+        cfg.requestRate = rate;
+        cfg.requestBytes = knob; // knob = bytes per request
+        nf = nfs::makeCompressionBench(devices_, cfg);
+        tp = benchTraffic(0.0, 1500);
+    } else {
+        nfs::CryptoBenchConfig cfg;
+        cfg.requestRate = rate;
+        cfg.requestBytes = knob; // knob = bytes per request
+        nf = nfs::makeCryptoBench(devices_, cfg);
+        tp = benchTraffic(0.0, 1500);
+    }
+    e.workload = fw::profileWorkload(*nf, tp, &rules_);
+
+    // Measure the per-request service time: the closed-loop variant
+    // solo is accelerator-bound, so t_b = 1 / throughput.
+    fw::WorkloadProfile closed = e.workload;
+    closed.pacedRate = 0.0;
+    auto solo = testbed_.runSolo(closed);
+    e.serviceTime = 1.0 / solo.truthThroughput;
+
+    // Contention level as competitors see it.
+    auto m = testbed_.runSolo(e.workload);
+    e.level.name = strf("%s-bench(rate=%.0f,knob=%.0f)",
+                        hw::accelName(kind), rate, knob);
+    e.level.counters = m.counters;
+    auto &ac = e.level.accel[static_cast<int>(kind)];
+    ac.used = true;
+    ac.queues = 1;
+    ac.serviceTime = e.serviceTime;
+    ac.offeredRate = rate;
+    ac.closedLoop = rate <= 0.0;
+
+    auto [pos, inserted] = accelCache_.emplace(key, std::move(e));
+    (void)inserted;
+    return pos->second;
+}
+
+TomurTrainer::TomurTrainer(BenchLibrary &library) : library_(library)
+{
+}
+
+const fw::WorkloadProfile &
+TomurTrainer::workloadOf(fw::NetworkFunction &nf,
+                         const traffic::TrafficProfile &profile)
+{
+    auto key = std::make_pair(nf.name(), profile.toVector());
+    auto it = workloadCache_.find(key);
+    if (it != workloadCache_.end())
+        return it->second;
+    auto w = fw::profileWorkload(nf, profile, &library_.rules());
+    return workloadCache_.emplace(key, std::move(w)).first->second;
+}
+
+const ContentionLevel &
+TomurTrainer::contentionOf(fw::NetworkFunction &nf,
+                           const traffic::TrafficProfile &profile)
+{
+    auto key = std::make_pair(nf.name(), profile.toVector());
+    auto it = contentionCache_.find(key);
+    if (it != contentionCache_.end())
+        return it->second;
+
+    const auto &w = workloadOf(nf, profile);
+    auto solo = library_.testbed().runSolo(w);
+
+    ContentionLevel level;
+    level.name = nf.name();
+    level.counters = solo.counters;
+
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (!w.accel[k].used)
+            continue;
+        auto kind = static_cast<hw::AccelKind>(k);
+        // Calibrate the per-request time from one equilibrium co-run
+        // with the closed-loop bench (Appendix F.2): at equilibrium
+        // 1/T = t + t_b/n with the bench's known t_b.
+        double knob =
+            kind == hw::AccelKind::Regex ? 1600.0 : 16000.0;
+        const auto &bench = library_.accelBench(kind, 0.0, knob);
+        auto ms = library_.testbed().run({w, bench.workload});
+        int n = nf.queueCount(kind);
+        double t = 1.0 / ms[0].truthThroughput -
+                   bench.serviceTime / n;
+        t = std::max(t, 1e-9);
+
+        auto &ac = level.accel[k];
+        ac.used = true;
+        ac.queues = n;
+        ac.serviceTime = t;
+        ac.offeredRate = solo.truthThroughput;
+        // Accelerator-bound NFs keep their queues non-empty at any
+        // co-location; others offer their (solo) packet rate. The
+        // NF is accelerator-bound when its solo rate approaches the
+        // engine's solo stage rate 1/t.
+        ac.closedLoop = solo.truthThroughput >= 0.9 / t;
+    }
+    return contentionCache_.emplace(key, std::move(level))
+        .first->second;
+}
+
+TomurModel
+TomurTrainer::train(fw::NetworkFunction &nf,
+                    const traffic::TrafficProfile &defaults,
+                    const TrainOptions &opts, TrainReport *report)
+{
+    Rng rng(opts.seed);
+    TomurModel model;
+    model.nfName_ = nf.name();
+    model.memory_ = MemoryModel(opts.memory);
+
+    auto &bed = library_.testbed();
+
+    // ---- Memory model training data ----
+    // The memory GBR learns the damage ratio T_contended / T_solo;
+    // a separate GBR learns the solo sensitivity curve T_solo(P).
+    ml::Dataset data(model.memory_.featureNames());
+    ml::Dataset solo_data(
+        std::vector<std::string>{"flow_count", "packet_size",
+                                 "mtbr"});
+    std::map<std::vector<double>, double> solo_cache;
+
+    auto addSolo = [&](const traffic::TrafficProfile &p) {
+        auto key = p.toVector();
+        auto it = solo_cache.find(key);
+        if (it != solo_cache.end())
+            return it->second;
+        auto m = bed.runSolo(workloadOf(nf, p));
+        solo_cache[key] = m.throughput;
+        solo_data.add(key, m.throughput);
+        data.add(model.memory_.featuresFor({}, p), 1.0);
+        return m.throughput;
+    };
+    auto addContended = [&](const traffic::TrafficProfile &p) {
+        double solo = addSolo(p);
+        // Half the samples co-run two benches at once so the model
+        // sees aggregated-counter magnitudes (test-time competitor
+        // sets sum up to three NFs' counters).
+        std::vector<ContentionLevel> levels;
+        std::vector<fw::WorkloadProfile> deploy = {workloadOf(nf, p)};
+        int n_bench = rng.chance(0.5) ? 1 : 2;
+        for (int b = 0; b < n_bench; ++b) {
+            const auto &bench = library_.randomMemBench(rng);
+            levels.push_back(bench.level);
+            deploy.push_back(bench.workload);
+        }
+        auto ms = bed.run(deploy);
+        data.add(model.memory_.featuresFor(levels, p),
+                 solo > 0.0 ? ms[0].throughput / solo : 0.0);
+    };
+
+    if (opts.sampling == SamplingStrategy::Adaptive) {
+        AdaptiveCallbacks cb;
+        cb.solo = addSolo;
+        cb.collect = addContended;
+        auto res =
+            adaptiveProfile(cb, defaults, opts.adaptive);
+        if (report)
+            report->keptAttributes = res.keptAttributes;
+    } else if (opts.sampling == SamplingStrategy::Random) {
+        std::size_t budget = opts.adaptive.quota;
+        // Same quota as adaptive: a fifth on solo anchors, the rest
+        // on uniformly random (traffic, contention) points.
+        std::size_t solos = std::max<std::size_t>(4, budget / 5);
+        auto randomProfile = [&]() {
+            traffic::TrafficProfile p = defaults;
+            for (int a = 0; a < traffic::numAttributes; ++a) {
+                auto attr = static_cast<traffic::Attribute>(a);
+                auto r = traffic::defaultRange(attr);
+                p = p.withAttribute(attr,
+                                    rng.uniform(r.min, r.max));
+            }
+            return p;
+        };
+        for (std::size_t i = 0; i < solos; ++i)
+            addSolo(i == 0 ? defaults : randomProfile());
+        for (std::size_t i = solos; i < budget; ++i)
+            addContended(randomProfile());
+    } else {
+        // Full profiling: dense grid over every attribute.
+        int g = std::max(2, opts.fullGridPerAttribute);
+        std::vector<traffic::TrafficProfile> grid;
+        for (int a = 0; a < g; ++a) {
+            for (int b = 0; b < g; ++b) {
+                for (int c = 0; c < g; ++c) {
+                    traffic::TrafficProfile p = defaults;
+                    int idx[3] = {a, b, c};
+                    for (int d = 0; d < traffic::numAttributes;
+                         ++d) {
+                        auto attr =
+                            static_cast<traffic::Attribute>(d);
+                        auto r = traffic::defaultRange(attr);
+                        double v = r.min + (r.max - r.min) *
+                                   idx[d] / (g - 1);
+                        p = p.withAttribute(attr, v);
+                    }
+                    grid.push_back(p);
+                }
+            }
+        }
+        for (const auto &p : grid) {
+            addSolo(p);
+            for (int i = 0; i < opts.contentionSamplesPerProfile;
+                 ++i) {
+                addContended(p);
+            }
+        }
+    }
+    if (report)
+        report->memorySamples = data.size();
+    model.memory_.fit(data);
+
+    // Fit the solo sensitivity model (seed-averaged, like the
+    // memory model).
+    model.soloModels_.clear();
+    for (int s = 0; s < opts.memory.seeds; ++s) {
+        ml::GbrParams gp = opts.memory.gbr;
+        gp.seed = opts.seed + 1000 + static_cast<std::uint64_t>(s);
+        ml::GradientBoostingRegressor gbr(gp);
+        gbr.fit(solo_data);
+        model.soloModels_.push_back(std::move(gbr));
+    }
+
+    // ---- Accelerator model calibration ----
+    const auto &w_def = workloadOf(nf, defaults);
+    std::size_t accel_runs = 0;
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (!w_def.accel[k].used)
+            continue;
+        auto kind = static_cast<hw::AccelKind>(k);
+        std::vector<AccelCalibrationPoint> points;
+        // Traffic points: MTBR sweep at the default packet size plus
+        // a packet-size sweep, so both coefficients of the service
+        // law are identified.
+        std::vector<traffic::TrafficProfile> cal_profiles;
+        if (kind == hw::AccelKind::Regex) {
+            for (double m : {100.0, 400.0, 700.0, 1000.0}) {
+                cal_profiles.push_back(defaults.withAttribute(
+                    traffic::Attribute::Mtbr, m));
+            }
+            for (double sz : {256.0, 800.0}) {
+                cal_profiles.push_back(defaults.withAttribute(
+                    traffic::Attribute::PacketSize, sz));
+            }
+        } else {
+            for (double sz : {512.0, 1024.0, 1500.0}) {
+                cal_profiles.push_back(defaults.withAttribute(
+                    traffic::Attribute::PacketSize, sz));
+            }
+        }
+        // Bench knobs chosen so the bench's per-request service time
+        // dominates the target's other stages at equilibrium — the
+        // "high enough" requirement of §4.1.1.
+        std::vector<double> knobs =
+            kind == hw::AccelKind::Regex
+                ? std::vector<double>{1600.0, 3200.0}
+                : std::vector<double>{16000.0, 40000.0};
+        for (const auto &p : cal_profiles) {
+            const auto &w = workloadOf(nf, p);
+            for (double knob : knobs) {
+                const auto &bench =
+                    library_.accelBench(kind, 0.0, knob);
+                auto ms = bed.run({w, bench.workload});
+                AccelCalibrationPoint pt;
+                pt.benchServiceTime = bench.serviceTime;
+                pt.measuredThroughput = ms[0].throughput;
+                pt.mtbr = p.mtbr;
+                pt.payloadBytes = static_cast<double>(
+                    net::PacketBuilder::payloadForFrame(
+                        p.packetSize, net::IpProto::Udp));
+                points.push_back(pt);
+                ++accel_runs;
+            }
+        }
+        AccelQueueModel am;
+        am.calibrate(points);
+        model.accel_[k] = std::move(am);
+    }
+    if (report)
+        report->accelCalibrationRuns = accel_runs;
+
+    // ---- Execution pattern detection (§4.2) ----
+    bool any_accel = false;
+    for (int k = 0; k < hw::numAccelKinds; ++k)
+        any_accel |= static_cast<bool>(model.accel_[k]);
+    if (!any_accel) {
+        // Single-resource: Eq. 3 and Eq. 4 coincide; the declared
+        // default (run-to-completion) is used.
+        model.pattern_ = fw::ExecutionPattern::RunToCompletion;
+    } else {
+        // Joint-contention probes: both resources must be pressed
+        // hard simultaneously, otherwise Eq. 3 and Eq. 4 coincide
+        // and the detector reads noise. Per-resource drops are
+        // *measured* by co-running the NF with one bench at a time,
+        // then the joint run picks the composition branch that fits.
+        std::size_t n_mem = library_.memBenches().size();
+        const auto &w_nf = workloadOf(nf, defaults);
+        double solo_meas = bed.runSolo(w_nf).throughput;
+        std::vector<PatternObservation> obs;
+        // Open-loop moderate accelerator load: the additive regime
+        // where the two branches of Eq. 7 differ most (closed-loop
+        // saturation pins every NF at its round-robin share, where
+        // they coincide).
+        for (const auto &[mem_idx, rx_rate] :
+             std::vector<std::pair<std::size_t, double>>{
+                 {n_mem - 2, 150e3},
+                 {n_mem - 8, 250e3},
+                 {n_mem / 2, 350e3},
+                 {n_mem - 5, 100e3}}) {
+            const auto &mem = library_.memBenches()[
+                mem_idx % library_.memBenches().size()];
+
+            PatternObservation o;
+            o.soloThroughput = std::max(1.0, solo_meas);
+
+            // Memory-only drop (measured).
+            auto m_mem = bed.run({w_nf, mem.workload});
+            o.drops.push_back(std::max(
+                0.0, o.soloThroughput - m_mem[0].throughput));
+
+            // Accelerator-only drops (measured), and the joint
+            // deployment.
+            std::vector<fw::WorkloadProfile> deploy = {w_nf,
+                                                       mem.workload};
+            for (int k = 0; k < hw::numAccelKinds; ++k) {
+                if (!model.accel_[k])
+                    continue;
+                auto kind = static_cast<hw::AccelKind>(k);
+                double knob =
+                    kind == hw::AccelKind::Regex ? 800.0 : 4000.0;
+                const auto &bench =
+                    library_.accelBench(kind, rx_rate, knob);
+                auto m_k = bed.run({w_nf, bench.workload});
+                o.drops.push_back(std::max(
+                    0.0, o.soloThroughput - m_k[0].throughput));
+                deploy.push_back(bench.workload);
+            }
+            if (deploy.size() > 4)
+                deploy.resize(4); // core budget
+            auto ms = bed.run(deploy);
+            o.measuredThroughput = ms[0].throughput;
+            obs.push_back(std::move(o));
+        }
+        model.pattern_ = detectPattern(obs);
+    }
+    return model;
+}
+
+} // namespace tomur::core

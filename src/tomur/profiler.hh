@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Offline profiling and training harness (Appendix F.2).
+ *
+ * BenchLibrary profiles the synthetic competitors once (their
+ * contention levels are reusable across all target NFs). TomurTrainer
+ * then builds a TomurModel for a target NF: memory-model training
+ * data via adaptive/random/full profiling against mem-bench,
+ * accelerator-model calibration against regex-/compression-bench,
+ * and black-box execution-pattern detection.
+ */
+
+#ifndef TOMUR_TOMUR_PROFILER_HH
+#define TOMUR_TOMUR_PROFILER_HH
+
+#include <map>
+#include <memory>
+
+#include "nfs/bench_nfs.hh"
+#include "sim/testbed.hh"
+#include "tomur/predictor.hh"
+
+namespace tomur::core {
+
+/**
+ * Profiled synthetic competitors (one-time effort, reused by every
+ * target NF).
+ */
+class BenchLibrary
+{
+  public:
+    /** One mem-bench configuration with its measured contention. */
+    struct MemBenchEntry
+    {
+        nfs::MemBenchConfig config;
+        framework::WorkloadProfile workload;
+        ContentionLevel level;
+    };
+
+    /** One accelerator-bench configuration. */
+    struct AccelBenchEntry
+    {
+        hw::AccelKind kind = hw::AccelKind::Regex;
+        double requestRate = 0.0; ///< 0 = closed loop
+        double serviceTime = 0.0; ///< measured per-request time
+        framework::WorkloadProfile workload;
+        ContentionLevel level;
+    };
+
+    BenchLibrary(sim::Testbed &testbed,
+                 const framework::DeviceSet &devices,
+                 const regex::RuleSet &rules);
+
+    /** All profiled mem-bench contention levels. */
+    const std::vector<MemBenchEntry> &memBenches() const
+    {
+        return memBenches_;
+    }
+
+    /** A uniformly random mem-bench entry. */
+    const MemBenchEntry &randomMemBench(Rng &rng) const;
+
+    /**
+     * An accelerator bench at the given offered rate and traffic.
+     * Entries are profiled on first use and cached.
+     * @param rate offered request rate, 0 for closed loop
+     * @param mtbr bench traffic MTBR (regex) — controls its service
+     *        time; for compression, packet size plays this role
+     */
+    const AccelBenchEntry &accelBench(hw::AccelKind kind, double rate,
+                                      double mtbr);
+
+    sim::Testbed &testbed() { return testbed_; }
+    const regex::RuleSet &rules() const { return rules_; }
+    const framework::DeviceSet &devices() const { return devices_; }
+
+  private:
+    sim::Testbed &testbed_;
+    framework::DeviceSet devices_;
+    regex::RuleSet rules_;
+    std::vector<MemBenchEntry> memBenches_;
+    std::map<std::tuple<int, double, double>, AccelBenchEntry>
+        accelCache_;
+};
+
+/** Sampling strategies for memory-model training data (§7.6). */
+enum class SamplingStrategy
+{
+    Adaptive, ///< Algorithm 1
+    Random,   ///< same quota, uniform random traffic + contention
+    Full,     ///< dense grid (the expensive reference)
+};
+
+/** Training options. */
+struct TrainOptions
+{
+    SamplingStrategy sampling = SamplingStrategy::Adaptive;
+    AdaptiveOptions adaptive{};
+    MemoryModelOptions memory{};
+    /** Contended co-runs collected per visited traffic profile. */
+    int contentionSamplesPerProfile = 4;
+    /** Grid points per attribute for Full sampling. */
+    int fullGridPerAttribute = 7;
+    std::uint64_t seed = 99;
+};
+
+/** Training report (profiling cost bookkeeping for Table 8). */
+struct TrainReport
+{
+    std::size_t memorySamples = 0;
+    std::size_t accelCalibrationRuns = 0;
+    std::vector<traffic::Attribute> keptAttributes;
+};
+
+/**
+ * Builds TomurModels against a testbed and bench library.
+ */
+class TomurTrainer
+{
+  public:
+    TomurTrainer(BenchLibrary &library);
+
+    /**
+     * Train a model for one NF.
+     * @param nf the target (will be reset/profiled repeatedly)
+     * @param defaults the default traffic profile
+     * @param report optional cost bookkeeping
+     */
+    TomurModel train(framework::NetworkFunction &nf,
+                     const traffic::TrafficProfile &defaults,
+                     const TrainOptions &opts = {},
+                     TrainReport *report = nullptr);
+
+    /**
+     * Profile the contention level an NF applies at a traffic
+     * profile (used to describe deployed competitors at prediction
+     * time). Cached per (NF name, profile).
+     */
+    const ContentionLevel &
+    contentionOf(framework::NetworkFunction &nf,
+                 const traffic::TrafficProfile &profile);
+
+    /** Workload profile cache (exposed for the experiment benches). */
+    const framework::WorkloadProfile &
+    workloadOf(framework::NetworkFunction &nf,
+               const traffic::TrafficProfile &profile);
+
+    /** The bench library this trainer draws on. */
+    BenchLibrary &library() { return library_; }
+
+  private:
+    BenchLibrary &library_;
+    std::map<std::pair<std::string, std::vector<double>>,
+             framework::WorkloadProfile>
+        workloadCache_;
+    std::map<std::pair<std::string, std::vector<double>>,
+             ContentionLevel>
+        contentionCache_;
+};
+
+} // namespace tomur::core
+
+#endif // TOMUR_TOMUR_PROFILER_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Text serialization of trained Tomur models. Offline training is
+ * the expensive step (testbed co-runs); persisted models let online
+ * components (placement, diagnosis) start instantly.
+ */
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "tomur/predictor.hh"
+
+namespace tomur::core {
+
+namespace {
+
+void
+writeDouble(std::ostream &out, double v)
+{
+    out << std::setprecision(17) << v;
+}
+
+bool
+expectToken(std::istream &in, const char *token)
+{
+    std::string got;
+    in >> got;
+    return static_cast<bool>(in) && got == token;
+}
+
+} // namespace
+
+void
+MemoryModel::save(std::ostream &out) const
+{
+    if (!fitted_)
+        panic("MemoryModel::save before fit");
+    out << "memory_model " << models_.size() << " "
+        << (opts_.trafficAware ? 1 : 0) << "\n";
+    for (const auto &m : models_)
+        m.save(out);
+}
+
+bool
+MemoryModel::load(std::istream &in)
+{
+    if (!expectToken(in, "memory_model"))
+        return false;
+    std::size_t count = 0;
+    int traffic_aware = 0;
+    in >> count >> traffic_aware;
+    if (!in || count == 0 || count > 64)
+        return false;
+    std::vector<ml::GradientBoostingRegressor> models(count);
+    for (auto &m : models) {
+        if (!m.load(in))
+            return false;
+    }
+    models_ = std::move(models);
+    opts_.seeds = static_cast<int>(count);
+    opts_.trafficAware = traffic_aware != 0;
+    fitted_ = true;
+    return true;
+}
+
+void
+AccelQueueModel::save(std::ostream &out) const
+{
+    if (!calibrated_)
+        panic("AccelQueueModel::save before calibrate");
+    out << "accel_model " << queues_ << " ";
+    writeDouble(out, t0_);
+    out << " ";
+    writeDouble(out, byteSlope_);
+    out << " ";
+    writeDouble(out, matchSlope_);
+    out << "\n";
+}
+
+bool
+AccelQueueModel::load(std::istream &in)
+{
+    if (!expectToken(in, "accel_model"))
+        return false;
+    int queues = 0;
+    double t0 = 0.0, bs = 0.0, ms = 0.0;
+    in >> queues >> t0 >> bs >> ms;
+    if (!in || queues < 1 || queues > 64)
+        return false;
+    queues_ = queues;
+    t0_ = t0;
+    byteSlope_ = bs;
+    matchSlope_ = ms;
+    calibrated_ = true;
+    return true;
+}
+
+void
+TomurModel::save(std::ostream &out) const
+{
+    out << "tomur_model 1\n"; // format version
+    out << "nf " << (nfName_.empty() ? "-" : nfName_) << "\n";
+    out << "pattern "
+        << (pattern_ == framework::ExecutionPattern::Pipeline ? "pl"
+                                                              : "rtc")
+        << "\n";
+    memory_.save(out);
+    out << "solo_models " << soloModels_.size() << "\n";
+    for (const auto &m : soloModels_)
+        m.save(out);
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        out << "accel " << k << " " << (accel_[k] ? 1 : 0) << "\n";
+        if (accel_[k])
+            accel_[k]->save(out);
+    }
+}
+
+bool
+TomurModel::load(std::istream &in)
+{
+    if (!expectToken(in, "tomur_model"))
+        return false;
+    int version = 0;
+    in >> version;
+    if (!in || version != 1)
+        return false;
+    if (!expectToken(in, "nf"))
+        return false;
+    std::string name;
+    in >> name;
+    if (!in)
+        return false;
+    if (!expectToken(in, "pattern"))
+        return false;
+    std::string pat;
+    in >> pat;
+    if (pat != "pl" && pat != "rtc")
+        return false;
+
+    MemoryModel memory;
+    if (!memory.load(in))
+        return false;
+
+    if (!expectToken(in, "solo_models"))
+        return false;
+    std::size_t n_solo = 0;
+    in >> n_solo;
+    if (!in || n_solo == 0 || n_solo > 64)
+        return false;
+    std::vector<ml::GradientBoostingRegressor> solos(n_solo);
+    for (auto &m : solos) {
+        if (!m.load(in))
+            return false;
+    }
+
+    std::optional<AccelQueueModel> accel[hw::numAccelKinds];
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (!expectToken(in, "accel"))
+            return false;
+        int idx = -1, present = 0;
+        in >> idx >> present;
+        if (!in || idx != k)
+            return false;
+        if (present) {
+            AccelQueueModel m;
+            if (!m.load(in))
+                return false;
+            accel[k] = std::move(m);
+        }
+    }
+
+    nfName_ = name == "-" ? std::string() : name;
+    pattern_ = pat == "pl"
+        ? framework::ExecutionPattern::Pipeline
+        : framework::ExecutionPattern::RunToCompletion;
+    memory_ = std::move(memory);
+    soloModels_ = std::move(solos);
+    for (int k = 0; k < hw::numAccelKinds; ++k)
+        accel_[k] = std::move(accel[k]);
+    return true;
+}
+
+} // namespace tomur::core

@@ -1,0 +1,85 @@
+#include "traffic/profile.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur::traffic {
+
+const char *
+attributeName(Attribute a)
+{
+    switch (a) {
+      case Attribute::FlowCount:
+        return "flow_count";
+      case Attribute::PacketSize:
+        return "packet_size";
+      case Attribute::Mtbr:
+        return "mtbr";
+    }
+    panic("attributeName: bad attribute");
+}
+
+TrafficProfile
+TrafficProfile::defaults()
+{
+    return TrafficProfile{};
+}
+
+std::vector<double>
+TrafficProfile::toVector() const
+{
+    return {static_cast<double>(flowCount),
+            static_cast<double>(packetSize), mtbr};
+}
+
+double
+TrafficProfile::attribute(Attribute a) const
+{
+    return toVector()[static_cast<int>(a)];
+}
+
+TrafficProfile
+TrafficProfile::withAttribute(Attribute a, double value) const
+{
+    TrafficProfile p = *this;
+    switch (a) {
+      case Attribute::FlowCount:
+        p.flowCount = static_cast<std::uint64_t>(
+            std::llround(std::max(1.0, value)));
+        break;
+      case Attribute::PacketSize:
+        p.packetSize = static_cast<std::uint64_t>(
+            std::llround(std::max(64.0, value)));
+        break;
+      case Attribute::Mtbr:
+        p.mtbr = std::max(0.0, value);
+        break;
+    }
+    return p;
+}
+
+std::string
+TrafficProfile::toString() const
+{
+    return strf("(%llu, %llu, %.0f)",
+                static_cast<unsigned long long>(flowCount),
+                static_cast<unsigned long long>(packetSize), mtbr);
+}
+
+AttributeRange
+defaultRange(Attribute a)
+{
+    switch (a) {
+      case Attribute::FlowCount:
+        return {1000.0, 500000.0};
+      case Attribute::PacketSize:
+        return {64.0, 1500.0};
+      case Attribute::Mtbr:
+        return {0.0, 1100.0};
+    }
+    panic("defaultRange: bad attribute");
+}
+
+} // namespace tomur::traffic

@@ -1,0 +1,72 @@
+#include "usecases/diagnosis.hh"
+
+#include "common/logging.hh"
+
+namespace tomur::usecases {
+
+const char *
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::Memory:
+        return "memory";
+      case Resource::Regex:
+        return "regex";
+      case Resource::Compression:
+        return "compression";
+      case Resource::Crypto:
+        return "crypto";
+    }
+    panic("resourceName: bad resource");
+}
+
+Resource
+truthBottleneck(const sim::Measurement &m)
+{
+    switch (m.bottleneck) {
+      case sim::Bottleneck::Regex:
+        return Resource::Regex;
+      case sim::Bottleneck::Compression:
+        return Resource::Compression;
+      case sim::Bottleneck::Crypto:
+        return Resource::Crypto;
+      default:
+        // CPU+memory (and the rare NIC/pacing cases) all present as
+        // "not the accelerator" to an operator profiling hotspots.
+        return Resource::Memory;
+    }
+}
+
+Resource
+tomurDiagnosis(const core::PredictionBreakdown &b)
+{
+    switch (b.dominantResource) {
+      case 1:
+        return Resource::Regex;
+      case 2:
+        return Resource::Compression;
+      case 3:
+        return Resource::Crypto;
+      default:
+        return Resource::Memory;
+    }
+}
+
+DiagnosisScore
+scoreTrials(const std::vector<DiagnosisTrial> &trials)
+{
+    DiagnosisScore s;
+    s.trials = trials.size();
+    if (trials.empty())
+        return s;
+    std::size_t tomur_ok = 0, slomo_ok = 0;
+    for (const auto &t : trials) {
+        tomur_ok += t.tomur == t.truth;
+        slomo_ok += t.slomo == t.truth;
+    }
+    s.tomurCorrectPct = 100.0 * tomur_ok / trials.size();
+    s.slomoCorrectPct = 100.0 * slomo_ok / trials.size();
+    return s;
+}
+
+} // namespace tomur::usecases

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Performance diagnosis (§7.5.2): identify which resource bottlenecks
+ * an NF under contention as traffic shifts. Ground truth comes from
+ * hotspot analysis (here: the testbed's noise-free internals, the
+ * stand-in for perf-tools); Tomur diagnoses from its per-resource
+ * predictions, SLOMO can only ever point at memory.
+ */
+
+#ifndef TOMUR_USECASES_DIAGNOSIS_HH
+#define TOMUR_USECASES_DIAGNOSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/testbed.hh"
+#include "tomur/predictor.hh"
+
+namespace tomur::usecases {
+
+/** Diagnosable resources. */
+enum class Resource
+{
+    Memory,
+    Regex,
+    Compression,
+    Crypto,
+};
+
+/** Resource name for reports. */
+const char *resourceName(Resource r);
+
+/** Ground-truth resource from a testbed measurement. */
+Resource truthBottleneck(const sim::Measurement &m);
+
+/**
+ * Tomur's diagnosis: the resource with the largest predicted
+ * per-resource throughput drop.
+ */
+Resource tomurDiagnosis(const core::PredictionBreakdown &breakdown);
+
+/** One diagnosis trial outcome. */
+struct DiagnosisTrial
+{
+    double mtbr = 0.0;
+    Resource truth = Resource::Memory;
+    Resource tomur = Resource::Memory;
+    Resource slomo = Resource::Memory; ///< always Memory
+};
+
+/** Correctness percentages over a set of trials. */
+struct DiagnosisScore
+{
+    double tomurCorrectPct = 0.0;
+    double slomoCorrectPct = 0.0;
+    std::size_t trials = 0;
+};
+
+/** Score a batch of trials. */
+DiagnosisScore scoreTrials(const std::vector<DiagnosisTrial> &trials);
+
+} // namespace tomur::usecases
+
+#endif // TOMUR_USECASES_DIAGNOSIS_HH

@@ -1,0 +1,232 @@
+#include "usecases/placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nfs/registry.hh"
+
+namespace tomur::usecases {
+
+namespace fw = framework;
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::Monopolization:
+        return "Monopolization";
+      case Strategy::Greedy:
+        return "Greedy";
+      case Strategy::Slomo:
+        return "SLOMO";
+      case Strategy::Tomur:
+        return "Tomur";
+      case Strategy::Oracle:
+        return "Oracle";
+    }
+    panic("strategyName: bad strategy");
+}
+
+PlacementContext::PlacementContext(
+    core::BenchLibrary &library,
+    const std::vector<std::string> &nf_names,
+    const traffic::TrafficProfile &profile, std::size_t quota)
+    : library_(library), trainer_(library), profile_(profile),
+      names_(nf_names)
+{
+    nfsPerNic_ = library_.testbed().config().cores / 2;
+    core::TrainOptions topts;
+    topts.adaptive.quota = quota;
+    slomo::SlomoTrainOptions sopts;
+    sopts.samples = quota;
+
+    slomo::SlomoTrainer strainer(library_);
+    for (const auto &name : nf_names) {
+        if (kits_.count(name))
+            continue;
+        NfKit kit;
+        kit.nf = nfs::makeByName(name, library_.devices());
+        kit.tomur = trainer_.train(*kit.nf, profile, topts);
+        kit.slomo = strainer.train(*kit.nf, profile, sopts);
+        kit.workload = trainer_.workloadOf(*kit.nf, profile);
+        kit.contention = trainer_.contentionOf(*kit.nf, profile);
+        kit.soloThroughput =
+            library_.testbed().runSolo(kit.workload).truthThroughput;
+        kits_.emplace(name, std::move(kit));
+    }
+}
+
+const core::TomurModel &
+PlacementContext::tomurModel(const std::string &nf) const
+{
+    auto it = kits_.find(nf);
+    if (it == kits_.end())
+        fatal(strf("PlacementContext: unknown NF '%s'", nf.c_str()));
+    return it->second.tomur;
+}
+
+const slomo::SlomoModel &
+PlacementContext::slomoModel(const std::string &nf) const
+{
+    auto it = kits_.find(nf);
+    if (it == kits_.end())
+        fatal(strf("PlacementContext: unknown NF '%s'", nf.c_str()));
+    return it->second.slomo;
+}
+
+PlacementOutcome
+PlacementContext::place(const std::vector<Arrival> &arrivals,
+                        Strategy strategy)
+{
+    // Per-NIC resident lists, as indices into `arrivals`.
+    std::vector<std::vector<std::size_t>> nics;
+
+    auto kitOf = [&](std::size_t arrival) -> const NfKit & {
+        return kits_.at(arrivals[arrival].nfName);
+    };
+
+    auto measuredOk = [&](const std::vector<std::size_t> &resident) {
+        std::vector<fw::WorkloadProfile> deploy;
+        for (std::size_t a : resident)
+            deploy.push_back(kitOf(a).workload);
+        auto ms = library_.testbed().run(deploy);
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            double drop = 1.0 - ms[i].truthThroughput /
+                                    kitOf(resident[i]).soloThroughput;
+            if (drop > arrivals[resident[i]].slaMaxDrop)
+                return false;
+        }
+        return true;
+    };
+
+    auto predictedOk = [&](const std::vector<std::size_t> &resident) {
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            const NfKit &target = kitOf(resident[i]);
+            std::vector<core::ContentionLevel> levels;
+            for (std::size_t j = 0; j < resident.size(); ++j)
+                if (j != i)
+                    levels.push_back(kitOf(resident[j]).contention);
+            double pred;
+            if (strategy == Strategy::Tomur) {
+                pred = target.tomur.predict(
+                    levels, arrivals[resident[i]].profile,
+                    target.soloThroughput);
+            } else {
+                pred = target.slomo.predict(
+                    levels, arrivals[resident[i]].profile);
+            }
+            double drop = 1.0 - pred / target.soloThroughput;
+            if (drop > arrivals[resident[i]].slaMaxDrop)
+                return false;
+        }
+        return true;
+    };
+
+    for (std::size_t a = 0; a < arrivals.size(); ++a) {
+        if (!kits_.count(arrivals[a].nfName))
+            fatal(strf("place: NF '%s' was not trained",
+                       arrivals[a].nfName.c_str()));
+        int chosen = -1;
+        switch (strategy) {
+          case Strategy::Monopolization:
+            break; // always a fresh NIC
+          case Strategy::Greedy: {
+            // E3-style resource-greedy [41, 53]: contention-blind,
+            // but respects nominal capacity budgets (cores, solo
+            // accelerator utilisation, solo DRAM bandwidth). Picks
+            // the feasible NIC with the most free cores.
+            auto nominalFits =
+                [&](const std::vector<std::size_t> &resident) {
+                    if (static_cast<int>(resident.size()) >
+                        nfsPerNic_) {
+                        return false;
+                    }
+                    double accel_util[hw::numAccelKinds] = {};
+                    double dram = 0.0;
+                    for (std::size_t r : resident) {
+                        const NfKit &k = kitOf(r);
+                        dram += (k.contention.counters.memReadRate +
+                                 k.contention.counters.memWriteRate) *
+                                64.0;
+                        for (int a = 0; a < hw::numAccelKinds; ++a) {
+                            const auto &ac = k.contention.accel[a];
+                            if (ac.used) {
+                                accel_util[a] += ac.offeredRate *
+                                                 ac.serviceTime;
+                            }
+                        }
+                    }
+                    for (double u : accel_util)
+                        if (u > 1.0)
+                            return false;
+                    return dram <= library_.testbed()
+                                       .config()
+                                       .dramPeakBytesPerSec;
+                };
+            int best_count = nfsPerNic_;
+            for (std::size_t n = 0; n < nics.size(); ++n) {
+                auto trial = nics[n];
+                trial.push_back(a);
+                if (!nominalFits(trial))
+                    continue;
+                int c = static_cast<int>(nics[n].size());
+                if (c < best_count) {
+                    best_count = c;
+                    chosen = static_cast<int>(n);
+                }
+            }
+            break;
+          }
+          case Strategy::Slomo:
+          case Strategy::Tomur:
+          case Strategy::Oracle: {
+            for (std::size_t n = 0; n < nics.size(); ++n) {
+                if (static_cast<int>(nics[n].size()) >= nfsPerNic_)
+                    continue;
+                auto trial = nics[n];
+                trial.push_back(a);
+                bool ok = strategy == Strategy::Oracle
+                    ? measuredOk(trial)
+                    : predictedOk(trial);
+                if (ok) {
+                    chosen = static_cast<int>(n);
+                    break;
+                }
+            }
+            break;
+          }
+        }
+        if (chosen < 0) {
+            nics.emplace_back();
+            chosen = static_cast<int>(nics.size()) - 1;
+        }
+        nics[static_cast<std::size_t>(chosen)].push_back(a);
+    }
+
+    // Final accounting against ground truth.
+    PlacementOutcome out;
+    out.nicsUsed = static_cast<int>(nics.size());
+    out.totalNfs = static_cast<int>(arrivals.size());
+    for (const auto &resident : nics) {
+        std::vector<fw::WorkloadProfile> deploy;
+        for (std::size_t a : resident)
+            deploy.push_back(kitOf(a).workload);
+        auto ms = library_.testbed().run(deploy);
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+            double drop = 1.0 - ms[i].truthThroughput /
+                                    kitOf(resident[i]).soloThroughput;
+            if (drop > arrivals[resident[i]].slaMaxDrop)
+                ++out.slaViolations;
+        }
+    }
+    return out;
+}
+
+int
+PlacementContext::oracleNics(const std::vector<Arrival> &arrivals)
+{
+    return place(arrivals, Strategy::Oracle).nicsUsed;
+}
+
+} // namespace tomur::usecases

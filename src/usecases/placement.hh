@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Contention-aware NF scheduling (§7.5.1): place arriving NFs onto a
+ * growing fleet of SmartNICs, maximising utilisation while keeping
+ * SLAs (maximum allowed throughput drop vs running solo). Online
+ * strategies: monopolization, resource-greedy, and prediction-guided
+ * (SLOMO or Tomur). An oracle using true testbed measurements
+ * provides the near-optimal NIC count used as the wastage baseline
+ * (the paper uses exhaustive search, infeasible at this scale).
+ */
+
+#ifndef TOMUR_USECASES_PLACEMENT_HH
+#define TOMUR_USECASES_PLACEMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slomo/slomo.hh"
+#include "tomur/profiler.hh"
+
+namespace tomur::usecases {
+
+/** Placement strategies compared in Table 6. */
+enum class Strategy
+{
+    Monopolization, ///< one NF per NIC
+    Greedy,         ///< most-available-resources first [41, 53]
+    Slomo,          ///< place when SLOMO predicts no SLA violation
+    Tomur,          ///< place when Tomur predicts no SLA violation
+    Oracle,         ///< true-measurement-guided (wastage baseline)
+};
+
+/** Strategy name for reports. */
+const char *strategyName(Strategy s);
+
+/** One NF arrival. */
+struct Arrival
+{
+    std::string nfName;
+    traffic::TrafficProfile profile;
+    /** SLA: maximum allowed relative throughput drop vs solo. */
+    double slaMaxDrop = 0.1;
+};
+
+/** Outcome of placing one arrival sequence. */
+struct PlacementOutcome
+{
+    int nicsUsed = 0;
+    int slaViolations = 0; ///< NFs below SLA in the final deployment
+    int totalNfs = 0;
+
+    double
+    violationRate() const
+    {
+        return totalNfs ? 100.0 * slaViolations / totalNfs : 0.0;
+    }
+};
+
+/**
+ * Shared placement context: trained models and profiled workloads
+ * for every NF type in the arrival mix.
+ */
+class PlacementContext
+{
+  public:
+    /**
+     * Train models for the given NF types at the default profile.
+     * @param quota training quota per NF (kept small: placement uses
+     *        a fixed traffic profile)
+     */
+    PlacementContext(core::BenchLibrary &library,
+                     const std::vector<std::string> &nf_names,
+                     const traffic::TrafficProfile &profile,
+                     std::size_t quota = 80);
+
+    /** Run one arrival sequence under a strategy. */
+    PlacementOutcome place(const std::vector<Arrival> &arrivals,
+                           Strategy strategy);
+
+    /** NICs a (near-)optimal plan needs, via the oracle strategy. */
+    int oracleNics(const std::vector<Arrival> &arrivals);
+
+    core::BenchLibrary &library() { return library_; }
+    core::TomurTrainer &trainer() { return trainer_; }
+
+    const core::TomurModel &tomurModel(const std::string &nf) const;
+    const slomo::SlomoModel &slomoModel(const std::string &nf) const;
+
+  private:
+    struct NfKit
+    {
+        std::unique_ptr<framework::NetworkFunction> nf;
+        framework::WorkloadProfile workload;
+        core::ContentionLevel contention;
+        double soloThroughput = 0.0;
+        core::TomurModel tomur;
+        slomo::SlomoModel slomo;
+    };
+
+    core::BenchLibrary &library_;
+    core::TomurTrainer trainer_;
+    traffic::TrafficProfile profile_;
+    std::map<std::string, NfKit> kits_;
+    std::vector<std::string> names_;
+    int nfsPerNic_ = 4;
+};
+
+} // namespace tomur::usecases
+
+#endif // TOMUR_USECASES_PLACEMENT_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG, statistics, strings, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace tomur {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(std::int64_t(-3), std::int64_t(7));
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, UniformIntCoversAll)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.uniformInt(std::uint64_t(5)));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(11);
+    std::vector<double> xs(20000);
+    for (auto &x : xs)
+        x = r.normal();
+    EXPECT_NEAR(mean(xs), 0.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianNearOne)
+{
+    Rng r(13);
+    std::vector<double> xs(20001);
+    for (auto &x : xs)
+        x = r.lognormalFactor(0.1);
+    EXPECT_NEAR(median(xs), 1.0, 0.02);
+    for (double x : xs)
+        EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng a(17);
+    Rng c = a.split();
+    EXPECT_NE(a(), c());
+}
+
+TEST(Stats, MeanStd)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Percentiles)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, BoxStatsOrdered)
+{
+    Rng r(23);
+    std::vector<double> xs(1000);
+    for (auto &x : xs)
+        x = r.uniform();
+    BoxStats b = BoxStats::from(xs);
+    EXPECT_LE(b.p5, b.p25);
+    EXPECT_LE(b.p25, b.p50);
+    EXPECT_LE(b.p50, b.p75);
+    EXPECT_LE(b.p75, b.p95);
+}
+
+TEST(Stats, RunningStats)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    s.add(3);
+    s.add(-1);
+    s.add(4);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, PercentileBadRangePanics)
+{
+    EXPECT_DEATH(percentile({1.0, 2.0}, 150.0), "out of range");
+}
+
+TEST(Strutil, StrfLongOutput)
+{
+    std::string big(5000, 'y');
+    EXPECT_EQ(strf("%s!", big.c_str()).size(), 5001u);
+}
+
+TEST(Strutil, Strf)
+{
+    EXPECT_EQ(strf("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+    EXPECT_EQ(strf("%s", ""), "");
+}
+
+TEST(Strutil, SplitJoin)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, "-"), "a-b--c");
+}
+
+TEST(Table, RendersAligned)
+{
+    AsciiTable t({"NF", "MAPE"});
+    t.addRow({"NIDS", "1.5"});
+    t.addRow({"FlowMonitor", "4.5"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("NIDS"), std::string::npos);
+    EXPECT_NE(s.find("FlowMonitor"), std::string::npos);
+    // All lines have equal width.
+    auto lines = split(s, '\n');
+    std::size_t w = lines[0].size();
+    for (const auto &l : lines) {
+        if (!l.empty()) {
+            EXPECT_EQ(l.size(), w);
+        }
+    }
+}
+
+TEST(TableDeath, ArityMismatch)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace tomur

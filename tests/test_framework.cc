@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the Click-like framework: cost accounting, flow table,
+ * accelerator devices, NF chains, and workload profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "framework/accel_dev.hh"
+#include "framework/flow_table.hh"
+#include "framework/nf.hh"
+#include "framework/profile.hh"
+#include "regex/ruleset.hh"
+#include "traffic/generator.hh"
+
+namespace tomur::framework {
+namespace {
+
+net::Packet
+makePacket(std::uint16_t src_port, std::size_t payload = 64)
+{
+    net::FiveTuple t;
+    t.srcIp = net::Ipv4Addr::fromOctets(10, 0, 0, 1);
+    t.dstIp = net::Ipv4Addr::fromOctets(192, 168, 0, 1);
+    t.srcPort = src_port;
+    t.dstPort = 80;
+    std::vector<std::uint8_t> pl(payload, 'x');
+    return net::PacketBuilder::build(t, pl);
+}
+
+TEST(CostContext, AccumulatesAndResets)
+{
+    CostContext ctx;
+    MemRegion r{"tbl", 1024.0, 1.0};
+    ctx.addInstructions(100);
+    ctx.addMemAccess(r, 3, 1);
+    ctx.offload({hw::AccelKind::Regex, 500.0, 2.0});
+    EXPECT_DOUBLE_EQ(ctx.instructions(), 100.0);
+    EXPECT_DOUBLE_EQ(ctx.memReads(), 3.0);
+    EXPECT_DOUBLE_EQ(ctx.memWrites(), 1.0);
+    ASSERT_EQ(ctx.offloads().size(), 1u);
+    EXPECT_EQ(ctx.regions().at("tbl").accesses, 4.0);
+    ctx.reset();
+    EXPECT_DOUBLE_EQ(ctx.instructions(), 0.0);
+    EXPECT_TRUE(ctx.offloads().empty());
+}
+
+TEST(FlowTable, InsertFindGrow)
+{
+    FlowTable<int> table("t", 4);
+    CostContext ctx;
+    for (std::uint16_t p = 0; p < 200; ++p) {
+        auto pkt = makePacket(1000 + p);
+        bool inserted = false;
+        int &v = table.findOrInsert(*pkt.fiveTuple(), ctx, &inserted);
+        EXPECT_TRUE(inserted);
+        v = p;
+    }
+    EXPECT_EQ(table.size(), 200u);
+    // Lookups find the right values after growth.
+    for (std::uint16_t p = 0; p < 200; ++p) {
+        auto pkt = makePacket(1000 + p);
+        int *v = table.find(*pkt.fiveTuple(), ctx);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, p);
+    }
+    // Missing key.
+    auto pkt = makePacket(9999);
+    EXPECT_EQ(table.find(*pkt.fiveTuple(), ctx), nullptr);
+    // Footprint grows with entries.
+    EXPECT_GT(table.bytes(), 200 * 8.0);
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTable, CostsRecorded)
+{
+    FlowTable<int> table("cost_t");
+    CostContext ctx;
+    auto pkt = makePacket(42);
+    table.findOrInsert(*pkt.fiveTuple(), ctx);
+    EXPECT_GT(ctx.instructions(), 0.0);
+    EXPECT_GT(ctx.memReads(), 0.0);
+    EXPECT_GT(ctx.memWrites(), 0.0); // insertion writes
+}
+
+TEST(RegexDevice, ScansAndRecords)
+{
+    RegexDevice dev(regex::tinyRuleSet());
+    CostContext ctx;
+    std::string s = "zzabcdzz";
+    std::vector<std::uint8_t> payload(s.begin(), s.end());
+    auto res = dev.scan(payload, ctx);
+    EXPECT_EQ(res.matchCount, 1u);
+    EXPECT_EQ(res.matchedRules, 1u);
+    ASSERT_EQ(ctx.offloads().size(), 1u);
+    EXPECT_DOUBLE_EQ(ctx.offloads()[0].bytes, 8.0);
+    EXPECT_DOUBLE_EQ(ctx.offloads()[0].matches, 1.0);
+}
+
+TEST(RegexDevice, NonFunctionalSkips)
+{
+    RegexDevice dev(regex::tinyRuleSet());
+    CostContext ctx;
+    ctx.setAccelFunctional(false);
+    std::vector<std::uint8_t> payload = {'a', 'b', 'c', 'd'};
+    auto res = dev.scan(payload, ctx);
+    EXPECT_EQ(res.matchCount, 0u);
+    EXPECT_TRUE(ctx.offloads().empty());
+}
+
+TEST(CompressionDevice, RoundTrip)
+{
+    Rng rng(5);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<std::uint8_t> data(100 + rng.uniformInt(1000u));
+        for (auto &b : data) {
+            // Compressible: small alphabet with repeats.
+            b = static_cast<std::uint8_t>('a' + rng.uniformInt(4u));
+        }
+        auto compressed = CompressionDevice::lzCompress(data);
+        auto restored = CompressionDevice::lzDecompress(compressed);
+        ASSERT_EQ(restored, data) << "iter " << iter;
+        EXPECT_LT(compressed.size(), data.size());
+    }
+}
+
+TEST(CompressionDevice, IncompressibleDataSurvives)
+{
+    Rng rng(6);
+    std::vector<std::uint8_t> data(512);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256u));
+    auto compressed = CompressionDevice::lzCompress(data);
+    auto restored = CompressionDevice::lzDecompress(compressed);
+    EXPECT_EQ(restored, data);
+}
+
+TEST(CompressionDevice, EmptyInput)
+{
+    auto c = CompressionDevice::lzCompress({});
+    EXPECT_TRUE(CompressionDevice::lzDecompress(c).empty());
+}
+
+TEST(Nf, ChainStopsOnDrop)
+{
+    class DropAll : public Element
+    {
+      public:
+        DropAll() : Element("DropAll") {}
+        Verdict
+        process(net::Packet &, CostContext &) override
+        {
+            return Verdict::Drop;
+        }
+    };
+    class Counter : public Element
+    {
+      public:
+        Counter() : Element("Counter") {}
+        Verdict
+        process(net::Packet &, CostContext &) override
+        {
+            ++count;
+            return Verdict::Forward;
+        }
+        int count = 0;
+    };
+
+    NetworkFunction nf("test", ExecutionPattern::RunToCompletion);
+    nf.add(std::make_unique<DropAll>());
+    auto counter = std::make_unique<Counter>();
+    Counter *cp = counter.get();
+    nf.add(std::move(counter));
+
+    CostContext ctx;
+    auto pkt = makePacket(1);
+    EXPECT_EQ(nf.processPacket(pkt, ctx), Verdict::Drop);
+    EXPECT_EQ(cp->count, 0);
+}
+
+TEST(Nf, MetadataValidation)
+{
+    NetworkFunction nf("m", ExecutionPattern::Pipeline);
+    nf.setCores(4);
+    EXPECT_EQ(nf.cores(), 4);
+    nf.setQueueCount(hw::AccelKind::Regex, 3);
+    EXPECT_EQ(nf.queueCount(hw::AccelKind::Regex), 3);
+    EXPECT_EQ(nf.queueCount(hw::AccelKind::Compression), 1);
+    nf.setPacedRate(5e6);
+    EXPECT_DOUBLE_EQ(nf.pacedRate(), 5e6);
+    EXPECT_STREQ(patternName(nf.pattern()), "pipeline");
+}
+
+class CountingNf
+{
+  public:
+    /** NF with one flow table, to exercise profiling. */
+    static std::unique_ptr<NetworkFunction>
+    make()
+    {
+        class TableElement : public Element
+        {
+          public:
+            TableElement() : Element("T"), table_("profile_table") {}
+            Verdict
+            process(net::Packet &pkt, CostContext &ctx) override
+            {
+                auto t = pkt.fiveTuple();
+                if (!t)
+                    return Verdict::Drop;
+                ++table_.findOrInsert(*t, ctx);
+                ctx.addInstructions(100);
+                return Verdict::Forward;
+            }
+            void reset() override { table_.clear(); }
+            std::vector<MemRegion>
+            regions() const override
+            {
+                return {table_.region()};
+            }
+
+          private:
+            FlowTable<int> table_;
+        };
+        auto nf = std::make_unique<NetworkFunction>(
+            "counting", ExecutionPattern::RunToCompletion);
+        nf->add(std::make_unique<TableElement>());
+        return nf;
+    }
+};
+
+TEST(Profiling, WssTracksFlowCount)
+{
+    auto nf = CountingNf::make();
+    traffic::TrafficProfile small;
+    small.flowCount = 1000;
+    small.mtbr = 0;
+    traffic::TrafficProfile big = small;
+    big.flowCount = 100000;
+
+    auto w_small = profileWorkload(*nf, small, nullptr);
+    auto w_big = profileWorkload(*nf, big, nullptr);
+    EXPECT_GT(w_big.wssBytes, 10 * w_small.wssBytes);
+    EXPECT_GT(w_small.instrPerPacket, 0.0);
+    EXPECT_GT(w_small.llcReadsPerPacket, 0.0);
+}
+
+TEST(Profiling, FrameBytesMatchProfile)
+{
+    auto nf = CountingNf::make();
+    traffic::TrafficProfile p;
+    p.packetSize = 512;
+    p.mtbr = 0;
+    auto w = profileWorkload(*nf, p, nullptr);
+    EXPECT_NEAR(w.frameBytes, 512.0, 1.0);
+}
+
+TEST(Profiling, RegexUseCaptured)
+{
+    auto rules = regex::defaultRuleSet();
+    DeviceSet dev;
+    dev.regex = std::make_shared<RegexDevice>(rules);
+
+    class ScanNf : public Element
+    {
+      public:
+        explicit ScanNf(std::shared_ptr<RegexDevice> d)
+            : Element("S"), dev_(std::move(d))
+        {
+        }
+        Verdict
+        process(net::Packet &pkt, CostContext &ctx) override
+        {
+            dev_->scan(pkt.payload(), ctx);
+            return Verdict::Forward;
+        }
+
+      private:
+        std::shared_ptr<RegexDevice> dev_;
+    };
+
+    NetworkFunction nf("scan", ExecutionPattern::Pipeline);
+    nf.add(std::make_unique<ScanNf>(dev.regex));
+
+    traffic::TrafficProfile p;
+    p.mtbr = 600;
+    auto w = profileWorkload(nf, p, &rules);
+    ASSERT_TRUE(w.usesAccel(hw::AccelKind::Regex));
+    const auto &use = w.accelUse(hw::AccelKind::Regex);
+    EXPECT_NEAR(use.requestsPerPacket, 1.0, 1e-9);
+    EXPECT_GT(use.bytesPerRequest, 1000.0);
+    EXPECT_GT(use.matchesPerRequest, 0.1);
+    EXPECT_FALSE(w.usesAccel(hw::AccelKind::Compression));
+}
+
+TEST(Profiling, MtbrScalesMatches)
+{
+    auto rules = regex::defaultRuleSet();
+    DeviceSet dev;
+    dev.regex = std::make_shared<RegexDevice>(rules);
+    NetworkFunction nf("scan", ExecutionPattern::Pipeline);
+    class ScanNf : public Element
+    {
+      public:
+        explicit ScanNf(std::shared_ptr<RegexDevice> d)
+            : Element("S"), dev_(std::move(d))
+        {
+        }
+        Verdict
+        process(net::Packet &pkt, CostContext &ctx) override
+        {
+            dev_->scan(pkt.payload(), ctx);
+            return Verdict::Forward;
+        }
+
+      private:
+        std::shared_ptr<RegexDevice> dev_;
+    };
+    nf.add(std::make_unique<ScanNf>(dev.regex));
+
+    traffic::TrafficProfile lo, hi;
+    lo.mtbr = 100;
+    hi.mtbr = 1000;
+    auto wl = profileWorkload(nf, lo, &rules);
+    auto wh = profileWorkload(nf, hi, &rules);
+    EXPECT_GT(wh.accelUse(hw::AccelKind::Regex).matchesPerRequest,
+              3 * wl.accelUse(hw::AccelKind::Regex).matchesPerRequest);
+}
+
+} // namespace
+} // namespace tomur::framework

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the ML library: dataset handling, regression trees,
+ * gradient boosting, linear regression, metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/dataset.hh"
+#include "ml/gbr.hh"
+#include "ml/linreg.hh"
+#include "ml/metrics.hh"
+#include "ml/tree.hh"
+
+namespace tomur::ml {
+namespace {
+
+Dataset
+makeDataset(int n, std::uint64_t seed,
+            double (*f)(double, double), double noise = 0.0)
+{
+    Rng rng(seed);
+    Dataset d({"a", "b"});
+    for (int i = 0; i < n; ++i) {
+        double a = rng.uniform(0, 10);
+        double b = rng.uniform(-5, 5);
+        d.add({a, b}, f(a, b) + noise * rng.normal());
+    }
+    return d;
+}
+
+double
+piecewise(double a, double b)
+{
+    // Piece-wise linear with an interaction, like the memory model's
+    // target function.
+    return (a < 5 ? 3 * a : 15.0) + (b > 0 ? 2 * b : 0.0);
+}
+
+double
+linearFn(double a, double b)
+{
+    return 2.0 + 3.0 * a - 1.5 * b;
+}
+
+TEST(Dataset, AddAndArity)
+{
+    Dataset d({"x", "y"});
+    d.add({1, 2}, 3);
+    EXPECT_EQ(d.size(), 1u);
+    EXPECT_EQ(d.numFeatures(), 2u);
+    EXPECT_DOUBLE_EQ(d.label(0), 3.0);
+    EXPECT_DEATH(d.add({1}, 0), "arity");
+}
+
+TEST(Dataset, SplitPreservesAll)
+{
+    Dataset d = makeDataset(100, 1, linearFn);
+    Rng rng(2);
+    auto [train, test] = d.split(0.3, rng);
+    EXPECT_EQ(train.size() + test.size(), 100u);
+    EXPECT_EQ(test.size(), 30u);
+}
+
+TEST(Dataset, AppendMergesRows)
+{
+    Dataset a = makeDataset(10, 1, linearFn);
+    Dataset b = makeDataset(5, 2, linearFn);
+    a.append(b);
+    EXPECT_EQ(a.size(), 15u);
+}
+
+TEST(Tree, FitsConstant)
+{
+    Dataset d({"x"});
+    for (int i = 0; i < 10; ++i)
+        d.add({double(i)}, 7.0);
+    std::vector<std::size_t> rows{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    RegressionTree t;
+    t.fit(d, d.labels(), rows, TreeParams{});
+    EXPECT_DOUBLE_EQ(t.predict({3.0}), 7.0);
+    EXPECT_EQ(t.numNodes(), 1u); // no split improves SSE
+}
+
+TEST(Tree, FitsStepFunction)
+{
+    Dataset d({"x"});
+    std::vector<std::size_t> rows;
+    for (int i = 0; i < 40; ++i) {
+        d.add({double(i)}, i < 20 ? 1.0 : 9.0);
+        rows.push_back(i);
+    }
+    RegressionTree t;
+    TreeParams p;
+    p.maxDepth = 2;
+    t.fit(d, d.labels(), rows, p);
+    EXPECT_NEAR(t.predict({5.0}), 1.0, 1e-9);
+    EXPECT_NEAR(t.predict({30.0}), 9.0, 1e-9);
+}
+
+TEST(Tree, RespectsMaxDepth)
+{
+    Dataset d = makeDataset(200, 3, piecewise);
+    std::vector<std::size_t> rows(d.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    RegressionTree t;
+    TreeParams p;
+    p.maxDepth = 4;
+    t.fit(d, d.labels(), rows, p);
+    EXPECT_LE(t.depth(), 5); // depth counts nodes on path
+}
+
+TEST(Gbr, LearnsPiecewiseFunction)
+{
+    Dataset train = makeDataset(800, 5, piecewise, 0.05);
+    Dataset test = makeDataset(200, 6, piecewise);
+
+    GbrParams p;
+    p.numTrees = 200;
+    GradientBoostingRegressor gbr(p);
+    gbr.fit(train);
+
+    std::vector<double> truth, pred;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        truth.push_back(test.label(i) + 20.0); // shift away from zero
+        pred.push_back(gbr.predict(test.row(i)) + 20.0);
+    }
+    EXPECT_LT(mape(truth, pred), 2.0);
+}
+
+TEST(Gbr, SeedsProduceDifferentModels)
+{
+    Dataset train = makeDataset(300, 7, piecewise, 0.2);
+    GbrParams p1, p2;
+    p1.seed = 1;
+    p2.seed = 2;
+    GradientBoostingRegressor a(p1), b(p2);
+    a.fit(train);
+    b.fit(train);
+    bool differs = false;
+    for (double x = 0.5; x < 10; x += 0.7)
+        differs |= a.predict({x, 1.0}) != b.predict({x, 1.0});
+    EXPECT_TRUE(differs);
+}
+
+TEST(Gbr, MoreTreesReduceTrainError)
+{
+    Dataset train = makeDataset(300, 9, piecewise, 0.0);
+    GbrParams small, big;
+    small.numTrees = 5;
+    big.numTrees = 150;
+    small.subsample = 1.0;
+    big.subsample = 1.0;
+    GradientBoostingRegressor a(small), b(big);
+    a.fit(train);
+    b.fit(train);
+    std::vector<double> truth, pa, pb;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        truth.push_back(train.label(i) + 20.0);
+        pa.push_back(a.predict(train.row(i)) + 20.0);
+        pb.push_back(b.predict(train.row(i)) + 20.0);
+    }
+    EXPECT_LT(mape(truth, pb), mape(truth, pa));
+}
+
+TEST(Gbr, PredictBeforeFitPanics)
+{
+    GradientBoostingRegressor gbr;
+    EXPECT_DEATH(gbr.predict({1.0}), "before fit");
+}
+
+TEST(LinReg, RecoversCoefficients)
+{
+    Dataset d = makeDataset(100, 11, linearFn, 0.0);
+    LinearRegression lr;
+    lr.fit(d);
+    EXPECT_NEAR(lr.intercept(), 2.0, 1e-6);
+    ASSERT_EQ(lr.coefficients().size(), 2u);
+    EXPECT_NEAR(lr.coefficients()[0], 3.0, 1e-6);
+    EXPECT_NEAR(lr.coefficients()[1], -1.5, 1e-6);
+}
+
+TEST(LinReg, Fit1d)
+{
+    LinearRegression lr;
+    lr.fit1d({0, 1, 2, 3}, {1, 3, 5, 7});
+    EXPECT_NEAR(lr.predict1d(10), 21.0, 1e-6);
+    EXPECT_NEAR(lr.intercept(), 1.0, 1e-6);
+}
+
+TEST(LinReg, NoisyFitCloseEnough)
+{
+    Dataset d = makeDataset(500, 13, linearFn, 0.1);
+    LinearRegression lr;
+    lr.fit(d);
+    EXPECT_NEAR(lr.coefficients()[0], 3.0, 0.05);
+}
+
+TEST(Tree, AllEqualFeatureValuesNoSplit)
+{
+    // Equal feature values admit no split point; the tree must stay
+    // a single leaf rather than splitting on noise.
+    Dataset d({"x"});
+    std::vector<std::size_t> rows;
+    Rng rng(31);
+    for (int i = 0; i < 20; ++i) {
+        d.add({5.0}, rng.uniform(0, 10));
+        rows.push_back(i);
+    }
+    RegressionTree t;
+    t.fit(d, d.labels(), rows, TreeParams{});
+    EXPECT_EQ(t.numNodes(), 1u);
+}
+
+TEST(Dataset, SplitEdgeFractions)
+{
+    Dataset d = makeDataset(10, 21, linearFn);
+    Rng rng(1);
+    auto [train_all, test_none] = d.split(0.0, rng);
+    EXPECT_EQ(train_all.size(), 10u);
+    EXPECT_EQ(test_none.size(), 0u);
+    auto [train_none, test_all] = d.split(1.0, rng);
+    EXPECT_EQ(train_none.size(), 0u);
+    EXPECT_EQ(test_all.size(), 10u);
+}
+
+TEST(Metrics, Mape)
+{
+    EXPECT_DOUBLE_EQ(mape({100, 200}, {110, 180}), 10.0);
+    EXPECT_DOUBLE_EQ(mape({}, {}), 0.0);
+    EXPECT_DEATH(absPctError(0.0, 1.0), "zero ground truth");
+}
+
+TEST(Metrics, AccWithin)
+{
+    std::vector<double> truth = {100, 100, 100, 100};
+    std::vector<double> pred = {101, 104, 109, 120};
+    EXPECT_DOUBLE_EQ(accWithin(truth, pred, 5), 50.0);
+    EXPECT_DOUBLE_EQ(accWithin(truth, pred, 10), 75.0);
+}
+
+TEST(Metrics, Rmse)
+{
+    EXPECT_DOUBLE_EQ(rmse({1, 2}, {1, 2}), 0.0);
+    EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+} // namespace
+} // namespace tomur::ml

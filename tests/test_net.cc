@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for packet headers, parsing, and rewriting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+
+namespace tomur::net {
+namespace {
+
+FiveTuple
+sampleTuple(IpProto proto = IpProto::Udp)
+{
+    FiveTuple t;
+    t.srcIp = Ipv4Addr::fromOctets(10, 0, 0, 1);
+    t.dstIp = Ipv4Addr::fromOctets(192, 168, 1, 2);
+    t.srcPort = 12345;
+    t.dstPort = 80;
+    t.proto = static_cast<std::uint8_t>(proto);
+    return t;
+}
+
+TEST(Headers, AddrFormatting)
+{
+    EXPECT_EQ(Ipv4Addr::fromOctets(1, 2, 3, 4).toString(), "1.2.3.4");
+    EXPECT_EQ(MacAddr::fromId(0x0102030405ULL).toString(),
+              "02:01:02:03:04:05");
+}
+
+TEST(Headers, BigEndianRoundTrip)
+{
+    std::uint8_t buf[4];
+    storeBe16(buf, 0xbeef);
+    EXPECT_EQ(loadBe16(buf), 0xbeef);
+    storeBe32(buf, 0xdeadbeef);
+    EXPECT_EQ(loadBe32(buf), 0xdeadbeefu);
+}
+
+TEST(Headers, ChecksumDetectsCorruption)
+{
+    std::uint8_t data[20] = {0x45, 0, 0, 40, 1, 2, 3, 4,
+                             64, 17, 0, 0, 10, 0, 0, 1,
+                             192, 168, 1, 2};
+    std::uint16_t c = internetChecksum(data, 20);
+    storeBe16(data + 10, c);
+    EXPECT_EQ(internetChecksum(data, 20), 0);
+    data[0] ^= 1;
+    EXPECT_NE(internetChecksum(data, 20), 0);
+}
+
+TEST(Headers, FiveTupleHashStable)
+{
+    FiveTuple a = sampleTuple(), b = sampleTuple();
+    EXPECT_EQ(a.hash(), b.hash());
+    b.srcPort++;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Packet, BuildAndParseUdp)
+{
+    std::vector<std::uint8_t> payload(100, 0xab);
+    Packet p = PacketBuilder::build(sampleTuple(), payload);
+    EXPECT_EQ(p.size(), PacketBuilder::frameSize(100, IpProto::Udp));
+
+    auto eth = p.eth();
+    ASSERT_TRUE(eth);
+    EXPECT_EQ(eth->etherType, etherTypeIpv4);
+
+    auto ip = p.ipv4();
+    ASSERT_TRUE(ip);
+    EXPECT_EQ(ip->src.toString(), "10.0.0.1");
+    EXPECT_EQ(ip->dst.toString(), "192.168.1.2");
+    EXPECT_TRUE(p.ipv4ChecksumOk());
+
+    auto udp = p.udp();
+    ASSERT_TRUE(udp);
+    EXPECT_EQ(udp->srcPort, 12345);
+    EXPECT_EQ(udp->dstPort, 80);
+    EXPECT_EQ(udp->length, udpHeaderLen + 100);
+
+    auto pl = p.payload();
+    ASSERT_EQ(pl.size(), 100u);
+    EXPECT_EQ(pl[0], 0xab);
+}
+
+TEST(Packet, BuildAndParseTcp)
+{
+    std::vector<std::uint8_t> payload(50, 0x42);
+    Packet p = PacketBuilder::build(sampleTuple(IpProto::Tcp), payload);
+    auto tcp = p.tcp();
+    ASSERT_TRUE(tcp);
+    EXPECT_EQ(tcp->srcPort, 12345);
+    EXPECT_EQ(p.payload().size(), 50u);
+    EXPECT_FALSE(p.udp());
+}
+
+TEST(Packet, FiveTupleRoundTrip)
+{
+    FiveTuple t = sampleTuple(IpProto::Tcp);
+    Packet p = PacketBuilder::build(t, {});
+    auto got = p.fiveTuple();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, t);
+}
+
+TEST(Packet, RewriteAddressing)
+{
+    Packet p = PacketBuilder::build(sampleTuple(), {});
+    FiveTuple nat = sampleTuple();
+    nat.srcIp = Ipv4Addr::fromOctets(100, 64, 0, 1);
+    nat.srcPort = 40000;
+    p.rewriteAddressing(nat);
+    auto got = p.fiveTuple();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, nat);
+    EXPECT_TRUE(p.ipv4ChecksumOk());
+}
+
+TEST(Packet, TtlDecrement)
+{
+    Packet p = PacketBuilder::build(sampleTuple(), {});
+    auto before = p.ipv4()->ttl;
+    EXPECT_TRUE(p.decrementTtl());
+    EXPECT_EQ(p.ipv4()->ttl, before - 1);
+    EXPECT_TRUE(p.ipv4ChecksumOk());
+}
+
+TEST(Packet, TtlExpiry)
+{
+    Packet p = PacketBuilder::build(sampleTuple(), {});
+    for (int i = 0; i < 63; ++i)
+        EXPECT_TRUE(p.decrementTtl());
+    EXPECT_EQ(p.ipv4()->ttl, 1);
+    EXPECT_FALSE(p.decrementTtl());
+}
+
+TEST(Packet, TruncatedParseFails)
+{
+    Packet p(std::vector<std::uint8_t>(10, 0));
+    EXPECT_FALSE(p.eth());
+    EXPECT_FALSE(p.ipv4());
+    EXPECT_FALSE(p.fiveTuple());
+}
+
+TEST(Packet, PayloadForFrameClamps)
+{
+    EXPECT_EQ(PacketBuilder::payloadForFrame(1500, IpProto::Udp),
+              1500 - ethHeaderLen - ipv4HeaderLen - udpHeaderLen);
+    EXPECT_EQ(PacketBuilder::payloadForFrame(10, IpProto::Udp), 0u);
+}
+
+} // namespace
+} // namespace tomur::net

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the Tomur core: accelerator queue model calibration,
+ * composition formulas, adaptive profiling, contention descriptors,
+ * and a small end-to-end train/predict round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nfs/registry.hh"
+#include "nfs/synthetic.hh"
+#include "regex/ruleset.hh"
+#include "tomur/adaptive.hh"
+#include "tomur/composition.hh"
+#include "tomur/profiler.hh"
+
+namespace tomur::core {
+namespace {
+
+namespace fw = framework;
+
+TEST(Composition, PipelineTakesWorstDrop)
+{
+    double t = compose(CompositionKind::ExecutionPattern,
+                       fw::ExecutionPattern::Pipeline, 1000.0,
+                       {100.0, 300.0, 50.0});
+    EXPECT_DOUBLE_EQ(t, 700.0);
+}
+
+TEST(Composition, RtcMatchesEquation4)
+{
+    // Eq. 4 with r = 2: T = 1/(1/(T0-d1) + 1/(T0-d2) - 1/T0).
+    double t0 = 1000.0, d1 = 200.0, d2 = 100.0;
+    double expected =
+        1.0 / (1.0 / (t0 - d1) + 1.0 / (t0 - d2) - 1.0 / t0);
+    double got = compose(CompositionKind::ExecutionPattern,
+                         fw::ExecutionPattern::RunToCompletion, t0,
+                         {d1, d2});
+    EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(Composition, SingleResourcePatternsCoincide)
+{
+    for (double drop : {0.0, 100.0, 900.0}) {
+        double p = compose(CompositionKind::ExecutionPattern,
+                           fw::ExecutionPattern::Pipeline, 1000.0,
+                           {drop});
+        double r = compose(CompositionKind::ExecutionPattern,
+                           fw::ExecutionPattern::RunToCompletion,
+                           1000.0, {drop});
+        EXPECT_NEAR(p, r, 1e-6);
+    }
+}
+
+TEST(Composition, SumAndMinStrawmen)
+{
+    std::vector<double> drops = {100.0, 300.0};
+    EXPECT_DOUBLE_EQ(compose(CompositionKind::Sum,
+                             fw::ExecutionPattern::Pipeline, 1000.0,
+                             drops),
+                     600.0);
+    EXPECT_DOUBLE_EQ(compose(CompositionKind::Min,
+                             fw::ExecutionPattern::Pipeline, 1000.0,
+                             drops),
+                     700.0);
+}
+
+TEST(Composition, ClampsToValidRange)
+{
+    EXPECT_DOUBLE_EQ(compose(CompositionKind::Sum,
+                             fw::ExecutionPattern::Pipeline, 100.0,
+                             {80.0, 80.0}),
+                     0.0);
+    EXPECT_DOUBLE_EQ(compose(CompositionKind::ExecutionPattern,
+                             fw::ExecutionPattern::Pipeline, 100.0,
+                             {}),
+                     100.0);
+}
+
+TEST(Composition, RtcAlwaysBelowPipeline)
+{
+    // Property: with equal drops, run-to-completion predicts lower
+    // throughput (sojourns add up).
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        double t0 = rng.uniform(100, 10000);
+        std::vector<double> drops = {rng.uniform(0, t0 * 0.8),
+                                     rng.uniform(0, t0 * 0.8)};
+        double p = compose(CompositionKind::ExecutionPattern,
+                           fw::ExecutionPattern::Pipeline, t0, drops);
+        double r = compose(CompositionKind::ExecutionPattern,
+                           fw::ExecutionPattern::RunToCompletion, t0,
+                           drops);
+        EXPECT_LE(r, p + 1e-9);
+    }
+}
+
+TEST(PatternDetection, RecoversBothPatterns)
+{
+    // Synthesize observations from each branch of Eq. 7 and check
+    // the detector recovers the generating pattern.
+    Rng rng(5);
+    for (auto truth : {fw::ExecutionPattern::Pipeline,
+                       fw::ExecutionPattern::RunToCompletion}) {
+        std::vector<PatternObservation> obs;
+        for (int i = 0; i < 6; ++i) {
+            PatternObservation o;
+            o.soloThroughput = 1000.0;
+            o.drops = {rng.uniform(50, 600), rng.uniform(50, 600)};
+            o.measuredThroughput =
+                compose(CompositionKind::ExecutionPattern, truth,
+                        o.soloThroughput, o.drops) *
+                rng.lognormalFactor(0.01);
+            obs.push_back(std::move(o));
+        }
+        EXPECT_EQ(detectPattern(obs), truth);
+    }
+}
+
+TEST(AccelModel, RecoversKnownSystem)
+{
+    // Ground truth: n = 1 queue, t(p, m) = t0 + b p + a (m p / 1e6).
+    const double t0 = 0.3e-6, b = 1.25e-10, a = 0.5e-6;
+    auto service = [&](double mtbr, double payload) {
+        return t0 + b * payload + a * mtbr * payload / 1e6;
+    };
+    std::vector<AccelCalibrationPoint> points;
+    for (double mtbr : {100.0, 500.0, 900.0}) {
+        for (double payload : {400.0, 1434.0}) {
+            for (double tb : {1e-6, 2e-6}) {
+                AccelCalibrationPoint p;
+                p.benchServiceTime = tb;
+                p.mtbr = mtbr;
+                p.payloadBytes = payload;
+                // Equilibrium of Eq. 2: 1/T = t + t_b / n, n = 1.
+                p.measuredThroughput =
+                    1.0 / (service(mtbr, payload) + tb);
+                points.push_back(p);
+            }
+        }
+    }
+    AccelQueueModel m;
+    m.calibrate(points);
+    EXPECT_EQ(m.queues(), 1);
+    EXPECT_NEAR(m.baseServiceTime(), t0, t0 * 0.05);
+    EXPECT_NEAR(m.perMatchTime(), a, a * 0.05);
+    EXPECT_NEAR(m.serviceTime(600, 1434),
+                service(600, 1434), service(600, 1434) * 0.02);
+}
+
+TEST(AccelModel, RecoversMultipleQueues)
+{
+    const int n = 3;
+    const double t = 1e-6;
+    std::vector<AccelCalibrationPoint> points;
+    for (double tb : {1e-6, 2e-6, 3e-6}) {
+        AccelCalibrationPoint p;
+        p.benchServiceTime = tb;
+        p.mtbr = 600;
+        p.payloadBytes = 1434;
+        p.measuredThroughput = 1.0 / (t + tb / n);
+        points.push_back(p);
+    }
+    AccelQueueModel m;
+    m.calibrate(points);
+    EXPECT_EQ(m.queues(), n);
+}
+
+TEST(AccelModel, PredictsEquilibriumAgainstClosedCompetitor)
+{
+    AccelQueueModel m;
+    std::vector<AccelCalibrationPoint> points;
+    const double t = 1e-6;
+    for (double tb : {1e-6, 2e-6}) {
+        AccelCalibrationPoint p;
+        p.benchServiceTime = tb;
+        p.mtbr = 600;
+        p.payloadBytes = 1434;
+        p.measuredThroughput = 1.0 / (t + tb);
+        points.push_back(p);
+    }
+    m.calibrate(points);
+
+    AccelContention comp;
+    comp.used = true;
+    comp.queues = 1;
+    comp.serviceTime = t;
+    comp.closedLoop = true;
+    // Two equal closed-loop queues: each gets 1/(2t).
+    double pred = m.predictThroughput(600, 1434, {comp});
+    EXPECT_NEAR(pred, 1.0 / (2 * t), 1.0 / (2 * t) * 0.05);
+    // No competitors: full rate 1/t.
+    EXPECT_NEAR(m.predictThroughput(600, 1434, {}), 1.0 / t,
+                1.0 / t * 0.05);
+}
+
+TEST(AccelModel, CalibrationValidationErrors)
+{
+    AccelQueueModel m;
+    EXPECT_DEATH(m.calibrate({}), "two calibration points");
+    std::vector<AccelCalibrationPoint> same_tb(
+        3, AccelCalibrationPoint{1e-6, 5e5, 600, 1434});
+    EXPECT_DEATH(m.calibrate(same_tb), "constrain");
+}
+
+TEST(Contention, AggregationAndFeatures)
+{
+    ContentionLevel a, b;
+    a.counters.l2ReadRate = 10;
+    b.counters.l2ReadRate = 32;
+    auto agg = aggregateCounters({a, b});
+    EXPECT_DOUBLE_EQ(agg.l2ReadRate, 42.0);
+
+    auto f = memoryFeatures({a, b}, traffic::TrafficProfile::defaults());
+    ASSERT_EQ(f.size(), memoryFeatureNames().size());
+    EXPECT_DOUBLE_EQ(f[2], 42.0);       // L2CRD position
+    EXPECT_DOUBLE_EQ(f[7], 16000.0);    // flow count appended
+}
+
+TEST(Adaptive, PrunesInsensitiveAttributes)
+{
+    // Synthetic NF: only sensitive to flow count.
+    AdaptiveCallbacks cb;
+    cb.solo = [](const traffic::TrafficProfile &p) {
+        return 1e6 / (1.0 + p.flowCount / 50e3);
+    };
+    int collected = 0;
+    cb.collect = [&](const traffic::TrafficProfile &) { ++collected; };
+
+    auto res = adaptiveProfile(cb, traffic::TrafficProfile::defaults());
+    ASSERT_EQ(res.keptAttributes.size(), 1u);
+    EXPECT_EQ(res.keptAttributes[0], traffic::Attribute::FlowCount);
+    EXPECT_GT(collected, 0);
+    EXPECT_GT(res.samplesUsed, 0u);
+}
+
+TEST(Adaptive, RespectsQuota)
+{
+    AdaptiveCallbacks cb;
+    cb.solo = [](const traffic::TrafficProfile &p) {
+        return 1e6 / (1.0 + p.flowCount / 1e3 + p.mtbr);
+    };
+    int collected = 0;
+    cb.collect = [&](const traffic::TrafficProfile &) { ++collected; };
+    AdaptiveOptions opts;
+    opts.quota = 30;
+    auto res = adaptiveProfile(cb, traffic::TrafficProfile::defaults(),
+                               opts);
+    EXPECT_LE(res.samplesUsed, opts.quota + 1);
+}
+
+TEST(Adaptive, SamplesConcentrateWhereCurveMoves)
+{
+    // Piece-wise solo curve: changes only below 100K flows; sampled
+    // midpoints should cluster there.
+    AdaptiveCallbacks cb;
+    cb.solo = [](const traffic::TrafficProfile &p) {
+        double f = static_cast<double>(p.flowCount);
+        return f < 100e3 ? 1e6 - 8.0 * f : 0.2e6;
+    };
+    std::vector<traffic::TrafficProfile> sampled;
+    cb.collect = [&](const traffic::TrafficProfile &p) {
+        sampled.push_back(p);
+    };
+    AdaptiveOptions opts;
+    opts.quota = 200;
+    auto res = adaptiveProfile(cb, traffic::TrafficProfile::defaults(),
+                               opts,
+                               {traffic::Attribute::FlowCount});
+    std::size_t low = 0, high = 0;
+    for (const auto &p : sampled) {
+        // Skip anchors at default/extremes; count split midpoints.
+        if (p.flowCount == 16000 || p.flowCount == 1000 ||
+            p.flowCount == 500000) {
+            continue;
+        }
+        (p.flowCount < 150e3 ? low : high)++;
+    }
+    EXPECT_GT(low, 2 * high);
+}
+
+TEST(EndToEnd, TrainedModelBeatsNaiveOnRegexNf)
+{
+    // Small end-to-end round trip: train on FlowMonitor with a tight
+    // quota, verify prediction under combined contention lands near
+    // ground truth while a memory-only view does not.
+    auto rules = regex::defaultRuleSet();
+    fw::DeviceSet dev;
+    dev.regex = std::make_shared<fw::RegexDevice>(rules);
+    dev.compression = std::make_shared<fw::CompressionDevice>();
+        dev.crypto = std::make_shared<fw::CryptoDevice>();
+    sim::Testbed bed(hw::blueField2(), {});
+    BenchLibrary lib(bed, dev, rules);
+    TomurTrainer trainer(lib);
+
+    auto defaults = traffic::TrafficProfile::defaults();
+    auto nf = nfs::makeFlowMonitor(dev);
+    TrainOptions opts;
+    opts.adaptive.quota = 80;
+    TrainReport report;
+    auto model = trainer.train(*nf, defaults, opts, &report);
+
+    // Note: FlowMonitor's execution pattern is only weakly
+    // observable (its solo throughput is already regex-bound, so
+    // memory-only probes reveal little about the CPU stage); either
+    // Eq. 7 branch predicts within a few percent, so the detected
+    // label is not asserted here — prediction quality below is.
+    EXPECT_TRUE(model.accelModel(hw::AccelKind::Regex).has_value());
+    EXPECT_FALSE(
+        model.accelModel(hw::AccelKind::Compression).has_value());
+    EXPECT_GT(report.memorySamples, 20u);
+
+    // Combined contention scenario.
+    const auto &rx = lib.accelBench(hw::AccelKind::Regex, 400e3, 800);
+    const auto &mem = lib.memBenches()[50];
+    auto ms = bed.run({trainer.workloadOf(*nf, defaults), mem.workload,
+                       rx.workload});
+    double truth = ms[0].truthThroughput;
+    double solo =
+        bed.runSolo(trainer.workloadOf(*nf, defaults)).truthThroughput;
+    double pred =
+        model.predict({mem.level, rx.level}, defaults, solo);
+    EXPECT_NEAR(pred / truth, 1.0, 0.15);
+
+    // The memory-only per-resource view misses the regex contention.
+    auto breakdown =
+        model.predictDetailed({mem.level, rx.level}, defaults, solo);
+    EXPECT_GT(breakdown.memoryOnlyThroughput,
+              breakdown.accelOnlyThroughput[0]);
+}
+
+} // namespace
+} // namespace tomur::core

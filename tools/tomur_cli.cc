@@ -1,0 +1,282 @@
+/**
+ * @file
+ * tomur — command-line front end to the prediction library.
+ *
+ * Subcommands:
+ *   catalog                         list the NF catalog
+ *   solo <NF> [traffic opts]        measured solo throughput
+ *   predict <NF> --with A,B,...     predict under co-location and
+ *                                   compare against a deployment
+ *   diagnose <NF> [traffic opts]    per-resource breakdown
+ *
+ * Traffic options: --flows N --size B --mtbr M (defaults 16000 /
+ * 1500 / 600). All runs happen on the built-in BlueField-2 testbed;
+ * training uses a reduced quota so invocations stay interactive.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nfs/registry.hh"
+#include "regex/ruleset.hh"
+#include "tomur/profiler.hh"
+#include "usecases/diagnosis.hh"
+
+using namespace tomur;
+
+namespace {
+
+struct Cli
+{
+    std::string command;
+    std::string nf;
+    std::vector<std::string> competitors;
+    traffic::TrafficProfile profile;
+    std::size_t quota = 80;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tomur_cli <command> [args]\n"
+        "  catalog\n"
+        "  solo <NF> [--flows N] [--size B] [--mtbr M]\n"
+        "  predict <NF> --with A,B[,C] [--flows N] [--size B]\n"
+        "          [--mtbr M] [--quota Q]\n"
+        "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n");
+    std::exit(2);
+}
+
+double
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return std::atof(argv[++i]);
+}
+
+Cli
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Cli cli;
+    cli.command = argv[1];
+    int i = 2;
+    if (cli.command != "catalog") {
+        if (i >= argc)
+            usage();
+        cli.nf = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--flows") {
+            cli.profile = cli.profile.withAttribute(
+                traffic::Attribute::FlowCount, numArg(argc, argv, i));
+        } else if (arg == "--size") {
+            cli.profile = cli.profile.withAttribute(
+                traffic::Attribute::PacketSize,
+                numArg(argc, argv, i));
+        } else if (arg == "--mtbr") {
+            cli.profile = cli.profile.withAttribute(
+                traffic::Attribute::Mtbr, numArg(argc, argv, i));
+        } else if (arg == "--quota") {
+            cli.quota = static_cast<std::size_t>(
+                numArg(argc, argv, i));
+        } else if (arg == "--with") {
+            if (i + 1 >= argc)
+                usage();
+            cli.competitors = split(argv[++i], ',');
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    return cli;
+}
+
+/** Lazily constructed heavy state. */
+struct Env
+{
+    Env()
+        : rules(regex::defaultRuleSet()), bed(hw::blueField2())
+    {
+        dev.regex = std::make_shared<framework::RegexDevice>(rules);
+        dev.compression =
+            std::make_shared<framework::CompressionDevice>();
+        dev.crypto = std::make_shared<framework::CryptoDevice>();
+        lib = std::make_unique<core::BenchLibrary>(bed, dev, rules);
+        trainer = std::make_unique<core::TomurTrainer>(*lib);
+    }
+
+    regex::RuleSet rules;
+    framework::DeviceSet dev;
+    sim::Testbed bed;
+    std::unique_ptr<core::BenchLibrary> lib;
+    std::unique_ptr<core::TomurTrainer> trainer;
+};
+
+int
+cmdCatalog()
+{
+    std::printf("%-16s %-6s %-12s %-9s %s\n", "NF", "regex",
+                "compression", "crypto", "traffic-sensitive");
+    for (const auto &info : nfs::catalog()) {
+        std::printf("%-16s %-6s %-12s %-9s %s\n", info.name.c_str(),
+                    info.usesRegex ? "yes" : "-",
+                    info.usesCompression ? "yes" : "-",
+                    info.usesCrypto ? "yes" : "-",
+                    info.trafficSensitive ? "yes" : "-");
+    }
+    return 0;
+}
+
+int
+cmdSolo(const Cli &cli)
+{
+    Env env;
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    auto m = env.bed.runSolo(
+        env.trainer->workloadOf(*nf, cli.profile));
+    std::printf("%s @ %s: %.1f Kpps solo (bottleneck: %s)\n",
+                cli.nf.c_str(), cli.profile.toString().c_str(),
+                m.truthThroughput / 1e3,
+                sim::bottleneckName(m.bottleneck));
+    return 0;
+}
+
+int
+cmdPredict(const Cli &cli)
+{
+    if (cli.competitors.empty())
+        fatal("predict: pass --with A,B,...");
+    if (cli.competitors.size() > 3)
+        fatal("predict: at most 3 competitors fit on one NIC");
+    Env env;
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+
+    std::fprintf(stderr, "training model for %s (quota %zu)...\n",
+                 cli.nf.c_str(), cli.quota);
+    core::TrainOptions opts;
+    opts.adaptive.quota = cli.quota;
+    auto model = env.trainer->train(*nf, cli.profile, opts);
+
+    std::vector<core::ContentionLevel> levels;
+    std::vector<framework::WorkloadProfile> deploy = {
+        env.trainer->workloadOf(*nf, cli.profile)};
+    auto defaults = traffic::TrafficProfile::defaults();
+    for (const auto &name : cli.competitors) {
+        auto comp = nfs::makeByName(name, env.dev);
+        levels.push_back(env.trainer->contentionOf(*comp, defaults));
+        deploy.push_back(env.trainer->workloadOf(*comp, defaults));
+    }
+
+    double solo =
+        env.bed.runSolo(deploy[0]).truthThroughput;
+    double predicted = model.predict(levels, cli.profile, solo);
+    auto measured = env.bed.run(deploy);
+
+    std::printf("%s with {%s} @ %s\n", cli.nf.c_str(),
+                join(cli.competitors, ", ").c_str(),
+                cli.profile.toString().c_str());
+    std::printf("  solo      : %10.1f Kpps\n", solo / 1e3);
+    std::printf("  predicted : %10.1f Kpps (drop %.1f%%)\n",
+                predicted / 1e3,
+                100.0 * (1.0 - predicted / solo));
+    std::printf("  measured  : %10.1f Kpps (error %.1f%%)\n",
+                measured[0].throughput / 1e3,
+                100.0 *
+                    std::abs(predicted - measured[0].throughput) /
+                    measured[0].throughput);
+    return 0;
+}
+
+int
+cmdDiagnose(const Cli &cli)
+{
+    Env env;
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    std::fprintf(stderr, "training model for %s...\n",
+                 cli.nf.c_str());
+    core::TrainOptions opts;
+    opts.adaptive.quota = cli.quota;
+    auto model = env.trainer->train(*nf, cli.profile, opts);
+
+    // Reference contention: the heaviest large-WSS mem-bench plus a
+    // moderate bench on each accelerator the NF uses.
+    const core::BenchLibrary::MemBenchEntry *mem =
+        &env.lib->memBenches().front();
+    for (const auto &e : env.lib->memBenches()) {
+        if (e.config.wssBytes >= 12.0 * 1024 * 1024 &&
+            e.level.counters.cacheAccessRate() >
+                mem->level.counters.cacheAccessRate()) {
+            mem = &e;
+        }
+    }
+    std::vector<core::ContentionLevel> levels = {mem->level};
+    const auto &w = env.trainer->workloadOf(*nf, cli.profile);
+    if (w.usesAccel(hw::AccelKind::Regex)) {
+        levels.push_back(env.lib
+                             ->accelBench(hw::AccelKind::Regex,
+                                          150e3, 800.0)
+                             .level);
+    }
+    if (w.usesAccel(hw::AccelKind::Compression)) {
+        levels.push_back(env.lib
+                             ->accelBench(hw::AccelKind::Compression,
+                                          150e3, 8000.0)
+                             .level);
+    }
+    if (w.usesAccel(hw::AccelKind::Crypto)) {
+        levels.push_back(env.lib
+                             ->accelBench(hw::AccelKind::Crypto,
+                                          150e3, 16000.0)
+                             .level);
+    }
+
+    double solo = env.bed.runSolo(w).truthThroughput;
+    auto b = model.predictDetailed(levels, cli.profile, solo);
+    std::printf("%s @ %s under reference contention:\n",
+                cli.nf.c_str(), cli.profile.toString().c_str());
+    std::printf("  solo                : %10.1f Kpps\n",
+                b.soloThroughput / 1e3);
+    std::printf("  memory-only         : %10.1f Kpps\n",
+                b.memoryOnlyThroughput / 1e3);
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        if (b.accelUsed[k]) {
+            std::printf("  %-11s-only    : %10.1f Kpps\n",
+                        hw::accelName(static_cast<hw::AccelKind>(k)),
+                        b.accelOnlyThroughput[k] / 1e3);
+        }
+    }
+    std::printf("  composed prediction : %10.1f Kpps\n",
+                b.predicted / 1e3);
+    std::printf("  dominant bottleneck : %s\n",
+                usecases::resourceName(
+                    usecases::tomurDiagnosis(b)));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli = parse(argc, argv);
+    if (cli.command == "catalog")
+        return cmdCatalog();
+    if (cli.command == "solo")
+        return cmdSolo(cli);
+    if (cli.command == "predict")
+        return cmdPredict(cli);
+    if (cli.command == "diagnose")
+        return cmdDiagnose(cli);
+    usage();
+}
