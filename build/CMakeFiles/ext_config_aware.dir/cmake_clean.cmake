@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_config_aware.dir/bench/ext_config_aware.cc.o"
+  "CMakeFiles/ext_config_aware.dir/bench/ext_config_aware.cc.o.d"
+  "bench/ext_config_aware"
+  "bench/ext_config_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_config_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_crypto_generality.cc" "CMakeFiles/ext_crypto_generality.dir/bench/ext_crypto_generality.cc.o" "gcc" "CMakeFiles/ext_crypto_generality.dir/bench/ext_crypto_generality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/usecases/CMakeFiles/tomur_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/slomo/CMakeFiles/tomur_slomo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tomur/CMakeFiles/tomur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tomur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tomur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/tomur_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/tomur_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tomur_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tomur_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tomur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/tomur_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

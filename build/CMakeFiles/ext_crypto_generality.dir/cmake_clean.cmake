@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crypto_generality.dir/bench/ext_crypto_generality.cc.o"
+  "CMakeFiles/ext_crypto_generality.dir/bench/ext_crypto_generality.cc.o.d"
+  "bench/ext_crypto_generality"
+  "bench/ext_crypto_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crypto_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_throughput_drop.dir/bench/fig1_throughput_drop.cc.o"
+  "CMakeFiles/fig1_throughput_drop.dir/bench/fig1_throughput_drop.cc.o.d"
+  "bench/fig1_throughput_drop"
+  "bench/fig1_throughput_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_throughput_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

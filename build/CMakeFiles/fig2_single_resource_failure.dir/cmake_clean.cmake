@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_single_resource_failure.dir/bench/fig2_single_resource_failure.cc.o"
+  "CMakeFiles/fig2_single_resource_failure.dir/bench/fig2_single_resource_failure.cc.o.d"
+  "bench/fig2_single_resource_failure"
+  "bench/fig2_single_resource_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_single_resource_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_traffic_agnostic_failure.dir/bench/fig3_traffic_agnostic_failure.cc.o"
+  "CMakeFiles/fig3_traffic_agnostic_failure.dir/bench/fig3_traffic_agnostic_failure.cc.o.d"
+  "bench/fig3_traffic_agnostic_failure"
+  "bench/fig3_traffic_agnostic_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_traffic_agnostic_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_regex_equilibrium.dir/bench/fig4_regex_equilibrium.cc.o"
+  "CMakeFiles/fig4_regex_equilibrium.dir/bench/fig4_regex_equilibrium.cc.o.d"
+  "bench/fig4_regex_equilibrium"
+  "bench/fig4_regex_equilibrium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_regex_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

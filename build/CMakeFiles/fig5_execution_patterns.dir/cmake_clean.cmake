@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_execution_patterns.dir/bench/fig5_execution_patterns.cc.o"
+  "CMakeFiles/fig5_execution_patterns.dir/bench/fig5_execution_patterns.cc.o.d"
+  "bench/fig5_execution_patterns"
+  "bench/fig5_execution_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_execution_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_traffic_sensitivity.dir/bench/fig6_traffic_sensitivity.cc.o"
+  "CMakeFiles/fig6_traffic_sensitivity.dir/bench/fig6_traffic_sensitivity.cc.o.d"
+  "bench/fig6_traffic_sensitivity"
+  "bench/fig6_traffic_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_traffic_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

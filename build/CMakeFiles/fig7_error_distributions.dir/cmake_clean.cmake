@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_error_distributions.dir/bench/fig7_error_distributions.cc.o"
+  "CMakeFiles/fig7_error_distributions.dir/bench/fig7_error_distributions.cc.o.d"
+  "bench/fig7_error_distributions"
+  "bench/fig7_error_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_error_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_profiling_quota.dir/bench/fig8_profiling_quota.cc.o"
+  "CMakeFiles/fig8_profiling_quota.dir/bench/fig8_profiling_quota.cc.o.d"
+  "bench/fig8_profiling_quota"
+  "bench/fig8_profiling_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_profiling_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

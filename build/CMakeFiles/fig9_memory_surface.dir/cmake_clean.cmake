@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_memory_surface.dir/bench/fig9_memory_surface.cc.o"
+  "CMakeFiles/fig9_memory_surface.dir/bench/fig9_memory_surface.cc.o.d"
+  "bench/fig9_memory_surface"
+  "bench/fig9_memory_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_memory_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_slomo_memory_only.dir/bench/table11_slomo_memory_only.cc.o"
+  "CMakeFiles/table11_slomo_memory_only.dir/bench/table11_slomo_memory_only.cc.o.d"
+  "bench/table11_slomo_memory_only"
+  "bench/table11_slomo_memory_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_slomo_memory_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table11_slomo_memory_only.
+# This may be replaced when dependencies are built.

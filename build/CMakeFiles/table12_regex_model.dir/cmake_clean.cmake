@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_regex_model.dir/bench/table12_regex_model.cc.o"
+  "CMakeFiles/table12_regex_model.dir/bench/table12_regex_model.cc.o.d"
+  "bench/table12_regex_model"
+  "bench/table12_regex_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_regex_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overall_accuracy.dir/bench/table2_overall_accuracy.cc.o"
+  "CMakeFiles/table2_overall_accuracy.dir/bench/table2_overall_accuracy.cc.o.d"
+  "bench/table2_overall_accuracy"
+  "bench/table2_overall_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overall_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

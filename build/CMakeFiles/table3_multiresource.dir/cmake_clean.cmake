@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multiresource.dir/bench/table3_multiresource.cc.o"
+  "CMakeFiles/table3_multiresource.dir/bench/table3_multiresource.cc.o.d"
+  "bench/table3_multiresource"
+  "bench/table3_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_composition.dir/bench/table4_composition.cc.o"
+  "CMakeFiles/table4_composition.dir/bench/table4_composition.cc.o.d"
+  "bench/table4_composition"
+  "bench/table4_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

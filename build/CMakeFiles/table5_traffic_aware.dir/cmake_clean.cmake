@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_traffic_aware.dir/bench/table5_traffic_aware.cc.o"
+  "CMakeFiles/table5_traffic_aware.dir/bench/table5_traffic_aware.cc.o.d"
+  "bench/table5_traffic_aware"
+  "bench/table5_traffic_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_traffic_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_scheduling.dir/bench/table6_scheduling.cc.o"
+  "CMakeFiles/table6_scheduling.dir/bench/table6_scheduling.cc.o.d"
+  "bench/table6_scheduling"
+  "bench/table6_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_diagnosis.dir/bench/table7_diagnosis.cc.o"
+  "CMakeFiles/table7_diagnosis.dir/bench/table7_diagnosis.cc.o.d"
+  "bench/table7_diagnosis"
+  "bench/table7_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_adaptive_profiling.dir/bench/table8_adaptive_profiling.cc.o"
+  "CMakeFiles/table8_adaptive_profiling.dir/bench/table8_adaptive_profiling.cc.o.d"
+  "bench/table8_adaptive_profiling"
+  "bench/table8_adaptive_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_adaptive_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_pensando.dir/bench/table9_pensando.cc.o"
+  "CMakeFiles/table9_pensando.dir/bench/table9_pensando.cc.o.d"
+  "bench/table9_pensando"
+  "bench/table9_pensando.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_pensando.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_diagnosis.dir/bottleneck_diagnosis.cpp.o"
+  "CMakeFiles/bottleneck_diagnosis.dir/bottleneck_diagnosis.cpp.o.d"
+  "bottleneck_diagnosis"
+  "bottleneck_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

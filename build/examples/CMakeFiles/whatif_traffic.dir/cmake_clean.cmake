@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_traffic.dir/whatif_traffic.cpp.o"
+  "CMakeFiles/whatif_traffic.dir/whatif_traffic.cpp.o.d"
+  "whatif_traffic"
+  "whatif_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("regex")
+subdirs("traffic")
+subdirs("ml")
+subdirs("hw")
+subdirs("framework")
+subdirs("nfs")
+subdirs("sim")
+subdirs("tomur")
+subdirs("slomo")
+subdirs("usecases")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_common.dir/logging.cc.o"
+  "CMakeFiles/tomur_common.dir/logging.cc.o.d"
+  "CMakeFiles/tomur_common.dir/rng.cc.o"
+  "CMakeFiles/tomur_common.dir/rng.cc.o.d"
+  "CMakeFiles/tomur_common.dir/stats.cc.o"
+  "CMakeFiles/tomur_common.dir/stats.cc.o.d"
+  "CMakeFiles/tomur_common.dir/strutil.cc.o"
+  "CMakeFiles/tomur_common.dir/strutil.cc.o.d"
+  "CMakeFiles/tomur_common.dir/table.cc.o"
+  "CMakeFiles/tomur_common.dir/table.cc.o.d"
+  "libtomur_common.a"
+  "libtomur_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

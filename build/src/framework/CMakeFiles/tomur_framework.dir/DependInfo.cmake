@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/accel_dev.cc" "src/framework/CMakeFiles/tomur_framework.dir/accel_dev.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/accel_dev.cc.o.d"
+  "/root/repo/src/framework/cost.cc" "src/framework/CMakeFiles/tomur_framework.dir/cost.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/cost.cc.o.d"
+  "/root/repo/src/framework/element.cc" "src/framework/CMakeFiles/tomur_framework.dir/element.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/element.cc.o.d"
+  "/root/repo/src/framework/flow_table.cc" "src/framework/CMakeFiles/tomur_framework.dir/flow_table.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/flow_table.cc.o.d"
+  "/root/repo/src/framework/nf.cc" "src/framework/CMakeFiles/tomur_framework.dir/nf.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/nf.cc.o.d"
+  "/root/repo/src/framework/profile.cc" "src/framework/CMakeFiles/tomur_framework.dir/profile.cc.o" "gcc" "src/framework/CMakeFiles/tomur_framework.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tomur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/tomur_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tomur_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tomur_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

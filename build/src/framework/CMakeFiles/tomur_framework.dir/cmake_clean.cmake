@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_framework.dir/accel_dev.cc.o"
+  "CMakeFiles/tomur_framework.dir/accel_dev.cc.o.d"
+  "CMakeFiles/tomur_framework.dir/cost.cc.o"
+  "CMakeFiles/tomur_framework.dir/cost.cc.o.d"
+  "CMakeFiles/tomur_framework.dir/element.cc.o"
+  "CMakeFiles/tomur_framework.dir/element.cc.o.d"
+  "CMakeFiles/tomur_framework.dir/flow_table.cc.o"
+  "CMakeFiles/tomur_framework.dir/flow_table.cc.o.d"
+  "CMakeFiles/tomur_framework.dir/nf.cc.o"
+  "CMakeFiles/tomur_framework.dir/nf.cc.o.d"
+  "CMakeFiles/tomur_framework.dir/profile.cc.o"
+  "CMakeFiles/tomur_framework.dir/profile.cc.o.d"
+  "libtomur_framework.a"
+  "libtomur_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accel.cc" "src/hw/CMakeFiles/tomur_hw.dir/accel.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/accel.cc.o.d"
+  "/root/repo/src/hw/accel_des.cc" "src/hw/CMakeFiles/tomur_hw.dir/accel_des.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/accel_des.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/tomur_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/config.cc" "src/hw/CMakeFiles/tomur_hw.dir/config.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/config.cc.o.d"
+  "/root/repo/src/hw/counters.cc" "src/hw/CMakeFiles/tomur_hw.dir/counters.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/counters.cc.o.d"
+  "/root/repo/src/hw/dram.cc" "src/hw/CMakeFiles/tomur_hw.dir/dram.cc.o" "gcc" "src/hw/CMakeFiles/tomur_hw.dir/dram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

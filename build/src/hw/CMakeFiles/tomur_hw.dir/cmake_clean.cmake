@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_hw.dir/accel.cc.o"
+  "CMakeFiles/tomur_hw.dir/accel.cc.o.d"
+  "CMakeFiles/tomur_hw.dir/accel_des.cc.o"
+  "CMakeFiles/tomur_hw.dir/accel_des.cc.o.d"
+  "CMakeFiles/tomur_hw.dir/cache.cc.o"
+  "CMakeFiles/tomur_hw.dir/cache.cc.o.d"
+  "CMakeFiles/tomur_hw.dir/config.cc.o"
+  "CMakeFiles/tomur_hw.dir/config.cc.o.d"
+  "CMakeFiles/tomur_hw.dir/counters.cc.o"
+  "CMakeFiles/tomur_hw.dir/counters.cc.o.d"
+  "CMakeFiles/tomur_hw.dir/dram.cc.o"
+  "CMakeFiles/tomur_hw.dir/dram.cc.o.d"
+  "libtomur_hw.a"
+  "libtomur_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_ml.dir/dataset.cc.o"
+  "CMakeFiles/tomur_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/tomur_ml.dir/gbr.cc.o"
+  "CMakeFiles/tomur_ml.dir/gbr.cc.o.d"
+  "CMakeFiles/tomur_ml.dir/linreg.cc.o"
+  "CMakeFiles/tomur_ml.dir/linreg.cc.o.d"
+  "CMakeFiles/tomur_ml.dir/metrics.cc.o"
+  "CMakeFiles/tomur_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/tomur_ml.dir/serialize.cc.o"
+  "CMakeFiles/tomur_ml.dir/serialize.cc.o.d"
+  "CMakeFiles/tomur_ml.dir/tree.cc.o"
+  "CMakeFiles/tomur_ml.dir/tree.cc.o.d"
+  "libtomur_ml.a"
+  "libtomur_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

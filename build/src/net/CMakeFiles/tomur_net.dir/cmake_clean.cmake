@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_net.dir/headers.cc.o"
+  "CMakeFiles/tomur_net.dir/headers.cc.o.d"
+  "CMakeFiles/tomur_net.dir/packet.cc.o"
+  "CMakeFiles/tomur_net.dir/packet.cc.o.d"
+  "libtomur_net.a"
+  "libtomur_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/acl.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/acl.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/acl.cc.o.d"
+  "/root/repo/src/nfs/bench_nfs.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/bench_nfs.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/bench_nfs.cc.o.d"
+  "/root/repo/src/nfs/common_elements.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/common_elements.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/common_elements.cc.o.d"
+  "/root/repo/src/nfs/firewall.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/firewall.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/firewall.cc.o.d"
+  "/root/repo/src/nfs/flowclassifier.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowclassifier.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowclassifier.cc.o.d"
+  "/root/repo/src/nfs/flowmonitor.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowmonitor.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowmonitor.cc.o.d"
+  "/root/repo/src/nfs/flowstats.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowstats.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowstats.cc.o.d"
+  "/root/repo/src/nfs/flowtracker.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowtracker.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/flowtracker.cc.o.d"
+  "/root/repo/src/nfs/ipcomp.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/ipcomp.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/ipcomp.cc.o.d"
+  "/root/repo/src/nfs/iprouter.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/iprouter.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/iprouter.cc.o.d"
+  "/root/repo/src/nfs/ipsec.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/ipsec.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/ipsec.cc.o.d"
+  "/root/repo/src/nfs/iptunnel.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/iptunnel.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/iptunnel.cc.o.d"
+  "/root/repo/src/nfs/lpm.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/lpm.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/lpm.cc.o.d"
+  "/root/repo/src/nfs/nat.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/nat.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/nat.cc.o.d"
+  "/root/repo/src/nfs/nids.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/nids.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/nids.cc.o.d"
+  "/root/repo/src/nfs/packetfilter.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/packetfilter.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/packetfilter.cc.o.d"
+  "/root/repo/src/nfs/registry.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/registry.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/registry.cc.o.d"
+  "/root/repo/src/nfs/synthetic.cc" "src/nfs/CMakeFiles/tomur_nfs.dir/synthetic.cc.o" "gcc" "src/nfs/CMakeFiles/tomur_nfs.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/tomur_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tomur_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tomur_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tomur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/tomur_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

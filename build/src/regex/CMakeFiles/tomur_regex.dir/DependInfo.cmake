@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/ast.cc" "src/regex/CMakeFiles/tomur_regex.dir/ast.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/ast.cc.o.d"
+  "/root/repo/src/regex/dfa.cc" "src/regex/CMakeFiles/tomur_regex.dir/dfa.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/dfa.cc.o.d"
+  "/root/repo/src/regex/generator.cc" "src/regex/CMakeFiles/tomur_regex.dir/generator.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/generator.cc.o.d"
+  "/root/repo/src/regex/matcher.cc" "src/regex/CMakeFiles/tomur_regex.dir/matcher.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/matcher.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/regex/CMakeFiles/tomur_regex.dir/nfa.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/nfa.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/regex/CMakeFiles/tomur_regex.dir/parser.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/parser.cc.o.d"
+  "/root/repo/src/regex/ruleset.cc" "src/regex/CMakeFiles/tomur_regex.dir/ruleset.cc.o" "gcc" "src/regex/CMakeFiles/tomur_regex.dir/ruleset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_regex.dir/ast.cc.o"
+  "CMakeFiles/tomur_regex.dir/ast.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/dfa.cc.o"
+  "CMakeFiles/tomur_regex.dir/dfa.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/generator.cc.o"
+  "CMakeFiles/tomur_regex.dir/generator.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/matcher.cc.o"
+  "CMakeFiles/tomur_regex.dir/matcher.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/nfa.cc.o"
+  "CMakeFiles/tomur_regex.dir/nfa.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/parser.cc.o"
+  "CMakeFiles/tomur_regex.dir/parser.cc.o.d"
+  "CMakeFiles/tomur_regex.dir/ruleset.cc.o"
+  "CMakeFiles/tomur_regex.dir/ruleset.cc.o.d"
+  "libtomur_regex.a"
+  "libtomur_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_sim.dir/testbed.cc.o"
+  "CMakeFiles/tomur_sim.dir/testbed.cc.o.d"
+  "libtomur_sim.a"
+  "libtomur_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

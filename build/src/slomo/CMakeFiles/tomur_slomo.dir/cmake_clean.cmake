@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_slomo.dir/slomo.cc.o"
+  "CMakeFiles/tomur_slomo.dir/slomo.cc.o.d"
+  "libtomur_slomo.a"
+  "libtomur_slomo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_slomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

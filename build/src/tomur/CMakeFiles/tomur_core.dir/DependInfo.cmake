@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tomur/accel_model.cc" "src/tomur/CMakeFiles/tomur_core.dir/accel_model.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/accel_model.cc.o.d"
+  "/root/repo/src/tomur/adaptive.cc" "src/tomur/CMakeFiles/tomur_core.dir/adaptive.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/tomur/composition.cc" "src/tomur/CMakeFiles/tomur_core.dir/composition.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/composition.cc.o.d"
+  "/root/repo/src/tomur/config_aware.cc" "src/tomur/CMakeFiles/tomur_core.dir/config_aware.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/config_aware.cc.o.d"
+  "/root/repo/src/tomur/contention.cc" "src/tomur/CMakeFiles/tomur_core.dir/contention.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/contention.cc.o.d"
+  "/root/repo/src/tomur/memory_model.cc" "src/tomur/CMakeFiles/tomur_core.dir/memory_model.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/memory_model.cc.o.d"
+  "/root/repo/src/tomur/predictor.cc" "src/tomur/CMakeFiles/tomur_core.dir/predictor.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/predictor.cc.o.d"
+  "/root/repo/src/tomur/profiler.cc" "src/tomur/CMakeFiles/tomur_core.dir/profiler.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/profiler.cc.o.d"
+  "/root/repo/src/tomur/serialize.cc" "src/tomur/CMakeFiles/tomur_core.dir/serialize.cc.o" "gcc" "src/tomur/CMakeFiles/tomur_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/tomur_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tomur_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/tomur_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/tomur_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/tomur_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tomur_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tomur_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/tomur_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tomur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_core.dir/accel_model.cc.o"
+  "CMakeFiles/tomur_core.dir/accel_model.cc.o.d"
+  "CMakeFiles/tomur_core.dir/adaptive.cc.o"
+  "CMakeFiles/tomur_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/tomur_core.dir/composition.cc.o"
+  "CMakeFiles/tomur_core.dir/composition.cc.o.d"
+  "CMakeFiles/tomur_core.dir/config_aware.cc.o"
+  "CMakeFiles/tomur_core.dir/config_aware.cc.o.d"
+  "CMakeFiles/tomur_core.dir/contention.cc.o"
+  "CMakeFiles/tomur_core.dir/contention.cc.o.d"
+  "CMakeFiles/tomur_core.dir/memory_model.cc.o"
+  "CMakeFiles/tomur_core.dir/memory_model.cc.o.d"
+  "CMakeFiles/tomur_core.dir/predictor.cc.o"
+  "CMakeFiles/tomur_core.dir/predictor.cc.o.d"
+  "CMakeFiles/tomur_core.dir/profiler.cc.o"
+  "CMakeFiles/tomur_core.dir/profiler.cc.o.d"
+  "CMakeFiles/tomur_core.dir/serialize.cc.o"
+  "CMakeFiles/tomur_core.dir/serialize.cc.o.d"
+  "libtomur_core.a"
+  "libtomur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

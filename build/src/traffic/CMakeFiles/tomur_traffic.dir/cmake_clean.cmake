@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_traffic.dir/generator.cc.o"
+  "CMakeFiles/tomur_traffic.dir/generator.cc.o.d"
+  "CMakeFiles/tomur_traffic.dir/profile.cc.o"
+  "CMakeFiles/tomur_traffic.dir/profile.cc.o.d"
+  "libtomur_traffic.a"
+  "libtomur_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_usecases.dir/diagnosis.cc.o"
+  "CMakeFiles/tomur_usecases.dir/diagnosis.cc.o.d"
+  "CMakeFiles/tomur_usecases.dir/placement.cc.o"
+  "CMakeFiles/tomur_usecases.dir/placement.cc.o.d"
+  "libtomur_usecases.a"
+  "libtomur_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtomur_usecases.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_aware.dir/test_config_aware.cc.o"
+  "CMakeFiles/test_config_aware.dir/test_config_aware.cc.o.d"
+  "test_config_aware"
+  "test_config_aware.pdb"
+  "test_config_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slomo.dir/test_slomo.cc.o"
+  "CMakeFiles/test_slomo.dir/test_slomo.cc.o.d"
+  "test_slomo"
+  "test_slomo.pdb"
+  "test_slomo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

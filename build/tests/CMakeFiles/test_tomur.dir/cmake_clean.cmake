@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomur.dir/test_tomur.cc.o"
+  "CMakeFiles/test_tomur.dir/test_tomur.cc.o.d"
+  "test_tomur"
+  "test_tomur.pdb"
+  "test_tomur[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomur_cli.dir/tomur_cli.cc.o"
+  "CMakeFiles/tomur_cli.dir/tomur_cli.cc.o.d"
+  "tomur_cli"
+  "tomur_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomur_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
