@@ -73,6 +73,8 @@ main()
             auto breakdown = model.predictDetailed(
                 levels, p, env.solo(name, p));
             t.tomur = tomurDiagnosis(breakdown);
+            t.degraded = breakdown.degraded;
+            t.confidence = breakdown.confidence;
             t.slomo = Resource::Memory; // all SLOMO can ever say
             if (!first && t.truth != prev)
                 ++shifts;

@@ -7,6 +7,7 @@ namespace tomur {
 
 namespace {
 bool verboseEnabled = true;
+std::size_t warnsEmitted = 0;
 } // namespace
 
 void
@@ -26,7 +27,31 @@ panic(const std::string &msg)
 void
 warn(const std::string &msg)
 {
+    ++warnsEmitted;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnEvent(
+    const std::string &component, const std::string &event,
+    const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    std::string line = "[" + component + "] " + event;
+    for (const auto &[key, value] : fields)
+        line += " " + key + "=" + value;
+    warn(line);
+}
+
+std::size_t
+warnCount()
+{
+    return warnsEmitted;
+}
+
+void
+resetWarnCount()
+{
+    warnsEmitted = 0;
 }
 
 void

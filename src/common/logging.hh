@@ -11,7 +11,10 @@
 #ifndef TOMUR_COMMON_LOGGING_HH
 #define TOMUR_COMMON_LOGGING_HH
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tomur {
 
@@ -23,6 +26,26 @@ namespace tomur {
 
 /** Print "warn: <msg>" to stderr. */
 void warn(const std::string &msg);
+
+/**
+ * Structured WARN event: "warn: [component] event k=v k=v" on
+ * stderr. Used by the graceful-degradation paths (fallback chain,
+ * retry loop, fault screens) so degradations are observable and
+ * grep-able rather than silent. Always emitted, regardless of the
+ * verbosity setting, and counted (see warnCount()) so tests and
+ * monitors can assert that a degradation was reported.
+ */
+void warnEvent(
+    const std::string &component, const std::string &event,
+    const std::vector<std::pair<std::string, std::string>> &fields =
+        {});
+
+/** Number of warn()/warnEvent() calls since process start (or the
+ *  last resetWarnCount()). */
+std::size_t warnCount();
+
+/** Reset the warn counter (tests isolate their assertions). */
+void resetWarnCount();
 
 /** Print "info: <msg>" to stderr. */
 void inform(const std::string &msg);

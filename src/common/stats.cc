@@ -54,6 +54,18 @@ median(const std::vector<double> &xs)
 }
 
 double
+mad(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double m = median(xs);
+    std::vector<double> dev(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        dev[i] = std::fabs(xs[i] - m);
+    return median(dev);
+}
+
+double
 minOf(const std::vector<double> &xs)
 {
     return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());

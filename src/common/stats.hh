@@ -27,6 +27,14 @@ double percentile(std::vector<double> xs, double p);
 /** Median (50th percentile). */
 double median(const std::vector<double> &xs);
 
+/**
+ * Median absolute deviation: median(|x - median(xs)|). A robust
+ * spread estimate — unlike the standard deviation it ignores a
+ * minority of wildly corrupted samples, which is what makes it
+ * usable as an outlier screen over faulted measurements.
+ */
+double mad(const std::vector<double> &xs);
+
 /** Minimum (0 for empty). */
 double minOf(const std::vector<double> &xs);
 

@@ -1,0 +1,48 @@
+#include "common/status.hh"
+
+namespace tomur {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::InvalidArgument:
+        return "invalid argument";
+      case StatusCode::FailedPrecondition:
+        return "failed precondition";
+      case StatusCode::CorruptData:
+        return "corrupt data";
+      case StatusCode::Unavailable:
+        return "unavailable";
+      case StatusCode::NotFound:
+        return "not found";
+      case StatusCode::IoError:
+        return "i/o error";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string s = statusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (isOk())
+        return *this;
+    return error(code_, context + ": " + message_);
+}
+
+} // namespace tomur

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Rich, propagated error reporting for recoverable failures.
+ *
+ * The logging helpers (fatal/panic) terminate the process; that is
+ * the right call for internal invariant violations but not for
+ * conditions a production prediction service must survive: corrupt
+ * model files, degenerate calibration data, faulted measurements.
+ * Those paths return a Status (or Result<T>) instead, carrying an
+ * error category plus a human-readable message that names the thing
+ * that failed, so callers can fall back, retry, or surface the error
+ * without crashing.
+ */
+
+#ifndef TOMUR_COMMON_STATUS_HH
+#define TOMUR_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tomur {
+
+/** Error categories (coarse: drives fallback/exit-code decisions). */
+enum class StatusCode
+{
+    Ok,
+    InvalidArgument,    ///< caller passed something unusable
+    FailedPrecondition, ///< object not in the required state
+    CorruptData,        ///< malformed/damaged serialized input
+    Unavailable,        ///< resource degraded or measurement faulted
+    NotFound,           ///< named entity does not exist
+    IoError,            ///< underlying stream/file failure
+};
+
+/** Status code name for messages. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * An error category plus message, or success. Contextually
+ * convertible to bool (true == ok) so existing `if (!m.load(in))`
+ * call sites keep working after a bool -> Status migration.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    static Status
+    invalidArgument(std::string m)
+    {
+        return error(StatusCode::InvalidArgument, std::move(m));
+    }
+
+    static Status
+    failedPrecondition(std::string m)
+    {
+        return error(StatusCode::FailedPrecondition, std::move(m));
+    }
+
+    static Status
+    corruptData(std::string m)
+    {
+        return error(StatusCode::CorruptData, std::move(m));
+    }
+
+    static Status
+    unavailable(std::string m)
+    {
+        return error(StatusCode::Unavailable, std::move(m));
+    }
+
+    static Status
+    notFound(std::string m)
+    {
+        return error(StatusCode::NotFound, std::move(m));
+    }
+
+    static Status
+    ioError(std::string m)
+    {
+        return error(StatusCode::IoError, std::move(m));
+    }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+    /**
+     * Prefix more context onto the message ("while loading X: ...")
+     * so a deep failure names every enclosing section.
+     */
+    Status withContext(const std::string &context) const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A value or the Status explaining why there is none.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) // NOLINT: implicit by design, like StatusOr
+        : value_(std::move(value))
+    {
+    }
+
+    Result(Status status) // NOLINT: implicit by design
+        : status_(std::move(status))
+    {
+        if (status_.isOk()) {
+            status_ = Status::error(StatusCode::InvalidArgument,
+                                    "Result built from an OK status "
+                                    "without a value");
+        }
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return status_; }
+
+    /** The value; call only when isOk(). */
+    const T &value() const { return *value_; }
+    T &value() { return *value_; }
+
+    /** The value, or `fallback` when this holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return value_ ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_STATUS_HH

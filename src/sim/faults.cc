@@ -1,0 +1,143 @@
+#include "sim/faults.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tomur::sim {
+
+namespace {
+
+/** Apply f to every measured counter field. */
+template <typename F>
+void
+forEachCounter(hw::PerfCounters &c, F f)
+{
+    f(c.ipc);
+    f(c.instrRetired);
+    f(c.l2ReadRate);
+    f(c.l2WriteRate);
+    f(c.memReadRate);
+    f(c.memWriteRate);
+    f(c.wssBytes);
+}
+
+} // namespace
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+      case FaultMode::DroppedMeasurement:
+        return "dropped-measurement";
+      case FaultMode::NanCounters:
+        return "nan-counters";
+      case FaultMode::ZeroCounters:
+        return "zero-counters";
+      case FaultMode::SaturatedCounters:
+        return "saturated-counters";
+      case FaultMode::ThroughputOutlier:
+        return "throughput-outlier";
+      case FaultMode::TruncatedBatch:
+        return "truncated-batch";
+      case FaultMode::DegradedAccel:
+        return "degraded-accel";
+    }
+    return "unknown";
+}
+
+FaultConfig
+FaultConfig::uniformCorruption(double p, std::uint64_t seed)
+{
+    FaultConfig c;
+    c.dropProb = p / 5.0;
+    c.nanProb = p / 5.0;
+    c.zeroProb = p / 5.0;
+    c.saturateProb = p / 5.0;
+    c.outlierProb = p / 5.0;
+    c.truncateBatchProb = p / 2.0;
+    c.seed = seed;
+    return c;
+}
+
+FaultInjectingTestbed::FaultInjectingTestbed(Testbed &inner,
+                                             FaultConfig config)
+    : Testbed(inner.config(), TestbedOptions{}), inner_(inner),
+      config_(config), rng_(config.seed)
+{
+}
+
+void
+FaultInjectingTestbed::corrupt(Measurement &m,
+                               bool uses_degraded_accel)
+{
+    auto note = [&](FaultMode mode) {
+        ++stats_.injected[static_cast<int>(mode)];
+    };
+
+    // The deterministic degradation applies first (it models the
+    // hardware, not the measurement path); random read-out faults
+    // can then still hit the already-degraded reading.
+    if (uses_degraded_accel) {
+        m.throughput *= config_.degradedAccelFactor;
+        note(FaultMode::DegradedAccel);
+    }
+
+    if (rng_.chance(config_.dropProb)) {
+        m.throughput = 0.0;
+        forEachCounter(m.counters, [](double &v) { v = 0.0; });
+        note(FaultMode::DroppedMeasurement);
+        return; // a lost measurement cannot be further corrupted
+    }
+    if (rng_.chance(config_.nanProb)) {
+        double nan = std::numeric_limits<double>::quiet_NaN();
+        m.throughput = nan;
+        forEachCounter(m.counters, [&](double &v) { v = nan; });
+        note(FaultMode::NanCounters);
+        return;
+    }
+    if (rng_.chance(config_.zeroProb)) {
+        forEachCounter(m.counters, [](double &v) { v = 0.0; });
+        note(FaultMode::ZeroCounters);
+    }
+    if (rng_.chance(config_.saturateProb)) {
+        // Stuck-at-all-ones 48-bit PMU register, a classic glitch.
+        double sat = static_cast<double>((1ULL << 48) - 1);
+        forEachCounter(m.counters, [&](double &v) { v = sat; });
+        note(FaultMode::SaturatedCounters);
+    }
+    if (rng_.chance(config_.outlierProb)) {
+        double f = rng_.uniform(2.0, std::max(2.0,
+                                              config_.outlierFactor));
+        m.throughput *= rng_.chance(0.5) ? f : 1.0 / f;
+        note(FaultMode::ThroughputOutlier);
+    }
+}
+
+std::vector<Measurement>
+FaultInjectingTestbed::run(
+    const std::vector<framework::WorkloadProfile> &workloads)
+{
+    auto out = inner_.run(workloads);
+    ++stats_.batches;
+    stats_.measurements += out.size();
+
+    if (out.size() > 1 && rng_.chance(config_.truncateBatchProb)) {
+        // Keep a uniformly chosen prefix; [0, n-1] members survive.
+        out.resize(rng_.uniformInt(out.size()));
+        ++stats_.injected[static_cast<int>(FaultMode::TruncatedBatch)];
+    }
+
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        bool degraded = config_.degradedAccelEnabled &&
+                        workloads[i]
+                            .accel[static_cast<int>(
+                                config_.degradedAccelKind)]
+                            .used;
+        corrupt(out[i], degraded);
+    }
+    return out;
+}
+
+} // namespace tomur::sim

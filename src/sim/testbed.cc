@@ -337,7 +337,16 @@ Testbed::run(const std::vector<fw::WorkloadProfile> &workloads)
 Measurement
 Testbed::runSolo(const fw::WorkloadProfile &workload)
 {
-    return run({workload})[0];
+    auto ms = run({workload});
+    if (ms.empty()) {
+        // A fault-injecting harness may truncate the batch to
+        // nothing; surface that as an all-zero measurement rather
+        // than indexing out of range.
+        Measurement dropped;
+        dropped.nfName = workload.nfName;
+        return dropped;
+    }
+    return ms[0];
 }
 
 } // namespace tomur::sim

@@ -73,9 +73,17 @@ class Testbed
 {
   public:
     explicit Testbed(hw::NicConfig config, TestbedOptions opts = {});
+    virtual ~Testbed() = default;
 
-    /** Deploy a set of workloads together and measure all of them. */
-    std::vector<Measurement>
+    /**
+     * Deploy a set of workloads together and measure all of them.
+     *
+     * Virtual so a measurement harness (sim/faults.hh) can interpose
+     * on the measured outputs; robust consumers must not assume the
+     * returned batch is complete — a faulted collection may come back
+     * short.
+     */
+    virtual std::vector<Measurement>
     run(const std::vector<framework::WorkloadProfile> &workloads);
 
     /** Deploy one workload alone. */

@@ -76,7 +76,8 @@ SlomoTrainer::train(fw::NetworkFunction &nf,
                                            training_profile),
                  ms[0].throughput);
     }
-    model.memory_.fit(data);
+    if (auto st = model.memory_.fit(data); !st)
+        fatal("SlomoTrainer: " + st.toString());
 
     // Local flow-count sensitivity: measure solo at +-20% of the
     // training flow count and take the central-difference slope.

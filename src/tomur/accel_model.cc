@@ -10,12 +10,14 @@
 
 namespace tomur::core {
 
-void
+Status
 AccelQueueModel::calibrate(
     const std::vector<AccelCalibrationPoint> &points)
 {
-    if (points.size() < 2)
-        fatal("AccelQueueModel: need at least two calibration points");
+    if (points.size() < 2) {
+        return Status::invalidArgument(
+            "AccelQueueModel: need at least two calibration points");
+    }
 
     // Group observations by traffic point; pairs within a group
     // isolate n (Eq. 2 with the bench's known service time):
@@ -24,8 +26,14 @@ AccelQueueModel::calibrate(
              std::vector<const AccelCalibrationPoint *>>
         by_traffic;
     for (const auto &p : points) {
-        if (p.measuredThroughput <= 0.0 || p.benchServiceTime <= 0.0)
-            fatal("AccelQueueModel: non-positive calibration point");
+        if (!std::isfinite(p.measuredThroughput) ||
+            !std::isfinite(p.benchServiceTime) ||
+            p.measuredThroughput <= 0.0 ||
+            p.benchServiceTime <= 0.0) {
+            return Status::invalidArgument(
+                "AccelQueueModel: non-positive or non-finite "
+                "calibration point");
+        }
         by_traffic[{p.mtbr, p.payloadBytes}].push_back(&p);
     }
 
@@ -47,9 +55,11 @@ AccelQueueModel::calibrate(
             }
         }
     }
-    if (n_estimates.empty())
-        fatal("AccelQueueModel: calibration points do not constrain "
-              "the queue count (vary the bench service time)");
+    if (n_estimates.empty()) {
+        return Status::invalidArgument(
+            "AccelQueueModel: calibration points do not constrain "
+            "the queue count (vary the bench service time)");
+    }
     queues_ = std::max(
         1, static_cast<int>(std::lround(median(n_estimates))));
 
@@ -68,8 +78,10 @@ AccelQueueModel::calibrate(
         payloads.push_back(p.payloadBytes);
         matches.push_back(p.mtbr * p.payloadBytes / 1e6);
     }
-    if (times.empty())
-        fatal("AccelQueueModel: no usable service-time estimates");
+    if (times.empty()) {
+        return Status::invalidArgument(
+            "AccelQueueModel: no usable service-time estimates");
+    }
 
     auto varies = [](const std::vector<double> &xs) {
         return maxOf(xs) - minOf(xs) >
@@ -112,6 +124,7 @@ AccelQueueModel::calibrate(
     if (t0_ <= 0.0 && byteSlope_ <= 0.0 && matchSlope_ <= 0.0)
         t0_ = mean(times);
     calibrated_ = true;
+    return Status::ok();
 }
 
 double

@@ -24,6 +24,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/status.hh"
 #include "ml/linreg.hh"
 #include "tomur/contention.hh"
 
@@ -49,8 +50,12 @@ class AccelQueueModel
      * service times at some traffic point to identify n, and varied
      * (mtbr, payload) coverage to identify the traffic law; with a
      * single traffic point the model degrades to fixed-traffic.
+     * Returns an error (leaving the model uncalibrated) when the
+     * points cannot identify the model — too few, non-positive, or
+     * degenerate (e.g. collected under measurement faults) — so the
+     * trainer can degrade gracefully instead of aborting.
      */
-    void calibrate(const std::vector<AccelCalibrationPoint> &points);
+    Status calibrate(const std::vector<AccelCalibrationPoint> &points);
 
     /** Effective queue count n_i (rounded to an integer >= 1). */
     int queues() const { return queues_; }
@@ -75,10 +80,11 @@ class AccelQueueModel
     bool calibrated() const { return calibrated_; }
 
     /** Serialize the calibrated parameters to a text stream. */
-    void save(std::ostream &out) const;
+    Status save(std::ostream &out) const;
 
-    /** Load from save() output. @return false on malformed input. */
-    bool load(std::istream &in);
+    /** Load from save() output. On error the model is untouched and
+     *  the Status names what was malformed. */
+    Status load(std::istream &in);
 
   private:
     int queues_ = 1;

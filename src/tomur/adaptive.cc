@@ -32,6 +32,13 @@ class Budget
             return it->second;
         ++used_;
         double t = cb_.solo(p);
+        if (!std::isfinite(t)) {
+            // A faulted measurement that slipped past the profiler's
+            // screens must not poison the bisection arithmetic:
+            // treat it as "no signal" (the range is simply skipped).
+            warnEvent("adaptive", "non-finite-solo-measurement", {});
+            t = 0.0;
+        }
         soloCache_[key] = t;
         return t;
     }

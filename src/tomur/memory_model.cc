@@ -1,6 +1,9 @@
 #include "tomur/memory_model.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace tomur::core {
 
@@ -28,9 +31,27 @@ MemoryModel::featuresFor(
     return aggregateCounters(competitors).toVector();
 }
 
-void
+Status
 MemoryModel::fit(const ml::Dataset &data)
 {
+    if (data.size() == 0) {
+        return Status::invalidArgument(
+            "MemoryModel::fit: empty training set (every profiling "
+            "sample was rejected or lost)");
+    }
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        if (!std::isfinite(data.labels()[r])) {
+            return Status::invalidArgument(strf(
+                "MemoryModel::fit: non-finite label in row %zu", r));
+        }
+        for (double v : data.row(r)) {
+            if (!std::isfinite(v)) {
+                return Status::invalidArgument(strf(
+                    "MemoryModel::fit: non-finite feature in row %zu",
+                    r));
+            }
+        }
+    }
     models_.clear();
     for (int s = 0; s < opts_.seeds; ++s) {
         ml::GbrParams p = opts_.gbr;
@@ -40,6 +61,7 @@ MemoryModel::fit(const ml::Dataset &data)
         models_.push_back(std::move(gbr));
     }
     fitted_ = true;
+    return Status::ok();
 }
 
 double

@@ -12,6 +12,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/status.hh"
 #include "ml/gbr.hh"
 #include "tomur/contention.hh"
 
@@ -37,9 +38,12 @@ class MemoryModel
 
     /**
      * Fit from training rows. Each row's features must come from
-     * featuresFor() with the same trafficAware setting.
+     * featuresFor() with the same trafficAware setting. Returns an
+     * error (and leaves the model unfitted) when the dataset is
+     * empty or contains non-finite rows — e.g. after every sample
+     * of a profiling run was lost to measurement faults.
      */
-    void fit(const ml::Dataset &data);
+    Status fit(const ml::Dataset &data);
 
     /** Build the feature vector for a competitor set + traffic. */
     std::vector<double>
@@ -61,10 +65,11 @@ class MemoryModel
     bool trafficAware() const { return opts_.trafficAware; }
 
     /** Serialize the fitted ensemble to a text stream. */
-    void save(std::ostream &out) const;
+    Status save(std::ostream &out) const;
 
-    /** Load from save() output. @return false on malformed input. */
-    bool load(std::istream &in);
+    /** Load from save() output. On error the model is untouched and
+     *  the Status names what was malformed. */
+    Status load(std::istream &in);
 
   private:
     MemoryModelOptions opts_;

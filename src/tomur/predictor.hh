@@ -8,11 +8,14 @@
 #ifndef TOMUR_TOMUR_PREDICTOR_HH
 #define TOMUR_TOMUR_PREDICTOR_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.hh"
 #include "framework/nf.hh"
 #include "tomur/accel_model.hh"
 #include "tomur/adaptive.hh"
@@ -33,7 +36,56 @@ struct PredictionBreakdown
      *  0 = memory, otherwise 1 + accelerator kind index
      *  (1 = regex, 2 = compression, 3 = crypto). */
     int dominantResource = 0;
+
+    /**
+     * Prediction trust in [0, 1]. 1.0 = the full model ran; lower
+     * values mean a fallback produced the number (see the fallback
+     * chain in TomurModel). Consumers ranking or gating on
+     * predictions (placement, diagnosis) should weigh or skip
+     * low-confidence results.
+     */
+    double confidence = 1.0;
+    /** True whenever any fallback below the full model was taken. */
+    bool degraded = false;
+    /** Human-readable reason when degraded (empty otherwise). */
+    std::string degradedReason;
 };
+
+/**
+ * Health of a model's parts. Sub-models get marked degraded when
+ * their training/calibration data was unusable (e.g. under heavy
+ * measurement faults) or by an operator quarantining a suspect part;
+ * prediction then follows the fallback chain instead of crashing:
+ *
+ *   full model  ->  memory-only model  ->  solo-hint passthrough
+ *
+ * - full: memory + every used accelerator model healthy
+ *   (confidence 1.0, degraded = false);
+ * - memory-only: an accelerator sub-model is missing/degraded, so
+ *   accelerator contention is ignored (confidence <= 0.6);
+ * - solo-hint passthrough: the memory model itself is unusable, the
+ *   prediction is just the solo baseline, ignoring all contention
+ *   (confidence <= 0.25).
+ */
+struct ModelHealth
+{
+    bool soloDegraded = false;   ///< solo sensitivity model unusable
+    bool memoryDegraded = false; ///< memory contention model unusable
+    /** Accel sub-model unusable for a kind the NF does use. */
+    bool accelDegraded[hw::numAccelKinds] = {};
+
+    bool
+    anyDegraded() const
+    {
+        bool any = soloDegraded || memoryDegraded;
+        for (bool a : accelDegraded)
+            any = any || a;
+        return any;
+    }
+};
+
+/** FNV-1a 64 over the serialized model body (the save() checksum). */
+std::uint64_t modelBodyChecksum(std::string_view body);
 
 /**
  * A trained predictive model for one NF.
@@ -78,8 +130,31 @@ class TomurModel
     /** Predicted solo throughput at a traffic profile. */
     double soloThroughput(const traffic::TrafficProfile &p) const;
 
+    /**
+     * Predicted solo throughput, or the Status explaining why no
+     * estimate exists (untrained or degraded solo model). The
+     * double-returning overload above warns and returns 0.0 in that
+     * case instead of panicking.
+     */
+    Result<double>
+    trySoloThroughput(const traffic::TrafficProfile &p) const;
+
     /** The memory per-resource model. */
     const MemoryModel &memoryModel() const { return memory_; }
+
+    /** Health of the sub-models (drives the fallback chain). */
+    const ModelHealth &health() const { return health_; }
+
+    /**
+     * Quarantine a sub-model: subsequent predictions skip it via the
+     * fallback chain and carry degraded = true. Used by the trainer
+     * when calibration data is unusable, and available to operators
+     * who distrust a sub-model (e.g. a degraded accelerator).
+     */
+    void markMemoryDegraded(const std::string &reason);
+    void markSoloDegraded(const std::string &reason);
+    void markAccelDegraded(hw::AccelKind kind,
+                           const std::string &reason);
 
     /** The accelerator model for a kind (nullopt if unused). */
     const std::optional<AccelQueueModel> &
@@ -91,12 +166,19 @@ class TomurModel
     /**
      * Serialize the whole trained model to a text stream so the
      * offline training cost is paid once: a loaded model predicts
-     * bit-identically to the original.
+     * bit-identically to the original. The format carries a version
+     * tag plus a length + checksum header over the body, so load()
+     * rejects truncated or bit-flipped files deterministically.
      */
-    void save(std::ostream &out) const;
+    Status save(std::ostream &out) const;
 
-    /** Load from save() output. @return false on malformed input. */
-    bool load(std::istream &in);
+    /**
+     * Load from save() output. On error the model is left untouched
+     * and the Status names the section that failed (header,
+     * checksum, memory model, solo models, accelerator models).
+     * Contextually convertible to bool: ok == loaded.
+     */
+    Status load(std::istream &in);
 
   private:
     friend class TomurTrainer;
@@ -104,6 +186,7 @@ class TomurModel
     std::string nfName_;
     framework::ExecutionPattern pattern_ =
         framework::ExecutionPattern::RunToCompletion;
+    ModelHealth health_;
     /**
      * Memory per-resource model. Trained on the *relative* throughput
      * (T_contended / T_solo at the same traffic profile): the GBR

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/strutil.hh"
 #include "net/packet.hh"
 
@@ -25,6 +27,52 @@ benchTraffic(double mtbr = 0.0, std::uint64_t packet_size = 1500)
     p.packetSize = packet_size;
     p.mtbr = mtbr;
     return p;
+}
+
+/** Counter readings above this are glitched (stuck/saturated): the
+ *  simulated NIC tops out around 1e9 events/s. */
+constexpr double kCounterCeiling = 1e13;
+
+/** A measured throughput that can enter training data. */
+bool
+plausibleThroughput(const sim::Measurement &m)
+{
+    return std::isfinite(m.throughput) && m.throughput > 0.0;
+}
+
+/** Counter plausibility: finite and below the saturation ceiling. */
+bool
+plausibleCounters(const hw::PerfCounters &c)
+{
+    for (double v : c.toVector()) {
+        if (!std::isfinite(v) || v < 0.0 || v > kCounterCeiling)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Solo-run with a small bounded retry against measurement faults
+ * (dropped/NaN readings). Library profiling has no TrainOptions, so
+ * the budget is fixed; on a clean testbed the first attempt always
+ * passes and behaviour is unchanged.
+ */
+sim::Measurement
+soloScreened(sim::Testbed &bed, const fw::WorkloadProfile &w,
+             bool need_counters = false, int attempts = 4)
+{
+    sim::Measurement m;
+    for (int i = 0; i < attempts; ++i) {
+        m = bed.runSolo(w);
+        if (plausibleThroughput(m) && m.truthThroughput > 0.0 &&
+            (!need_counters || plausibleCounters(m.counters))) {
+            return m;
+        }
+    }
+    warnEvent("profiler", "solo-measurement-faulty",
+              {{"nf", w.nfName},
+               {"attempts", strf("%d", attempts)}});
+    return m;
 }
 
 } // namespace
@@ -50,7 +98,7 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
                 e.workload =
                     fw::profileWorkload(*nf, benchTraffic(),
                                         nullptr);
-                auto m = testbed_.runSolo(e.workload);
+                auto m = soloScreened(testbed_, e.workload, true);
                 e.level.name = strf("mem-bench(%.0fMB,%.0fM,%.0f)",
                                     wss, car / 1e6, ipa);
                 e.level.counters = m.counters;
@@ -66,7 +114,7 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
         e.config.mode = nfs::MemAccessMode::Stream;
         auto nf = nfs::makeMemBench(e.config);
         e.workload = fw::profileWorkload(*nf, benchTraffic(), nullptr);
-        auto m = testbed_.runSolo(e.workload);
+        auto m = soloScreened(testbed_, e.workload, true);
         e.level.name = strf("mem-bench-stream(%.0fMB)", wss);
         e.level.counters = m.counters;
         memBenches_.push_back(std::move(e));
@@ -117,11 +165,13 @@ BenchLibrary::accelBench(hw::AccelKind kind, double rate, double knob)
     // solo is accelerator-bound, so t_b = 1 / throughput.
     fw::WorkloadProfile closed = e.workload;
     closed.pacedRate = 0.0;
-    auto solo = testbed_.runSolo(closed);
-    e.serviceTime = 1.0 / solo.truthThroughput;
+    auto solo = soloScreened(testbed_, closed);
+    e.serviceTime = solo.truthThroughput > 0.0
+        ? 1.0 / solo.truthThroughput
+        : 1e-6; // faulted beyond retry: keep a sane placeholder
 
     // Contention level as competitors see it.
-    auto m = testbed_.runSolo(e.workload);
+    auto m = soloScreened(testbed_, e.workload, true);
     e.level.name = strf("%s-bench(rate=%.0f,knob=%.0f)",
                         hw::accelName(kind), rate, knob);
     e.level.counters = m.counters;
@@ -163,7 +213,14 @@ TomurTrainer::contentionOf(fw::NetworkFunction &nf,
         return it->second;
 
     const auto &w = workloadOf(nf, profile);
-    auto solo = library_.testbed().runSolo(w);
+    auto solo = soloScreened(library_.testbed(), w, true);
+    if (!plausibleCounters(solo.counters)) {
+        // Out of retries and the counters are still glitched: scrub
+        // them so downstream feature vectors stay finite, and say so.
+        solo.counters = hw::PerfCounters{};
+        warnEvent("profiler", "contention-counters-scrubbed",
+                  {{"nf", nf.name()}});
+    }
 
     ContentionLevel level;
     level.name = nf.name();
@@ -179,15 +236,23 @@ TomurTrainer::contentionOf(fw::NetworkFunction &nf,
         double knob =
             kind == hw::AccelKind::Regex ? 1600.0 : 16000.0;
         const auto &bench = library_.accelBench(kind, 0.0, knob);
-        auto ms = library_.testbed().run({w, bench.workload});
-        int n = nf.queueCount(kind);
-        double t = 1.0 / ms[0].truthThroughput -
-                   bench.serviceTime / n;
+        // Bounded retry: a truncated batch or faulted reading must
+        // not leave a NaN service time in the cached level.
+        double t = 0.0;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            auto ms = library_.testbed().run({w, bench.workload});
+            if (ms.empty() || ms[0].truthThroughput <= 0.0)
+                continue;
+            int n = nf.queueCount(kind);
+            t = 1.0 / ms[0].truthThroughput -
+                bench.serviceTime / n;
+            break;
+        }
         t = std::max(t, 1e-9);
 
         auto &ac = level.accel[k];
         ac.used = true;
-        ac.queues = n;
+        ac.queues = nf.queueCount(kind);
         ac.serviceTime = t;
         ac.offeredRate = solo.truthThroughput;
         // Accelerator-bound NFs keep their queues non-empty at any
@@ -211,6 +276,112 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     model.memory_ = MemoryModel(opts.memory);
 
     auto &bed = library_.testbed();
+    const ScreenOptions &sc = opts.screen;
+
+    // ---- Screened measurement helpers (the outlier-rejection /
+    // retry loop). On a fault-free testbed the first attempt always
+    // passes every screen, so clean runs are unchanged. ----
+    auto noteFault = [&] {
+        if (report)
+            ++report->faultySamplesDetected;
+    };
+    auto noteRetry = [&] {
+        if (report)
+            ++report->retriesUsed;
+    };
+    auto noteAbandoned = [&](const char *stage) {
+        if (report)
+            ++report->samplesAbandoned;
+        warnEvent("profiler", "sample-abandoned",
+                  {{"nf", nf.name()}, {"stage", stage}});
+    };
+
+    /** Deploy + measure with plausibility retry; nullopt when the
+     *  budget runs out. */
+    auto runScreened =
+        [&](const std::vector<fw::WorkloadProfile> &deploy,
+            const char *stage)
+        -> std::optional<std::vector<sim::Measurement>> {
+        if (!sc.enabled)
+            return bed.run(deploy);
+        for (int attempt = 0; attempt <= sc.retryBudget; ++attempt) {
+            if (attempt > 0)
+                noteRetry();
+            auto ms = bed.run(deploy);
+            if (ms.size() == deploy.size() &&
+                plausibleThroughput(ms[0])) {
+                return ms;
+            }
+            noteFault();
+        }
+        noteAbandoned(stage);
+        return std::nullopt;
+    };
+
+    /**
+     * Measure one contended damage ratio with the full screen:
+     * plausibility + ratio ceiling, plus (optionally) verification
+     * by repetition with a median-absolute-deviation test for
+     * suspiciously heavy drops. Returns nullopt when the retry
+     * budget is exhausted.
+     */
+    auto measureRatio =
+        [&](const std::vector<fw::WorkloadProfile> &deploy,
+            double solo) -> std::optional<double> {
+        for (int attempt = 0; attempt <= sc.retryBudget; ++attempt) {
+            if (attempt > 0)
+                noteRetry();
+            auto ms = bed.run(deploy);
+            if (ms.size() != deploy.size() ||
+                !plausibleThroughput(ms[0])) {
+                if (sc.enabled) {
+                    noteFault();
+                    continue;
+                }
+                return ms.empty() ? 0.0 : ms[0].throughput / solo;
+            }
+            double r = ms[0].throughput / solo;
+            if (!sc.enabled)
+                return r;
+            if (r > sc.ratioCeiling) {
+                // Contention cannot make an NF faster: a ratio this
+                // far above 1 is a faulted reading.
+                noteFault();
+                continue;
+            }
+            if (sc.verifyBelowRatio <= 0.0 ||
+                r >= sc.verifyBelowRatio) {
+                return r;
+            }
+            // Suspiciously heavy drop: verify by repetition. A real
+            // heavy contention level reproduces; a low outlier
+            // disagrees with its re-measurements and the MAD test
+            // flags it, with the median as the robust keeper.
+            std::vector<double> reads = {r};
+            for (int extra = 0; extra < 2; ++extra) {
+                noteRetry();
+                auto again = bed.run(deploy);
+                if (again.size() == deploy.size() &&
+                    plausibleThroughput(again[0])) {
+                    double r2 = again[0].throughput / solo;
+                    if (r2 <= sc.ratioCeiling)
+                        reads.push_back(r2);
+                }
+            }
+            double med = median(reads);
+            double spread =
+                std::max(mad(reads), 0.01 * std::max(med, 1e-12));
+            for (double x : reads) {
+                if (std::fabs(x - med) > sc.madThreshold * spread) {
+                    noteFault(); // a repetition disagreed: faulted
+                    break;
+                }
+            }
+            return med;
+        }
+        noteAbandoned("contended");
+        return std::nullopt;
+    };
 
     // ---- Memory model training data ----
     // The memory GBR learns the damage ratio T_contended / T_solo;
@@ -226,11 +397,14 @@ TomurTrainer::train(fw::NetworkFunction &nf,
         auto it = solo_cache.find(key);
         if (it != solo_cache.end())
             return it->second;
-        auto m = bed.runSolo(workloadOf(nf, p));
-        solo_cache[key] = m.throughput;
-        solo_data.add(key, m.throughput);
-        data.add(model.memory_.featuresFor({}, p), 1.0);
-        return m.throughput;
+        auto ms = runScreened({workloadOf(nf, p)}, "solo");
+        double t = ms ? (*ms)[0].throughput : 0.0;
+        solo_cache[key] = t;
+        if (t > 0.0) {
+            solo_data.add(key, t);
+            data.add(model.memory_.featuresFor({}, p), 1.0);
+        }
+        return t;
     };
     auto addContended = [&](const traffic::TrafficProfile &p) {
         double solo = addSolo(p);
@@ -245,9 +419,11 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             levels.push_back(bench.level);
             deploy.push_back(bench.workload);
         }
-        auto ms = bed.run(deploy);
-        data.add(model.memory_.featuresFor(levels, p),
-                 solo > 0.0 ? ms[0].throughput / solo : 0.0);
+        if (solo <= 0.0)
+            return; // no usable solo anchor for the ratio label
+        auto ratio = measureRatio(deploy, solo);
+        if (ratio)
+            data.add(model.memory_.featuresFor(levels, p), *ratio);
     };
 
     if (opts.sampling == SamplingStrategy::Adaptive) {
@@ -309,17 +485,29 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     }
     if (report)
         report->memorySamples = data.size();
-    model.memory_.fit(data);
+    if (auto st = model.memory_.fit(data); !st) {
+        model.markMemoryDegraded(st.message());
+        if (report)
+            ++report->subModelsDegraded;
+    }
 
     // Fit the solo sensitivity model (seed-averaged, like the
     // memory model).
     model.soloModels_.clear();
-    for (int s = 0; s < opts.memory.seeds; ++s) {
-        ml::GbrParams gp = opts.memory.gbr;
-        gp.seed = opts.seed + 1000 + static_cast<std::uint64_t>(s);
-        ml::GradientBoostingRegressor gbr(gp);
-        gbr.fit(solo_data);
-        model.soloModels_.push_back(std::move(gbr));
+    if (solo_data.size() > 0) {
+        for (int s = 0; s < opts.memory.seeds; ++s) {
+            ml::GbrParams gp = opts.memory.gbr;
+            gp.seed =
+                opts.seed + 1000 + static_cast<std::uint64_t>(s);
+            ml::GradientBoostingRegressor gbr(gp);
+            gbr.fit(solo_data);
+            model.soloModels_.push_back(std::move(gbr));
+        }
+    } else {
+        model.markSoloDegraded(
+            "no usable solo measurements survived screening");
+        if (report)
+            ++report->subModelsDegraded;
     }
 
     // ---- Accelerator model calibration ----
@@ -361,21 +549,31 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             for (double knob : knobs) {
                 const auto &bench =
                     library_.accelBench(kind, 0.0, knob);
-                auto ms = bed.run({w, bench.workload});
+                auto ms =
+                    runScreened({w, bench.workload}, "calibration");
+                ++accel_runs;
+                if (!ms)
+                    continue; // calibrate() copes with fewer points
                 AccelCalibrationPoint pt;
                 pt.benchServiceTime = bench.serviceTime;
-                pt.measuredThroughput = ms[0].throughput;
+                pt.measuredThroughput = (*ms)[0].throughput;
                 pt.mtbr = p.mtbr;
                 pt.payloadBytes = static_cast<double>(
                     net::PacketBuilder::payloadForFrame(
                         p.packetSize, net::IpProto::Udp));
                 points.push_back(pt);
-                ++accel_runs;
             }
         }
         AccelQueueModel am;
-        am.calibrate(points);
-        model.accel_[k] = std::move(am);
+        if (auto st = am.calibrate(points); st) {
+            model.accel_[k] = std::move(am);
+        } else {
+            // An uncalibratable accelerator model no longer aborts
+            // the run: the model predicts without it, degraded.
+            model.markAccelDegraded(kind, st.message());
+            if (report)
+                ++report->subModelsDegraded;
+        }
     }
     if (report)
         report->accelCalibrationRuns = accel_runs;
@@ -396,7 +594,8 @@ TomurTrainer::train(fw::NetworkFunction &nf,
         // then the joint run picks the composition branch that fits.
         std::size_t n_mem = library_.memBenches().size();
         const auto &w_nf = workloadOf(nf, defaults);
-        double solo_meas = bed.runSolo(w_nf).throughput;
+        auto solo_ms = runScreened({w_nf}, "pattern-solo");
+        double solo_meas = solo_ms ? (*solo_ms)[0].throughput : 0.0;
         std::vector<PatternObservation> obs;
         // Open-loop moderate accelerator load: the additive regime
         // where the two branches of Eq. 7 differ most (closed-loop
@@ -408,6 +607,8 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                  {n_mem - 8, 250e3},
                  {n_mem / 2, 350e3},
                  {n_mem - 5, 100e3}}) {
+            if (solo_meas <= 0.0)
+                break; // no usable solo baseline for drops
             const auto &mem = library_.memBenches()[
                 mem_idx % library_.memBenches().size()];
 
@@ -415,14 +616,18 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             o.soloThroughput = std::max(1.0, solo_meas);
 
             // Memory-only drop (measured).
-            auto m_mem = bed.run({w_nf, mem.workload});
+            auto m_mem =
+                runScreened({w_nf, mem.workload}, "pattern-mem");
+            if (!m_mem)
+                continue;
             o.drops.push_back(std::max(
-                0.0, o.soloThroughput - m_mem[0].throughput));
+                0.0, o.soloThroughput - (*m_mem)[0].throughput));
 
             // Accelerator-only drops (measured), and the joint
             // deployment.
             std::vector<fw::WorkloadProfile> deploy = {w_nf,
                                                        mem.workload};
+            bool complete = true;
             for (int k = 0; k < hw::numAccelKinds; ++k) {
                 if (!model.accel_[k])
                     continue;
@@ -431,18 +636,36 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                     kind == hw::AccelKind::Regex ? 800.0 : 4000.0;
                 const auto &bench =
                     library_.accelBench(kind, rx_rate, knob);
-                auto m_k = bed.run({w_nf, bench.workload});
+                auto m_k = runScreened({w_nf, bench.workload},
+                                       "pattern-accel");
+                if (!m_k) {
+                    complete = false;
+                    break;
+                }
                 o.drops.push_back(std::max(
-                    0.0, o.soloThroughput - m_k[0].throughput));
+                    0.0, o.soloThroughput - (*m_k)[0].throughput));
                 deploy.push_back(bench.workload);
             }
+            if (!complete)
+                continue;
             if (deploy.size() > 4)
                 deploy.resize(4); // core budget
-            auto ms = bed.run(deploy);
-            o.measuredThroughput = ms[0].throughput;
+            auto ms = runScreened(deploy, "pattern-joint");
+            if (!ms)
+                continue;
+            o.measuredThroughput = (*ms)[0].throughput;
             obs.push_back(std::move(o));
         }
-        model.pattern_ = detectPattern(obs);
+        if (obs.empty()) {
+            // Every probe was lost to faults: keep the declared
+            // default instead of reading noise.
+            model.pattern_ = fw::ExecutionPattern::RunToCompletion;
+            warnEvent("profiler", "pattern-detection-skipped",
+                      {{"nf", nf.name()},
+                       {"reason", "no usable probe measurements"}});
+        } else {
+            model.pattern_ = detectPattern(obs);
+        }
     }
     return model;
 }

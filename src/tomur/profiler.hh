@@ -91,12 +91,45 @@ enum class SamplingStrategy
     Full,     ///< dense grid (the expensive reference)
 };
 
+/**
+ * Measurement screening / retry policy (the robustness layer).
+ *
+ * Every training measurement passes a plausibility screen (finite,
+ * positive, complete co-run batch, damage ratio below ratioCeiling);
+ * a sample that fails is re-measured up to retryBudget times and
+ * abandoned (with a structured WARN) if it never passes. The
+ * defaults are chosen so a fault-free testbed never triggers a
+ * retry — clean profiling runs are bit-identical with screening on.
+ *
+ * Suspiciously low damage ratios (below verifyBelowRatio) can
+ * additionally be verified by repetition: the deployment is
+ * re-measured and the readings screened by median absolute
+ * deviation, keeping the median — a faulted low outlier disagrees
+ * with its re-measurements, a genuinely heavy contention level
+ * reproduces. verifyBelowRatio = 0 (default) disables this extra
+ * cost; enable it when profiling on a faulty testbed.
+ */
+struct ScreenOptions
+{
+    bool enabled = true;
+    /** Re-measurements allowed per faulted sample. */
+    int retryBudget = 3;
+    /** Damage ratios above this are physically implausible
+     *  (contention cannot speed an NF up beyond noise). */
+    double ratioCeiling = 1.3;
+    /** Verify-by-repetition threshold (0 disables). */
+    double verifyBelowRatio = 0.0;
+    /** MAD multiple beyond which a repeated reading is an outlier. */
+    double madThreshold = 6.0;
+};
+
 /** Training options. */
 struct TrainOptions
 {
     SamplingStrategy sampling = SamplingStrategy::Adaptive;
     AdaptiveOptions adaptive{};
     MemoryModelOptions memory{};
+    ScreenOptions screen{};
     /** Contended co-runs collected per visited traffic profile. */
     int contentionSamplesPerProfile = 4;
     /** Grid points per attribute for Full sampling. */
@@ -104,12 +137,23 @@ struct TrainOptions
     std::uint64_t seed = 99;
 };
 
-/** Training report (profiling cost bookkeeping for Table 8). */
+/** Training report (profiling cost bookkeeping for Table 8, plus
+ *  fault-screen accounting). */
 struct TrainReport
 {
     std::size_t memorySamples = 0;
     std::size_t accelCalibrationRuns = 0;
     std::vector<traffic::Attribute> keptAttributes;
+
+    /** Measurements rejected by the plausibility/MAD screens. */
+    std::size_t faultySamplesDetected = 0;
+    /** Extra measurements spent re-measuring faulted samples. */
+    std::size_t retriesUsed = 0;
+    /** Samples given up on after the retry budget ran out. */
+    std::size_t samplesAbandoned = 0;
+    /** Sub-models that could not be trained/calibrated (the model
+     *  was marked degraded instead of aborting the run). */
+    std::size_t subModelsDegraded = 0;
 };
 
 /**

@@ -3,19 +3,51 @@
  * Text serialization of trained Tomur models. Offline training is
  * the expensive step (testbed co-runs); persisted models let online
  * components (placement, diagnosis) start instantly.
+ *
+ * Format (version 2): a header line
+ *
+ *     tomur_model <version> <body-bytes> <fnv1a64-checksum-hex>
+ *
+ * followed by exactly <body-bytes> bytes of body. The length +
+ * checksum let load() reject truncated or bit-flipped files with a
+ * descriptive error before parsing anything; inside the body every
+ * section is validated against named bounds, and a parse failure
+ * names the section so a corrupt model file is diagnosable. Loading
+ * never mutates the destination model until the whole file has been
+ * validated.
  */
 
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "tomur/predictor.hh"
 
 namespace tomur::core {
 
 namespace {
+
+/** Serialization format version save() writes and load() accepts. */
+constexpr int kFormatVersion = 2;
+
+/** Upper bound on seed-averaged ensemble sizes (memory and solo
+ *  model sections). Real ensembles hold 3 models (§7.1); anything
+ *  beyond this is a corrupt or hostile count. */
+constexpr std::size_t kMaxEnsembleModels = 64;
+
+/** Upper bound on an accelerator model's effective queue count; the
+ *  calibration clamps estimates to (0, 64) (accel_model.cc). */
+constexpr int kMaxAccelQueues = 64;
+
+/** Upper bound on the serialized body size (16 MiB). A trained
+ *  model is a few hundred KiB; a larger declared length means a
+ *  corrupt header and must not drive an allocation. */
+constexpr std::size_t kMaxBodyBytes = 16u << 20;
 
 void
 writeDouble(std::ostream &out, double v)
@@ -31,46 +63,81 @@ expectToken(std::istream &in, const char *token)
     return static_cast<bool>(in) && got == token;
 }
 
+Status
+sectionError(const char *section, const std::string &detail)
+{
+    return Status::corruptData(strf("%s section: %s", section,
+                                    detail.c_str()));
+}
+
 } // namespace
 
-void
+std::uint64_t
+modelBodyChecksum(std::string_view body)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a 64 basis
+    for (unsigned char c : body) {
+        h ^= c;
+        h *= 1099511628211ULL; // FNV-1a 64 prime
+    }
+    return h;
+}
+
+Status
 MemoryModel::save(std::ostream &out) const
 {
-    if (!fitted_)
-        panic("MemoryModel::save before fit");
+    if (!fitted_) {
+        return Status::failedPrecondition(
+            "MemoryModel::save before fit");
+    }
     out << "memory_model " << models_.size() << " "
         << (opts_.trafficAware ? 1 : 0) << "\n";
     for (const auto &m : models_)
         m.save(out);
+    return Status::ok();
 }
 
-bool
+Status
 MemoryModel::load(std::istream &in)
 {
-    if (!expectToken(in, "memory_model"))
-        return false;
+    if (!expectToken(in, "memory_model")) {
+        return sectionError("memory model",
+                            "missing 'memory_model' tag");
+    }
     std::size_t count = 0;
     int traffic_aware = 0;
     in >> count >> traffic_aware;
-    if (!in || count == 0 || count > 64)
-        return false;
+    if (!in)
+        return sectionError("memory model", "unreadable header");
+    if (count == 0 || count > kMaxEnsembleModels) {
+        return sectionError(
+            "memory model",
+            strf("ensemble size %zu outside [1, %zu]", count,
+                 kMaxEnsembleModels));
+    }
     std::vector<ml::GradientBoostingRegressor> models(count);
-    for (auto &m : models) {
-        if (!m.load(in))
-            return false;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!models[i].load(in)) {
+            return sectionError(
+                "memory model",
+                strf("sub-model %zu of %zu failed to parse", i + 1,
+                     count));
+        }
     }
     models_ = std::move(models);
     opts_.seeds = static_cast<int>(count);
     opts_.trafficAware = traffic_aware != 0;
     fitted_ = true;
-    return true;
+    return Status::ok();
 }
 
-void
+Status
 AccelQueueModel::save(std::ostream &out) const
 {
-    if (!calibrated_)
-        panic("AccelQueueModel::save before calibrate");
+    if (!calibrated_) {
+        return Status::failedPrecondition(
+            "AccelQueueModel::save before calibrate");
+    }
     out << "accel_model " << queues_ << " ";
     writeDouble(out, t0_);
     out << " ";
@@ -78,96 +145,221 @@ AccelQueueModel::save(std::ostream &out) const
     out << " ";
     writeDouble(out, matchSlope_);
     out << "\n";
+    return Status::ok();
 }
 
-bool
+Status
 AccelQueueModel::load(std::istream &in)
 {
-    if (!expectToken(in, "accel_model"))
-        return false;
+    if (!expectToken(in, "accel_model")) {
+        return sectionError("accelerator model",
+                            "missing 'accel_model' tag");
+    }
     int queues = 0;
     double t0 = 0.0, bs = 0.0, ms = 0.0;
     in >> queues >> t0 >> bs >> ms;
-    if (!in || queues < 1 || queues > 64)
-        return false;
+    if (!in)
+        return sectionError("accelerator model", "unreadable fields");
+    if (queues < 1 || queues > kMaxAccelQueues) {
+        return sectionError(
+            "accelerator model",
+            strf("queue count %d outside [1, %d]", queues,
+                 kMaxAccelQueues));
+    }
     queues_ = queues;
     t0_ = t0;
     byteSlope_ = bs;
     matchSlope_ = ms;
     calibrated_ = true;
-    return true;
+    return Status::ok();
 }
 
-void
+Status
 TomurModel::save(std::ostream &out) const
 {
-    out << "tomur_model 1\n"; // format version
-    out << "nf " << (nfName_.empty() ? "-" : nfName_) << "\n";
-    out << "pattern "
-        << (pattern_ == framework::ExecutionPattern::Pipeline ? "pl"
-                                                              : "rtc")
-        << "\n";
-    memory_.save(out);
-    out << "solo_models " << soloModels_.size() << "\n";
+    // Serialize the body first so the header can carry its length
+    // and checksum.
+    std::ostringstream body;
+    body << "nf " << (nfName_.empty() ? "-" : nfName_) << "\n";
+    body << "pattern "
+         << (pattern_ == framework::ExecutionPattern::Pipeline
+                 ? "pl"
+                 : "rtc")
+         << "\n";
+    body << "health " << (health_.soloDegraded ? 1 : 0) << " "
+         << (health_.memoryDegraded ? 1 : 0);
+    for (int k = 0; k < hw::numAccelKinds; ++k)
+        body << " " << (health_.accelDegraded[k] ? 1 : 0);
+    body << "\n";
+    if (auto s = memory_.save(body); !s)
+        return s.withContext("TomurModel::save");
+    body << "solo_models " << soloModels_.size() << "\n";
     for (const auto &m : soloModels_)
-        m.save(out);
+        m.save(body);
     for (int k = 0; k < hw::numAccelKinds; ++k) {
-        out << "accel " << k << " " << (accel_[k] ? 1 : 0) << "\n";
-        if (accel_[k])
-            accel_[k]->save(out);
+        body << "accel " << k << " " << (accel_[k] ? 1 : 0) << "\n";
+        if (accel_[k]) {
+            if (auto s = accel_[k]->save(body); !s)
+                return s.withContext("TomurModel::save");
+        }
     }
+
+    std::string bytes = body.str();
+    out << "tomur_model " << kFormatVersion << " " << bytes.size()
+        << " " << std::hex << modelBodyChecksum(bytes) << std::dec
+        << "\n";
+    out << bytes;
+    if (!out)
+        return Status::ioError("TomurModel::save: stream write failed");
+    return Status::ok();
 }
 
-bool
+Status
 TomurModel::load(std::istream &in)
 {
-    if (!expectToken(in, "tomur_model"))
-        return false;
+    // ---- Header: magic, version, body length, checksum ----
+    if (!expectToken(in, "tomur_model")) {
+        return Status::corruptData(
+            "header section: missing 'tomur_model' tag");
+    }
     int version = 0;
     in >> version;
-    if (!in || version != 1)
-        return false;
-    if (!expectToken(in, "nf"))
-        return false;
+    if (!in || version != kFormatVersion) {
+        return Status::corruptData(strf(
+            "header section: unsupported format version %d "
+            "(expected %d)",
+            version, kFormatVersion));
+    }
+    std::size_t body_bytes = 0;
+    std::string checksum_hex;
+    in >> body_bytes >> checksum_hex;
+    if (!in) {
+        return Status::corruptData(
+            "header section: unreadable length/checksum");
+    }
+    if (body_bytes == 0 || body_bytes > kMaxBodyBytes) {
+        return Status::corruptData(
+            strf("header section: body length %zu outside [1, %zu]",
+                 body_bytes, kMaxBodyBytes));
+    }
+    std::uint64_t declared = 0;
+    try {
+        std::size_t pos = 0;
+        declared = std::stoull(checksum_hex, &pos, 16);
+        if (pos != checksum_hex.size())
+            throw std::invalid_argument(checksum_hex);
+    } catch (const std::exception &) {
+        return Status::corruptData(
+            strf("header section: bad checksum token '%s'",
+                 checksum_hex.c_str()));
+    }
+    in.get(); // the newline ending the header line
+
+    std::string bytes(body_bytes, '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(body_bytes));
+    if (in.gcount() != static_cast<std::streamsize>(body_bytes)) {
+        return Status::corruptData(
+            strf("header section: truncated body (%zd of %zu bytes)",
+                 static_cast<std::ptrdiff_t>(in.gcount()),
+                 body_bytes));
+    }
+    std::uint64_t actual = modelBodyChecksum(bytes);
+    if (actual != declared) {
+        return Status::corruptData(strf(
+            "checksum mismatch: body hashes to %llx, header says "
+            "%llx (file damaged in transit or storage)",
+            static_cast<unsigned long long>(actual),
+            static_cast<unsigned long long>(declared)));
+    }
+
+    // ---- Body: parse into temporaries, commit only on success ----
+    std::istringstream body(bytes);
+    if (!expectToken(body, "nf"))
+        return Status::corruptData("nf section: missing 'nf' tag");
     std::string name;
-    in >> name;
-    if (!in)
-        return false;
-    if (!expectToken(in, "pattern"))
-        return false;
+    body >> name;
+    if (!body)
+        return Status::corruptData("nf section: missing NF name");
+    if (!expectToken(body, "pattern")) {
+        return Status::corruptData(
+            "pattern section: missing 'pattern' tag");
+    }
     std::string pat;
-    in >> pat;
-    if (pat != "pl" && pat != "rtc")
-        return false;
+    body >> pat;
+    if (pat != "pl" && pat != "rtc") {
+        return Status::corruptData(strf(
+            "pattern section: unknown execution pattern '%s'",
+            pat.c_str()));
+    }
+
+    if (!expectToken(body, "health")) {
+        return Status::corruptData(
+            "health section: missing 'health' tag");
+    }
+    ModelHealth health;
+    int solo_deg = 0, mem_deg = 0;
+    body >> solo_deg >> mem_deg;
+    if (!body)
+        return Status::corruptData("health section: unreadable flags");
+    health.soloDegraded = solo_deg != 0;
+    health.memoryDegraded = mem_deg != 0;
+    for (int k = 0; k < hw::numAccelKinds; ++k) {
+        int deg = 0;
+        body >> deg;
+        if (!body) {
+            return Status::corruptData(
+                "health section: unreadable accelerator flags");
+        }
+        health.accelDegraded[k] = deg != 0;
+    }
 
     MemoryModel memory;
-    if (!memory.load(in))
-        return false;
+    if (auto s = memory.load(body); !s)
+        return s;
 
-    if (!expectToken(in, "solo_models"))
-        return false;
+    if (!expectToken(body, "solo_models")) {
+        return Status::corruptData(
+            "solo models section: missing 'solo_models' tag");
+    }
     std::size_t n_solo = 0;
-    in >> n_solo;
-    if (!in || n_solo == 0 || n_solo > 64)
-        return false;
+    body >> n_solo;
+    if (!body) {
+        return Status::corruptData(
+            "solo models section: unreadable count");
+    }
+    if (n_solo == 0 || n_solo > kMaxEnsembleModels) {
+        return Status::corruptData(
+            strf("solo models section: ensemble size %zu outside "
+                 "[1, %zu]",
+                 n_solo, kMaxEnsembleModels));
+    }
     std::vector<ml::GradientBoostingRegressor> solos(n_solo);
-    for (auto &m : solos) {
-        if (!m.load(in))
-            return false;
+    for (std::size_t i = 0; i < n_solo; ++i) {
+        if (!solos[i].load(body)) {
+            return Status::corruptData(
+                strf("solo models section: sub-model %zu of %zu "
+                     "failed to parse",
+                     i + 1, n_solo));
+        }
     }
 
     std::optional<AccelQueueModel> accel[hw::numAccelKinds];
     for (int k = 0; k < hw::numAccelKinds; ++k) {
-        if (!expectToken(in, "accel"))
-            return false;
+        if (!expectToken(body, "accel")) {
+            return Status::corruptData(strf(
+                "accelerator section %d: missing 'accel' tag", k));
+        }
         int idx = -1, present = 0;
-        in >> idx >> present;
-        if (!in || idx != k)
-            return false;
+        body >> idx >> present;
+        if (!body || idx != k) {
+            return Status::corruptData(strf(
+                "accelerator section %d: bad kind index", k));
+        }
         if (present) {
             AccelQueueModel m;
-            if (!m.load(in))
-                return false;
+            if (auto s = m.load(body); !s)
+                return s.withContext(
+                    strf("accelerator section %d", k));
             accel[k] = std::move(m);
         }
     }
@@ -176,11 +368,12 @@ TomurModel::load(std::istream &in)
     pattern_ = pat == "pl"
         ? framework::ExecutionPattern::Pipeline
         : framework::ExecutionPattern::RunToCompletion;
+    health_ = health;
     memory_ = std::move(memory);
     soloModels_ = std::move(solos);
     for (int k = 0; k < hw::numAccelKinds; ++k)
         accel_[k] = std::move(accel[k]);
-    return true;
+    return Status::ok();
 }
 
 } // namespace tomur::core

@@ -53,19 +53,24 @@ tomurDiagnosis(const core::PredictionBreakdown &b)
 }
 
 DiagnosisScore
-scoreTrials(const std::vector<DiagnosisTrial> &trials)
+scoreTrials(const std::vector<DiagnosisTrial> &trials,
+            double min_confidence)
 {
     DiagnosisScore s;
-    s.trials = trials.size();
-    if (trials.empty())
-        return s;
     std::size_t tomur_ok = 0, slomo_ok = 0;
     for (const auto &t : trials) {
+        if (t.confidence < min_confidence) {
+            ++s.skippedLowConfidence;
+            continue;
+        }
+        ++s.trials;
         tomur_ok += t.tomur == t.truth;
         slomo_ok += t.slomo == t.truth;
     }
-    s.tomurCorrectPct = 100.0 * tomur_ok / trials.size();
-    s.slomoCorrectPct = 100.0 * slomo_ok / trials.size();
+    if (s.trials == 0)
+        return s;
+    s.tomurCorrectPct = 100.0 * tomur_ok / s.trials;
+    s.slomoCorrectPct = 100.0 * slomo_ok / s.trials;
     return s;
 }
 

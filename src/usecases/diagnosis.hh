@@ -46,6 +46,11 @@ struct DiagnosisTrial
     Resource truth = Resource::Memory;
     Resource tomur = Resource::Memory;
     Resource slomo = Resource::Memory; ///< always Memory
+    /** Carried over from the prediction breakdown: a diagnosis made
+     *  on a degraded fallback path is flagged so scoring can discount
+     *  it instead of counting a guess as a verdict. */
+    bool degraded = false;
+    double confidence = 1.0;
 };
 
 /** Correctness percentages over a set of trials. */
@@ -54,10 +59,19 @@ struct DiagnosisScore
     double tomurCorrectPct = 0.0;
     double slomoCorrectPct = 0.0;
     std::size_t trials = 0;
+    /** Trials excluded because their prediction confidence fell
+     *  below the minConfidence given to scoreTrials(). */
+    std::size_t skippedLowConfidence = 0;
 };
 
-/** Score a batch of trials. */
-DiagnosisScore scoreTrials(const std::vector<DiagnosisTrial> &trials);
+/**
+ * Score a batch of trials. Trials whose prediction confidence is
+ * below min_confidence are excluded from the percentages (counted in
+ * skippedLowConfidence); the default 0.0 keeps every trial, matching
+ * the pre-robustness behaviour.
+ */
+DiagnosisScore scoreTrials(const std::vector<DiagnosisTrial> &trials,
+                           double min_confidence = 0.0);
 
 } // namespace tomur::usecases
 

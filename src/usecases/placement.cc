@@ -109,9 +109,17 @@ PlacementContext::place(const std::vector<Arrival> &arrivals,
                     levels.push_back(kitOf(resident[j]).contention);
             double pred;
             if (strategy == Strategy::Tomur) {
-                pred = target.tomur.predict(
+                auto d = target.tomur.predictDetailed(
                     levels, arrivals[resident[i]].profile,
                     target.soloThroughput);
+                if (d.degraded &&
+                    d.confidence < minPredictionConfidence) {
+                    // Not enough model health to vouch for this
+                    // co-location: refuse it rather than risk an
+                    // SLA violation on a low-confidence guess.
+                    return false;
+                }
+                pred = d.predicted;
             } else {
                 pred = target.slomo.predict(
                     levels, arrivals[resident[i]].profile);

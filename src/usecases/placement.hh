@@ -88,6 +88,15 @@ class PlacementContext
     const core::TomurModel &tomurModel(const std::string &nf) const;
     const slomo::SlomoModel &slomoModel(const std::string &nf) const;
 
+    /**
+     * Minimum Tomur prediction confidence accepted when deciding a
+     * co-location. A degraded prediction below this is treated as
+     * "cannot guarantee the SLA" and the NF goes to a fresh NIC —
+     * the conservative direction: a degraded model costs NICs, never
+     * SLA violations.
+     */
+    double minPredictionConfidence = 0.5;
+
   private:
     struct NfKit
     {

@@ -1,0 +1,589 @@
+/**
+ * @file
+ * Robustness tests: Status/Result plumbing, the fault-injection
+ * harness, the corrupted-model corpus (clean failures, no crashes,
+ * no mutation of the destination model), the prediction fallback
+ * chain, and end-to-end training against a faulty testbed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/status.hh"
+#include "nfs/bench_nfs.hh"
+#include "nfs/registry.hh"
+#include "regex/ruleset.hh"
+#include "sim/faults.hh"
+#include "tomur/profiler.hh"
+
+namespace tomur {
+namespace {
+
+namespace fw = framework;
+
+// ---------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------
+
+TEST(StatusTest, OkAndErrors)
+{
+    auto ok = Status::ok();
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_EQ(ok.code(), StatusCode::Ok);
+
+    auto bad = Status::corruptData("broken header");
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_FALSE(static_cast<bool>(bad));
+    EXPECT_EQ(bad.code(), StatusCode::CorruptData);
+    EXPECT_NE(bad.toString().find("broken header"),
+              std::string::npos);
+
+    auto wrapped = bad.withContext("loading model");
+    EXPECT_EQ(wrapped.code(), StatusCode::CorruptData);
+    EXPECT_NE(wrapped.message().find("loading model"),
+              std::string::npos);
+    EXPECT_NE(wrapped.message().find("broken header"),
+              std::string::npos);
+}
+
+TEST(StatusTest, ResultCarriesValueOrStatus)
+{
+    Result<double> good = 4.5;
+    ASSERT_TRUE(good.isOk());
+    EXPECT_DOUBLE_EQ(good.value(), 4.5);
+    EXPECT_DOUBLE_EQ(good.valueOr(-1.0), 4.5);
+
+    Result<double> bad = Status::unavailable("no estimate");
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), StatusCode::Unavailable);
+    EXPECT_DOUBLE_EQ(bad.valueOr(-1.0), -1.0);
+}
+
+TEST(StatsTest, MedianAbsoluteDeviation)
+{
+    EXPECT_DOUBLE_EQ(mad({}), 0.0);
+    EXPECT_DOUBLE_EQ(mad({3.0}), 0.0);
+    // median = 5, deviations {4, 1, 0, 1, 4} -> mad = 1.
+    EXPECT_DOUBLE_EQ(mad({1.0, 4.0, 5.0, 6.0, 9.0}), 1.0);
+    // A wild outlier barely moves the MAD (that is the point).
+    EXPECT_DOUBLE_EQ(mad({1.0, 4.0, 5.0, 6.0, 1e9}), 1.0);
+}
+
+TEST(LoggingTest, WarnEventCounts)
+{
+    resetWarnCount();
+    EXPECT_EQ(warnCount(), 0u);
+    warnEvent("test", "something-odd", {{"k", "v"}});
+    EXPECT_EQ(warnCount(), 1u);
+    resetWarnCount();
+}
+
+// ---------------------------------------------------------------
+// Fault-injection harness
+// ---------------------------------------------------------------
+
+fw::WorkloadProfile
+memBenchWorkload()
+{
+    nfs::MemBenchConfig cfg;
+    cfg.wssBytes = 8.0 * 1024 * 1024;
+    cfg.targetAccessRate = 40e6;
+    auto nf = nfs::makeMemBench(cfg);
+    traffic::TrafficProfile p;
+    p.flowCount = 16;
+    p.mtbr = 0.0; // no regex traffic: no ruleset needed
+    return fw::profileWorkload(*nf, p, nullptr);
+}
+
+TEST(FaultInjection, CleanConfigIsPassthrough)
+{
+    sim::Testbed bed(hw::blueField2(), {});
+    sim::FaultInjectingTestbed faulty(bed, {});
+    auto w = memBenchWorkload();
+    auto ms = faulty.run({w, w});
+    ASSERT_EQ(ms.size(), 2u);
+    EXPECT_TRUE(std::isfinite(ms[0].throughput));
+    EXPECT_GT(ms[0].throughput, 0.0);
+    EXPECT_EQ(faulty.stats().total(), 0u);
+    EXPECT_EQ(faulty.stats().batches, 1u);
+    EXPECT_EQ(faulty.stats().measurements, 2u);
+}
+
+TEST(FaultInjection, SeededAndReproducible)
+{
+    auto cfg = sim::FaultConfig::uniformCorruption(0.5, 42);
+    auto w = memBenchWorkload();
+
+    auto sequence = [&] {
+        sim::Testbed bed(hw::blueField2(), {});
+        sim::FaultInjectingTestbed faulty(bed, cfg);
+        std::vector<double> out;
+        for (int i = 0; i < 30; ++i) {
+            for (const auto &m : faulty.run({w, w}))
+                out.push_back(m.throughput);
+        }
+        return out;
+    };
+    auto a = sequence();
+    auto b = sequence();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::isnan(a[i])) {
+            EXPECT_TRUE(std::isnan(b[i]));
+        } else {
+            EXPECT_DOUBLE_EQ(a[i], b[i]);
+        }
+    }
+}
+
+TEST(FaultInjection, InjectsAndCountsFaults)
+{
+    sim::Testbed bed(hw::blueField2(), {});
+    sim::FaultInjectingTestbed faulty(
+        bed, sim::FaultConfig::uniformCorruption(0.6, 7));
+    auto w = memBenchWorkload();
+    bool saw_truncation = false;
+    for (int i = 0; i < 40; ++i) {
+        auto ms = faulty.run({w, w, w});
+        EXPECT_LE(ms.size(), 3u);
+        saw_truncation |= ms.size() < 3u;
+        // Ground-truth fields are never corrupted.
+        for (const auto &m : ms) {
+            EXPECT_TRUE(std::isfinite(m.truthThroughput));
+            EXPECT_GT(m.truthThroughput, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_truncation);
+    EXPECT_GT(faulty.stats().total(), 0u);
+    using sim::FaultMode;
+    EXPECT_GT(faulty.stats()
+                  .injected[static_cast<int>(FaultMode::TruncatedBatch)],
+              0u);
+}
+
+TEST(FaultInjection, DegradedAccelIsDeterministic)
+{
+    auto rules = regex::defaultRuleSet();
+    fw::DeviceSet dev;
+    dev.regex = std::make_shared<fw::RegexDevice>(rules);
+    nfs::RegexBenchConfig cfg;
+    cfg.requestRate = 100e3;
+    auto nf = nfs::makeRegexBench(dev, cfg);
+    traffic::TrafficProfile p;
+    p.flowCount = 16;
+    p.mtbr = 600;
+    auto w = fw::profileWorkload(*nf, p, &rules);
+    ASSERT_TRUE(w.usesAccel(hw::AccelKind::Regex));
+
+    // Two identically seeded inner testbeds: the only difference is
+    // the injector's deterministic degradation factor.
+    sim::Testbed clean(hw::blueField2(), {});
+    sim::Testbed inner(hw::blueField2(), {});
+    sim::FaultConfig fc;
+    fc.degradedAccelEnabled = true;
+    fc.degradedAccelKind = hw::AccelKind::Regex;
+    fc.degradedAccelFactor = 0.5;
+    sim::FaultInjectingTestbed faulty(inner, fc);
+
+    auto m_clean = clean.run({w});
+    auto m_faulty = faulty.run({w});
+    ASSERT_EQ(m_clean.size(), 1u);
+    ASSERT_EQ(m_faulty.size(), 1u);
+    EXPECT_NEAR(m_faulty[0].throughput,
+                0.5 * m_clean[0].throughput,
+                1e-9 * m_clean[0].throughput);
+}
+
+// ---------------------------------------------------------------
+// Corrupted-model corpus
+// ---------------------------------------------------------------
+
+/** Hand-build a valid serialized model body (the format is text and
+ *  documented, so tests need no trained TomurModel to get one). */
+std::string
+craftValidBody()
+{
+    Rng rng(17);
+    core::MemoryModel mm;
+    ml::Dataset mem_data(mm.featureNames());
+    auto defaults = traffic::TrafficProfile::defaults();
+    for (int i = 0; i < 80; ++i) {
+        core::ContentionLevel lvl;
+        lvl.counters.l2ReadRate = rng.uniform(1e5, 5e7);
+        lvl.counters.memReadRate = rng.uniform(1e5, 2e7);
+        lvl.counters.wssBytes = rng.uniform(1e6, 3e7);
+        auto p = defaults.withAttribute(
+            traffic::Attribute::FlowCount, rng.uniform(1e3, 5e5));
+        mem_data.add(mm.featuresFor({lvl}, p),
+                     rng.uniform(0.3, 1.0));
+    }
+    EXPECT_TRUE(mm.fit(mem_data));
+
+    ml::Dataset solo_data(
+        std::vector<std::string>{"flow_count", "packet_size",
+                                 "mtbr"});
+    for (int i = 0; i < 40; ++i) {
+        double flows = rng.uniform(1e3, 5e5);
+        solo_data.add({flows, 1500.0, 600.0}, 1e6 - flows);
+    }
+    ml::GradientBoostingRegressor solo;
+    solo.fit(solo_data);
+
+    std::ostringstream body;
+    body << "nf crafted\n";
+    body << "pattern rtc\n";
+    body << "health 0 0";
+    for (int k = 0; k < hw::numAccelKinds; ++k)
+        body << " 0";
+    body << "\n";
+    EXPECT_TRUE(mm.save(body));
+    body << "solo_models 1\n";
+    solo.save(body);
+    for (int k = 0; k < hw::numAccelKinds; ++k)
+        body << "accel " << k << " 0\n";
+    return body.str();
+}
+
+/** Wrap a body in a well-formed v2 header (correct length and
+ *  checksum), so corruption *inside* the body is what gets tested. */
+std::string
+wrapV2(const std::string &body)
+{
+    std::ostringstream out;
+    out << "tomur_model 2 " << body.size() << " " << std::hex
+        << core::modelBodyChecksum(body) << "\n"
+        << body;
+    return out.str();
+}
+
+/** Expect load() to fail cleanly: error status with a message, and
+ *  the destination model untouched. */
+void
+expectCleanRejection(const std::string &file,
+                     const std::string &label)
+{
+    // The destination already holds a valid model; a failed load
+    // must not disturb it.
+    core::TomurModel m;
+    std::istringstream valid(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(valid)) << label;
+    auto p = traffic::TrafficProfile::defaults();
+    double before = m.soloThroughput(p);
+
+    std::istringstream in(file);
+    auto st = m.load(in);
+    EXPECT_FALSE(st) << label << ": load should have failed";
+    EXPECT_FALSE(st.message().empty()) << label;
+    EXPECT_EQ(m.nfName(), "crafted") << label;
+    EXPECT_DOUBLE_EQ(m.soloThroughput(p), before) << label;
+}
+
+TEST(CorruptModelCorpus, ValidCraftedFileLoads)
+{
+    core::TomurModel m;
+    std::istringstream in(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(in));
+    EXPECT_EQ(m.nfName(), "crafted");
+    EXPECT_FALSE(m.health().anyDegraded());
+    EXPECT_TRUE(m.memoryModel().fitted());
+    auto p = traffic::TrafficProfile::defaults();
+    EXPECT_TRUE(std::isfinite(m.soloThroughput(p)));
+}
+
+TEST(CorruptModelCorpus, HeaderCorruptions)
+{
+    std::string valid = wrapV2(craftValidBody());
+    // Wrong magic.
+    expectCleanRejection("not_a_model 2 10 abc\nxxxxxxxxxx",
+                         "wrong magic");
+    // Wrong version (the v1 upgrade path is an explicit error).
+    expectCleanRejection("tomur_model 1 10 abc\nxxxxxxxxxx",
+                         "old version");
+    expectCleanRejection("tomur_model 99 10 abc\nxxxxxxxxxx",
+                         "future version");
+    // Unparseable checksum token.
+    expectCleanRejection("tomur_model 2 10 zzzz\nxxxxxxxxxx",
+                         "bad checksum token");
+    // Hostile body length: must be rejected before any allocation.
+    expectCleanRejection("tomur_model 2 999999999999 abc\n",
+                         "huge declared length");
+    expectCleanRejection("tomur_model 2 0 abc\n", "zero length");
+    // Declared length larger than the actual body (truncated file).
+    {
+        auto cut = valid.substr(0, valid.size() / 2);
+        expectCleanRejection(cut, "body shorter than declared");
+    }
+}
+
+TEST(CorruptModelCorpus, TruncationsAtEveryStride)
+{
+    std::string valid = wrapV2(craftValidBody());
+    core::TomurModel m;
+    // Truncations march through the header and the whole body; every
+    // prefix must be rejected without crash or UB.
+    for (std::size_t cut = 0; cut < valid.size();
+         cut += std::max<std::size_t>(1, valid.size() / 97)) {
+        std::istringstream in(valid.substr(0, cut));
+        auto st = m.load(in);
+        EXPECT_FALSE(st) << "prefix of " << cut << " bytes loaded";
+        EXPECT_FALSE(st.message().empty());
+    }
+}
+
+TEST(CorruptModelCorpus, BitFlipsAreDetected)
+{
+    std::string valid = wrapV2(craftValidBody());
+    // The checksum covers every body byte, so any body flip must be
+    // caught (header damage is covered by HeaderCorruptions).
+    std::size_t body_start = valid.find('\n') + 1;
+    Rng rng(23);
+    for (int trial = 0; trial < 64; ++trial) {
+        std::string damaged = valid;
+        auto pos = body_start +
+                   rng.uniformInt(damaged.size() - body_start);
+        damaged[pos] =
+            static_cast<char>(damaged[pos] ^
+                              (1 << rng.uniformInt(std::uint64_t{8})));
+        core::TomurModel m;
+        std::istringstream in(damaged);
+        auto st = m.load(in);
+        if (st.isOk()) {
+            ADD_FAILURE() << "bit flip at byte " << pos
+                          << " went undetected";
+        } else {
+            EXPECT_FALSE(st.message().empty());
+        }
+    }
+}
+
+TEST(CorruptModelCorpus, ChecksummedButPoisonedBodies)
+{
+    // Correct header + checksum over a hostile body: the per-section
+    // bounds still reject it (the checksum only proves integrity,
+    // not trustworthiness).
+    std::string base = craftValidBody();
+
+    // Hostile ensemble count in the memory model section.
+    {
+        auto poisoned = base;
+        auto pos = poisoned.find("memory_model ");
+        ASSERT_NE(pos, std::string::npos);
+        poisoned.replace(pos, std::string("memory_model 3").size(),
+                         "memory_model 1000000");
+        expectCleanRejection(wrapV2(poisoned),
+                             "huge memory ensemble");
+    }
+    // Hostile solo-model count.
+    {
+        auto poisoned = base;
+        auto pos = poisoned.find("solo_models 1");
+        ASSERT_NE(pos, std::string::npos);
+        poisoned.replace(pos, std::string("solo_models 1").size(),
+                         "solo_models 999999");
+        expectCleanRejection(wrapV2(poisoned), "huge solo count");
+    }
+    // Unknown execution pattern.
+    {
+        auto poisoned = base;
+        auto pos = poisoned.find("pattern rtc");
+        ASSERT_NE(pos, std::string::npos);
+        poisoned.replace(pos, std::string("pattern rtc").size(),
+                         "pattern xyz");
+        expectCleanRejection(wrapV2(poisoned), "bad pattern");
+    }
+}
+
+TEST(CorruptModelCorpus, HealthFlagsRoundTrip)
+{
+    core::TomurModel m;
+    std::istringstream in(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(in));
+    m.markAccelDegraded(hw::AccelKind::Regex, "unit test");
+    m.markSoloDegraded("unit test");
+    ASSERT_TRUE(m.health().anyDegraded());
+
+    std::stringstream ss;
+    ASSERT_TRUE(m.save(ss));
+    core::TomurModel reloaded;
+    ASSERT_TRUE(reloaded.load(ss));
+    EXPECT_TRUE(reloaded.health().soloDegraded);
+    EXPECT_FALSE(reloaded.health().memoryDegraded);
+    EXPECT_TRUE(reloaded.health().accelDegraded[static_cast<int>(
+        hw::AccelKind::Regex)]);
+}
+
+// ---------------------------------------------------------------
+// Fallback chain
+// ---------------------------------------------------------------
+
+core::ContentionLevel
+someContention()
+{
+    core::ContentionLevel lvl;
+    lvl.counters.l2ReadRate = 2e7;
+    lvl.counters.memReadRate = 1e7;
+    lvl.counters.wssBytes = 2e7;
+    return lvl;
+}
+
+TEST(FallbackChain, FullModelIsNotDegraded)
+{
+    core::TomurModel m;
+    std::istringstream in(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(in));
+    auto p = traffic::TrafficProfile::defaults();
+    auto b = m.predictDetailed({someContention()}, p, 5e5);
+    EXPECT_FALSE(b.degraded);
+    EXPECT_DOUBLE_EQ(b.confidence, 1.0);
+    EXPECT_TRUE(b.degradedReason.empty());
+}
+
+TEST(FallbackChain, DegradedAccelCapsConfidence)
+{
+    core::TomurModel m;
+    std::istringstream in(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(in));
+    m.markAccelDegraded(hw::AccelKind::Regex, "unit test");
+    auto p = traffic::TrafficProfile::defaults();
+    resetWarnCount();
+    auto b = m.predictDetailed({someContention()}, p, 5e5);
+    EXPECT_TRUE(b.degraded);
+    EXPECT_LE(b.confidence, 0.6);
+    EXPECT_NE(b.degradedReason.find("regex"), std::string::npos);
+    EXPECT_GT(warnCount(), 0u); // the fallback logged a WARN event
+    resetWarnCount();
+}
+
+TEST(FallbackChain, DegradedMemoryFallsBackToSoloHint)
+{
+    core::TomurModel m;
+    std::istringstream in(wrapV2(craftValidBody()));
+    ASSERT_TRUE(m.load(in));
+    m.markMemoryDegraded("unit test");
+    auto p = traffic::TrafficProfile::defaults();
+    const double hint = 4.2e5;
+    auto b = m.predictDetailed({someContention()}, p, hint);
+    EXPECT_TRUE(b.degraded);
+    EXPECT_LE(b.confidence, 0.25);
+    // Solo-hint passthrough: contention is ignored entirely.
+    EXPECT_DOUBLE_EQ(b.predicted, hint);
+    resetWarnCount();
+}
+
+TEST(FallbackChain, UntrainedModelReportsNoInformation)
+{
+    core::TomurModel m; // never trained, never loaded
+    auto p = traffic::TrafficProfile::defaults();
+    auto r = m.trySoloThroughput(p);
+    EXPECT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::FailedPrecondition);
+    EXPECT_DOUBLE_EQ(m.soloThroughput(p), 0.0); // warns, no panic
+
+    auto b = m.predictDetailed({someContention()}, p, -1.0);
+    EXPECT_TRUE(b.degraded);
+    EXPECT_DOUBLE_EQ(b.confidence, 0.0);
+    EXPECT_DOUBLE_EQ(b.predicted, 0.0);
+    resetWarnCount();
+}
+
+// ---------------------------------------------------------------
+// Fault-injected end-to-end training
+// ---------------------------------------------------------------
+
+TEST(FaultyTraining, CompletesAndStaysAccurate)
+{
+    auto rules = regex::defaultRuleSet();
+    fw::DeviceSet dev;
+    dev.regex = std::make_shared<fw::RegexDevice>(rules);
+    dev.compression = std::make_shared<fw::CompressionDevice>();
+    dev.crypto = std::make_shared<fw::CryptoDevice>();
+    auto defaults = traffic::TrafficProfile::defaults();
+
+    core::TrainOptions opts;
+    opts.adaptive.quota = 50;
+
+    // Clean reference run.
+    sim::Testbed clean_bed(hw::blueField2(), {});
+    core::BenchLibrary clean_lib(clean_bed, dev, rules);
+    core::TomurTrainer clean_trainer(clean_lib);
+    auto clean_nf = nfs::makeByName("FlowStats", dev);
+    core::TrainReport clean_report;
+    auto clean_model = clean_trainer.train(*clean_nf, defaults, opts,
+                                           &clean_report);
+    EXPECT_EQ(clean_report.faultySamplesDetected, 0u);
+    EXPECT_EQ(clean_report.samplesAbandoned, 0u);
+    EXPECT_EQ(clean_report.subModelsDegraded, 0u);
+    EXPECT_FALSE(clean_model.health().anyDegraded());
+
+    // Faulty run: 10% sample corruption, library profiled cleanly
+    // first (it is a one-time controlled step), then faults on.
+    sim::Testbed inner(hw::blueField2(), {});
+    sim::FaultInjectingTestbed faulty(inner, {});
+    core::BenchLibrary faulty_lib(faulty, dev, rules);
+    core::TomurTrainer faulty_trainer(faulty_lib);
+    faulty.setConfig(sim::FaultConfig::uniformCorruption(0.10, 99));
+
+    auto faulty_nf = nfs::makeByName("FlowStats", dev);
+    core::TrainOptions fopts = opts;
+    fopts.screen.verifyBelowRatio = 0.6; // deep screen on bad gear
+    core::TrainReport report;
+    auto model = faulty_trainer.train(*faulty_nf, defaults, fopts,
+                                      &report);
+
+    // Training completed and the screens actually caught things.
+    EXPECT_GT(report.faultySamplesDetected, 0u);
+    EXPECT_GT(report.memorySamples, 0u);
+
+    // Score both models against noise-free ground truth on unseen
+    // co-runs (the evaluation itself uses the clean testbed).
+    auto eval = [&](const core::TomurModel &mdl,
+                    core::BenchLibrary &lib) {
+        Rng rng(5);
+        double err_sum = 0.0;
+        int n = 0;
+        auto nf = nfs::makeByName("FlowStats", dev);
+        core::TomurTrainer probe(lib); // workload profiling only
+        for (int i = 0; i < 6; ++i) {
+            auto p = defaults.withAttribute(
+                traffic::Attribute::FlowCount,
+                rng.uniform(2e3, 4e5));
+            const auto &w = probe.workloadOf(*nf, p);
+            const auto &bench = clean_lib.randomMemBench(rng);
+            auto ms = clean_bed.run({w, bench.workload});
+            double truth = ms[0].truthThroughput;
+            double solo = clean_bed.runSolo(w).truthThroughput;
+            double pred =
+                mdl.predict({bench.level}, p, solo);
+            err_sum += std::abs(pred - truth) / truth;
+            ++n;
+        }
+        return err_sum / n;
+    };
+    double clean_err = eval(clean_model, clean_lib);
+    double faulty_err = eval(model, clean_lib);
+
+    // Graceful degradation: the fault-trained model stays within 2x
+    // of the fault-free error (with a small absolute floor so a
+    // near-perfect clean run does not make the bound vacuous).
+    EXPECT_LE(faulty_err, std::max(2.0 * clean_err, 0.10))
+        << "clean_err=" << clean_err
+        << " faulty_err=" << faulty_err;
+
+    // Clean-model predictions are never flagged degraded.
+    Rng pick(1);
+    std::vector<core::ContentionLevel> one_bench = {
+        clean_lib.randomMemBench(pick).level};
+    auto b = clean_model.predictDetailed(one_bench, defaults, 5e5);
+    EXPECT_FALSE(b.degraded);
+    resetWarnCount();
+}
+
+} // namespace
+} // namespace tomur

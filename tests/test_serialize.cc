@@ -107,7 +107,7 @@ TEST(Serialize, TomurModelRoundTrip)
     auto model = trainer.train(*nf, defaults, opts);
 
     std::stringstream ss;
-    model.save(ss);
+    ASSERT_TRUE(model.save(ss));
     core::TomurModel loaded;
     ASSERT_TRUE(loaded.load(ss));
 
@@ -138,7 +138,9 @@ TEST(Serialize, TomurModelRejectsWrongVersion)
 {
     core::TomurModel m;
     std::stringstream ss("tomur_model 99\n");
-    EXPECT_FALSE(m.load(ss));
+    auto st = m.load(ss);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.message().find("version"), std::string::npos);
 }
 
 } // namespace

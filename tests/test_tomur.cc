@@ -142,7 +142,7 @@ TEST(AccelModel, RecoversKnownSystem)
         }
     }
     AccelQueueModel m;
-    m.calibrate(points);
+    ASSERT_TRUE(m.calibrate(points));
     EXPECT_EQ(m.queues(), 1);
     EXPECT_NEAR(m.baseServiceTime(), t0, t0 * 0.05);
     EXPECT_NEAR(m.perMatchTime(), a, a * 0.05);
@@ -164,7 +164,7 @@ TEST(AccelModel, RecoversMultipleQueues)
         points.push_back(p);
     }
     AccelQueueModel m;
-    m.calibrate(points);
+    ASSERT_TRUE(m.calibrate(points));
     EXPECT_EQ(m.queues(), n);
 }
 
@@ -181,7 +181,7 @@ TEST(AccelModel, PredictsEquilibriumAgainstClosedCompetitor)
         p.measuredThroughput = 1.0 / (t + tb);
         points.push_back(p);
     }
-    m.calibrate(points);
+    ASSERT_TRUE(m.calibrate(points));
 
     AccelContention comp;
     comp.used = true;
@@ -198,11 +198,21 @@ TEST(AccelModel, PredictsEquilibriumAgainstClosedCompetitor)
 
 TEST(AccelModel, CalibrationValidationErrors)
 {
+    // Calibration failures are reported as Status errors (the
+    // trainer degrades the accelerator sub-model instead of
+    // aborting the whole run).
     AccelQueueModel m;
-    EXPECT_DEATH(m.calibrate({}), "two calibration points");
+    auto empty = m.calibrate({});
+    EXPECT_FALSE(empty);
+    EXPECT_NE(empty.message().find("two calibration points"),
+              std::string::npos);
     std::vector<AccelCalibrationPoint> same_tb(
         3, AccelCalibrationPoint{1e-6, 5e5, 600, 1434});
-    EXPECT_DEATH(m.calibrate(same_tb), "constrain");
+    auto degenerate = m.calibrate(same_tb);
+    EXPECT_FALSE(degenerate);
+    EXPECT_NE(degenerate.message().find("constrain"),
+              std::string::npos);
+    EXPECT_FALSE(m.calibrated());
 }
 
 TEST(Contention, AggregationAndFeatures)

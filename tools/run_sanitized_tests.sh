@@ -1,0 +1,21 @@
+#!/bin/sh
+# Configure, build, and run the test suite under ASan + UBSan
+# (-DTOMUR_SANITIZE=ON). The robustness tests feed load() a corpus of
+# truncated/bit-flipped/hostile model files and train against a
+# fault-injecting testbed; this script is how "no crash" is upgraded
+# to "no memory error and no UB".
+#
+# Usage: tools/run_sanitized_tests.sh [ctest-args...]
+# Builds into build-asan/ next to the regular build directory.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" -DTOMUR_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error keeps UBSan findings fatal so ctest reports them.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=0" \
+    ctest --test-dir "$build_dir" --output-on-failure "$@"

@@ -5,6 +5,7 @@
  * Subcommands:
  *   catalog                         list the NF catalog
  *   solo <NF> [traffic opts]        measured solo throughput
+ *   train <NF> --out FILE           train and persist a model
  *   predict <NF> --with A,B,...     predict under co-location and
  *                                   compare against a deployment
  *   diagnose <NF> [traffic opts]    per-resource breakdown
@@ -12,10 +13,18 @@
  * Traffic options: --flows N --size B --mtbr M (defaults 16000 /
  * 1500 / 600). All runs happen on the built-in BlueField-2 testbed;
  * training uses a reduced quota so invocations stay interactive.
+ * `--model FILE` loads a previously trained model instead of
+ * retraining; `--faults P` injects a uniform corruption rate into
+ * the testbed's measurement path (robustness demos).
+ *
+ * Exit codes: 0 success, 1 runtime failure, 2 usage error,
+ * 3 file I/O error, 4 corrupt model file.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,12 +32,23 @@
 #include "common/strutil.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
+#include "sim/faults.hh"
 #include "tomur/profiler.hh"
 #include "usecases/diagnosis.hh"
 
 using namespace tomur;
 
 namespace {
+
+/** Distinct exit codes so scripts can tell failure classes apart. */
+enum ExitCode
+{
+    kExitOk = 0,
+    kExitRuntime = 1,
+    kExitUsage = 2,
+    kExitIo = 3,
+    kExitCorruptModel = 4,
+};
 
 struct Cli
 {
@@ -37,6 +57,9 @@ struct Cli
     std::vector<std::string> competitors;
     traffic::TrafficProfile profile;
     std::size_t quota = 80;
+    std::string modelPath; ///< --model: load instead of training
+    std::string outPath;   ///< --out: persist the trained model
+    double faultRate = 0.0;
 };
 
 [[noreturn]] void
@@ -47,18 +70,63 @@ usage()
         "usage: tomur_cli <command> [args]\n"
         "  catalog\n"
         "  solo <NF> [--flows N] [--size B] [--mtbr M]\n"
+        "  train <NF> --out FILE [--quota Q] [--faults P]\n"
         "  predict <NF> --with A,B[,C] [--flows N] [--size B]\n"
-        "          [--mtbr M] [--quota Q]\n"
-        "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n");
-    std::exit(2);
+        "          [--mtbr M] [--quota Q] [--model FILE]\n"
+        "          [--faults P]\n"
+        "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n"
+        "          [--model FILE] [--faults P]\n");
+    std::exit(kExitUsage);
 }
 
 double
 numArg(int argc, char **argv, int &i)
 {
-    if (i + 1 >= argc)
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option '%s' needs a value\n",
+                     argv[i]);
         usage();
-    return std::atof(argv[++i]);
+    }
+    const char *text = argv[++i];
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "error: option '%s' needs a number, got '%s'\n",
+                     argv[i - 1], text);
+        usage();
+    }
+    return v;
+}
+
+std::string
+strArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option '%s' needs a value\n",
+                     argv[i]);
+        usage();
+    }
+    return argv[++i];
+}
+
+/** Reject unknown NF names before any heavy setup, with the catalog
+ *  as the hint (instead of aborting deep inside the registry). */
+void
+requireKnownNf(const std::string &name)
+{
+    std::string known;
+    for (const auto &info : nfs::catalog()) {
+        if (info.name == name)
+            return;
+        if (!known.empty())
+            known += ", ";
+        known += info.name;
+    }
+    std::fprintf(stderr,
+                 "error: unknown NF '%s' (known: %s)\n",
+                 name.c_str(), known.c_str());
+    std::exit(kExitUsage);
 }
 
 Cli
@@ -70,8 +138,11 @@ parse(int argc, char **argv)
     cli.command = argv[1];
     int i = 2;
     if (cli.command != "catalog") {
-        if (i >= argc)
+        if (i >= argc) {
+            std::fprintf(stderr, "error: command '%s' needs an NF\n",
+                         cli.command.c_str());
             usage();
+        }
         cli.nf = argv[i++];
     }
     for (; i < argc; ++i) {
@@ -90,11 +161,22 @@ parse(int argc, char **argv)
             cli.quota = static_cast<std::size_t>(
                 numArg(argc, argv, i));
         } else if (arg == "--with") {
-            if (i + 1 >= argc)
+            cli.competitors = split(strArg(argc, argv, i), ',');
+        } else if (arg == "--model") {
+            cli.modelPath = strArg(argc, argv, i);
+        } else if (arg == "--out") {
+            cli.outPath = strArg(argc, argv, i);
+        } else if (arg == "--faults") {
+            cli.faultRate = numArg(argc, argv, i);
+            if (cli.faultRate < 0.0 || cli.faultRate > 1.0) {
+                std::fprintf(stderr,
+                             "error: --faults expects a rate in "
+                             "[0, 1], got %g\n",
+                             cli.faultRate);
                 usage();
-            cli.competitors = split(argv[++i], ',');
+            }
         } else {
-            std::fprintf(stderr, "unknown option '%s'\n",
+            std::fprintf(stderr, "error: unknown option '%s'\n",
                          arg.c_str());
             usage();
         }
@@ -105,23 +187,113 @@ parse(int argc, char **argv)
 /** Lazily constructed heavy state. */
 struct Env
 {
-    Env()
-        : rules(regex::defaultRuleSet()), bed(hw::blueField2())
+    explicit Env(double fault_rate = 0.0)
+        : rules(regex::defaultRuleSet()), bed(hw::blueField2()),
+          faulty(bed, {})
     {
         dev.regex = std::make_shared<framework::RegexDevice>(rules);
         dev.compression =
             std::make_shared<framework::CompressionDevice>();
         dev.crypto = std::make_shared<framework::CryptoDevice>();
-        lib = std::make_unique<core::BenchLibrary>(bed, dev, rules);
+        // The bench library is always profiled on the clean testbed
+        // (a one-time, controlled step even on a flaky NIC); the
+        // fault rate only applies to the runs after it.
+        lib = std::make_unique<core::BenchLibrary>(faulty, dev,
+                                                   rules);
         trainer = std::make_unique<core::TomurTrainer>(*lib);
+        if (fault_rate > 0.0) {
+            faulty.setConfig(
+                sim::FaultConfig::uniformCorruption(fault_rate));
+            std::fprintf(stderr,
+                         "injecting measurement faults at rate "
+                         "%.2f\n",
+                         fault_rate);
+        }
     }
 
     regex::RuleSet rules;
     framework::DeviceSet dev;
     sim::Testbed bed;
+    sim::FaultInjectingTestbed faulty;
     std::unique_ptr<core::BenchLibrary> lib;
     std::unique_ptr<core::TomurTrainer> trainer;
 };
+
+/** Load a persisted model, mapping failures to exit codes. */
+core::TomurModel
+loadModelOrExit(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        std::exit(kExitIo);
+    }
+    core::TomurModel model;
+    if (auto st = model.load(in); !st) {
+        std::fprintf(stderr, "error: model file '%s' is unusable: "
+                             "%s\n",
+                     path.c_str(), st.toString().c_str());
+        std::exit(kExitCorruptModel);
+    }
+    return model;
+}
+
+/** Save a trained model, mapping failures to exit codes. */
+void
+saveModelOrExit(const core::TomurModel &model,
+                const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot create '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        std::exit(kExitIo);
+    }
+    if (auto st = model.save(out); !st) {
+        std::fprintf(stderr, "error: saving to '%s' failed: %s\n",
+                     path.c_str(), st.toString().c_str());
+        std::exit(kExitIo);
+    }
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "error: writing '%s' failed: %s\n",
+                     path.c_str(), std::strerror(errno));
+        std::exit(kExitIo);
+    }
+}
+
+/** Train (with screening tuned for the injected fault rate) or load
+ *  the model for the target NF. */
+core::TomurModel
+obtainModel(Env &env, const Cli &cli,
+            framework::NetworkFunction &nf)
+{
+    if (!cli.modelPath.empty())
+        return loadModelOrExit(cli.modelPath);
+    std::fprintf(stderr, "training model for %s (quota %zu)...\n",
+                 cli.nf.c_str(), cli.quota);
+    core::TrainOptions opts;
+    opts.adaptive.quota = cli.quota;
+    if (cli.faultRate > 0.0) {
+        // Faulty testbed: also screen suspiciously low ratios by
+        // repetition (the default screen only rejects implausible
+        // values).
+        opts.screen.verifyBelowRatio = 0.6;
+    }
+    core::TrainReport report;
+    auto model = env.trainer->train(nf, cli.profile, opts, &report);
+    if (report.faultySamplesDetected > 0) {
+        std::fprintf(stderr,
+                     "screened %zu faulty measurements (%zu "
+                     "retries, %zu abandoned, %zu sub-models "
+                     "degraded)\n",
+                     report.faultySamplesDetected,
+                     report.retriesUsed, report.samplesAbandoned,
+                     report.subModelsDegraded);
+    }
+    return model;
+}
 
 int
 cmdCatalog()
@@ -135,38 +307,59 @@ cmdCatalog()
                     info.usesCrypto ? "yes" : "-",
                     info.trafficSensitive ? "yes" : "-");
     }
-    return 0;
+    return kExitOk;
 }
 
 int
 cmdSolo(const Cli &cli)
 {
-    Env env;
+    Env env(cli.faultRate);
     auto nf = nfs::makeByName(cli.nf, env.dev);
-    auto m = env.bed.runSolo(
+    auto m = env.faulty.runSolo(
         env.trainer->workloadOf(*nf, cli.profile));
     std::printf("%s @ %s: %.1f Kpps solo (bottleneck: %s)\n",
                 cli.nf.c_str(), cli.profile.toString().c_str(),
                 m.truthThroughput / 1e3,
                 sim::bottleneckName(m.bottleneck));
-    return 0;
+    return kExitOk;
+}
+
+int
+cmdTrain(const Cli &cli)
+{
+    if (cli.outPath.empty()) {
+        std::fprintf(stderr, "error: train needs --out FILE\n");
+        usage();
+    }
+    Env env(cli.faultRate);
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    auto model = obtainModel(env, cli, *nf);
+    saveModelOrExit(model, cli.outPath);
+    std::printf("model for %s written to %s%s\n", cli.nf.c_str(),
+                cli.outPath.c_str(),
+                model.health().anyDegraded()
+                    ? " (degraded sub-models; see warnings)"
+                    : "");
+    return kExitOk;
 }
 
 int
 cmdPredict(const Cli &cli)
 {
-    if (cli.competitors.empty())
-        fatal("predict: pass --with A,B,...");
-    if (cli.competitors.size() > 3)
-        fatal("predict: at most 3 competitors fit on one NIC");
-    Env env;
+    if (cli.competitors.empty()) {
+        std::fprintf(stderr, "error: predict needs --with A,B,...\n");
+        usage();
+    }
+    if (cli.competitors.size() > 3) {
+        std::fprintf(stderr, "error: at most 3 competitors fit on "
+                             "one NIC\n");
+        usage();
+    }
+    for (const auto &name : cli.competitors)
+        requireKnownNf(name);
+    Env env(cli.faultRate);
     auto nf = nfs::makeByName(cli.nf, env.dev);
-
-    std::fprintf(stderr, "training model for %s (quota %zu)...\n",
-                 cli.nf.c_str(), cli.quota);
-    core::TrainOptions opts;
-    opts.adaptive.quota = cli.quota;
-    auto model = env.trainer->train(*nf, cli.profile, opts);
+    auto model = obtainModel(env, cli, *nf);
 
     std::vector<core::ContentionLevel> levels;
     std::vector<framework::WorkloadProfile> deploy = {
@@ -178,9 +371,8 @@ cmdPredict(const Cli &cli)
         deploy.push_back(env.trainer->workloadOf(*comp, defaults));
     }
 
-    double solo =
-        env.bed.runSolo(deploy[0]).truthThroughput;
-    double predicted = model.predict(levels, cli.profile, solo);
+    double solo = env.bed.runSolo(deploy[0]).truthThroughput;
+    auto b = model.predictDetailed(levels, cli.profile, solo);
     auto measured = env.bed.run(deploy);
 
     std::printf("%s with {%s} @ %s\n", cli.nf.c_str(),
@@ -188,26 +380,27 @@ cmdPredict(const Cli &cli)
                 cli.profile.toString().c_str());
     std::printf("  solo      : %10.1f Kpps\n", solo / 1e3);
     std::printf("  predicted : %10.1f Kpps (drop %.1f%%)\n",
-                predicted / 1e3,
-                100.0 * (1.0 - predicted / solo));
+                b.predicted / 1e3,
+                100.0 * (1.0 - b.predicted / solo));
     std::printf("  measured  : %10.1f Kpps (error %.1f%%)\n",
                 measured[0].throughput / 1e3,
                 100.0 *
-                    std::abs(predicted - measured[0].throughput) /
+                    std::abs(b.predicted - measured[0].throughput) /
                     measured[0].throughput);
-    return 0;
+    if (b.degraded) {
+        std::printf("  CAUTION   : degraded prediction "
+                    "(confidence %.2f): %s\n",
+                    b.confidence, b.degradedReason.c_str());
+    }
+    return kExitOk;
 }
 
 int
 cmdDiagnose(const Cli &cli)
 {
-    Env env;
+    Env env(cli.faultRate);
     auto nf = nfs::makeByName(cli.nf, env.dev);
-    std::fprintf(stderr, "training model for %s...\n",
-                 cli.nf.c_str());
-    core::TrainOptions opts;
-    opts.adaptive.quota = cli.quota;
-    auto model = env.trainer->train(*nf, cli.profile, opts);
+    auto model = obtainModel(env, cli, *nf);
 
     // Reference contention: the heaviest large-WSS mem-bench plus a
     // moderate bench on each accelerator the NF uses.
@@ -261,7 +454,12 @@ cmdDiagnose(const Cli &cli)
     std::printf("  dominant bottleneck : %s\n",
                 usecases::resourceName(
                     usecases::tomurDiagnosis(b)));
-    return 0;
+    if (b.degraded) {
+        std::printf("  CAUTION             : degraded prediction "
+                    "(confidence %.2f): %s\n",
+                    b.confidence, b.degradedReason.c_str());
+    }
+    return kExitOk;
 }
 
 } // namespace
@@ -272,11 +470,17 @@ main(int argc, char **argv)
     Cli cli = parse(argc, argv);
     if (cli.command == "catalog")
         return cmdCatalog();
+    if (!cli.nf.empty())
+        requireKnownNf(cli.nf);
     if (cli.command == "solo")
         return cmdSolo(cli);
+    if (cli.command == "train")
+        return cmdTrain(cli);
     if (cli.command == "predict")
         return cmdPredict(cli);
     if (cli.command == "diagnose")
         return cmdDiagnose(cli);
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 cli.command.c_str());
     usage();
 }
