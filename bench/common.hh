@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/threadpool.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "ml/metrics.hh"
@@ -92,6 +93,69 @@ void printHeader(const char *experiment, const char *paper_claim);
 
 /** Render a box-plot row "p5 p25 p50 p75 p95" for a sample. */
 std::string boxRow(const std::vector<double> &xs, int decimals = 1);
+
+/**
+ * Run `items` independent experiment repetitions across the global
+ * pool. Each item gets its own RNG stream derived from (seed, item
+ * index), so results are bit-identical at any TOMUR_THREADS setting;
+ * they are collected in item order. fn must not touch shared mutable
+ * state (BenchEnv caches are NOT thread-safe — pre-resolve workloads
+ * and models before fanning out).
+ */
+template <typename F>
+auto
+runExperiments(std::size_t items, std::uint64_t seed, F fn)
+    -> std::vector<decltype(fn(std::size_t{},
+                               std::declval<Rng &>()))>
+{
+    return parallelMap(items, [&](std::size_t i) {
+        Rng rng(deriveSeed(seed, i));
+        return fn(i, rng);
+    });
+}
+
+/**
+ * Machine-readable benchmark output: wall time per pipeline stage in
+ * a serial and a parallel variant, emitted as JSON (BENCH_micro.json)
+ * so the repo accumulates a performance trajectory across commits.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string benchName)
+        : bench_(std::move(benchName))
+    {
+    }
+
+    /** Record one stage variant's wall time (seconds). */
+    void record(const std::string &stage, bool parallel,
+                double seconds);
+
+    /** Wall-clock fn() and record it. @return seconds elapsed. */
+    double measure(const std::string &stage, bool parallel,
+                   const std::function<void()> &fn);
+
+    /**
+     * Write the report. Stages appear in first-recorded order with
+     * serial_sec / parallel_sec / speedup; a "total" entry sums all
+     * stages. @return false (with a warning) when the file cannot
+     * be written.
+     */
+    bool writeJson(const std::string &path, int serialThreads,
+                   int parallelThreads) const;
+
+  private:
+    struct Stage
+    {
+        std::string name;
+        double serialSec = 0.0;
+        double parallelSec = 0.0;
+    };
+    Stage &stage(const std::string &name);
+
+    std::string bench_;
+    std::vector<Stage> stages_;
+};
 
 } // namespace tomur::bench
 

@@ -26,7 +26,13 @@ main()
                       "max drop (%)"});
     for (const auto &target : names) {
         double solo = env.solo(target, defaults);
-        std::vector<double> drops;
+        // Plan-first: draw every co-location set up front (consuming
+        // env.rng in the same order as the old serial loop), then run
+        // them as one batch — the noise-free solves fan out across
+        // the pool while measurement noise is applied in submission
+        // order, so the numbers are bit-identical at any
+        // TOMUR_THREADS setting.
+        std::vector<std::vector<framework::WorkloadProfile>> batch;
         for (int s = 0; s < kSets; ++s) {
             int n_comp = 1 + static_cast<int>(env.rng.uniformInt(3u));
             std::vector<framework::WorkloadProfile> deploy = {
@@ -35,10 +41,12 @@ main()
                 const auto &comp = env.rng.pick(names);
                 deploy.push_back(env.workload(comp, defaults));
             }
-            auto ms = env.bed.run(deploy);
+            batch.push_back(std::move(deploy));
+        }
+        std::vector<double> drops;
+        for (const auto &ms : env.bed.runBatch(batch))
             drops.push_back(
                 100.0 * (1.0 - ms[0].truthThroughput / solo));
-        }
         table.addRow({target, fmtDouble(median(drops), 1),
                       fmtDouble(percentile(drops, 95), 1),
                       fmtDouble(maxOf(drops), 1)});

@@ -4,11 +4,27 @@
  * regex scanning (DFA and NFA), payload synthesis, gradient-boosting
  * training and inference, cache fixed point, round-robin solver,
  * and full testbed equilibrium solves.
+ *
+ * After the micro-benchmarks, a staged pipeline benchmark times the
+ * end-to-end profiling/training/prediction path twice — once with
+ * TOMUR_THREADS=1 (serial baseline) and once at the configured pool
+ * width — and writes BENCH_micro.json (see tools/bench_report.sh)
+ * with per-stage wall times and speedups: the repo's performance
+ * trajectory record.
+ *
+ * Flags (besides the usual --benchmark_* ones):
+ *   --pipeline-only   skip the google-benchmark suite
+ *   --no-pipeline     skip the staged pipeline + JSON
+ *   --json=PATH       output path (default BENCH_micro.json)
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 #include "common.hh"
+#include "common/logging.hh"
 #include "hw/accel_des.hh"
 #include "hw/cache.hh"
 #include "regex/generator.hh"
@@ -174,6 +190,154 @@ BM_WorkloadProfiling(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadProfiling);
 
+/**
+ * One serial-or-parallel pass over the pipeline stages. Everything
+ * is constructed fresh per pass (own testbed, cold solve cache) so
+ * the serial baseline and the parallel run do identical work.
+ */
+void
+runPipeline(bench::BenchReport &report, bool parallel, int threads)
+{
+    setGlobalThreadCount(threads);
+
+    // Stage 1: the BenchLibrary profiling sweep (the one-time
+    // synthetic-competitor measurement effort).
+    auto rules = regex::defaultRuleSet();
+    framework::DeviceSet dev;
+    dev.regex = std::make_shared<framework::RegexDevice>(rules);
+    dev.compression =
+        std::make_shared<framework::CompressionDevice>();
+    dev.crypto = std::make_shared<framework::CryptoDevice>();
+    sim::Testbed bed(hw::blueField2(), sim::TestbedOptions{});
+    std::unique_ptr<core::BenchLibrary> lib;
+    report.measure("profile_sweep", parallel, [&] {
+        lib = std::make_unique<core::BenchLibrary>(bed, dev, rules);
+    });
+
+    // Stage 2: GBR ensemble fitting in isolation (synthetic data so
+    // the stage measures tree fitting, not the testbed).
+    report.measure("gbr_fit", parallel, [&] {
+        Rng rng(17);
+        ml::Dataset data(std::vector<std::string>{
+            "a", "b", "c", "d", "e", "f", "g", "h"});
+        for (int i = 0; i < 1200; ++i) {
+            std::vector<double> x;
+            for (int j = 0; j < 8; ++j)
+                x.push_back(rng.uniform(0, 1));
+            double y = 3 * x[0] + (x[1] > 0.5 ? 2 : 0) +
+                       x[2] * x[3] + 0.1 * x[7];
+            data.add(x, y);
+        }
+        core::MemoryModelOptions mo;
+        mo.trafficAware = false;
+        core::MemoryModel model(mo);
+        if (auto st = model.fit(data); !st)
+            fatal(st.message());
+        benchmark::DoNotOptimize(model.predictRow(
+            {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}));
+    });
+
+    // Stage 3: end-to-end train + predict (the acceptance metric):
+    // profiling sweep against the testbed, model fit, then a
+    // prediction batch with the trained model.
+    auto defaults = traffic::TrafficProfile::defaults();
+    core::TomurTrainer trainer(*lib);
+    auto nf = nfs::makeByName("FlowStats", dev);
+    core::TomurModel model;
+    report.measure("train_predict", parallel, [&] {
+        core::TrainOptions topts;
+        topts.sampling = core::SamplingStrategy::Random;
+        topts.adaptive.quota = 120;
+        model = trainer.train(*nf, defaults, topts);
+        const auto &benches = lib->memBenches();
+        auto preds = bench::runExperiments(
+            512, 2024, [&](std::size_t, Rng &rng) {
+                traffic::TrafficProfile p = defaults;
+                for (int a = 0; a < traffic::numAttributes; ++a) {
+                    auto attr = static_cast<traffic::Attribute>(a);
+                    auto r = traffic::defaultRange(attr);
+                    p = p.withAttribute(attr,
+                                        rng.uniform(r.min, r.max));
+                }
+                const auto &b = benches[rng.uniformInt(
+                    benches.size())];
+                return model.predict({b.level}, p);
+            });
+        benchmark::DoNotOptimize(preds);
+    });
+
+    // Stage 4: a standalone prediction batch (inference hot path).
+    report.measure("predict_batch", parallel, [&] {
+        const auto &benches = lib->memBenches();
+        auto preds = bench::runExperiments(
+            4096, 7, [&](std::size_t, Rng &rng) {
+                traffic::TrafficProfile p = defaults;
+                p = p.withAttribute(
+                    traffic::Attribute::FlowCount,
+                    rng.uniform(1e3, 500e3));
+                const auto &b = benches[rng.uniformInt(
+                    benches.size())];
+                return model.predict({b.level}, p);
+            });
+        benchmark::DoNotOptimize(preds);
+    });
+
+    // Stage 5: independent DES validation runs.
+    report.measure("des_run", parallel, [&] {
+        auto res = bench::runExperiments(
+            64, 3, [&](std::size_t i, Rng &rng) {
+                std::vector<hw::AccelQueue> queues = {
+                    {1e-6 * (1.0 + 0.1 * (i % 4)), 0, true},
+                    {2e-6, rng.uniform(1e5, 4e5), false},
+                    {0.5e-6, rng.uniform(5e4, 2e5), false}};
+                hw::DesOptions opts;
+                opts.duration = 0.02;
+                opts.warmup = 0.002;
+                opts.seed = deriveSeed(11, i);
+                return hw::simulateRoundRobin(queues, opts);
+            });
+        benchmark::DoNotOptimize(res);
+    });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool pipeline = true;
+    bool micro = true;
+    std::string json_path = "BENCH_micro.json";
+
+    // Strip our flags before google-benchmark sees the rest.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--pipeline-only") == 0) {
+            micro = false;
+        } else if (std::strcmp(argv[i], "--no-pipeline") == 0) {
+            pipeline = false;
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+
+    if (micro)
+        benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (pipeline) {
+        int hw_threads = configuredThreadCount();
+        bench::BenchReport report("micro");
+        std::printf("\npipeline stages (serial vs %d threads):\n",
+                    hw_threads);
+        runPipeline(report, /*parallel=*/false, 1);
+        runPipeline(report, /*parallel=*/true, hw_threads);
+        if (report.writeJson(json_path, 1, hw_threads))
+            std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

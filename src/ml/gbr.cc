@@ -4,6 +4,14 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/threadpool.hh"
+
+namespace {
+
+/** Below this many rows the per-row passes stay serial. */
+constexpr std::size_t kParallelRows = 512;
+
+} // namespace
 
 namespace tomur::ml {
 
@@ -52,8 +60,20 @@ GradientBoostingRegressor::fit(const Dataset &data)
 
         RegressionTree tree;
         tree.fit(data, residual, rows, tp);
-        for (std::size_t i = 0; i < data.size(); ++i)
-            pred[i] += params_.learningRate * tree.predict(data.row(i));
+        // Per-row prediction updates are independent (each index
+        // writes only pred[i]) — no reduction, so parallel execution
+        // is bit-identical to the serial loop.
+        if (data.size() >= kParallelRows) {
+            parallelFor(data.size(), [&](std::size_t i) {
+                pred[i] +=
+                    params_.learningRate * tree.predict(data.row(i));
+            });
+        } else {
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                pred[i] +=
+                    params_.learningRate * tree.predict(data.row(i));
+            }
+        }
         trees_.push_back(std::move(tree));
     }
     fitted_ = true;
@@ -75,8 +95,14 @@ std::vector<double>
 GradientBoostingRegressor::predictAll(const Dataset &data) const
 {
     std::vector<double> out(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out[i] = predict(data.row(i));
+    if (data.size() >= kParallelRows) {
+        parallelFor(data.size(), [&](std::size_t i) {
+            out[i] = predict(data.row(i));
+        });
+    } else {
+        for (std::size_t i = 0; i < data.size(); ++i)
+            out[i] = predict(data.row(i));
+    }
     return out;
 }
 

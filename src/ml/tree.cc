@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 
 namespace tomur::ml {
 
@@ -19,6 +20,66 @@ meanOf(const std::vector<double> &labels,
         s += labels[r];
     return rows.empty() ? 0.0 : s / rows.size();
 }
+
+/** Best split of one feature (gain <= 0 when none qualifies). */
+struct FeatureSplit
+{
+    double gain = 0.0;
+    double threshold = 0.0;
+};
+
+/**
+ * Exact greedy scan of one feature: sort rows by (value, index) —
+ * the index tie-break pins the summation order, so the scan is a
+ * pure function of (rows, f) and identical whether features are
+ * searched serially or across pool workers — then walk the split
+ * points tracking the SSE reduction via prefix sums.
+ */
+FeatureSplit
+scanFeature(const Dataset &data, const std::vector<double> &labels,
+            const std::vector<std::size_t> &rows, std::size_t f,
+            double total_sum, const TreeParams &params)
+{
+    std::vector<std::size_t> order(rows);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  double va = data.row(a)[f], vb = data.row(b)[f];
+                  return va < vb || (va == vb && a < b);
+              });
+
+    FeatureSplit best;
+    best.gain = 1e-12; // minimum useful SSE reduction
+    bool found = false;
+    const double n = static_cast<double>(rows.size());
+    double left_sum = 0.0;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+        left_sum += labels[order[k]];
+        double lv = data.row(order[k])[f];
+        double rv = data.row(order[k + 1])[f];
+        if (lv == rv)
+            continue; // cannot split between equal values
+        std::size_t nl = k + 1;
+        std::size_t nr = order.size() - nl;
+        if (nl < params.minSamplesLeaf || nr < params.minSamplesLeaf)
+            continue;
+        double right_sum = total_sum - left_sum;
+        // SSE reduction = sum^2/n terms (constant part cancels).
+        double gain = left_sum * left_sum / nl +
+                      right_sum * right_sum / nr -
+                      total_sum * total_sum / n;
+        if (gain > best.gain) {
+            best.gain = gain;
+            best.threshold = 0.5 * (lv + rv);
+            found = true;
+        }
+    }
+    if (!found)
+        best.gain = 0.0;
+    return best;
+}
+
+/** Below this many row*feature scans the pool overhead dominates. */
+constexpr std::size_t kParallelSplitWork = 4096;
 
 } // namespace
 
@@ -51,46 +112,38 @@ RegressionTree::grow(const Dataset &data,
         return node_idx;
     }
 
-    // Exact greedy split: for each feature, sort rows by value and
-    // scan split points, tracking the SSE reduction via prefix sums.
-    double best_gain = 1e-12;
-    int best_feature = -1;
-    double best_threshold = 0.0;
-
+    // Exact greedy split: every feature's scan is independent, so
+    // large nodes fan the per-feature search across the pool. The
+    // reduction walks features in index order with a strict '>', so
+    // ties resolve to the lowest feature exactly as the serial scan
+    // did — worker scheduling cannot change the chosen split.
     double total_sum = 0.0;
     for (std::size_t r : rows)
         total_sum += labels[r];
-    const double n = static_cast<double>(rows.size());
 
-    std::vector<std::size_t> order(rows);
-    for (std::size_t f = 0; f < data.numFeatures(); ++f) {
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return data.row(a)[f] < data.row(b)[f];
-                  });
-        double left_sum = 0.0;
-        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
-            left_sum += labels[order[k]];
-            double lv = data.row(order[k])[f];
-            double rv = data.row(order[k + 1])[f];
-            if (lv == rv)
-                continue; // cannot split between equal values
-            std::size_t nl = k + 1;
-            std::size_t nr = order.size() - nl;
-            if (nl < params.minSamplesLeaf ||
-                nr < params.minSamplesLeaf) {
-                continue;
-            }
-            double right_sum = total_sum - left_sum;
-            // SSE reduction = sum^2/n terms (constant part cancels).
-            double gain = left_sum * left_sum / nl +
-                          right_sum * right_sum / nr -
-                          total_sum * total_sum / n;
-            if (gain > best_gain) {
-                best_gain = gain;
-                best_feature = static_cast<int>(f);
-                best_threshold = 0.5 * (lv + rv);
-            }
+    const std::size_t n_feat = data.numFeatures();
+    std::vector<FeatureSplit> splits;
+    if (rows.size() * n_feat >= kParallelSplitWork) {
+        splits = parallelMap(n_feat, [&](std::size_t f) {
+            return scanFeature(data, labels, rows, f, total_sum,
+                               params);
+        });
+    } else {
+        splits.reserve(n_feat);
+        for (std::size_t f = 0; f < n_feat; ++f) {
+            splits.push_back(scanFeature(data, labels, rows, f,
+                                         total_sum, params));
+        }
+    }
+
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    for (std::size_t f = 0; f < n_feat; ++f) {
+        if (splits[f].gain > best_gain) {
+            best_gain = splits[f].gain;
+            best_feature = static_cast<int>(f);
+            best_threshold = splits[f].threshold;
         }
     }
 

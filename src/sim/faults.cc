@@ -115,6 +115,13 @@ FaultInjectingTestbed::corrupt(Measurement &m,
     }
 }
 
+void
+FaultInjectingTestbed::prewarm(
+    const std::vector<std::vector<framework::WorkloadProfile>> &batch)
+{
+    inner_.prewarm(batch);
+}
+
 std::vector<Measurement>
 FaultInjectingTestbed::run(
     const std::vector<framework::WorkloadProfile> &workloads)

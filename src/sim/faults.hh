@@ -112,6 +112,17 @@ class FaultInjectingTestbed : public Testbed
     run(const std::vector<framework::WorkloadProfile> &workloads)
         override;
 
+    /**
+     * Warm the *inner* testbed's solve cache. Fault injection sits
+     * above the memoization layer: prewarming solves draws no noise
+     * and injects no faults, so every subsequent run() still passes
+     * through corrupt() with a fresh fault draw — a cached solve can
+     * never replay a corrupted (or clean) reading.
+     */
+    void prewarm(
+        const std::vector<std::vector<framework::WorkloadProfile>>
+            &batch) override;
+
     /** Replace the fault configuration (keeps the Rng stream). */
     void setConfig(const FaultConfig &config) { config_ = config; }
     const FaultConfig &faultConfig() const { return config_; }

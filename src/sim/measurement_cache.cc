@@ -1,0 +1,124 @@
+#include "sim/measurement_cache.hh"
+
+#include <cstring>
+
+namespace tomur::sim {
+
+namespace {
+
+/** Append a double's bit pattern (byte-exact, no rounding). */
+void
+putDouble(std::string &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+void
+putInt(std::string &out, std::int64_t v)
+{
+    putDouble(out, static_cast<double>(v));
+}
+
+/** Length-prefixed so "ab"+"c" cannot alias "a"+"bc". */
+void
+putString(std::string &out, const std::string &s)
+{
+    putInt(out, static_cast<std::int64_t>(s.size()));
+    out += s;
+}
+
+} // namespace
+
+std::string
+deploymentKey(const TestbedOptions &opts,
+              const std::vector<framework::WorkloadProfile> &w)
+{
+    std::string key;
+    key.reserve(64 + w.size() * 200);
+    // Solver options that shape the noise-free fixed point. Noise
+    // parameters are deliberately excluded: noise is applied above
+    // the cache, per call.
+    putInt(key, opts.maxIterations);
+    putDouble(key, opts.damping);
+    putInt(key, static_cast<std::int64_t>(w.size()));
+    for (const auto &p : w) {
+        putString(key, p.nfName);
+        putInt(key, static_cast<std::int64_t>(p.pattern));
+        putInt(key, p.cores);
+        putDouble(key, p.instrPerPacket);
+        putDouble(key, p.llcReadsPerPacket);
+        putDouble(key, p.llcWritesPerPacket);
+        putDouble(key, p.wssBytes);
+        putDouble(key, p.reuse);
+        putDouble(key, p.frameBytes);
+        putDouble(key, p.dropFraction);
+        putDouble(key, p.pacedRate);
+        for (const auto &a : p.accel) {
+            putInt(key, a.used ? 1 : 0);
+            putDouble(key, a.requestsPerPacket);
+            putDouble(key, a.bytesPerRequest);
+            putDouble(key, a.matchesPerRequest);
+            putInt(key, a.queues);
+        }
+        for (double v : p.traffic.toVector())
+            putDouble(key, v);
+    }
+    return key;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+MeasurementCache::lookup(const std::string &key,
+                         std::vector<Measurement> *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    *out = it->second;
+    return true;
+}
+
+void
+MeasurementCache::store(const std::string &key,
+                        std::vector<Measurement> value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, std::move(value));
+}
+
+MeasurementCache::Stats
+MeasurementCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.entries = map_.size();
+    return s;
+}
+
+void
+MeasurementCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    stats_ = Stats{};
+}
+
+} // namespace tomur::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deployment-measurement memoization.
+ *
+ * Profiling sweeps re-deploy identical (workload set, traffic)
+ * combinations thousands of times — solo anchors, bench co-runs and
+ * calibration pairs recur across training strategies and across the
+ * experiment harnesses. The equilibrium solve is deterministic in
+ * its inputs, so its result can be memoized; only the measurement
+ * noise (and any fault injection layered above) must stay per-call.
+ *
+ * The cache key is a canonical byte-exact serialization of the
+ * solver options plus every field of every WorkloadProfile in the
+ * deployment (doubles are serialized by bit pattern, so two profiles
+ * differing in the last ulp key differently — the cache can never
+ * substitute an "almost identical" deployment).
+ *
+ * Thread safety: all operations take an internal mutex, so pool
+ * workers prewarming disjoint deployments may share one cache.
+ */
+
+#ifndef TOMUR_SIM_MEASUREMENT_CACHE_HH
+#define TOMUR_SIM_MEASUREMENT_CACHE_HH
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/testbed.hh"
+
+namespace tomur::sim {
+
+/**
+ * Canonical cache key for one deployment under one solver setup.
+ * FNV-1a of this string is the "canonical hash"; the full string is
+ * kept as the map key so hash collisions cannot alias deployments.
+ */
+std::string
+deploymentKey(const TestbedOptions &opts,
+              const std::vector<framework::WorkloadProfile> &w);
+
+/** FNV-1a 64-bit over a byte string (logging / key digests). */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+/** Memoized noise-free measurement batches, keyed by deploymentKey. */
+class MeasurementCache
+{
+  public:
+    struct Stats
+    {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t entries = 0;
+    };
+
+    /** Copy the cached batch into *out; counts a hit or a miss. */
+    bool lookup(const std::string &key,
+                std::vector<Measurement> *out) const;
+
+    /** Insert (first writer wins; duplicate stores are dropped). */
+    void store(const std::string &key,
+               std::vector<Measurement> value);
+
+    Stats stats() const;
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::vector<Measurement>> map_;
+    mutable Stats stats_;
+};
+
+} // namespace tomur::sim
+
+#endif // TOMUR_SIM_MEASUREMENT_CACHE_HH

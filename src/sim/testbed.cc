@@ -5,8 +5,10 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "common/threadpool.hh"
 #include "hw/cache.hh"
 #include "hw/dram.hh"
+#include "sim/measurement_cache.hh"
 
 namespace tomur::sim {
 
@@ -52,9 +54,13 @@ bottleneckName(Bottleneck b)
 }
 
 Testbed::Testbed(hw::NicConfig config, TestbedOptions opts)
-    : config_(std::move(config)), opts_(opts), rng_(opts.seed)
+    : config_(std::move(config)), opts_(opts), rng_(opts.seed),
+      cache_(opts.cacheSolves ? std::make_unique<MeasurementCache>()
+                              : nullptr)
 {
 }
+
+Testbed::~Testbed() = default;
 
 namespace {
 
@@ -314,10 +320,28 @@ Testbed::solve(const std::vector<fw::WorkloadProfile> &w) const
 }
 
 std::vector<Measurement>
+Testbed::solveCached(const std::vector<fw::WorkloadProfile> &w) const
+{
+    if (!cache_)
+        return solve(w);
+    auto key = deploymentKey(opts_, w);
+    std::vector<Measurement> out;
+    if (cache_->lookup(key, &out))
+        return out;
+    out = solve(w);
+    cache_->store(key, out);
+    return out;
+}
+
+std::vector<Measurement>
 Testbed::run(const std::vector<fw::WorkloadProfile> &workloads)
 {
-    auto out = solve(workloads);
+    auto out = solveCached(workloads);
     if (opts_.noiseSigma > 0.0) {
+        // The noise stream is the one mutable bit of measurement
+        // state; serialize it so concurrent run() calls stay
+        // race-free (ordered determinism is runBatch's job).
+        std::lock_guard<std::mutex> lock(noiseMutex_);
         for (auto &m : out) {
             m.throughput *= rng_.lognormalFactor(opts_.noiseSigma);
             hw::PerfCounters &c = m.counters;
@@ -332,6 +356,59 @@ Testbed::run(const std::vector<fw::WorkloadProfile> &workloads)
         }
     }
     return out;
+}
+
+void
+Testbed::prewarm(
+    const std::vector<std::vector<fw::WorkloadProfile>> &batch)
+{
+    if (!cache_ || batch.empty())
+        return;
+    parallelFor(batch.size(),
+                [&](std::size_t i) { solveCached(batch[i]); });
+}
+
+std::vector<std::vector<Measurement>>
+Testbed::runBatch(
+    const std::vector<std::vector<fw::WorkloadProfile>> &batch)
+{
+    // Phase 1: fan the deterministic solves across the pool.
+    prewarm(batch);
+    // Phase 2: draw noise (and, through the virtual run(), any
+    // interposed faults) strictly in submission order — bit-identical
+    // to the serial loop whatever the pool width.
+    std::vector<std::vector<Measurement>> out;
+    out.reserve(batch.size());
+    for (const auto &deploy : batch)
+        out.push_back(run(deploy));
+    return out;
+}
+
+std::unique_ptr<Testbed>
+Testbed::clone(std::uint64_t seed) const
+{
+    TestbedOptions opts = opts_;
+    opts.seed = seed;
+    return std::make_unique<Testbed>(config_, opts);
+}
+
+std::size_t
+Testbed::cacheHits() const
+{
+    return cache_ ? cache_->stats().hits : 0;
+}
+
+std::size_t
+Testbed::cacheMisses() const
+{
+    return cache_ ? cache_->stats().misses : 0;
+}
+
+void
+Testbed::clearCache()
+{
+    if (cache_)
+        cache_->clear();
 }
 
 Measurement

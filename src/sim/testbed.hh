@@ -14,6 +14,8 @@
 #ifndef TOMUR_SIM_TESTBED_HH
 #define TOMUR_SIM_TESTBED_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,8 @@
 #include "hw/counters.hh"
 
 namespace tomur::sim {
+
+class MeasurementCache;
 
 /** Which resource limits an NF's throughput. */
 enum class Bottleneck
@@ -64,16 +68,37 @@ struct TestbedOptions
     std::uint64_t seed = 2024;
     int maxIterations = 400;
     double damping = 0.5;
+    /**
+     * Memoize noise-free equilibrium solves (sim/measurement_cache.hh).
+     * The solve is a pure function of (workloads, config, solver
+     * options), so caching it is observationally invisible — noise
+     * and any fault injection stay per-call above the cache.
+     */
+    bool cacheSolves = true;
 };
 
 /**
  * A NIC plus its measurement harness.
+ *
+ * Reentrancy contract (enforced, not just documented):
+ *  - config_ and opts_ are set in the constructor and never mutated
+ *    afterwards — any method may read them from any thread.
+ *  - solve() is const and touches no members beyond those two; it is
+ *    safe to run concurrently (prewarm() relies on this).
+ *  - rng_ (the measurement-noise stream) is the only member that
+ *    mutates across run() calls; noiseMutex_ serializes it, so
+ *    concurrent run() calls are data-race-free. They are however
+ *    NOT deterministic (noise order follows scheduling); callers
+ *    wanting parallel speed *and* bit-identical results must use
+ *    runBatch(), which solves in parallel and draws noise in
+ *    submission order.
+ *  - the solve cache is internally synchronized.
  */
 class Testbed
 {
   public:
     explicit Testbed(hw::NicConfig config, TestbedOptions opts = {});
-    virtual ~Testbed() = default;
+    virtual ~Testbed();
 
     /**
      * Deploy a set of workloads together and measure all of them.
@@ -86,19 +111,59 @@ class Testbed
     virtual std::vector<Measurement>
     run(const std::vector<framework::WorkloadProfile> &workloads);
 
+    /**
+     * Measure many independent deployments: equilibrium solves fan
+     * out across the global thread pool (prewarm), then noise — and,
+     * in an interposing harness, fault injection — is applied by
+     * calling run() per deployment in submission order. The result
+     * is therefore bit-identical to the equivalent serial run() loop
+     * at any TOMUR_THREADS setting.
+     */
+    std::vector<std::vector<Measurement>>
+    runBatch(const std::vector<std::vector<framework::WorkloadProfile>>
+                 &batch);
+
+    /**
+     * Solve (and cache) deployments in parallel without consuming
+     * the noise stream. Overridden by interposers to warm the real
+     * testbed underneath them.
+     */
+    virtual void
+    prewarm(const std::vector<std::vector<framework::WorkloadProfile>>
+                &batch);
+
     /** Deploy one workload alone. */
     Measurement runSolo(const framework::WorkloadProfile &workload);
 
+    /**
+     * An independent testbed over the same NIC and solver options
+     * but its own noise stream — per-worker instances for harnesses
+     * that want concurrent noisy measurement without sharing rng_.
+     */
+    std::unique_ptr<Testbed> clone(std::uint64_t seed) const;
+
     const hw::NicConfig &config() const { return config_; }
+    const TestbedOptions &options() const { return opts_; }
+
+    /** Solve-cache hit/miss counters (empty stats when disabled). */
+    std::size_t cacheHits() const;
+    std::size_t cacheMisses() const;
+    void clearCache();
 
   private:
-    /** Noise-free equilibrium solve. */
+    /** Noise-free equilibrium solve (pure; thread-safe). */
     std::vector<Measurement>
     solve(const std::vector<framework::WorkloadProfile> &w) const;
 
-    hw::NicConfig config_;
-    TestbedOptions opts_;
-    Rng rng_;
+    /** solve() through the memoization layer. */
+    std::vector<Measurement>
+    solveCached(const std::vector<framework::WorkloadProfile> &w) const;
+
+    const hw::NicConfig config_; ///< immutable after construction
+    const TestbedOptions opts_;  ///< immutable after construction
+    Rng rng_;                    ///< noise stream; noiseMutex_ guards
+    std::mutex noiseMutex_;
+    std::unique_ptr<MeasurementCache> cache_; ///< self-synchronized
 };
 
 } // namespace tomur::sim

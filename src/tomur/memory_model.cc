@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "common/threadpool.hh"
 
 namespace tomur::core {
 
@@ -52,14 +53,16 @@ MemoryModel::fit(const ml::Dataset &data)
             }
         }
     }
-    models_.clear();
-    for (int s = 0; s < opts_.seeds; ++s) {
-        ml::GbrParams p = opts_.gbr;
-        p.seed = opts_.gbr.seed + static_cast<std::uint64_t>(s);
-        ml::GradientBoostingRegressor gbr(p);
-        gbr.fit(data);
-        models_.push_back(std::move(gbr));
-    }
+    // Ensemble members are independent given their seeds: fit them
+    // across the pool, collected in seed order.
+    models_ = parallelMap(
+        static_cast<std::size_t>(opts_.seeds), [&](std::size_t s) {
+            ml::GbrParams p = opts_.gbr;
+            p.seed = opts_.gbr.seed + static_cast<std::uint64_t>(s);
+            ml::GradientBoostingRegressor gbr(p);
+            gbr.fit(data);
+            return gbr;
+        });
     fitted_ = true;
     return Status::ok();
 }

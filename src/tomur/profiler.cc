@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
+#include "common/threadpool.hh"
 #include "net/packet.hh"
 
 namespace tomur::core {
@@ -82,6 +83,7 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
                            const regex::RuleSet &rules)
     : testbed_(testbed), devices_(devices), rules_(rules)
 {
+    // Phase 1: enumerate the bench grid (names + configs only).
     const double wss_grid[] = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48};
     const double car_grid[] = {5e6,  10e6, 20e6, 40e6,
                                60e6, 80e6, 100e6};
@@ -94,14 +96,8 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
                 e.config.targetAccessRate = car;
                 e.config.instructionsPerAccess = ipa;
                 e.config.mode = nfs::MemAccessMode::Random;
-                auto nf = nfs::makeMemBench(e.config);
-                e.workload =
-                    fw::profileWorkload(*nf, benchTraffic(),
-                                        nullptr);
-                auto m = soloScreened(testbed_, e.workload, true);
                 e.level.name = strf("mem-bench(%.0fMB,%.0fM,%.0f)",
                                     wss, car / 1e6, ipa);
-                e.level.counters = m.counters;
                 memBenches_.push_back(std::move(e));
             }
         }
@@ -112,12 +108,42 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
         e.config.wssBytes = wss * MB;
         e.config.targetAccessRate = 40e6;
         e.config.mode = nfs::MemAccessMode::Stream;
-        auto nf = nfs::makeMemBench(e.config);
-        e.workload = fw::profileWorkload(*nf, benchTraffic(), nullptr);
-        auto m = soloScreened(testbed_, e.workload, true);
         e.level.name = strf("mem-bench-stream(%.0fMB)", wss);
-        e.level.counters = m.counters;
         memBenches_.push_back(std::move(e));
+    }
+
+    // Phase 2: profile every bench workload across the pool. Each
+    // task owns its NF instance and profileWorkload is deterministic
+    // in (config, traffic), so results are independent of scheduling.
+    auto workloads =
+        parallelMap(memBenches_.size(), [&](std::size_t i) {
+            auto nf = nfs::makeMemBench(memBenches_[i].config);
+            return fw::profileWorkload(*nf, benchTraffic(), nullptr);
+        });
+    for (std::size_t i = 0; i < memBenches_.size(); ++i)
+        memBenches_[i].workload = std::move(workloads[i]);
+
+    // Phase 3: measure all solo contention levels as one batch —
+    // solves fan out in parallel, measurement noise is drawn in
+    // entry order, exactly as the old one-at-a-time sweep did.
+    std::vector<std::vector<fw::WorkloadProfile>> batch;
+    batch.reserve(memBenches_.size());
+    for (const auto &e : memBenches_)
+        batch.push_back({e.workload});
+    auto measured = testbed_.runBatch(batch);
+
+    for (std::size_t i = 0; i < memBenches_.size(); ++i) {
+        sim::Measurement m =
+            measured[i].empty() ? sim::Measurement{} : measured[i][0];
+        if (!(plausibleThroughput(m) && m.truthThroughput > 0.0 &&
+              plausibleCounters(m.counters))) {
+            // The batched first attempt failed the screen (possible
+            // only on a faulted testbed): spend the remaining retry
+            // budget one-at-a-time, as the serial sweep would.
+            m = soloScreened(testbed_, memBenches_[i].workload, true,
+                            3);
+        }
+        memBenches_[i].level.counters = m.counters;
     }
 }
 
@@ -406,24 +432,79 @@ TomurTrainer::train(fw::NetworkFunction &nf,
         }
         return t;
     };
-    auto addContended = [&](const traffic::TrafficProfile &p) {
-        double solo = addSolo(p);
-        // Half the samples co-run two benches at once so the model
-        // sees aggregated-counter magnitudes (test-time competitor
-        // sets sum up to three NFs' counters).
-        std::vector<ContentionLevel> levels;
-        std::vector<fw::WorkloadProfile> deploy = {workloadOf(nf, p)};
+    /** Contended sample with a pre-chosen competitor set. */
+    auto addContendedWith =
+        [&](const traffic::TrafficProfile &p,
+            const std::vector<const BenchLibrary::MemBenchEntry *>
+                &benches) {
+            double solo = addSolo(p);
+            std::vector<ContentionLevel> levels;
+            std::vector<fw::WorkloadProfile> deploy = {
+                workloadOf(nf, p)};
+            for (const auto *bench : benches) {
+                levels.push_back(bench->level);
+                deploy.push_back(bench->workload);
+            }
+            if (solo <= 0.0)
+                return; // no usable solo anchor for the ratio label
+            auto ratio = measureRatio(deploy, solo);
+            if (ratio)
+                data.add(model.memory_.featuresFor(levels, p),
+                         *ratio);
+        };
+
+    /** Draw the competitor set for one contended sample: half the
+     *  samples co-run two benches at once so the model sees
+     *  aggregated-counter magnitudes (test-time competitor sets sum
+     *  up to three NFs' counters). */
+    auto drawBenches = [&] {
+        std::vector<const BenchLibrary::MemBenchEntry *> benches;
         int n_bench = rng.chance(0.5) ? 1 : 2;
-        for (int b = 0; b < n_bench; ++b) {
-            const auto &bench = library_.randomMemBench(rng);
-            levels.push_back(bench.level);
-            deploy.push_back(bench.workload);
+        for (int b = 0; b < n_bench; ++b)
+            benches.push_back(&library_.randomMemBench(rng));
+        return benches;
+    };
+
+    auto addContended = [&](const traffic::TrafficProfile &p) {
+        addContendedWith(p, drawBenches());
+    };
+
+    /**
+     * A pre-planned profiling sweep. Random/Full sampling choose
+     * every (traffic, competitor) point up front from the trainer
+     * RNG — the plan never depends on measured values — so all
+     * deployments are known before the first measurement and their
+     * equilibrium solves can fan out across the pool. Execution then
+     * replays the plan in order: the noise/fault streams are drawn
+     * in exactly the sequence the serial one-at-a-time sweep used,
+     * keeping results bit-identical at any TOMUR_THREADS.
+     */
+    struct PlanStep
+    {
+        bool contended = false;
+        traffic::TrafficProfile profile;
+        std::vector<const BenchLibrary::MemBenchEntry *> benches;
+    };
+    auto executePlan = [&](const std::vector<PlanStep> &plan) {
+        std::vector<std::vector<fw::WorkloadProfile>> warm;
+        warm.reserve(plan.size());
+        for (const auto &step : plan) {
+            std::vector<fw::WorkloadProfile> deploy = {
+                workloadOf(nf, step.profile)};
+            if (step.contended) {
+                warm.push_back({deploy[0]}); // the solo anchor
+                for (const auto *bench : step.benches)
+                    deploy.push_back(bench->workload);
+            }
+            warm.push_back(std::move(deploy));
         }
-        if (solo <= 0.0)
-            return; // no usable solo anchor for the ratio label
-        auto ratio = measureRatio(deploy, solo);
-        if (ratio)
-            data.add(model.memory_.featuresFor(levels, p), *ratio);
+        bed.prewarm(warm);
+        for (const auto &step : plan) {
+            if (step.contended)
+                addContendedWith(step.profile, step.benches);
+            else
+                addSolo(step.profile);
+        }
     };
 
     if (opts.sampling == SamplingStrategy::Adaptive) {
@@ -449,14 +530,25 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             }
             return p;
         };
-        for (std::size_t i = 0; i < solos; ++i)
-            addSolo(i == 0 ? defaults : randomProfile());
-        for (std::size_t i = solos; i < budget; ++i)
-            addContended(randomProfile());
+        std::vector<PlanStep> plan;
+        plan.reserve(budget);
+        for (std::size_t i = 0; i < solos; ++i) {
+            PlanStep step;
+            step.profile = i == 0 ? defaults : randomProfile();
+            plan.push_back(std::move(step));
+        }
+        for (std::size_t i = solos; i < budget; ++i) {
+            PlanStep step;
+            step.contended = true;
+            step.profile = randomProfile();
+            step.benches = drawBenches();
+            plan.push_back(std::move(step));
+        }
+        executePlan(plan);
     } else {
         // Full profiling: dense grid over every attribute.
         int g = std::max(2, opts.fullGridPerAttribute);
-        std::vector<traffic::TrafficProfile> grid;
+        std::vector<PlanStep> plan;
         for (int a = 0; a < g; ++a) {
             for (int b = 0; b < g; ++b) {
                 for (int c = 0; c < g; ++c) {
@@ -471,17 +563,21 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                                    idx[d] / (g - 1);
                         p = p.withAttribute(attr, v);
                     }
-                    grid.push_back(p);
+                    PlanStep solo_step;
+                    solo_step.profile = p;
+                    plan.push_back(std::move(solo_step));
+                    for (int i = 0;
+                         i < opts.contentionSamplesPerProfile; ++i) {
+                        PlanStep step;
+                        step.contended = true;
+                        step.profile = p;
+                        step.benches = drawBenches();
+                        plan.push_back(std::move(step));
+                    }
                 }
             }
         }
-        for (const auto &p : grid) {
-            addSolo(p);
-            for (int i = 0; i < opts.contentionSamplesPerProfile;
-                 ++i) {
-                addContended(p);
-            }
-        }
+        executePlan(plan);
     }
     if (report)
         report->memorySamples = data.size();
@@ -495,14 +591,18 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     // memory model).
     model.soloModels_.clear();
     if (solo_data.size() > 0) {
-        for (int s = 0; s < opts.memory.seeds; ++s) {
-            ml::GbrParams gp = opts.memory.gbr;
-            gp.seed =
-                opts.seed + 1000 + static_cast<std::uint64_t>(s);
-            ml::GradientBoostingRegressor gbr(gp);
-            gbr.fit(solo_data);
-            model.soloModels_.push_back(std::move(gbr));
-        }
+        // Seed-ensemble members fit independently across the pool,
+        // collected in seed order.
+        model.soloModels_ = parallelMap(
+            static_cast<std::size_t>(opts.memory.seeds),
+            [&](std::size_t s) {
+                ml::GbrParams gp = opts.memory.gbr;
+                gp.seed =
+                    opts.seed + 1000 + static_cast<std::uint64_t>(s);
+                ml::GradientBoostingRegressor gbr(gp);
+                gbr.fit(solo_data);
+                return gbr;
+            });
     } else {
         model.markSoloDegraded(
             "no usable solo measurements survived screening");

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Build and run the staged pipeline benchmark and leave a
+# machine-readable performance record in BENCH_micro.json: wall time
+# per pipeline stage (profile sweep, GBR fit, train+predict batch,
+# prediction batch, DES run), once with TOMUR_THREADS=1 and once at
+# the configured pool width, plus per-stage speedups. Commit-to-commit
+# diffs of this file are the repo's perf-regression trail.
+#
+# Usage: tools/bench_report.sh [output.json]
+#   TOMUR_THREADS=N   width of the parallel variant (default: cores)
+# Uses the regular build/ directory next to the repo root.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+out="${1:-$repo_root/BENCH_micro.json}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target micro_benchmarks
+
+"$build_dir/bench/micro_benchmarks" --pipeline-only --json="$out"
+
+echo ""
+echo "=== $out ==="
+cat "$out"

@@ -1,21 +1,51 @@
 #!/bin/sh
-# Configure, build, and run the test suite under ASan + UBSan
-# (-DTOMUR_SANITIZE=ON). The robustness tests feed load() a corpus of
+# Configure, build, and run the test suite under sanitizers.
+#
+# Pass 1 (build-asan/, -DTOMUR_SANITIZE=address): the full suite under
+# ASan + UBSan. The robustness tests feed load() a corpus of
 # truncated/bit-flipped/hostile model files and train against a
-# fault-injecting testbed; this script is how "no crash" is upgraded
-# to "no memory error and no UB".
+# fault-injecting testbed; this pass is how "no crash" is upgraded to
+# "no memory error and no UB".
+#
+# Pass 2 (build-tsan/, -DTOMUR_SANITIZE=thread): the parallel-engine
+# tests (thread pool, batched testbed runs, concurrent training)
+# under TSan, which is how "bit-identical results" is upgraded to
+# "and no data race produced them by luck".
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
-# Builds into build-asan/ next to the regular build directory.
+#   TOMUR_SKIP_TSAN=1   run only the ASan+UBSan pass
+# Builds into build-asan/ and build-tsan/ next to the regular build
+# directory.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="$repo_root/build-asan"
+jobs="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$build_dir" -S "$repo_root" -DTOMUR_SANITIZE=ON
-cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+echo "=== ASan + UBSan: full test suite ==="
+asan_dir="$repo_root/build-asan"
+cmake -B "$asan_dir" -S "$repo_root" -DTOMUR_SANITIZE=address
+cmake --build "$asan_dir" -j "$jobs"
 
 # halt_on_error keeps UBSan findings fatal so ctest reports them.
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=0" \
-    ctest --test-dir "$build_dir" --output-on-failure "$@"
+    ctest --test-dir "$asan_dir" --output-on-failure "$@"
+
+if [ "${TOMUR_SKIP_TSAN:-0}" = "1" ]; then
+    echo "TOMUR_SKIP_TSAN=1: skipping TSan pass"
+    exit 0
+fi
+
+echo ""
+echo "=== TSan: parallel-engine tests ==="
+tsan_dir="$repo_root/build-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DTOMUR_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$jobs" --target test_parallel
+
+# Force a real pool even on single-core CI so TSan sees actual
+# cross-thread interleavings. Suite names in test_parallel.cc are
+# prefixed "Parallel" so -R selects exactly them.
+TOMUR_THREADS="${TOMUR_THREADS:-4}" \
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$tsan_dir" -R '^Parallel' \
+        --output-on-failure "$@"
