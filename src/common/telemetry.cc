@@ -1,0 +1,308 @@
+#include "common/telemetry.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tomur {
+
+namespace {
+
+/**
+ * The calling thread's shard index. Threads take shards round-robin
+ * on first touch, so up to Counter::numShards concurrent threads
+ * never share a cache line; beyond that they wrap (still exact,
+ * merely contended).
+ */
+int
+myShard()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local int shard = static_cast<int>(
+        next.fetch_add(1, std::memory_order_relaxed) %
+        Counter::numShards);
+    return shard;
+}
+
+/** Deterministic number formatting for dump diffs. */
+std::string
+fmtMetric(double v)
+{
+    return strf("%.9g", v);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------
+
+void
+Counter::inc(std::uint64_t n)
+{
+    shards_[myShard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &s : shards_)
+        sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+Counter::reset()
+{
+    for (auto &s : shards_)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------
+
+void
+Gauge::add(double d)
+{
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+}
+
+// ---------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        panic("Histogram: bucket bounds must be sorted");
+    // One striped counter per finite bucket plus the +Inf bucket.
+    for (std::size_t i = 0; i < bounds_.size() + 1; ++i)
+        buckets_.push_back(std::make_unique<Counter>());
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t b = std::lower_bound(bounds_.begin(), bounds_.end(),
+                                     v) -
+                    bounds_.begin();
+    buckets_[b]->inc();
+    count_.inc();
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot s;
+    s.bounds = bounds_;
+    s.counts.reserve(buckets_.size());
+    for (const auto &b : buckets_)
+        s.counts.push_back(b->value());
+    s.count = count_.value();
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b->reset();
+    count_.reset();
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double>
+Histogram::exponentialBounds(double start, double factor, int count)
+{
+    std::vector<double> b;
+    double v = start;
+    for (int i = 0; i < count; ++i) {
+        b.push_back(v);
+        v *= factor;
+    }
+    return b;
+}
+
+// ---------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (gauges_.count(name) || histograms_.count(name))
+        panic(strf("metric '%s' registered with another type",
+                   name.c_str()));
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) || histograms_.count(name))
+        panic(strf("metric '%s' registered with another type",
+                   name.c_str()));
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) || gauges_.count(name))
+        panic(strf("metric '%s' registered with another type",
+                   name.c_str()));
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<Histogram>(bounds))
+                 .first;
+    } else if (it->second->snapshot().bounds != bounds) {
+        panic(strf("histogram '%s' re-registered with a different "
+                   "bucket layout",
+                   name.c_str()));
+    }
+    return *it->second;
+}
+
+namespace {
+
+bool
+excluded(const std::string &name, const DumpOptions &opts)
+{
+    for (const auto &p : opts.excludePrefixes) {
+        if (name.rfind(p, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+MetricsRegistry::dump(std::ostream &out, const DumpOptions &opts)
+    const
+{
+    // One sorted pass over all three families: std::map iteration is
+    // already name-ordered and the families are merged by name so
+    // the dump is stable regardless of registration order.
+    std::lock_guard<std::mutex> lock(mutex_);
+    struct Row
+    {
+        const std::string *name;
+        int kind; // 0 counter, 1 gauge, 2 histogram
+        const void *metric;
+    };
+    std::vector<Row> rows;
+    for (const auto &[name, m] : counters_)
+        rows.push_back({&name, 0, m.get()});
+    for (const auto &[name, m] : gauges_)
+        rows.push_back({&name, 1, m.get()});
+    for (const auto &[name, m] : histograms_)
+        rows.push_back({&name, 2, m.get()});
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return *a.name < *b.name;
+              });
+
+    for (const Row &r : rows) {
+        if (excluded(*r.name, opts))
+            continue;
+        const std::string &n = *r.name;
+        if (r.kind == 0) {
+            const auto *c = static_cast<const Counter *>(r.metric);
+            out << "# TYPE " << n << " counter\n"
+                << n << " " << c->value() << "\n";
+        } else if (r.kind == 1) {
+            const auto *g = static_cast<const Gauge *>(r.metric);
+            out << "# TYPE " << n << " gauge\n"
+                << n << " " << fmtMetric(g->value()) << "\n";
+        } else {
+            const auto *h = static_cast<const Histogram *>(r.metric);
+            auto s = h->snapshot();
+            out << "# TYPE " << n << " histogram\n";
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+                cum += s.counts[i];
+                out << n << "_bucket{le=\""
+                    << fmtMetric(s.bounds[i]) << "\"} " << cum
+                    << "\n";
+            }
+            cum += s.counts.back();
+            out << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
+            out << n << "_sum " << fmtMetric(s.sum) << "\n";
+            out << n << "_count " << s.count << "\n";
+        }
+    }
+}
+
+std::string
+MetricsRegistry::dumpString(const DumpOptions &opts) const
+{
+    std::ostringstream ss;
+    dump(ss, opts);
+    return ss.str();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, m] : counters_)
+        m->reset();
+    for (auto &[name, m] : gauges_)
+        m->reset();
+    for (auto &[name, m] : histograms_)
+        m->reset();
+}
+
+MetricsRegistry &
+metrics()
+{
+    // Intentionally leaked: the global thread pool's workers update
+    // metrics (queue-depth gauge) until process teardown, so a
+    // static's atexit destructor would race them. A process-lifetime
+    // registry has nothing to clean up anyway.
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+void
+dumpMetrics(std::ostream &out, const DumpOptions &opts)
+{
+    metrics().dump(out, opts);
+}
+
+} // namespace tomur

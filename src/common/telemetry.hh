@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * histograms, named under the `tomur_<subsystem>_<name>` convention
+ * and dumpable as Prometheus-style text (`dumpMetrics()` / the CLI's
+ * `--metrics-out`).
+ *
+ * Write-path design: every counter and histogram bucket is striped
+ * across cache-line-aligned atomic shards, and each thread owns one
+ * shard (assigned round-robin on first touch), so TOMUR_THREADS pool
+ * workers increment without contending on a shared line or taking a
+ * lock. Reads aggregate the shards; `fetch_add` per shard means
+ * concurrent increments always sum exactly — nothing is sampled or
+ * lost.
+ *
+ * Determinism contract: metric *values* produced by the library's
+ * deterministic phases (equilibrium solves, cache hit/miss on
+ * distinct keys, GBR fits, training sample counts) are identical at
+ * any pool width, so a dump filtered to those families is
+ * byte-identical across TOMUR_THREADS settings — which is what the
+ * golden-metrics test asserts. Scheduling-dependent families (the
+ * `tomur_pool_*` pool introspection metrics) are excluded via
+ * DumpOptions.
+ */
+
+#ifndef TOMUR_COMMON_TELEMETRY_HH
+#define TOMUR_COMMON_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tomur {
+
+/**
+ * Monotonic counter, striped per thread. inc() is lock-free and
+ * wait-free (one relaxed fetch_add on the calling thread's shard);
+ * value() sums all shards.
+ */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1);
+    std::uint64_t value() const;
+    void reset();
+
+    static constexpr int numShards = 32;
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Shard shards_[numShards];
+};
+
+/** A value that can go up and down (queue depths, entry counts). */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    void add(double d);
+    double value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Histogram with a fixed bucket layout chosen at registration.
+ * Observations land in the first bucket whose upper bound is >= the
+ * value (cumulative counts are computed at dump time, Prometheus
+ * style); everything above the last bound lands in the implicit
+ * +Inf bucket. Bucket counts and the observation count are striped
+ * like Counter, so the invariant "sum of bucket counts == count"
+ * holds exactly under any concurrency.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    struct Snapshot
+    {
+        std::vector<double> bounds;         ///< upper bounds
+        std::vector<std::uint64_t> counts;  ///< per-bucket (+Inf last)
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+    Snapshot snapshot() const;
+    void reset();
+
+    /** bounds {start, start*factor, ...} (count entries). */
+    static std::vector<double>
+    exponentialBounds(double start, double factor, int count);
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::unique_ptr<Counter>> buckets_; ///< +Inf last
+    Counter count_;
+    std::atomic<double> sum_{0.0};
+};
+
+/** Dump filtering (see the determinism note in the file header). */
+struct DumpOptions
+{
+    /** Skip metrics whose name starts with any of these. */
+    std::vector<std::string> excludePrefixes;
+};
+
+/**
+ * Name -> metric registry. Registration (the first `counter(name)` /
+ * `gauge(name)` / `histogram(name, ...)` call) takes a mutex; the
+ * returned reference is stable for the process lifetime, so hot
+ * paths look a metric up once and keep the reference.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** bounds are fixed by the first registration; later calls with
+     *  a different layout panic (layout drift breaks dump diffs). */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    /** Prometheus-style text, sorted by metric name. */
+    void dump(std::ostream &out, const DumpOptions &opts = {}) const;
+    std::string dumpString(const DumpOptions &opts = {}) const;
+
+    /** Distinct registered metrics. */
+    std::size_t size() const;
+
+    /** Zero every metric (registrations are kept). Tests isolate
+     *  their assertions with this; production code never calls it. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry. */
+MetricsRegistry &metrics();
+
+/** metrics().dump(out) shorthand (the CLI's --metrics-out body). */
+void dumpMetrics(std::ostream &out, const DumpOptions &opts = {});
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_TELEMETRY_HH

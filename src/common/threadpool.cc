@@ -8,6 +8,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
 
 namespace tomur {
 
@@ -19,6 +21,32 @@ thread_local bool t_on_worker = false;
 std::mutex g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool;
 
+/**
+ * Pool introspection metrics. Values depend on scheduling and pool
+ * width, so the whole family lives under the `tomur_pool_` prefix
+ * the deterministic-dump consumers exclude (see telemetry.hh).
+ */
+struct PoolMetrics
+{
+    Counter &jobsPosted =
+        metrics().counter("tomur_pool_jobs_posted_total");
+    Counter &jobsExecuted =
+        metrics().counter("tomur_pool_jobs_executed_total");
+    Counter &loops =
+        metrics().counter("tomur_pool_loops_total");
+    Counter &inlineLoops =
+        metrics().counter("tomur_pool_inline_loops_total");
+    Gauge &queueDepth = metrics().gauge("tomur_pool_queue_depth");
+    Gauge &width = metrics().gauge("tomur_pool_width");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics pm;
+    return pm;
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(int threads)
@@ -29,6 +57,7 @@ ThreadPool::ThreadPool(int threads)
     // TOMUR_THREADS=1 means strictly serial execution.
     for (int i = 1; i < threads_; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    poolMetrics().width.set(threads_);
 }
 
 ThreadPool::~ThreadPool()
@@ -48,7 +77,10 @@ ThreadPool::post(std::function<void()> job)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(job));
+        poolMetrics().queueDepth.set(
+            static_cast<double>(queue_.size()));
     }
+    poolMetrics().jobsPosted.inc();
     cv_.notify_one();
 }
 
@@ -72,7 +104,10 @@ ThreadPool::workerLoop()
                 return; // stopping
             job = std::move(queue_.back());
             queue_.pop_back();
+            poolMetrics().queueDepth.set(
+                static_cast<double>(queue_.size()));
         }
+        poolMetrics().jobsExecuted.inc();
         job();
     }
 }
@@ -169,8 +204,10 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     // loop already running on a pool worker (queueing from a worker
     // could deadlock a saturated fixed-size pool).
     ThreadPool &pool = ThreadPool::global();
+    poolMetrics().loops.inc();
     if (n == 1 || pool.threadCount() == 1 ||
         ThreadPool::onWorkerThread()) {
+        poolMetrics().inlineLoops.inc();
         std::exception_ptr error;
         std::size_t error_index =
             std::numeric_limits<std::size_t>::max();
@@ -196,9 +233,19 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     std::size_t helpers = static_cast<std::size_t>(pool.threadCount());
     if (helpers > n)
         helpers = n;
-    // helpers counts the caller; post one job per extra worker.
-    for (std::size_t h = 1; h < helpers; ++h)
-        pool.post([state] { state->drain(); });
+    // helpers counts the caller; post one job per extra worker. The
+    // caller's current trace span travels with the job, so spans
+    // opened inside pool tasks nest under the span that launched the
+    // loop (the caller's own drain() sees it via its span stack).
+    std::uint64_t trace_parent = tracer().currentSpan();
+    for (std::size_t h = 1; h < helpers; ++h) {
+        pool.post([state, trace_parent] {
+            std::uint64_t prev =
+                tracer().setInheritedParent(trace_parent);
+            state->drain();
+            tracer().setInheritedParent(prev);
+        });
+    }
 
     state->drain(); // the caller participates
 

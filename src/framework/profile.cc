@@ -3,8 +3,35 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
 
 namespace tomur::framework {
+
+namespace {
+
+/** Process-wide profiling metrics (tomur_profile_*). */
+struct ProfileMetrics
+{
+    Counter &workloads =
+        metrics().counter("tomur_profile_workloads_total");
+    Counter &packets =
+        metrics().counter("tomur_profile_packets_total");
+    Counter &warmupPackets =
+        metrics().counter("tomur_profile_warmup_packets_total");
+    Histogram &instrPerPacket = metrics().histogram(
+        "tomur_profile_instr_per_packet",
+        Histogram::exponentialBounds(64.0, 4.0, 8));
+};
+
+ProfileMetrics &
+profileMetrics()
+{
+    static ProfileMetrics pm;
+    return pm;
+}
+
+} // namespace
 
 WorkloadProfile
 profileWorkload(NetworkFunction &nf,
@@ -14,6 +41,14 @@ profileWorkload(NetworkFunction &nf,
 {
     if (opts.samplePackets == 0)
         fatal("profileWorkload: zero sample packets");
+
+    TraceSpan span("profile.workload");
+    span.field("nf", nf.name());
+    span.field("flows",
+               static_cast<std::uint64_t>(traffic_profile.flowCount));
+    span.field("packet_size", static_cast<std::uint64_t>(
+                                  traffic_profile.packetSize));
+    span.field("mtbr", traceFormat(traffic_profile.mtbr));
 
     nf.reset();
     traffic::TrafficGen gen(traffic_profile, ruleset, opts.seed);
@@ -37,6 +72,7 @@ profileWorkload(NetworkFunction &nf,
             pkt.rewriteAddressing(gen.flowTuple(i));
             nf.processPacket(pkt, warm_ctx);
         }
+        profileMetrics().warmupPackets.inc(n);
     }
 
     // Phase 2: measure over fully-functional sample packets.
@@ -64,11 +100,20 @@ profileWorkload(NetworkFunction &nf,
     w.dropFraction = static_cast<double>(drops) / n;
 
     // Working set: sum of region footprints; reuse: access-weighted.
+    // Per-region attribution points ride on the sorted region map, so
+    // the emitted order is deterministic.
     double wss = 0.0, reuse_weighted = 0.0, accesses = 0.0;
     for (const auto &[name, use] : ctx.regions()) {
         wss += use.bytes;
         reuse_weighted += use.reuse * use.accesses;
         accesses += use.accesses;
+        if (span.active()) {
+            tracePoint("profile.region",
+                       {{"region", name},
+                        {"bytes", traceFormat(use.bytes)},
+                        {"accesses", traceFormat(use.accesses)},
+                        {"reuse", traceFormat(use.reuse)}});
+        }
     }
     w.wssBytes = wss;
     w.reuse = accesses > 0.0 ? reuse_weighted / accesses : 1.0;
@@ -92,7 +137,23 @@ profileWorkload(NetworkFunction &nf,
         use.bytesPerRequest = req_bytes[k] / req_count[k];
         use.matchesPerRequest = req_matches[k] / req_count[k];
         use.queues = nf.queueCount(static_cast<hw::AccelKind>(k));
+        if (span.active()) {
+            tracePoint(
+                "profile.accel",
+                {{"kind",
+                  hw::accelName(static_cast<hw::AccelKind>(k))},
+                 {"req_per_pkt", traceFormat(use.requestsPerPacket)},
+                 {"bytes_per_req", traceFormat(use.bytesPerRequest)}},
+                k);
+        }
     }
+
+    profileMetrics().workloads.inc();
+    profileMetrics().packets.inc(opts.samplePackets);
+    profileMetrics().instrPerPacket.observe(w.instrPerPacket);
+    span.field("instr_per_pkt", traceFormat(w.instrPerPacket));
+    span.field("wss_bytes", traceFormat(w.wssBytes));
+    span.field("drop_fraction", traceFormat(w.dropFraction));
     return w;
 }
 

@@ -4,7 +4,9 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "common/threadpool.hh"
+#include "common/trace.hh"
 
 namespace {
 
@@ -27,6 +29,16 @@ GradientBoostingRegressor::fit(const Dataset &data)
         fatal("GradientBoostingRegressor::fit: empty dataset");
     trees_.clear();
 
+    TraceSpan span("ml.gbr.fit");
+    span.field("rows", static_cast<std::uint64_t>(data.size()));
+    span.field("trees",
+               static_cast<std::int64_t>(params_.numTrees));
+    span.field("seed", static_cast<std::uint64_t>(params_.seed));
+    metrics().counter("tomur_gbr_fits_total").inc();
+    metrics().counter("tomur_gbr_trees_total")
+        .inc(static_cast<std::uint64_t>(
+            std::max(0, params_.numTrees)));
+
     base_ = 0.0;
     for (std::size_t i = 0; i < data.size(); ++i)
         base_ += data.label(i);
@@ -48,6 +60,18 @@ GradientBoostingRegressor::fit(const Dataset &data)
     for (int m = 0; m < params_.numTrees; ++m) {
         for (std::size_t i = 0; i < data.size(); ++i)
             residual[i] = data.label(i) - pred[i];
+        if (span.active()) {
+            // Per-round least-squares loss (before this round's
+            // tree), keyed by the round as the logical step: the
+            // boosting curve is diffable without timing data. Only
+            // computed while tracing — it is an extra O(rows) pass.
+            double loss = 0.0;
+            for (std::size_t i = 0; i < data.size(); ++i)
+                loss += residual[i] * residual[i];
+            loss /= static_cast<double>(data.size());
+            tracePoint("ml.gbr.round",
+                       {{"loss", traceFormat(loss)}}, m);
+        }
 
         std::vector<std::size_t> rows;
         if (n_sub >= data.size()) {

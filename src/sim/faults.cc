@@ -4,10 +4,50 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
 
 namespace tomur::sim {
 
 namespace {
+
+/** tomur_faults_* metric name for one mode ('-' -> '_'). */
+std::string
+faultMetricName(FaultMode mode)
+{
+    std::string n = faultModeName(mode);
+    for (char &c : n) {
+        if (c == '-')
+            c = '_';
+    }
+    return "tomur_faults_injected_" + n + "_total";
+}
+
+/** Per-mode injection counters plus pass-through volume. */
+struct FaultMetrics
+{
+    Counter *injected[numFaultModes];
+    Counter &measurements =
+        metrics().counter("tomur_faults_measurements_total");
+    Counter &batches =
+        metrics().counter("tomur_faults_batches_total");
+
+    FaultMetrics()
+    {
+        for (int m = 0; m < numFaultModes; ++m) {
+            injected[m] = &metrics().counter(
+                faultMetricName(static_cast<FaultMode>(m)));
+        }
+    }
+};
+
+FaultMetrics &
+faultMetrics()
+{
+    static FaultMetrics fm;
+    return fm;
+}
 
 /** Apply f to every measured counter field. */
 template <typename F>
@@ -74,6 +114,12 @@ FaultInjectingTestbed::corrupt(Measurement &m,
 {
     auto note = [&](FaultMode mode) {
         ++stats_.injected[static_cast<int>(mode)];
+        faultMetrics().injected[static_cast<int>(mode)]->inc();
+        if (tracer().enabled()) {
+            tracePoint("sim.fault",
+                       {{"mode", faultModeName(mode)},
+                        {"nf", m.nfName}});
+        }
     };
 
     // The deterministic degradation applies first (it models the
@@ -126,14 +172,28 @@ std::vector<Measurement>
 FaultInjectingTestbed::run(
     const std::vector<framework::WorkloadProfile> &workloads)
 {
+    TraceSpan span("sim.faults.run");
+    span.field("n",
+               static_cast<std::uint64_t>(workloads.size()));
     auto out = inner_.run(workloads);
     ++stats_.batches;
     stats_.measurements += out.size();
+    faultMetrics().batches.inc();
+    faultMetrics().measurements.inc(out.size());
 
     if (out.size() > 1 && rng_.chance(config_.truncateBatchProb)) {
         // Keep a uniformly chosen prefix; [0, n-1] members survive.
         out.resize(rng_.uniformInt(out.size()));
         ++stats_.injected[static_cast<int>(FaultMode::TruncatedBatch)];
+        faultMetrics()
+            .injected[static_cast<int>(FaultMode::TruncatedBatch)]
+            ->inc();
+        if (tracer().enabled()) {
+            tracePoint("sim.fault",
+                       {{"mode",
+                         faultModeName(FaultMode::TruncatedBatch)},
+                        {"kept", strf("%zu", out.size())}});
+        }
     }
 
     for (std::size_t i = 0; i < out.size(); ++i) {

@@ -2,7 +2,39 @@
 
 #include <cstring>
 
+#include "common/telemetry.hh"
+
 namespace tomur::sim {
+
+namespace {
+
+/**
+ * Process-wide cache metrics (tomur_cache_*), shared by every
+ * MeasurementCache instance; references resolved once. Key-size
+ * buckets span the observed canonical-key range (one workload is a
+ * few hundred bytes; deployments of 2-4 scale linearly).
+ */
+struct CacheMetrics
+{
+    Counter &hits = metrics().counter("tomur_cache_hits_total");
+    Counter &misses = metrics().counter("tomur_cache_misses_total");
+    Counter &stores = metrics().counter("tomur_cache_stores_total");
+    Counter &storeDropped =
+        metrics().counter("tomur_cache_store_dropped_total");
+    Gauge &entries = metrics().gauge("tomur_cache_entries");
+    Histogram &keyBytes = metrics().histogram(
+        "tomur_cache_key_bytes",
+        Histogram::exponentialBounds(256.0, 2.0, 6));
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics cm;
+    return cm;
+}
+
+} // namespace
 
 namespace {
 
@@ -81,34 +113,63 @@ fnv1a64(const std::string &bytes)
     return h;
 }
 
+MeasurementCache::MeasurementCache()
+{
+    cacheMetrics(); // resolve the metric references up front
+}
+
 bool
 MeasurementCache::lookup(const std::string &key,
                          std::vector<Measurement> *out) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(key);
-    if (it == map_.end()) {
-        ++stats_.misses;
-        return false;
+    bool hit;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        hit = it != map_.end();
+        if (hit)
+            *out = it->second;
     }
-    ++stats_.hits;
-    *out = it->second;
-    return true;
+    if (hit) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().hits.inc();
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().misses.inc();
+    }
+    return hit;
 }
 
 void
 MeasurementCache::store(const std::string &key,
                         std::vector<Measurement> value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    map_.emplace(key, std::move(value));
+    cacheMetrics().keyBytes.observe(
+        static_cast<double>(key.size()));
+    bool inserted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inserted = map_.emplace(key, std::move(value)).second;
+        // Gauge update stays under the lock so concurrent stores
+        // cannot publish entry counts out of order.
+        if (inserted) {
+            cacheMetrics().entries.set(
+                static_cast<double>(map_.size()));
+        }
+    }
+    if (inserted)
+        cacheMetrics().stores.inc();
+    else
+        cacheMetrics().storeDropped.inc();
 }
 
 MeasurementCache::Stats
 MeasurementCache::stats() const
 {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mutex_);
-    Stats s = stats_;
     s.entries = map_.size();
     return s;
 }
@@ -118,7 +179,8 @@ MeasurementCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
-    stats_ = Stats{};
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace tomur::sim

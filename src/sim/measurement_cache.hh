@@ -15,13 +15,17 @@
  * differing in the last ulp key differently — the cache can never
  * substitute an "almost identical" deployment).
  *
- * Thread safety: all operations take an internal mutex, so pool
- * workers prewarming disjoint deployments may share one cache.
+ * Thread safety: the map takes an internal mutex; the hit/miss
+ * statistics are lock-free atomics routed through the process-wide
+ * metrics registry (tomur_cache_*), so stats() never races the
+ * counting done inside concurrent lookup()/store() calls — TSan
+ * verifies this via ParallelTelemetryCache.StatsRaceFree.
  */
 
 #ifndef TOMUR_SIM_MEASUREMENT_CACHE_HH
 #define TOMUR_SIM_MEASUREMENT_CACHE_HH
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -47,6 +51,8 @@ std::uint64_t fnv1a64(const std::string &bytes);
 class MeasurementCache
 {
   public:
+    MeasurementCache();
+
     struct Stats
     {
         std::size_t hits = 0;
@@ -62,13 +68,19 @@ class MeasurementCache
     void store(const std::string &key,
                std::vector<Measurement> value);
 
+    /** Per-instance counters (process-wide aggregates additionally
+     *  accumulate in the tomur_cache_* metrics). Safe to call while
+     *  other threads look up or store. */
     Stats stats() const;
     void clear();
 
   private:
-    mutable std::mutex mutex_;
+    mutable std::mutex mutex_; ///< guards map_ only
     std::unordered_map<std::string, std::vector<Measurement>> map_;
-    mutable Stats stats_;
+    // Lock-free so readers (stats()) never race the counting writes
+    // issued under concurrent lookup()/store().
+    mutable std::atomic<std::size_t> hits_{0};
+    mutable std::atomic<std::size_t> misses_{0};
 };
 
 } // namespace tomur::sim

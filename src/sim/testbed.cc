@@ -5,7 +5,9 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "common/telemetry.hh"
 #include "common/threadpool.hh"
+#include "common/trace.hh"
 #include "hw/cache.hh"
 #include "hw/dram.hh"
 #include "sim/measurement_cache.hh"
@@ -13,6 +15,32 @@
 namespace tomur::sim {
 
 namespace fw = framework;
+
+namespace {
+
+/** Equilibrium-solver metrics (tomur_solver_*). */
+struct SolverMetrics
+{
+    Counter &solves = metrics().counter("tomur_solver_solves_total");
+    Counter &iterations =
+        metrics().counter("tomur_solver_iterations_total");
+    Counter &converged =
+        metrics().counter("tomur_solver_converged_total");
+    Counter &maxedOut =
+        metrics().counter("tomur_solver_maxed_out_total");
+    Histogram &perSolve = metrics().histogram(
+        "tomur_solver_iterations",
+        {4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 400.0});
+};
+
+SolverMetrics &
+solverMetrics()
+{
+    static SolverMetrics sm;
+    return sm;
+}
+
+} // namespace
 
 namespace {
 
@@ -92,6 +120,24 @@ Testbed::solve(const std::vector<fw::WorkloadProfile> &w) const
     if (n == 0)
         return out;
 
+    TraceSpan span("sim.solve");
+    if (span.active()) {
+        // Identity fields are deterministic functions of the inputs,
+        // so canonical trace exports sort solve spans stably however
+        // the pool scheduled them.
+        std::string names;
+        for (const auto &wl : w) {
+            if (!names.empty())
+                names += "+";
+            names += wl.nfName;
+        }
+        span.field("deployment", names);
+        span.field("key", strf("%016llx",
+                               (unsigned long long)fnv1a64(
+                                   deploymentKey(opts_, w))));
+        span.field("n", static_cast<std::uint64_t>(n));
+    }
+
     int total_cores = 0;
     for (const auto &wl : w)
         total_cores += wl.cores;
@@ -134,6 +180,9 @@ Testbed::solve(const std::vector<fw::WorkloadProfile> &w) const
     std::vector<std::array<double, hw::numAccelKinds>> stage_pps(n);
     std::vector<Bottleneck> bottleneck(n, Bottleneck::CpuMemory);
 
+    int iters_run = 0;
+    double final_delta = 0.0;
+    bool converged = false;
     for (int iter = 0; iter < opts_.maxIterations; ++iter) {
         // --- Memory subsystem ---
         std::vector<hw::CacheWorkload> cache_w(n);
@@ -283,8 +332,36 @@ Testbed::solve(const std::vector<fw::WorkloadProfile> &w) const
                                  std::max(1.0, T[i]));
             T[i] = next;
         }
-        if (delta < 1e-7)
+        ++iters_run;
+        final_delta = delta;
+        if (span.active()) {
+            // Logical step index = iteration number, so the residual
+            // series is diffable run-to-run without wall-clock data.
+            tracePoint("sim.solve.iter",
+                       {{"residual", traceFormat(delta)}}, iter);
+        }
+        if (delta < 1e-7) {
+            converged = true;
             break;
+        }
+    }
+    auto &sm = solverMetrics();
+    sm.solves.inc();
+    sm.iterations.inc(static_cast<std::uint64_t>(iters_run));
+    sm.perSolve.observe(static_cast<double>(iters_run));
+    if (converged) {
+        sm.converged.inc();
+    } else {
+        sm.maxedOut.inc();
+        warnEvent("testbed", "solver-maxed-out",
+                  {{"iterations", strf("%d", iters_run)},
+                   {"residual", strf("%.3g", final_delta)}});
+    }
+    if (span.active()) {
+        span.field("iterations",
+                   static_cast<std::int64_t>(iters_run));
+        span.field("residual", final_delta);
+        span.field("converged", converged ? "true" : "false");
     }
 
     // --- Emit measurements ---
@@ -324,10 +401,19 @@ Testbed::solveCached(const std::vector<fw::WorkloadProfile> &w) const
 {
     if (!cache_)
         return solve(w);
+    TraceSpan span("sim.cache");
     auto key = deploymentKey(opts_, w);
+    if (span.active()) {
+        span.field("key",
+                   strf("%016llx",
+                        (unsigned long long)fnv1a64(key)));
+    }
     std::vector<Measurement> out;
-    if (cache_->lookup(key, &out))
+    if (cache_->lookup(key, &out)) {
+        span.field("outcome", "hit");
         return out;
+    }
+    span.field("outcome", "miss");
     out = solve(w);
     cache_->store(key, out);
     return out;
@@ -336,6 +422,10 @@ Testbed::solveCached(const std::vector<fw::WorkloadProfile> &w) const
 std::vector<Measurement>
 Testbed::run(const std::vector<fw::WorkloadProfile> &workloads)
 {
+    TraceSpan span("sim.run");
+    span.field("n",
+               static_cast<std::uint64_t>(workloads.size()));
+    span.field("noise_sigma", opts_.noiseSigma);
     auto out = solveCached(workloads);
     if (opts_.noiseSigma > 0.0) {
         // The noise stream is the one mutable bit of measurement
@@ -364,6 +454,8 @@ Testbed::prewarm(
 {
     if (!cache_ || batch.empty())
         return;
+    TraceSpan span("sim.prewarm");
+    span.field("n", static_cast<std::uint64_t>(batch.size()));
     parallelFor(batch.size(),
                 [&](std::size_t i) { solveCached(batch[i]); });
 }
@@ -372,6 +464,8 @@ std::vector<std::vector<Measurement>>
 Testbed::runBatch(
     const std::vector<std::vector<fw::WorkloadProfile>> &batch)
 {
+    TraceSpan span("sim.runBatch");
+    span.field("n", static_cast<std::uint64_t>(batch.size()));
     // Phase 1: fan the deterministic solves across the pool.
     prewarm(batch);
     // Phase 2: draw noise (and, through the virtual run(), any

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/strutil.hh"
+#include "common/telemetry.hh"
 #include "common/threadpool.hh"
+#include "common/trace.hh"
 #include "net/packet.hh"
 
 namespace tomur::core {
@@ -83,6 +86,7 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
                            const regex::RuleSet &rules)
     : testbed_(testbed), devices_(devices), rules_(rules)
 {
+    TraceSpan span("profiler.benchlib");
     // Phase 1: enumerate the bench grid (names + configs only).
     const double wss_grid[] = {1, 2, 4, 6, 8, 12, 16, 24, 32, 48};
     const double car_grid[] = {5e6,  10e6, 20e6, 40e6,
@@ -145,6 +149,10 @@ BenchLibrary::BenchLibrary(sim::Testbed &testbed,
         }
         memBenches_[i].level.counters = m.counters;
     }
+    span.field("mem_benches",
+               static_cast<std::uint64_t>(memBenches_.size()));
+    metrics().counter("tomur_profiler_bench_levels_total")
+        .inc(memBenches_.size());
 }
 
 const BenchLibrary::MemBenchEntry &
@@ -296,6 +304,15 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                     const traffic::TrafficProfile &defaults,
                     const TrainOptions &opts, TrainReport *report)
 {
+    TraceSpan train_span("train");
+    train_span.field("nf", nf.name());
+    train_span.field(
+        "strategy",
+        opts.sampling == SamplingStrategy::Adaptive ? "adaptive"
+        : opts.sampling == SamplingStrategy::Random ? "random"
+                                                    : "full");
+    metrics().counter("tomur_train_runs_total").inc();
+
     Rng rng(opts.seed);
     TomurModel model;
     model.nfName_ = nf.name();
@@ -310,14 +327,18 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     auto noteFault = [&] {
         if (report)
             ++report->faultySamplesDetected;
+        metrics().counter("tomur_train_faulty_samples_total").inc();
     };
     auto noteRetry = [&] {
         if (report)
             ++report->retriesUsed;
+        metrics().counter("tomur_train_retries_total").inc();
     };
     auto noteAbandoned = [&](const char *stage) {
         if (report)
             ++report->samplesAbandoned;
+        metrics().counter("tomur_train_samples_abandoned_total")
+            .inc();
         warnEvent("profiler", "sample-abandoned",
                   {{"nf", nf.name()}, {"stage", stage}});
     };
@@ -498,7 +519,14 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             }
             warm.push_back(std::move(deploy));
         }
-        bed.prewarm(warm);
+        {
+            TraceSpan span("train.prewarm");
+            span.field("n",
+                       static_cast<std::uint64_t>(warm.size()));
+            bed.prewarm(warm);
+        }
+        TraceSpan span("train.measure");
+        span.field("n", static_cast<std::uint64_t>(plan.size()));
         for (const auto &step : plan) {
             if (step.contended)
                 addContendedWith(step.profile, step.benches);
@@ -508,6 +536,11 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     };
 
     if (opts.sampling == SamplingStrategy::Adaptive) {
+        // Adaptive sampling interleaves planning and measurement
+        // (each measurement decides the next point), so the whole
+        // sweep is one measure phase.
+        TraceSpan span("train.measure");
+        span.field("strategy", "adaptive");
         AdaptiveCallbacks cb;
         cb.solo = addSolo;
         cb.collect = addContended;
@@ -531,24 +564,35 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             return p;
         };
         std::vector<PlanStep> plan;
-        plan.reserve(budget);
-        for (std::size_t i = 0; i < solos; ++i) {
-            PlanStep step;
-            step.profile = i == 0 ? defaults : randomProfile();
-            plan.push_back(std::move(step));
-        }
-        for (std::size_t i = solos; i < budget; ++i) {
-            PlanStep step;
-            step.contended = true;
-            step.profile = randomProfile();
-            step.benches = drawBenches();
-            plan.push_back(std::move(step));
+        {
+            TraceSpan span("train.plan");
+            span.field("strategy", "random");
+            plan.reserve(budget);
+            for (std::size_t i = 0; i < solos; ++i) {
+                PlanStep step;
+                step.profile = i == 0 ? defaults : randomProfile();
+                plan.push_back(std::move(step));
+            }
+            for (std::size_t i = solos; i < budget; ++i) {
+                PlanStep step;
+                step.contended = true;
+                step.profile = randomProfile();
+                step.benches = drawBenches();
+                plan.push_back(std::move(step));
+            }
+            span.field("steps",
+                       static_cast<std::uint64_t>(plan.size()));
         }
         executePlan(plan);
     } else {
         // Full profiling: dense grid over every attribute.
         int g = std::max(2, opts.fullGridPerAttribute);
         std::vector<PlanStep> plan;
+        std::unique_ptr<TraceSpan> plan_span;
+        if (tracer().enabled()) {
+            plan_span = std::make_unique<TraceSpan>("train.plan");
+            plan_span->field("strategy", "full");
+        }
         for (int a = 0; a < g; ++a) {
             for (int b = 0; b < g; ++b) {
                 for (int c = 0; c < g; ++c) {
@@ -577,14 +621,25 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                 }
             }
         }
+        if (plan_span) {
+            plan_span->field(
+                "steps", static_cast<std::uint64_t>(plan.size()));
+            plan_span.reset(); // close before the measure phase
+        }
         executePlan(plan);
     }
     if (report)
         report->memorySamples = data.size();
-    if (auto st = model.memory_.fit(data); !st) {
-        model.markMemoryDegraded(st.message());
-        if (report)
-            ++report->subModelsDegraded;
+    metrics().counter("tomur_train_samples_total").inc(data.size());
+    {
+        TraceSpan span("train.fit.memory");
+        span.field("samples",
+                   static_cast<std::uint64_t>(data.size()));
+        if (auto st = model.memory_.fit(data); !st) {
+            model.markMemoryDegraded(st.message());
+            if (report)
+                ++report->subModelsDegraded;
+        }
     }
 
     // Fit the solo sensitivity model (seed-averaged, like the
@@ -593,6 +648,9 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     if (solo_data.size() > 0) {
         // Seed-ensemble members fit independently across the pool,
         // collected in seed order.
+        TraceSpan span("train.fit.solo");
+        span.field("samples",
+                   static_cast<std::uint64_t>(solo_data.size()));
         model.soloModels_ = parallelMap(
             static_cast<std::size_t>(opts.memory.seeds),
             [&](std::size_t s) {
@@ -611,6 +669,9 @@ TomurTrainer::train(fw::NetworkFunction &nf,
     }
 
     // ---- Accelerator model calibration ----
+    // unique_ptr, not plain RAII: the span must close before the
+    // pattern-detection span opens so the phases are siblings.
+    auto cal_span = std::make_unique<TraceSpan>("train.calibrate");
     const auto &w_def = workloadOf(nf, defaults);
     std::size_t accel_runs = 0;
     for (int k = 0; k < hw::numAccelKinds; ++k) {
@@ -675,10 +736,13 @@ TomurTrainer::train(fw::NetworkFunction &nf,
                 ++report->subModelsDegraded;
         }
     }
+    cal_span->field("runs", static_cast<std::uint64_t>(accel_runs));
+    cal_span.reset();
     if (report)
         report->accelCalibrationRuns = accel_runs;
 
     // ---- Execution pattern detection (§4.2) ----
+    TraceSpan pattern_span("train.pattern");
     bool any_accel = false;
     for (int k = 0; k < hw::numAccelKinds; ++k)
         any_accel |= static_cast<bool>(model.accel_[k]);
@@ -767,6 +831,8 @@ TomurTrainer::train(fw::NetworkFunction &nf,
             model.pattern_ = detectPattern(obs);
         }
     }
+    pattern_span.field("pattern",
+                       fw::patternName(model.pattern_));
     return model;
 }
 

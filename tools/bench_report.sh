@@ -6,8 +6,17 @@
 # the configured pool width, plus per-stage speedups. Commit-to-commit
 # diffs of this file are the repo's perf-regression trail.
 #
+# After the run, per-stage times are compared against the baseline
+# committed at HEAD (git show HEAD:BENCH_micro.json); any stage slower
+# by more than the tolerance fails the script, so CI catches perf
+# regressions, not just correctness ones.
+#
 # Usage: tools/bench_report.sh [output.json]
-#   TOMUR_THREADS=N   width of the parallel variant (default: cores)
+#   TOMUR_THREADS=N           width of the parallel variant
+#                             (default: cores)
+#   TOMUR_BENCH_TOLERANCE=F   allowed relative slowdown per stage
+#                             (default: 0.15 = 15%)
+#   TOMUR_BENCH_NO_GATE=1     skip the baseline comparison
 # Uses the regular build/ directory next to the repo root.
 set -eu
 
@@ -24,3 +33,55 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
 echo ""
 echo "=== $out ==="
 cat "$out"
+
+if [ "${TOMUR_BENCH_NO_GATE:-0}" = "1" ]; then
+    echo "TOMUR_BENCH_NO_GATE=1: skipping baseline comparison"
+    exit 0
+fi
+
+baseline=$(cd "$repo_root" && \
+    git show HEAD:BENCH_micro.json 2>/dev/null || true)
+if [ -z "$baseline" ]; then
+    echo "no committed BENCH_micro.json baseline; skipping gate"
+    exit 0
+fi
+
+echo ""
+echo "=== regression gate (vs HEAD baseline) ==="
+base_file=$(mktemp)
+printf '%s' "$baseline" > "$base_file"
+status=0
+python3 - "$out" "$base_file" \
+    "${TOMUR_BENCH_TOLERANCE:-0.15}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+tol = float(sys.argv[3])
+
+base = {s["name"]: s for s in baseline.get("stages", [])}
+failed = False
+for stage in current.get("stages", []):
+    name = stage["name"]
+    if name not in base:
+        print(f"  {name}: new stage, no baseline")
+        continue
+    for key in ("serial_sec", "parallel_sec"):
+        old, new = base[name][key], stage[key]
+        if old <= 0:
+            continue
+        rel = (new - old) / old
+        mark = "FAIL" if rel > tol else "ok"
+        print(f"  {name}.{key}: {old:.3f}s -> {new:.3f}s "
+              f"({rel:+.1%}) {mark}")
+        if rel > tol:
+            failed = True
+if failed:
+    print(f"benchmark regression above {tol:.0%} tolerance")
+    sys.exit(1)
+print("within tolerance")
+EOF
+rm -f "$base_file"
+exit "$status"

@@ -8,9 +8,11 @@
 # "no memory error and no UB".
 #
 # Pass 2 (build-tsan/, -DTOMUR_SANITIZE=thread): the parallel-engine
-# tests (thread pool, batched testbed runs, concurrent training)
-# under TSan, which is how "bit-identical results" is upgraded to
-# "and no data race produced them by luck".
+# tests (thread pool, batched testbed runs, concurrent training) and
+# the telemetry concurrency properties (striped metric shards,
+# MeasurementCache stats, cross-thread span nesting) under TSan,
+# which is how "bit-identical results" is upgraded to "and no data
+# race produced them by luck".
 #
 # Usage: tools/run_sanitized_tests.sh [ctest-args...]
 #   TOMUR_SKIP_TSAN=1   run only the ASan+UBSan pass
@@ -40,11 +42,13 @@ echo ""
 echo "=== TSan: parallel-engine tests ==="
 tsan_dir="$repo_root/build-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DTOMUR_SANITIZE=thread
-cmake --build "$tsan_dir" -j "$jobs" --target test_parallel
+cmake --build "$tsan_dir" -j "$jobs" \
+    --target test_parallel --target test_telemetry
 
 # Force a real pool even on single-core CI so TSan sees actual
-# cross-thread interleavings. Suite names in test_parallel.cc are
-# prefixed "Parallel" so -R selects exactly them.
+# cross-thread interleavings. Suite names in test_parallel.cc and
+# test_telemetry.cc are prefixed "Parallel" so -R selects exactly
+# them.
 TOMUR_THREADS="${TOMUR_THREADS:-4}" \
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "$tsan_dir" -R '^Parallel' \

@@ -17,6 +17,10 @@
  * retraining; `--faults P` injects a uniform corruption rate into
  * the testbed's measurement path (robustness demos).
  *
+ * Observability (any command): `--trace-out FILE` writes a JSON-lines
+ * span trace of the run, `--metrics-out FILE` writes a Prometheus-
+ * style text dump of the tomur_* metrics registry (see DESIGN.md §8).
+ *
  * Exit codes: 0 success, 1 runtime failure, 2 usage error,
  * 3 file I/O error, 4 corrupt model file.
  */
@@ -30,6 +34,8 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
 #include "sim/faults.hh"
@@ -59,6 +65,8 @@ struct Cli
     std::size_t quota = 80;
     std::string modelPath; ///< --model: load instead of training
     std::string outPath;   ///< --out: persist the trained model
+    std::string traceOut;  ///< --trace-out: JSONL span trace
+    std::string metricsOut; ///< --metrics-out: metrics text dump
     double faultRate = 0.0;
 };
 
@@ -75,7 +83,10 @@ usage()
         "          [--mtbr M] [--quota Q] [--model FILE]\n"
         "          [--faults P]\n"
         "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n"
-        "          [--model FILE] [--faults P]\n");
+        "          [--model FILE] [--faults P]\n"
+        "common options:\n"
+        "  --trace-out FILE    write a JSONL span trace of the run\n"
+        "  --metrics-out FILE  write a metrics registry text dump\n");
     std::exit(kExitUsage);
 }
 
@@ -166,6 +177,10 @@ parse(int argc, char **argv)
             cli.modelPath = strArg(argc, argv, i);
         } else if (arg == "--out") {
             cli.outPath = strArg(argc, argv, i);
+        } else if (arg == "--trace-out") {
+            cli.traceOut = strArg(argc, argv, i);
+        } else if (arg == "--metrics-out") {
+            cli.metricsOut = strArg(argc, argv, i);
         } else if (arg == "--faults") {
             cli.faultRate = numArg(argc, argv, i);
             if (cli.faultRate < 0.0 || cli.faultRate > 1.0) {
@@ -462,16 +477,16 @@ cmdDiagnose(const Cli &cli)
     return kExitOk;
 }
 
-} // namespace
-
+/** Dispatch under a root `cli.<command>` span. */
 int
-main(int argc, char **argv)
+runCommand(const Cli &cli)
 {
-    Cli cli = parse(argc, argv);
+    std::string root = "cli." + cli.command;
+    TraceSpan span(root.c_str());
+    if (!cli.nf.empty())
+        span.field("nf", cli.nf);
     if (cli.command == "catalog")
         return cmdCatalog();
-    if (!cli.nf.empty())
-        requireKnownNf(cli.nf);
     if (cli.command == "solo")
         return cmdSolo(cli);
     if (cli.command == "train")
@@ -483,4 +498,52 @@ main(int argc, char **argv)
     std::fprintf(stderr, "error: unknown command '%s'\n",
                  cli.command.c_str());
     usage();
+}
+
+/** Write the trace / metrics files requested on the command line. */
+int
+writeObservability(const Cli &cli)
+{
+    int rc = kExitOk;
+    if (!cli.traceOut.empty()) {
+        std::ofstream out(cli.traceOut);
+        if (out)
+            tracer().exportJsonl(out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write trace to '%s': %s\n",
+                         cli.traceOut.c_str(),
+                         std::strerror(errno));
+            rc = kExitIo;
+        }
+    }
+    if (!cli.metricsOut.empty()) {
+        std::ofstream out(cli.metricsOut);
+        if (out)
+            metrics().dump(out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write metrics to '%s': %s\n",
+                         cli.metricsOut.c_str(),
+                         std::strerror(errno));
+            rc = kExitIo;
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli = parse(argc, argv);
+    if (cli.command != "catalog" && !cli.nf.empty())
+        requireKnownNf(cli.nf);
+    if (!cli.traceOut.empty())
+        tracer().enable();
+    // The root span must close before export, hence the helper scope.
+    int rc = runCommand(cli);
+    int obs_rc = writeObservability(cli);
+    return rc != kExitOk ? rc : obs_rc;
 }

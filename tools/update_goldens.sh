@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the golden observability fixtures in tests/golden/
+# (canonical trace export + filtered metrics dump of the fixed
+# scenario in tests/test_telemetry.cc).
+#
+# Run this after intentionally changing instrumentation (new spans,
+# new fields, new metrics) and commit the updated fixtures together
+# with the code change — then review the fixture diff like any other
+# diff: it IS the observable behaviour change.
+#
+# Usage: tools/update_goldens.sh
+# Uses the regular build/ directory next to the repo root.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_telemetry
+
+# The serial run writes the fixtures; the wide run then re-runs the
+# scenario at TOMUR_THREADS=8 and asserts it reproduces them
+# byte-for-byte, so a nondeterministic scenario cannot be committed.
+TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_telemetry" \
+    --gtest_filter='GoldenTrace.*'
+
+echo ""
+echo "updated fixtures:"
+git -C "$repo_root" status --short tests/golden/
