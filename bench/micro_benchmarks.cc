@@ -28,6 +28,7 @@
 #include "hw/accel_des.hh"
 #include "hw/cache.hh"
 #include "regex/generator.hh"
+#include "tomur/monitor.hh"
 
 using namespace tomur;
 
@@ -176,6 +177,25 @@ BM_TestbedSolve(benchmark::State &state)
 BENCHMARK(BM_TestbedSolve);
 
 void
+BM_MonitorIngest(benchmark::State &state)
+{
+    core::PredictionMonitor monitor;
+    core::MonitorSample s;
+    s.deployment = "bench";
+    s.profile = traffic::TrafficProfile::defaults();
+    s.predicted = 1000.0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        // Small deterministic wobble: the error path runs in full
+        // (EWMA, window, histogram, Page–Hinkley) without firing
+        // events that would grow the retained stream.
+        s.measured = 1000.0 + (i++ % 16) - 8.0;
+        benchmark::DoNotOptimize(monitor.ingest(s));
+    }
+}
+BENCHMARK(BM_MonitorIngest);
+
+void
 BM_WorkloadProfiling(benchmark::State &state)
 {
     static bench::BenchEnv env;
@@ -282,7 +302,23 @@ runPipeline(bench::BenchReport &report, bool parallel, int threads)
         benchmark::DoNotOptimize(preds);
     });
 
-    // Stage 5: independent DES validation runs.
+    // Stage 5: the monitor ingest hot path — the per-sample cost a
+    // deployed prediction service pays to watch its own accuracy.
+    // The fold is serial by contract; the stage exists in both
+    // passes so the report can bound its absolute wall time.
+    report.measure("monitor_ingest", parallel, [&] {
+        core::PredictionMonitor monitor;
+        core::MonitorSample s;
+        s.deployment = "bench";
+        s.profile = defaults;
+        s.predicted = 1000.0;
+        for (int i = 0; i < 200000; ++i) {
+            s.measured = 1000.0 + (i % 16) - 8.0;
+            benchmark::DoNotOptimize(monitor.ingest(s));
+        }
+    });
+
+    // Stage 6: independent DES validation runs.
     report.measure("des_run", parallel, [&] {
         auto res = bench::runExperiments(
             64, 3, [&](std::size_t i, Rng &rng) {

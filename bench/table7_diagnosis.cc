@@ -67,15 +67,11 @@ main()
             }
             auto ms = env.bed.run(deploy);
 
-            DiagnosisTrial t;
-            t.mtbr = mtbr;
-            t.truth = truthBottleneck(ms[0]);
-            auto breakdown = model.predictDetailed(
-                levels, p, env.solo(name, p));
-            t.tomur = tomurDiagnosis(breakdown);
-            t.degraded = breakdown.degraded;
-            t.confidence = breakdown.confidence;
-            t.slomo = Resource::Memory; // all SLOMO can ever say
+            auto attribution =
+                core::attributeContention(model.predictDetailed(
+                    levels, p, env.solo(name, p)));
+            auto t = makeTrial(mtbr, truthBottleneck(ms[0]),
+                               attribution);
             if (!first && t.truth != prev)
                 ++shifts;
             prev = t.truth;

@@ -1,0 +1,275 @@
+#include "common/report.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace tomur {
+
+namespace {
+
+/** Monitor wire names, in MonitorEventKind order. Kept as literals:
+ *  common/ sits below tomur/ in the layering, so the renderer parses
+ *  the serialized stream rather than including the monitor header. */
+const char *const kEventNames[4] = {
+    "DRIFT_DETECTED",
+    "ACCURACY_DEGRADED",
+    "TRAFFIC_SHIFT",
+    "RECALIBRATION_RECOMMENDED",
+};
+
+/** Most recent raw event lines kept in the digest. */
+constexpr std::size_t kLastEvents = 8;
+
+/** Extract the string value of "key" from a flat JSON line. */
+std::string
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string tag = "\"" + key + "\":\"";
+    auto pos = line.find(tag);
+    if (pos == std::string::npos)
+        return "";
+    pos += tag.size();
+    std::string out;
+    while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size())
+            ++pos; // keep the escaped char, drop the backslash
+        out.push_back(line[pos]);
+        ++pos;
+    }
+    return out;
+}
+
+/** Extract the numeric value of "key" from a flat JSON line. */
+double
+jsonNumber(const std::string &line, const std::string &key,
+           double fallback = 0.0)
+{
+    std::string tag = "\"" + key + "\":";
+    auto pos = line.find(tag);
+    if (pos == std::string::npos)
+        return fallback;
+    return std::strtod(line.c_str() + pos + tag.size(), nullptr);
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<MetricSample>
+parseMetricsText(const std::string &body)
+{
+    std::vector<MetricSample> out;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        // Histogram bucket series would swamp the table; the _sum
+        // and _count series carry the aggregate.
+        if (line.find("_bucket{") != std::string::npos)
+            continue;
+        auto space = line.rfind(' ');
+        if (space == std::string::npos || space == 0)
+            continue;
+        MetricSample s;
+        s.name = line.substr(0, space);
+        s.value = std::strtod(line.c_str() + space + 1, nullptr);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<TraceNameStats>
+parseTraceJsonl(const std::string &body)
+{
+    std::map<std::string, TraceNameStats> by_name;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name = jsonField(line, "name");
+        if (name.empty())
+            continue;
+        auto &st = by_name[name];
+        st.name = name;
+        ++st.count;
+        st.totalDurNs += static_cast<std::uint64_t>(
+            jsonNumber(line, "dur_ns"));
+    }
+    std::vector<TraceNameStats> out;
+    out.reserve(by_name.size());
+    for (auto &kv : by_name)
+        out.push_back(std::move(kv.second));
+    std::sort(out.begin(), out.end(),
+              [](const TraceNameStats &a, const TraceNameStats &b) {
+                  if (a.totalDurNs != b.totalDurNs)
+                      return a.totalDurNs > b.totalDurNs;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+MonitorDigest
+parseMonitorJsonl(const std::string &body)
+{
+    MonitorDigest d;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("{\"summary\":") == 0) {
+            d.summaryLine = line;
+            continue;
+        }
+        std::string kind = jsonField(line, "event");
+        if (kind.empty())
+            continue;
+        for (int k = 0; k < 4; ++k) {
+            if (kind == kEventNames[k]) {
+                ++d.eventCounts[k];
+                break;
+            }
+        }
+        d.lastEvents.push_back(line);
+        if (d.lastEvents.size() > kLastEvents)
+            d.lastEvents.erase(d.lastEvents.begin());
+    }
+    return d;
+}
+
+Result<std::string>
+renderReport(const ReportArtifacts &artifacts,
+             const ReportOptions &opts)
+{
+    if (artifacts.metricsText.empty() &&
+        artifacts.traceJsonl.empty() &&
+        artifacts.monitorJsonl.empty()) {
+        return Status::invalidArgument(
+            "no artifacts to render (metrics, trace, and monitor "
+            "streams are all empty)");
+    }
+
+    auto metric_samples = parseMetricsText(artifacts.metricsText);
+    auto trace_stats = parseTraceJsonl(artifacts.traceJsonl);
+    auto monitor = parseMonitorJsonl(artifacts.monitorJsonl);
+    bool have_monitor = !artifacts.monitorJsonl.empty();
+
+    std::string out;
+    if (!opts.html) {
+        out += "== " + opts.title + " ==\n";
+        if (have_monitor) {
+            out += "\n-- Monitor events --\n";
+            for (int k = 0; k < 4; ++k) {
+                out += strf("%-26s %zu\n", kEventNames[k],
+                            monitor.eventCounts[k]);
+            }
+            if (!monitor.lastEvents.empty()) {
+                out += "recent events:\n";
+                for (const auto &e : monitor.lastEvents)
+                    out += "  " + e + "\n";
+            }
+            if (!monitor.summaryLine.empty())
+                out += "summary: " + monitor.summaryLine + "\n";
+        }
+        if (!trace_stats.empty()) {
+            out += strf("\n-- Trace spans (%zu names) --\n",
+                        trace_stats.size());
+            out += strf("%-40s %10s %12s\n", "name", "count",
+                        "total ms");
+            for (const auto &t : trace_stats) {
+                out += strf("%-40s %10zu %12.3f\n", t.name.c_str(),
+                            t.count,
+                            static_cast<double>(t.totalDurNs) / 1e6);
+            }
+        }
+        if (!metric_samples.empty()) {
+            out += strf("\n-- Metrics (%zu series) --\n",
+                        metric_samples.size());
+            for (const auto &m : metric_samples)
+                out += strf("%-56s %s\n", m.name.c_str(),
+                            fmtDouble(m.value, 6).c_str());
+        }
+        return out;
+    }
+
+    // Self-contained HTML: inline style, no external assets.
+    out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+    out += "<title>" + htmlEscape(opts.title) + "</title>\n";
+    out += "<style>body{font-family:monospace;margin:2em;}"
+           "table{border-collapse:collapse;margin-bottom:2em;}"
+           "th,td{border:1px solid #999;padding:4px 8px;"
+           "text-align:left;}th{background:#eee;}"
+           "h2{border-bottom:2px solid #333;}</style></head><body>\n";
+    out += "<h1>" + htmlEscape(opts.title) + "</h1>\n";
+    if (have_monitor) {
+        out += "<h2>Monitor events</h2>\n<table>"
+               "<tr><th>kind</th><th>count</th></tr>\n";
+        for (int k = 0; k < 4; ++k) {
+            out += strf("<tr><td>%s</td><td>%zu</td></tr>\n",
+                        kEventNames[k], monitor.eventCounts[k]);
+        }
+        out += "</table>\n";
+        if (!monitor.lastEvents.empty()) {
+            out += "<h2>Recent events</h2>\n<pre>";
+            for (const auto &e : monitor.lastEvents)
+                out += htmlEscape(e) + "\n";
+            out += "</pre>\n";
+        }
+        if (!monitor.summaryLine.empty()) {
+            out += "<h2>Summary</h2>\n<pre>" +
+                   htmlEscape(monitor.summaryLine) + "</pre>\n";
+        }
+    }
+    if (!trace_stats.empty()) {
+        out += "<h2>Trace spans</h2>\n<table>"
+               "<tr><th>name</th><th>count</th>"
+               "<th>total ms</th></tr>\n";
+        for (const auto &t : trace_stats) {
+            out += strf("<tr><td>%s</td><td>%zu</td>"
+                        "<td>%.3f</td></tr>\n",
+                        htmlEscape(t.name).c_str(), t.count,
+                        static_cast<double>(t.totalDurNs) / 1e6);
+        }
+        out += "</table>\n";
+    }
+    if (!metric_samples.empty()) {
+        out += "<h2>Metrics</h2>\n<table>"
+               "<tr><th>series</th><th>value</th></tr>\n";
+        for (const auto &m : metric_samples) {
+            out += strf("<tr><td>%s</td><td>%s</td></tr>\n",
+                        htmlEscape(m.name).c_str(),
+                        fmtDouble(m.value, 6).c_str());
+        }
+        out += "</table>\n";
+    }
+    out += "</body></html>\n";
+    return out;
+}
+
+} // namespace tomur

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Observability report renderer: folds the three artifact streams a
+ * run can produce — a Prometheus-style metrics dump
+ * (`--metrics-out`), a trace JSONL export (`--trace-out`), and a
+ * monitor event stream (`tomur monitor --events-out`) — into one
+ * self-contained text or HTML dashboard. Everything is parsed from
+ * the serialized artifacts, not from live registries, so the
+ * renderer works on files collected from another process, another
+ * machine, or an earlier run.
+ */
+
+#ifndef TOMUR_COMMON_REPORT_HH
+#define TOMUR_COMMON_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace tomur {
+
+/** The artifact bodies to render (empty string = absent). */
+struct ReportArtifacts
+{
+    std::string metricsText;  ///< Prometheus-style dump body
+    std::string traceJsonl;   ///< trace export (one JSON per line)
+    std::string monitorJsonl; ///< monitor events + summary trailer
+};
+
+/** Rendering options. */
+struct ReportOptions
+{
+    bool html = false; ///< HTML dashboard instead of plain text
+    std::string title = "Tomur observability report";
+};
+
+/** One parsed metric sample. */
+struct MetricSample
+{
+    std::string name; ///< full series name (with any {labels})
+    double value = 0.0;
+};
+
+/** Aggregated per-span-name trace stats. */
+struct TraceNameStats
+{
+    std::string name;
+    std::size_t count = 0;        ///< spans + points with this name
+    std::uint64_t totalDurNs = 0; ///< summed span durations
+};
+
+/** Parsed monitor stream. */
+struct MonitorDigest
+{
+    std::size_t eventCounts[4] = {}; ///< by MonitorEventKind order
+    std::vector<std::string> lastEvents; ///< most recent raw lines
+    std::string summaryLine;             ///< raw summary trailer
+};
+
+/** Parse a metrics dump body (skips comments and bucket series). */
+std::vector<MetricSample> parseMetricsText(const std::string &body);
+
+/** Aggregate a trace JSONL export by record name. */
+std::vector<TraceNameStats> parseTraceJsonl(const std::string &body);
+
+/** Digest a monitor JSONL stream (events + summary trailer). */
+MonitorDigest parseMonitorJsonl(const std::string &body);
+
+/**
+ * Render the dashboard. Returns an error only when every artifact is
+ * absent (nothing to render); individual malformed lines are skipped,
+ * not fatal — a report over partial artifacts beats no report.
+ */
+Result<std::string> renderReport(const ReportArtifacts &artifacts,
+                                 const ReportOptions &opts = {});
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_REPORT_HH

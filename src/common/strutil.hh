@@ -26,6 +26,9 @@ std::string join(const std::vector<std::string> &parts,
 /** Format a double with the given number of decimals. */
 std::string fmtDouble(double v, int decimals = 1);
 
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string jsonEscape(const std::string &s);
+
 } // namespace tomur
 
 #endif // TOMUR_COMMON_STRUTIL_HH

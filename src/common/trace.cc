@@ -26,36 +26,6 @@ nowNs()
             .count());
 }
 
-/** Minimal JSON string escaping (quotes, backslash, control). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strf("\\u%04x", c);
-            else
-                out.push_back(c);
-        }
-    }
-    return out;
-}
-
 } // namespace
 
 std::string
@@ -67,6 +37,11 @@ traceFormat(double v)
 // ---------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------
+
+Tracer::Tracer()
+{
+    metrics().counter("tomur_trace_dropped_total");
+}
 
 void
 Tracer::enable(std::size_t capacity)

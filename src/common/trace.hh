@@ -73,6 +73,11 @@ struct TraceExportOptions
 class Tracer
 {
   public:
+    /** Registers tomur_trace_dropped_total eagerly, so the drop
+     *  counter shows up (at zero) in every metrics dump instead of
+     *  appearing only after the first overflow. */
+    Tracer();
+
     /** Start recording (clears the buffer). */
     void enable(std::size_t capacity = 1 << 16);
     void disable();

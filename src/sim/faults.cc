@@ -122,9 +122,11 @@ FaultInjectingTestbed::corrupt(Measurement &m,
         }
     };
 
-    // The deterministic degradation applies first (it models the
-    // hardware, not the measurement path); random read-out faults
-    // can then still hit the already-degraded reading.
+    // Deterministic corruptions apply first (they model the hardware
+    // or a systematic shift, not the read-out path); random faults
+    // can then still hit the already-biased reading.
+    if (config_.biasFactor != 1.0)
+        m.throughput *= config_.biasFactor;
     if (uses_degraded_accel) {
         m.throughput *= config_.degradedAccelFactor;
         note(FaultMode::DegradedAccel);

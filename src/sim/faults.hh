@@ -67,6 +67,14 @@ struct FaultConfig
     hw::AccelKind degradedAccelKind = hw::AccelKind::Regex;
     double degradedAccelFactor = 0.5;
 
+    /** Deterministic measurement bias: every throughput reading is
+     *  scaled by this factor (1.0 = off). Models a systematic level
+     *  shift — the workload drifting away from the trained model —
+     *  and consumes no randomness, so switching it mid-stream leaves
+     *  the injector's fault-draw sequence untouched (the monitor's
+     *  drift-detection tests depend on exactly that). */
+    double biasFactor = 1.0;
+
     std::uint64_t seed = 7777;
 
     /** Uniform shorthand: all random corruption modes at rate p

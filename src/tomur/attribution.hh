@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-prediction contention attribution: rank each shared resource's
+ * contribution to a prediction's throughput drop.
+ *
+ * This is the single place the "which resource hurts most" ranking
+ * lives. The predictor fills PredictionBreakdown::dominantResource
+ * from it, the diagnosis use case (§7.5.2) maps its top entry onto a
+ * diagnosable resource, and the prediction monitor attaches its
+ * ranking to drift events so an operator sees not just *that* the
+ * model drifted but *which* resource the model blames.
+ */
+
+#ifndef TOMUR_TOMUR_ATTRIBUTION_HH
+#define TOMUR_TOMUR_ATTRIBUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "tomur/predictor.hh"
+
+namespace tomur::core {
+
+/**
+ * Attributed-resource index convention, shared with
+ * PredictionBreakdown::dominantResource: 0 = memory, otherwise
+ * 1 + accelerator kind index (1 = regex, 2 = compression,
+ * 3 = crypto).
+ */
+constexpr int numAttributedResources = 1 + hw::numAccelKinds;
+
+/** Resource name for one attributed index ("memory", "regex", ...). */
+const char *attributedResourceName(int resource);
+
+/** One resource's contribution to the predicted drop. */
+struct ResourceContribution
+{
+    int resource = 0;   ///< attributed-resource index
+    double drop = 0.0;  ///< solo minus resource-only throughput (pps)
+    double share = 0.0; ///< fraction of the summed drops, in [0, 1]
+};
+
+/** Ranked contention attribution for one prediction. */
+struct ContentionAttribution
+{
+    /**
+     * Contributions sorted by descending drop; ties keep the
+     * resource-index order (memory first), matching the predictor's
+     * historical argmax. Memory is always present; accelerators the
+     * prediction did not model (unused or degraded sub-model) are
+     * omitted.
+     */
+    std::vector<ResourceContribution> ranked;
+    int dominantResource = 0; ///< ranked.front().resource
+    double soloThroughput = 0.0;
+    double predicted = 0.0;
+    double totalDrop = 0.0; ///< solo minus composed prediction
+    /**
+     * Carried from the breakdown: an attribution computed on a
+     * degraded fallback path inherits its (low) confidence, so
+     * consumers ranking resources can discount it.
+     */
+    double confidence = 1.0;
+    bool degraded = false;
+
+    /** "memory 62% (-412.3 Kpps), regex 38% (-251.0 Kpps)". */
+    std::string toString() const;
+};
+
+/**
+ * Attribute a prediction's throughput drop across resources.
+ * Pure function of the breakdown — deterministic, allocation-light,
+ * safe to call per prediction on the monitor's ingest path.
+ */
+ContentionAttribution
+attributeContention(const PredictionBreakdown &breakdown);
+
+} // namespace tomur::core
+
+#endif // TOMUR_TOMUR_ATTRIBUTION_HH

@@ -1,0 +1,525 @@
+#include "tomur/monitor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/trace.hh"
+
+namespace tomur::core {
+
+namespace {
+
+/** Histogram layout shared by the registry metric and the windowed
+ *  percentiles (|relative error| 0.5% .. 256%). */
+std::vector<double>
+defaultErrorBounds()
+{
+    return Histogram::exponentialBounds(0.005, 2.0, 10);
+}
+
+const char *
+kindMetricName(MonitorEventKind kind)
+{
+    switch (kind) {
+      case MonitorEventKind::DriftDetected:
+        return "tomur_monitor_drift_detected_total";
+      case MonitorEventKind::AccuracyDegraded:
+        return "tomur_monitor_accuracy_degraded_total";
+      case MonitorEventKind::TrafficShift:
+        return "tomur_monitor_traffic_shift_total";
+      case MonitorEventKind::RecalibrationRecommended:
+        return "tomur_monitor_recalibration_recommended_total";
+    }
+    panic("kindMetricName: bad event kind");
+}
+
+} // namespace
+
+const char *
+monitorEventName(MonitorEventKind kind)
+{
+    switch (kind) {
+      case MonitorEventKind::DriftDetected:
+        return "DRIFT_DETECTED";
+      case MonitorEventKind::AccuracyDegraded:
+        return "ACCURACY_DEGRADED";
+      case MonitorEventKind::TrafficShift:
+        return "TRAFFIC_SHIFT";
+      case MonitorEventKind::RecalibrationRecommended:
+        return "RECALIBRATION_RECOMMENDED";
+    }
+    panic("monitorEventName: bad event kind");
+}
+
+MonitorSample
+makeMonitorSample(const std::string &deployment,
+                  const traffic::TrafficProfile &p,
+                  const PredictionBreakdown &breakdown,
+                  double measured)
+{
+    auto a = attributeContention(breakdown);
+    MonitorSample s;
+    s.deployment = deployment;
+    s.profile = p;
+    s.predicted = breakdown.predicted;
+    s.measured = measured;
+    s.confidence = a.confidence;
+    s.degraded = a.degraded;
+    s.bottleneck = attributedResourceName(a.dominantResource);
+    return s;
+}
+
+std::string
+MonitorEvent::toJson() const
+{
+    std::string line = "{\"event\":\"";
+    line += monitorEventName(kind);
+    line += strf("\",\"sample\":%llu", (unsigned long long)sample);
+    line += ",\"deployment\":\"" + jsonEscape(deployment) + "\"";
+    line += ",\"value\":\"" + traceFormat(value) + "\"";
+    line += ",\"threshold\":\"" + traceFormat(threshold) + "\"";
+    line += ",\"detail\":\"" + jsonEscape(detail) + "\"}";
+    return line;
+}
+
+std::string
+MonitorSummary::toJson() const
+{
+    std::string line = strf(
+        "{\"summary\":{\"samples\":%llu,\"invalid\":%llu,"
+        "\"degraded\":%llu",
+        (unsigned long long)samples, (unsigned long long)invalidSamples,
+        (unsigned long long)degradedSamples);
+    line += ",\"degraded_rate\":\"" + traceFormat(degradedRate) + "\"";
+    line +=
+        ",\"ewma_abs_error\":\"" + traceFormat(ewmaAbsError) + "\"";
+    line +=
+        ",\"mean_abs_error\":\"" + traceFormat(meanAbsError) + "\"";
+    line += ",\"p50\":\"" + traceFormat(p50) + "\"";
+    line += ",\"p90\":\"" + traceFormat(p90) + "\"";
+    line += ",\"p99\":\"" + traceFormat(p99) + "\"";
+    line += ",\"events\":{";
+    for (int k = 0; k < numMonitorEventKinds; ++k) {
+        if (k)
+            line += ",";
+        line += "\"";
+        line +=
+            monitorEventName(static_cast<MonitorEventKind>(k));
+        line += strf("\":%llu", (unsigned long long)eventCounts[k]);
+    }
+    line += "}}}";
+    return line;
+}
+
+double
+histogramQuantile(const Histogram::Snapshot &snap, double q)
+{
+    if (snap.count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(snap.count);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+        std::uint64_t prev = cum;
+        cum += snap.counts[b];
+        if (static_cast<double>(cum) < target)
+            continue;
+        if (snap.counts[b] == 0)
+            continue;
+        // +Inf bucket: no finite upper edge to interpolate towards.
+        if (b >= snap.bounds.size())
+            return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+        double lower = b == 0 ? 0.0 : snap.bounds[b - 1];
+        double upper = snap.bounds[b];
+        double frac = (target - static_cast<double>(prev)) /
+                      static_cast<double>(snap.counts[b]);
+        return lower + frac * (upper - lower);
+    }
+    return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+PredictionMonitor::PredictionMonitor(MonitorOptions opts)
+    : opts_(std::move(opts)),
+      mSamples_(metrics().counter("tomur_monitor_samples_total")),
+      mInvalid_(
+          metrics().counter("tomur_monitor_invalid_samples_total")),
+      mDegraded_(
+          metrics().counter("tomur_monitor_degraded_samples_total")),
+      mEvents_(metrics().counter("tomur_monitor_events_total")),
+      mEwma_(metrics().gauge("tomur_monitor_ewma_abs_error")),
+      mErrHist_(metrics().histogram(
+          "tomur_monitor_abs_rel_error",
+          opts_.errorBounds.empty() ? defaultErrorBounds()
+                                    : opts_.errorBounds))
+{
+    if (opts_.errorBounds.empty())
+        opts_.errorBounds = defaultErrorBounds();
+    for (int k = 0; k < numMonitorEventKinds; ++k) {
+        mKind_[k] = &metrics().counter(
+            kindMetricName(static_cast<MonitorEventKind>(k)));
+        lastFired_[k] = 0;
+    }
+    for (int a = 0; a < traffic::numAttributes; ++a)
+        trafficBase_[a] = 0.0;
+}
+
+void
+PredictionMonitor::resetDriftDetector()
+{
+    phN_ = 0;
+    phMean_ = 0.0;
+    phUp_ = phUpMin_ = 0.0;
+    phDown_ = phDownMax_ = 0.0;
+}
+
+void
+PredictionMonitor::fire(std::vector<MonitorEvent> &out,
+                        MonitorEventKind kind,
+                        const MonitorSample &s, double value,
+                        double threshold, std::string detail)
+{
+    MonitorEvent ev;
+    ev.kind = kind;
+    ev.sample = samples_;
+    ev.deployment = s.deployment;
+    ev.value = value;
+    ev.threshold = threshold;
+    ev.detail = std::move(detail);
+
+    lastFired_[static_cast<int>(kind)] = samples_;
+    mEvents_.inc();
+    mKind_[static_cast<int>(kind)]->inc();
+    if (tracer().enabled()) {
+        tracePoint("monitor.event",
+                   {{"kind", monitorEventName(kind)},
+                    {"deployment", ev.deployment},
+                    {"value", traceFormat(value)},
+                    {"threshold", traceFormat(threshold)}},
+                   static_cast<std::int64_t>(samples_));
+    }
+    if (sink_)
+        *sink_ << ev.toJson() << "\n";
+    events_.push_back(ev);
+    out.push_back(std::move(ev));
+}
+
+std::vector<MonitorEvent>
+PredictionMonitor::ingest(const MonitorSample &s)
+{
+    std::vector<MonitorEvent> fired;
+    ++samples_;
+    mSamples_.inc();
+    if (s.degraded) {
+        ++degraded_;
+        mDegraded_.inc();
+    }
+
+    // Cooldown: a kind may fire when it never has, or when enough
+    // samples passed since its last event.
+    auto cool = [&](MonitorEventKind kind) {
+        std::size_t last = lastFired_[static_cast<int>(kind)];
+        return last == 0 || samples_ - last >= opts_.cooldown;
+    };
+
+    // ---- Traffic-shift detector (independent of the error path,
+    // so a faulted measurement still advances the baselines) ----
+    double attrs[traffic::numAttributes];
+    for (int a = 0; a < traffic::numAttributes; ++a)
+        attrs[a] =
+            s.profile.attribute(static_cast<traffic::Attribute>(a));
+    if (trafficSamples_ == 0) {
+        for (int a = 0; a < traffic::numAttributes; ++a)
+            trafficBase_[a] = attrs[a];
+    } else {
+        int worst = -1;
+        double worst_delta = 0.0;
+        for (int a = 0; a < traffic::numAttributes; ++a) {
+            double base = trafficBase_[a];
+            double delta = std::abs(attrs[a] - base) /
+                           std::max(std::abs(base), 1e-9);
+            if (delta > worst_delta) {
+                worst_delta = delta;
+                worst = a;
+            }
+        }
+        if (samples_ > opts_.minSamples &&
+            worst_delta > opts_.trafficShiftFactor &&
+            cool(MonitorEventKind::TrafficShift)) {
+            auto attr = static_cast<traffic::Attribute>(worst);
+            fire(fired, MonitorEventKind::TrafficShift, s,
+                 worst_delta, opts_.trafficShiftFactor,
+                 strf("%s %s -> %s",
+                      traffic::attributeName(attr),
+                      traceFormat(trafficBase_[worst]).c_str(),
+                      traceFormat(attrs[worst]).c_str()));
+            // The new regime becomes the baseline immediately, so a
+            // sustained shift fires once, not every sample.
+            for (int a = 0; a < traffic::numAttributes; ++a)
+                trafficBase_[a] = attrs[a];
+        } else {
+            for (int a = 0; a < traffic::numAttributes; ++a) {
+                trafficBase_[a] += opts_.trafficAlpha *
+                                   (attrs[a] - trafficBase_[a]);
+            }
+        }
+    }
+    ++trafficSamples_;
+
+    // ---- Error path ----
+    bool valid = std::isfinite(s.measured) && s.measured > 0.0 &&
+                 std::isfinite(s.predicted);
+    if (!valid) {
+        ++invalid_;
+        mInvalid_.inc();
+        return fired;
+    }
+    double err = (s.measured - s.predicted) / s.measured;
+    double abs_err = std::abs(err);
+    mErrHist_.observe(abs_err);
+    ewmaAbsErr_ = errorSamples_ == 0
+                      ? abs_err
+                      : ewmaAbsErr_ +
+                            opts_.ewmaAlpha * (abs_err - ewmaAbsErr_);
+    sumAbsErr_ += abs_err;
+    ++errorSamples_;
+    mEwma_.set(ewmaAbsErr_);
+    window_.push_back(abs_err);
+    while (window_.size() > opts_.window)
+        window_.pop_front();
+
+    // ---- Two-sided Page–Hinkley on the signed error ----
+    ++phN_;
+    phMean_ += (err - phMean_) / static_cast<double>(phN_);
+    phUp_ += err - phMean_ - opts_.phDelta;
+    phUpMin_ = std::min(phUpMin_, phUp_);
+    phDown_ += err - phMean_ + opts_.phDelta;
+    phDownMax_ = std::max(phDownMax_, phDown_);
+    double ph_stat =
+        std::max(phUp_ - phUpMin_, phDownMax_ - phDown_);
+    bool drift_fired = false;
+    if (samples_ > opts_.minSamples && ph_stat > opts_.phLambda &&
+        cool(MonitorEventKind::DriftDetected)) {
+        std::string detail =
+            strf("signed-error level shifted (running mean %s)",
+                 traceFormat(phMean_).c_str());
+        if (!s.bottleneck.empty())
+            detail += "; model blames " + s.bottleneck;
+        fire(fired, MonitorEventKind::DriftDetected, s, ph_stat,
+             opts_.phLambda, std::move(detail));
+        ++driftsSinceRecal_;
+        drift_fired = true;
+        resetDriftDetector();
+    }
+
+    // ---- Accuracy threshold with hysteresis ----
+    if (samples_ > opts_.minSamples) {
+        if (!accuracyAlarm_ &&
+            ewmaAbsErr_ > opts_.accuracyThreshold &&
+            cool(MonitorEventKind::AccuracyDegraded)) {
+            accuracyAlarm_ = true;
+            fire(fired, MonitorEventKind::AccuracyDegraded, s,
+                 ewmaAbsErr_, opts_.accuracyThreshold,
+                 strf("EWMA |relative error| %s above %s",
+                      traceFormat(ewmaAbsErr_).c_str(),
+                      traceFormat(opts_.accuracyThreshold).c_str()));
+        } else if (accuracyAlarm_ &&
+                   ewmaAbsErr_ <
+                       0.8 * opts_.accuracyThreshold) {
+            accuracyAlarm_ = false;
+        }
+    }
+
+    // ---- Recalibration recommendation: the model is both drifting
+    // and inaccurate (or drifting repeatedly) ----
+    if (drift_fired &&
+        (accuracyAlarm_ || ewmaAbsErr_ > opts_.accuracyThreshold ||
+         driftsSinceRecal_ >= 2) &&
+        cool(MonitorEventKind::RecalibrationRecommended)) {
+        std::string detail = "drift with degraded accuracy";
+        if (!s.bottleneck.empty())
+            detail += "; dominant resource " + s.bottleneck;
+        fire(fired, MonitorEventKind::RecalibrationRecommended, s,
+             ewmaAbsErr_, opts_.accuracyThreshold,
+             std::move(detail));
+        driftsSinceRecal_ = 0;
+    }
+    return fired;
+}
+
+MonitorSummary
+PredictionMonitor::summary() const
+{
+    MonitorSummary sum;
+    sum.samples = samples_;
+    sum.invalidSamples = invalid_;
+    sum.degradedSamples = degraded_;
+    sum.degradedRate =
+        samples_ ? static_cast<double>(degraded_) /
+                       static_cast<double>(samples_)
+                 : 0.0;
+    sum.ewmaAbsError = ewmaAbsErr_;
+    sum.meanAbsError =
+        errorSamples_ ? sumAbsErr_ /
+                            static_cast<double>(errorSamples_)
+                      : 0.0;
+    if (!window_.empty()) {
+        // Windowed percentiles through the telemetry Histogram: the
+        // same bucket layout as the registry metric, rebuilt over
+        // just the window.
+        Histogram h(opts_.errorBounds);
+        for (double e : window_)
+            h.observe(e);
+        auto snap = h.snapshot();
+        sum.p50 = histogramQuantile(snap, 0.50);
+        sum.p90 = histogramQuantile(snap, 0.90);
+        sum.p99 = histogramQuantile(snap, 0.99);
+    }
+    for (const auto &ev : events_)
+        ++sum.eventCounts[static_cast<int>(ev.kind)];
+    return sum;
+}
+
+void
+PredictionMonitor::exportJsonl(std::ostream &out) const
+{
+    for (const auto &ev : events_)
+        out << ev.toJson() << "\n";
+    out << summary().toJson() << "\n";
+}
+
+// ---------------------------------------------------------------
+// Schedule replay
+// ---------------------------------------------------------------
+
+Result<std::vector<ScheduleStep>>
+parseSchedule(std::istream &in)
+{
+    std::vector<ScheduleStep> steps;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ss(line);
+        double flows = 0, size = 0, mtbr = 0;
+        if (!(ss >> flows))
+            continue; // blank / comment-only line
+        double repeats = 1;
+        if (!(ss >> size >> mtbr)) {
+            return Status::invalidArgument(
+                strf("schedule line %d: expected "
+                     "\"flows size mtbr [repeats]\"",
+                     lineno));
+        }
+        ss >> repeats; // optional
+        if (flows <= 0 || size <= 0 || mtbr < 0 || repeats < 1) {
+            return Status::invalidArgument(
+                strf("schedule line %d: values out of range",
+                     lineno));
+        }
+        ScheduleStep step;
+        step.profile = traffic::TrafficProfile::defaults()
+                           .withAttribute(
+                               traffic::Attribute::FlowCount, flows)
+                           .withAttribute(
+                               traffic::Attribute::PacketSize, size)
+                           .withAttribute(traffic::Attribute::Mtbr,
+                                          mtbr);
+        step.repeats = static_cast<int>(repeats);
+        steps.push_back(step);
+    }
+    if (steps.empty())
+        return Status::invalidArgument("schedule file has no steps");
+    return steps;
+}
+
+std::vector<ScheduleStep>
+defaultSchedule(const traffic::TrafficProfile &base)
+{
+    auto shifted = base.withAttribute(
+        traffic::Attribute::FlowCount,
+        4.0 * static_cast<double>(base.flowCount));
+    return {{base, 60}, {shifted, 60}, {base, 40}};
+}
+
+ReplayResult
+replaySchedule(ReplayContext &ctx,
+               const std::vector<ScheduleStep> &schedule,
+               PredictionMonitor &monitor, const ReplayOptions &opts)
+{
+    if (!ctx.trainer || !ctx.model || !ctx.nf || !ctx.soloBed)
+        panic("replaySchedule: incomplete context");
+    TraceSpan span("monitor.replay");
+    span.field("label", ctx.label);
+    span.field("steps", static_cast<std::uint64_t>(schedule.size()));
+
+    // Resolve every step's workload up front (the trainer caches by
+    // profile) and prewarm the equilibrium solves across the pool;
+    // measurement and ingest then run serially in schedule order, so
+    // the sample stream — and with it the event stream — is
+    // width-invariant.
+    std::vector<std::vector<framework::WorkloadProfile>> deployments;
+    std::vector<std::vector<framework::WorkloadProfile>> solos;
+    for (const auto &step : schedule) {
+        const auto &w = ctx.trainer->workloadOf(*ctx.nf,
+                                                step.profile);
+        std::vector<framework::WorkloadProfile> deploy = {w};
+        deploy.insert(deploy.end(), ctx.competitors.begin(),
+                      ctx.competitors.end());
+        deployments.push_back(deploy);
+        solos.push_back({w});
+    }
+    ctx.soloBed->prewarm(solos);
+    sim::Testbed &measure =
+        ctx.measureBed ? static_cast<sim::Testbed &>(*ctx.measureBed)
+                       : *ctx.soloBed;
+    measure.prewarm(deployments);
+
+    ReplayResult res;
+    long sample = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto &step = schedule[i];
+        const auto &w = deployments[i][0];
+        double solo =
+            ctx.soloBed->runSolo(w).truthThroughput;
+        auto breakdown = ctx.model->predictDetailed(
+            ctx.levels, step.profile, solo);
+        for (int r = 0; r < step.repeats; ++r) {
+            if (opts.biasAtSample >= 0 &&
+                sample == opts.biasAtSample && ctx.measureBed) {
+                auto cfg = ctx.measureBed->faultConfig();
+                cfg.biasFactor = opts.biasFactor;
+                ctx.measureBed->setConfig(cfg);
+            }
+            auto ms = measure.run(deployments[i]);
+            // A faulted batch may come back short or reordered;
+            // find the target by name and let a lost reading take
+            // the monitor's invalid-sample path.
+            double measured =
+                std::numeric_limits<double>::quiet_NaN();
+            for (const auto &m : ms) {
+                if (m.nfName == w.nfName) {
+                    measured = m.throughput;
+                    break;
+                }
+            }
+            monitor.ingest(makeMonitorSample(
+                ctx.label, step.profile, breakdown, measured));
+            ++sample;
+        }
+    }
+    res.samples = static_cast<std::size_t>(sample);
+    res.events = monitor.events().size();
+    res.summary = monitor.summary();
+    return res;
+}
+
+} // namespace tomur::core

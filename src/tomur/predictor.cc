@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "net/packet.hh"
+#include "tomur/attribution.hh"
 
 namespace tomur::core {
 
@@ -141,8 +142,6 @@ TomurModel::predictDetailed(
     out.memoryOnlyThroughput = t_mem;
 
     std::vector<double> drops = {t_solo - t_mem};
-    double worst_drop = drops[0];
-    out.dominantResource = 0;
 
     // ---- Accelerator-only predictions ----
     for (int k = 0; k < hw::numAccelKinds; ++k) {
@@ -174,16 +173,14 @@ TomurModel::predictDetailed(
             profile.mtbr, payload, comp);
         double t_k = std::clamp(stage, 0.0, t_solo);
         out.accelOnlyThroughput[k] = t_k;
-        double drop = t_solo - t_k;
-        drops.push_back(drop);
-        if (drop > worst_drop) {
-            worst_drop = drop;
-            out.dominantResource = k + 1;
-        }
+        drops.push_back(t_solo - t_k);
     }
 
     out.predicted = compose(CompositionKind::ExecutionPattern,
                             pattern_, t_solo, drops);
+    // The ranking lives in the attribution module (the monitor and
+    // the diagnosis use case consume the same one).
+    out.dominantResource = attributeContention(out).dominantResource;
     if (out.degraded) {
         warnEvent("predictor", "degraded-prediction",
                   {{"nf", nfName_},

@@ -38,9 +38,9 @@ truthBottleneck(const sim::Measurement &m)
 }
 
 Resource
-tomurDiagnosis(const core::PredictionBreakdown &b)
+resourceFromAttribution(int resource)
 {
-    switch (b.dominantResource) {
+    switch (resource) {
       case 1:
         return Resource::Regex;
       case 2:
@@ -50,6 +50,32 @@ tomurDiagnosis(const core::PredictionBreakdown &b)
       default:
         return Resource::Memory;
     }
+}
+
+Resource
+tomurDiagnosis(const core::ContentionAttribution &a)
+{
+    return resourceFromAttribution(a.dominantResource);
+}
+
+Resource
+tomurDiagnosis(const core::PredictionBreakdown &b)
+{
+    return tomurDiagnosis(core::attributeContention(b));
+}
+
+DiagnosisTrial
+makeTrial(double mtbr, Resource truth,
+          const core::ContentionAttribution &a)
+{
+    DiagnosisTrial t;
+    t.mtbr = mtbr;
+    t.truth = truth;
+    t.tomur = tomurDiagnosis(a);
+    t.slomo = Resource::Memory;
+    t.degraded = a.degraded;
+    t.confidence = a.confidence;
+    return t;
 }
 
 DiagnosisScore

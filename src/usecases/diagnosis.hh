@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/testbed.hh"
+#include "tomur/attribution.hh"
 #include "tomur/predictor.hh"
 
 namespace tomur::usecases {
@@ -33,10 +34,17 @@ const char *resourceName(Resource r);
 /** Ground-truth resource from a testbed measurement. */
 Resource truthBottleneck(const sim::Measurement &m);
 
+/** Diagnosable resource for one attributed-resource index (the
+ *  attribution module's convention: 0 = memory, else 1 + accel). */
+Resource resourceFromAttribution(int resource);
+
 /**
- * Tomur's diagnosis: the resource with the largest predicted
- * per-resource throughput drop.
+ * Tomur's diagnosis: the top-ranked resource of a prediction's
+ * contention attribution.
  */
+Resource tomurDiagnosis(const core::ContentionAttribution &a);
+
+/** Convenience overload: attribute the breakdown, then diagnose. */
 Resource tomurDiagnosis(const core::PredictionBreakdown &breakdown);
 
 /** One diagnosis trial outcome. */
@@ -46,12 +54,20 @@ struct DiagnosisTrial
     Resource truth = Resource::Memory;
     Resource tomur = Resource::Memory;
     Resource slomo = Resource::Memory; ///< always Memory
-    /** Carried over from the prediction breakdown: a diagnosis made
-     *  on a degraded fallback path is flagged so scoring can discount
-     *  it instead of counting a guess as a verdict. */
+    /** Carried over from the prediction's attribution: a diagnosis
+     *  made on a degraded fallback path is flagged so scoring can
+     *  discount it instead of counting a guess as a verdict. */
     bool degraded = false;
     double confidence = 1.0;
 };
+
+/**
+ * Build a trial from the prediction's contention attribution (the
+ * one place Tomur's verdict, its confidence, and the degraded flag
+ * are read off a prediction).
+ */
+DiagnosisTrial makeTrial(double mtbr, Resource truth,
+                         const core::ContentionAttribution &a);
 
 /** Correctness percentages over a set of trials. */
 struct DiagnosisScore

@@ -106,6 +106,51 @@ TEST(TelemetryRegistry, HistogramBucketsAreInclusiveUpperBounds)
     EXPECT_DOUBLE_EQ(s.sum, 105.0);
 }
 
+TEST(TelemetryRegistry, HistogramValueExactlyOnBoundIsInclusive)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("tomur_test_edge_hist",
+                               {1.0, 10.0, 100.0});
+    // Values landing exactly on an upper bound belong to that
+    // bucket, not the next one.
+    h.observe(1.0);
+    h.observe(10.0);
+    h.observe(100.0);
+    auto s = h.snapshot();
+    ASSERT_EQ(s.counts.size(), 4u);
+    EXPECT_EQ(s.counts[0], 1u);
+    EXPECT_EQ(s.counts[1], 1u);
+    EXPECT_EQ(s.counts[2], 1u);
+    EXPECT_EQ(s.counts[3], 0u);
+}
+
+TEST(TelemetryRegistry, HistogramAboveLastBoundLandsInOverflow)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("tomur_test_inf_hist", {1.0, 2.0});
+    h.observe(2.0000001);
+    h.observe(1e30);
+    auto s = h.snapshot();
+    ASSERT_EQ(s.counts.size(), 3u);
+    EXPECT_EQ(s.counts[0], 0u);
+    EXPECT_EQ(s.counts[1], 0u);
+    EXPECT_EQ(s.counts[2], 2u);
+    EXPECT_EQ(s.count, 2u);
+}
+
+TEST(TelemetryRegistry, HistogramNegativeValuesLandInFirstBucket)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("tomur_test_neg_hist", {1.0, 2.0});
+    h.observe(-5.0);
+    h.observe(-0.0);
+    auto s = h.snapshot();
+    ASSERT_EQ(s.counts.size(), 3u);
+    EXPECT_EQ(s.counts[0], 2u);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.sum, -5.0);
+}
+
 TEST(TelemetryRegistry, ExponentialBoundsGrowByFactor)
 {
     auto b = Histogram::exponentialBounds(2.0, 4.0, 3);
@@ -240,6 +285,17 @@ TEST(TelemetryTrace, RingBufferBoundsMemoryAndCountsDrops)
     EXPECT_EQ(tracer().recordCount(), 8u);
     EXPECT_EQ(tracer().droppedCount(), 92u);
     tracer().disable();
+}
+
+TEST(TelemetryTrace, DroppedCounterIsRegisteredEagerly)
+{
+    // Constructing the tracer (any tracer() call) registers the drop
+    // counter, so every --metrics-out dump shows the series even
+    // when nothing was ever dropped.
+    tracer();
+    auto dump = metrics().dumpString();
+    EXPECT_NE(dump.find("tomur_trace_dropped_total"),
+              std::string::npos);
 }
 
 TEST(TelemetryTrace, EnableClearsPreviousRecords)

@@ -122,13 +122,46 @@ TEST(Diagnosis, TruthMapping)
 
 TEST(Diagnosis, BreakdownMapping)
 {
+    // The breakdown overload derives the bottleneck through the
+    // attribution module (largest predicted drop wins), not from the
+    // stored dominantResource field.
     core::PredictionBreakdown b;
-    b.dominantResource = 0;
+    b.soloThroughput = 1000.0;
+    b.memoryOnlyThroughput = 900.0;
     EXPECT_EQ(tomurDiagnosis(b), Resource::Memory);
-    b.dominantResource = 1;
+    b.accelUsed[0] = true; // regex drop overtakes memory
+    b.accelOnlyThroughput[0] = 700.0;
     EXPECT_EQ(tomurDiagnosis(b), Resource::Regex);
-    b.dominantResource = 2;
+    b.accelUsed[1] = true; // compression drops even more
+    b.accelOnlyThroughput[1] = 500.0;
     EXPECT_EQ(tomurDiagnosis(b), Resource::Compression);
+}
+
+TEST(Diagnosis, ResourceFromAttributionMapping)
+{
+    EXPECT_EQ(resourceFromAttribution(0), Resource::Memory);
+    EXPECT_EQ(resourceFromAttribution(1), Resource::Regex);
+    EXPECT_EQ(resourceFromAttribution(2), Resource::Compression);
+    EXPECT_EQ(resourceFromAttribution(3), Resource::Crypto);
+}
+
+TEST(Diagnosis, MakeTrialCarriesAttribution)
+{
+    core::PredictionBreakdown b;
+    b.soloThroughput = 1000.0;
+    b.memoryOnlyThroughput = 800.0;
+    b.accelUsed[2] = true; // crypto dominates
+    b.accelOnlyThroughput[2] = 600.0;
+    b.confidence = 0.9;
+    b.degraded = true;
+    auto a = core::attributeContention(b);
+    auto t = makeTrial(700.0, Resource::Crypto, a);
+    EXPECT_DOUBLE_EQ(t.mtbr, 700.0);
+    EXPECT_EQ(t.truth, Resource::Crypto);
+    EXPECT_EQ(t.tomur, Resource::Crypto);
+    EXPECT_EQ(t.slomo, Resource::Memory);
+    EXPECT_TRUE(t.degraded);
+    EXPECT_DOUBLE_EQ(t.confidence, 0.9);
 }
 
 TEST(Diagnosis, Scoring)

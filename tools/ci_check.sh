@@ -1,0 +1,36 @@
+#!/bin/sh
+# One-command CI gate: everything a change must pass before merging.
+#
+#   1. Tier-1: regular build + full ctest suite (the contract every
+#      PR is held to).
+#   2. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
+#      suite, TSan on the parallel-engine tests).
+#   3. Performance: tools/bench_report.sh (micro benchmark stages
+#      gated against the committed BENCH_micro.json baseline).
+#
+# Usage: tools/ci_check.sh
+#   TOMUR_SKIP_TSAN=1      forwarded to run_sanitized_tests.sh
+#   TOMUR_BENCH_NO_GATE=1  forwarded to bench_report.sh (report only,
+#                          no regression gate)
+# Exits non-zero on the first failing stage.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== Tier 1: build + test suite ==="
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo ""
+echo "=== Tier 2: sanitizer passes ==="
+"$repo_root/tools/run_sanitized_tests.sh"
+
+echo ""
+echo "=== Tier 3: performance gate ==="
+"$repo_root/tools/bench_report.sh"
+
+echo ""
+echo "ci_check: all stages passed"

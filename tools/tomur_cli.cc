@@ -9,6 +9,10 @@
  *   predict <NF> --with A,B,...     predict under co-location and
  *                                   compare against a deployment
  *   diagnose <NF> [traffic opts]    per-resource breakdown
+ *   monitor <NF> [--schedule FILE]  replay a traffic schedule through
+ *                                   the prediction-quality monitor
+ *   report [--metrics FILE] ...     render collected observability
+ *                                   artifacts as a text/HTML dashboard
  *
  * Traffic options: --flows N --size B --mtbr M (defaults 16000 /
  * 1500 / 600). All runs happen on the built-in BlueField-2 testbed;
@@ -29,16 +33,19 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/report.hh"
 #include "common/strutil.hh"
 #include "common/telemetry.hh"
 #include "common/trace.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
 #include "sim/faults.hh"
+#include "tomur/monitor.hh"
 #include "tomur/profiler.hh"
 #include "usecases/diagnosis.hh"
 
@@ -68,6 +75,18 @@ struct Cli
     std::string traceOut;  ///< --trace-out: JSONL span trace
     std::string metricsOut; ///< --metrics-out: metrics text dump
     double faultRate = 0.0;
+
+    // monitor
+    std::string schedulePath; ///< --schedule: replay script
+    std::string eventsOut;    ///< --events-out: monitor JSONL
+    double biasFactor = 0.7;  ///< --bias: drift magnitude
+    long biasAt = -1;         ///< --bias-at: sample index (off < 0)
+
+    // report
+    std::string reportMetrics; ///< --metrics: dump to render
+    std::string reportTrace;   ///< --trace: trace JSONL to render
+    std::string reportMonitor; ///< --monitor: event JSONL to render
+    bool reportHtml = false;   ///< --html: HTML instead of text
 };
 
 [[noreturn]] void
@@ -84,6 +103,11 @@ usage()
         "          [--faults P]\n"
         "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n"
         "          [--model FILE] [--faults P]\n"
+        "  monitor <NF> [--schedule FILE] [--events-out FILE]\n"
+        "          [--bias F] [--bias-at K] [--quota Q]\n"
+        "          [--model FILE] [--faults P] [traffic opts]\n"
+        "  report [--metrics FILE] [--trace FILE]\n"
+        "          [--monitor FILE] [--out FILE] [--html]\n"
         "common options:\n"
         "  --trace-out FILE    write a JSONL span trace of the run\n"
         "  --metrics-out FILE  write a metrics registry text dump\n");
@@ -148,7 +172,7 @@ parse(int argc, char **argv)
     Cli cli;
     cli.command = argv[1];
     int i = 2;
-    if (cli.command != "catalog") {
+    if (cli.command != "catalog" && cli.command != "report") {
         if (i >= argc) {
             std::fprintf(stderr, "error: command '%s' needs an NF\n",
                          cli.command.c_str());
@@ -181,6 +205,29 @@ parse(int argc, char **argv)
             cli.traceOut = strArg(argc, argv, i);
         } else if (arg == "--metrics-out") {
             cli.metricsOut = strArg(argc, argv, i);
+        } else if (arg == "--schedule") {
+            cli.schedulePath = strArg(argc, argv, i);
+        } else if (arg == "--events-out") {
+            cli.eventsOut = strArg(argc, argv, i);
+        } else if (arg == "--bias") {
+            cli.biasFactor = numArg(argc, argv, i);
+            if (cli.biasFactor <= 0.0) {
+                std::fprintf(stderr,
+                             "error: --bias expects a positive "
+                             "factor, got %g\n",
+                             cli.biasFactor);
+                usage();
+            }
+        } else if (arg == "--bias-at") {
+            cli.biasAt = static_cast<long>(numArg(argc, argv, i));
+        } else if (arg == "--metrics") {
+            cli.reportMetrics = strArg(argc, argv, i);
+        } else if (arg == "--trace") {
+            cli.reportTrace = strArg(argc, argv, i);
+        } else if (arg == "--monitor") {
+            cli.reportMonitor = strArg(argc, argv, i);
+        } else if (arg == "--html") {
+            cli.reportHtml = true;
         } else if (arg == "--faults") {
             cli.faultRate = numArg(argc, argv, i);
             if (cli.faultRate < 0.0 || cli.faultRate > 1.0) {
@@ -410,15 +457,18 @@ cmdPredict(const Cli &cli)
     return kExitOk;
 }
 
-int
-cmdDiagnose(const Cli &cli)
+/** Reference contention: the heaviest large-WSS mem-bench plus a
+ *  moderate bench on each accelerator the NF uses (shared by the
+ *  diagnose and monitor commands). */
+struct ReferenceContention
 {
-    Env env(cli.faultRate);
-    auto nf = nfs::makeByName(cli.nf, env.dev);
-    auto model = obtainModel(env, cli, *nf);
+    std::vector<core::ContentionLevel> levels;
+    std::vector<framework::WorkloadProfile> workloads;
+};
 
-    // Reference contention: the heaviest large-WSS mem-bench plus a
-    // moderate bench on each accelerator the NF uses.
+ReferenceContention
+referenceContention(Env &env, const framework::WorkloadProfile &w)
+{
     const core::BenchLibrary::MemBenchEntry *mem =
         &env.lib->memBenches().front();
     for (const auto &e : env.lib->memBenches()) {
@@ -428,26 +478,38 @@ cmdDiagnose(const Cli &cli)
             mem = &e;
         }
     }
-    std::vector<core::ContentionLevel> levels = {mem->level};
+    ReferenceContention ref;
+    ref.levels.push_back(mem->level);
+    ref.workloads.push_back(mem->workload);
+    struct
+    {
+        hw::AccelKind kind;
+        double bytesPerSec;
+    } accel[] = {
+        {hw::AccelKind::Regex, 800.0},
+        {hw::AccelKind::Compression, 8000.0},
+        {hw::AccelKind::Crypto, 16000.0},
+    };
+    for (const auto &a : accel) {
+        if (!w.usesAccel(a.kind))
+            continue;
+        const auto &entry =
+            env.lib->accelBench(a.kind, 150e3, a.bytesPerSec);
+        ref.levels.push_back(entry.level);
+        ref.workloads.push_back(entry.workload);
+    }
+    return ref;
+}
+
+int
+cmdDiagnose(const Cli &cli)
+{
+    Env env(cli.faultRate);
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    auto model = obtainModel(env, cli, *nf);
+
     const auto &w = env.trainer->workloadOf(*nf, cli.profile);
-    if (w.usesAccel(hw::AccelKind::Regex)) {
-        levels.push_back(env.lib
-                             ->accelBench(hw::AccelKind::Regex,
-                                          150e3, 800.0)
-                             .level);
-    }
-    if (w.usesAccel(hw::AccelKind::Compression)) {
-        levels.push_back(env.lib
-                             ->accelBench(hw::AccelKind::Compression,
-                                          150e3, 8000.0)
-                             .level);
-    }
-    if (w.usesAccel(hw::AccelKind::Crypto)) {
-        levels.push_back(env.lib
-                             ->accelBench(hw::AccelKind::Crypto,
-                                          150e3, 16000.0)
-                             .level);
-    }
+    auto levels = referenceContention(env, w).levels;
 
     double solo = env.bed.runSolo(w).truthThroughput;
     auto b = model.predictDetailed(levels, cli.profile, solo);
@@ -477,6 +539,143 @@ cmdDiagnose(const Cli &cli)
     return kExitOk;
 }
 
+int
+cmdMonitor(const Cli &cli)
+{
+    Env env(cli.faultRate);
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    auto model = obtainModel(env, cli, *nf);
+
+    std::vector<core::ScheduleStep> schedule;
+    if (!cli.schedulePath.empty()) {
+        std::ifstream in(cli.schedulePath);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open '%s': %s\n",
+                         cli.schedulePath.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+        auto parsed = core::parseSchedule(in);
+        if (!parsed) {
+            std::fprintf(stderr, "error: %s\n",
+                         parsed.status().toString().c_str());
+            return kExitUsage;
+        }
+        schedule = parsed.value();
+    } else {
+        schedule = core::defaultSchedule(cli.profile);
+    }
+
+    const auto &w = env.trainer->workloadOf(*nf, cli.profile);
+    auto ref = referenceContention(env, w);
+
+    core::PredictionMonitor monitor;
+    core::ReplayContext ctx;
+    ctx.trainer = env.trainer.get();
+    ctx.model = &model;
+    ctx.nf = nf.get();
+    ctx.levels = ref.levels;
+    ctx.competitors = ref.workloads;
+    ctx.soloBed = &env.bed;
+    ctx.measureBed = &env.faulty;
+    ctx.label = cli.nf;
+
+    core::ReplayOptions ropts;
+    ropts.biasAtSample = cli.biasAt;
+    ropts.biasFactor = cli.biasFactor;
+
+    auto res = core::replaySchedule(ctx, schedule, monitor, ropts);
+
+    if (!cli.eventsOut.empty()) {
+        std::ofstream out(cli.eventsOut);
+        if (out)
+            monitor.exportJsonl(out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write events to '%s': %s\n",
+                         cli.eventsOut.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+    }
+
+    const auto &sum = res.summary;
+    std::printf("%s: %zu samples replayed (%zu invalid, "
+                "%.1f%% degraded)\n",
+                cli.nf.c_str(), sum.samples, sum.invalidSamples,
+                100.0 * sum.degradedRate);
+    std::printf("  |rel error|: ewma %.4f, mean %.4f, "
+                "p50/p90/p99 %.4f/%.4f/%.4f\n",
+                sum.ewmaAbsError, sum.meanAbsError, sum.p50,
+                sum.p90, sum.p99);
+    std::printf("  events: %zu total\n", res.events);
+    for (int k = 0; k < core::numMonitorEventKinds; ++k) {
+        if (sum.eventCounts[k] == 0)
+            continue;
+        std::printf("    %-26s %zu\n",
+                    core::monitorEventName(
+                        static_cast<core::MonitorEventKind>(k)),
+                    sum.eventCounts[k]);
+    }
+    for (const auto &ev : monitor.events())
+        std::printf("  %s\n", ev.toJson().c_str());
+    return kExitOk;
+}
+
+/** Read a whole file; empty path -> empty body, missing file -> exit
+ *  with an I/O error naming the artifact. */
+std::string
+readArtifactOrExit(const std::string &path, const char *what)
+{
+    if (path.empty())
+        return "";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s '%s': %s\n",
+                     what, path.c_str(), std::strerror(errno));
+        std::exit(kExitIo);
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+int
+cmdReport(const Cli &cli)
+{
+    ReportArtifacts artifacts;
+    artifacts.metricsText =
+        readArtifactOrExit(cli.reportMetrics, "metrics dump");
+    artifacts.traceJsonl =
+        readArtifactOrExit(cli.reportTrace, "trace export");
+    artifacts.monitorJsonl =
+        readArtifactOrExit(cli.reportMonitor, "monitor stream");
+
+    ReportOptions ropts;
+    ropts.html = cli.reportHtml;
+    auto rendered = renderReport(artifacts, ropts);
+    if (!rendered) {
+        std::fprintf(stderr, "error: %s\n",
+                     rendered.status().toString().c_str());
+        return kExitUsage;
+    }
+    if (cli.outPath.empty()) {
+        std::fputs(rendered.value().c_str(), stdout);
+        return kExitOk;
+    }
+    std::ofstream out(cli.outPath);
+    if (out)
+        out << rendered.value();
+    if (!out) {
+        std::fprintf(stderr,
+                     "error: cannot write report to '%s': %s\n",
+                     cli.outPath.c_str(), std::strerror(errno));
+        return kExitIo;
+    }
+    std::printf("report written to %s\n", cli.outPath.c_str());
+    return kExitOk;
+}
+
 /** Dispatch under a root `cli.<command>` span. */
 int
 runCommand(const Cli &cli)
@@ -495,6 +694,10 @@ runCommand(const Cli &cli)
         return cmdPredict(cli);
     if (cli.command == "diagnose")
         return cmdDiagnose(cli);
+    if (cli.command == "monitor")
+        return cmdMonitor(cli);
+    if (cli.command == "report")
+        return cmdReport(cli);
     std::fprintf(stderr, "error: unknown command '%s'\n",
                  cli.command.c_str());
     usage();

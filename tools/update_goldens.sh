@@ -1,7 +1,8 @@
 #!/bin/sh
 # Regenerate the golden observability fixtures in tests/golden/
 # (canonical trace export + filtered metrics dump of the fixed
-# scenario in tests/test_telemetry.cc).
+# scenario in tests/test_telemetry.cc, and the monitor event stream
+# of the fixed replay in tests/test_monitor.cc).
 #
 # Run this after intentionally changing instrumentation (new spans,
 # new fields, new metrics) and commit the updated fixtures together
@@ -17,13 +18,15 @@ build_dir="$repo_root/build"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_telemetry
+    --target test_telemetry test_monitor
 
 # The serial run writes the fixtures; the wide run then re-runs the
 # scenario at TOMUR_THREADS=8 and asserts it reproduces them
 # byte-for-byte, so a nondeterministic scenario cannot be committed.
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_telemetry" \
     --gtest_filter='GoldenTrace.*'
+TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_monitor" \
+    --gtest_filter='MonitorGolden.*'
 
 echo ""
 echo "updated fixtures:"
