@@ -21,14 +21,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <filesystem>
+#include <sstream>
 #include <string>
 
 #include "common.hh"
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "hw/accel_des.hh"
 #include "hw/cache.hh"
 #include "regex/generator.hh"
-#include "tomur/monitor.hh"
+#include "tomur/supervisor.hh"
 
 using namespace tomur;
 
@@ -196,6 +199,27 @@ BM_MonitorIngest(benchmark::State &state)
 BENCHMARK(BM_MonitorIngest);
 
 void
+BM_CheckpointFrame(benchmark::State &state)
+{
+    // Frame + verify of a model-sized body: the pure-CPU cost
+    // (checksum twice, no I/O) every autopilot checkpoint pays.
+    std::string body(64 * 1024, '\0');
+    for (std::size_t i = 0; i < body.size(); ++i)
+        body[i] = static_cast<char>('a' + i % 26);
+    for (auto _ : state) {
+        auto framed = CheckpointStore::frame(body);
+        std::string out;
+        if (!CheckpointStore::verifyFrame(framed, &out))
+            fatal("checkpoint frame failed to verify");
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_CheckpointFrame);
+
+void
 BM_WorkloadProfiling(benchmark::State &state)
 {
     static bench::BenchEnv env;
@@ -318,7 +342,50 @@ runPipeline(bench::BenchReport &report, bool parallel, int threads)
         }
     });
 
-    // Stage 6: independent DES validation runs.
+    // Stage 6: the self-healing runtime's recurring cost — a
+    // checkpoint write/load cycle (tmp + rename, fsync off so the
+    // stage times the protocol, not the disk) around a serialized
+    // monitor, plus the supervisor's per-sample observe fold.
+    report.measure("checkpoint_cycle", parallel, [&] {
+        namespace fs = std::filesystem;
+        fs::path dir = fs::temp_directory_path() /
+                       (parallel ? "tomur_bench_ckpt_p"
+                                 : "tomur_bench_ckpt_s");
+        fs::remove_all(dir);
+        CheckpointOptions copts;
+        copts.fsync = false;
+        CheckpointStore store(dir.string(), copts);
+
+        core::PredictionMonitor monitor;
+        core::MonitorSample s;
+        s.deployment = "bench";
+        s.profile = traffic::TrafficProfile::defaults();
+        s.predicted = 1000.0;
+        core::Supervisor sup(
+            {}, [](std::size_t, std::string *) {
+                return Status::ok();
+            });
+        for (int i = 0; i < 400; ++i) {
+            s.measured = 1000.0 + (i % 16) - 8.0;
+            auto fired = monitor.ingest(s);
+            (void)sup.observe(static_cast<std::size_t>(i) + 1,
+                              fired);
+            if (i % 8 == 7) {
+                std::ostringstream body;
+                monitor.serialize(body);
+                sup.serialize(body);
+                if (auto st = store.writeGeneration(body.str());
+                    !st) {
+                    fatal(st.message());
+                }
+                if (!store.loadLatestValid())
+                    fatal("checkpoint reload failed");
+            }
+        }
+        fs::remove_all(dir);
+    });
+
+    // Stage 7: independent DES validation runs.
     report.measure("des_run", parallel, [&] {
         auto res = bench::runExperiments(
             64, 3, [&](std::size_t i, Rng &rng) {

@@ -1,0 +1,321 @@
+#include "common/checkpoint.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/serial.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+
+namespace fs = std::filesystem;
+
+namespace tomur {
+
+namespace {
+
+constexpr const char *kMagic = "tomur_ckpt";
+constexpr int kVersion = 1;
+constexpr std::size_t kMaxBodyBytes = 64ULL * 1024 * 1024;
+
+struct CheckpointMetrics
+{
+    Counter &writes =
+        metrics().counter("tomur_checkpoint_writes_total");
+    Counter &restores =
+        metrics().counter("tomur_checkpoint_restores_total");
+    Counter &corruptSkipped =
+        metrics().counter("tomur_checkpoint_corrupt_skipped_total");
+    Counter &pruned =
+        metrics().counter("tomur_checkpoint_pruned_total");
+};
+
+CheckpointMetrics &
+checkpointMetrics()
+{
+    static CheckpointMetrics cm;
+    return cm;
+}
+
+std::string
+checksumHex(std::uint64_t h)
+{
+    std::ostringstream out;
+    out << std::hex << std::setw(16) << std::setfill('0') << h;
+    return out.str();
+}
+
+/** fsync a path (file or directory); best-effort, reports failure. */
+bool
+syncPath(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+/** Parse `ckpt-<digits>.tomur` -> generation; 0 when not a record. */
+std::uint64_t
+generationOf(const std::string &filename)
+{
+    const std::string prefix = "ckpt-";
+    const std::string suffix = ".tomur";
+    if (filename.size() <= prefix.size() + suffix.size())
+        return 0;
+    if (filename.compare(0, prefix.size(), prefix) != 0)
+        return 0;
+    if (filename.compare(filename.size() - suffix.size(),
+                         suffix.size(), suffix) != 0)
+        return 0;
+    std::string digits = filename.substr(
+        prefix.size(),
+        filename.size() - prefix.size() - suffix.size());
+    if (digits.empty())
+        return 0;
+    std::uint64_t gen = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9')
+            return 0;
+        gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return gen;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string dir,
+                                 CheckpointOptions opts)
+    : dir_(std::move(dir)), opts_(opts)
+{
+    auto gens = listGenerations();
+    nextGen_ = gens.empty() ? 1 : gens.back() + 1;
+}
+
+std::string
+CheckpointStore::generationPath(std::uint64_t gen) const
+{
+    std::ostringstream name;
+    name << "ckpt-" << std::setw(8) << std::setfill('0') << gen
+         << ".tomur";
+    return (fs::path(dir_) / name.str()).string();
+}
+
+void
+CheckpointStore::crash(CheckpointCrashPoint p) const
+{
+    if (opts_.crashPoint != p)
+        return;
+    const char *where = "?";
+    switch (p) {
+    case CheckpointCrashPoint::BeforeTempWrite:
+        where = "checkpoint.before-temp-write";
+        break;
+    case CheckpointCrashPoint::MidTempWrite:
+        where = "checkpoint.mid-temp-write";
+        break;
+    case CheckpointCrashPoint::BeforeRename:
+        where = "checkpoint.before-rename";
+        break;
+    case CheckpointCrashPoint::BeforePrune:
+        where = "checkpoint.before-prune";
+        break;
+    case CheckpointCrashPoint::None:
+        break;
+    }
+    throw SimulatedCrash(where);
+}
+
+std::string
+CheckpointStore::frame(const std::string &body)
+{
+    std::ostringstream out;
+    out << kMagic << ' ' << kVersion << ' ' << body.size() << ' '
+        << checksumHex(fnv1a64(body)) << '\n'
+        << body;
+    return out.str();
+}
+
+Status
+CheckpointStore::verifyFrame(const std::string &framed,
+                             std::string *body)
+{
+    std::size_t nl = framed.find('\n');
+    if (nl == std::string::npos)
+        return Status::corruptData("checkpoint header truncated");
+    std::istringstream header(framed.substr(0, nl));
+    std::string magic;
+    int version = 0;
+    std::size_t bytes = 0;
+    std::string checksum;
+    header >> magic >> version >> bytes >> checksum;
+    if (!header || magic != kMagic)
+        return Status::corruptData(
+            "checkpoint header malformed (bad magic)");
+    if (version != kVersion)
+        return Status::corruptData(
+            "unsupported checkpoint version " +
+            std::to_string(version));
+    if (bytes > kMaxBodyBytes)
+        return Status::corruptData(
+            "checkpoint body size " + std::to_string(bytes) +
+            " exceeds limit");
+    std::string rest = framed.substr(nl + 1);
+    if (rest.size() != bytes)
+        return Status::corruptData(
+            "checkpoint body truncated: header says " +
+            std::to_string(bytes) + " bytes, found " +
+            std::to_string(rest.size()));
+    if (checksumHex(fnv1a64(rest)) != checksum)
+        return Status::corruptData(
+            "checkpoint checksum mismatch");
+    if (body != nullptr)
+        *body = std::move(rest);
+    return Status::ok();
+}
+
+Status
+CheckpointStore::writeGeneration(const std::string &body)
+{
+    TraceSpan span("checkpoint.write");
+    std::uint64_t gen = nextGen_;
+    span.field("generation", static_cast<double>(gen));
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return Status::ioError("cannot create checkpoint dir " +
+                               dir_ + ": " + ec.message());
+
+    crash(CheckpointCrashPoint::BeforeTempWrite);
+
+    std::string framed = frame(body);
+    std::string finalPath = generationPath(gen);
+    std::string tmpPath = finalPath + ".tmp";
+    {
+        std::ofstream out(tmpPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            return Status::ioError("cannot open " + tmpPath +
+                                   " for writing");
+        if (opts_.crashPoint == CheckpointCrashPoint::MidTempWrite) {
+            // A real crash mid-write leaves a prefix of the record.
+            out.write(framed.data(),
+                      static_cast<std::streamsize>(framed.size() / 2));
+            out.flush();
+            crash(CheckpointCrashPoint::MidTempWrite);
+        }
+        out.write(framed.data(),
+                  static_cast<std::streamsize>(framed.size()));
+        out.flush();
+        if (!out)
+            return Status::ioError("short write to " + tmpPath);
+    }
+    if (opts_.fsync && !syncPath(tmpPath))
+        return Status::ioError("fsync failed for " + tmpPath);
+
+    crash(CheckpointCrashPoint::BeforeRename);
+
+    fs::rename(tmpPath, finalPath, ec);
+    if (ec)
+        return Status::ioError("rename " + tmpPath + " -> " +
+                               finalPath + ": " + ec.message());
+    if (opts_.fsync)
+        syncPath(dir_); // durability of the rename itself
+
+    nextGen_ = gen + 1;
+    checkpointMetrics().writes.inc();
+
+    crash(CheckpointCrashPoint::BeforePrune);
+    pruneOldGenerations();
+    return Status::ok();
+}
+
+void
+CheckpointStore::pruneOldGenerations()
+{
+    if (opts_.generations == 0)
+        return;
+    auto gens = listGenerations();
+    if (gens.size() <= opts_.generations)
+        return;
+    std::size_t drop = gens.size() - opts_.generations;
+    for (std::size_t i = 0; i < drop; ++i) {
+        std::error_code ec;
+        fs::remove(generationPath(gens[i]), ec);
+        if (!ec)
+            checkpointMetrics().pruned.inc();
+    }
+}
+
+std::vector<std::uint64_t>
+CheckpointStore::listGenerations() const
+{
+    std::vector<std::uint64_t> gens;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return gens;
+    for (const auto &entry : it) {
+        std::uint64_t gen = generationOf(
+            entry.path().filename().string());
+        if (gen != 0)
+            gens.push_back(gen);
+    }
+    std::sort(gens.begin(), gens.end());
+    return gens;
+}
+
+Result<CheckpointRecord>
+CheckpointStore::loadLatestValid() const
+{
+    TraceSpan span("checkpoint.restore");
+    auto gens = listGenerations();
+    if (gens.empty())
+        return Status::notFound("no checkpoint generations in " +
+                                dir_);
+    std::size_t skipped = 0;
+    for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+        std::string path = generationPath(*it);
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            ++skipped;
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        CheckpointRecord rec;
+        rec.generation = *it;
+        Status ok = verifyFrame(buf.str(), &rec.body);
+        if (ok.isOk()) {
+            span.field("generation", static_cast<double>(*it));
+            span.field("skipped", static_cast<double>(skipped));
+            checkpointMetrics().restores.inc();
+            if (skipped > 0)
+                warnEvent(
+                    "checkpoint", "stale-generation-restore",
+                    {{"dir", dir_},
+                     {"generation", std::to_string(*it)},
+                     {"skipped", std::to_string(skipped)}});
+            return rec;
+        }
+        ++skipped;
+        checkpointMetrics().corruptSkipped.inc();
+        warnEvent("checkpoint", "corrupt-generation-skipped",
+                  {{"file", path}, {"error", ok.message()}});
+    }
+    return Status::corruptData(
+        "all " + std::to_string(gens.size()) +
+        " checkpoint generations in " + dir_ +
+        " failed verification");
+}
+
+} // namespace tomur

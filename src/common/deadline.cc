@@ -1,0 +1,85 @@
+#include "common/deadline.hh"
+
+#include "common/telemetry.hh"
+
+namespace tomur {
+
+namespace {
+
+thread_local Deadline *t_deadline = nullptr;
+
+} // namespace
+
+Deadline::Deadline(Mode mode, double ms, std::uint64_t granules)
+    : mode_(mode), budget_(granules)
+{
+    if (mode_ == Mode::WallClock) {
+        wallDeadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+void
+Deadline::markTripped()
+{
+    tripped_.store(true, std::memory_order_relaxed);
+    if (!missCounted_.exchange(true, std::memory_order_relaxed))
+        metrics().counter("tomur_deadline_misses_total").inc();
+}
+
+bool
+Deadline::check()
+{
+    std::uint64_t made =
+        checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (tripped_.load(std::memory_order_relaxed)) {
+        // Re-arm the miss counter path in case cancel() tripped the
+        // token without going through markTripped().
+        markTripped();
+        return true;
+    }
+    switch (mode_) {
+    case Mode::None:
+        return false;
+    case Mode::WallClock:
+        if (std::chrono::steady_clock::now() >= wallDeadline_) {
+            markTripped();
+            return true;
+        }
+        return false;
+    case Mode::Granules:
+        if (made > budget_) {
+            markTripped();
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+Deadline *
+currentDeadline()
+{
+    return t_deadline;
+}
+
+Deadline *
+setCurrentDeadline(Deadline *d)
+{
+    Deadline *prev = t_deadline;
+    t_deadline = d;
+    return prev;
+}
+
+void
+checkDeadline(const char *where)
+{
+    Deadline *d = t_deadline;
+    if (d != nullptr && d->check())
+        throw DeadlineExceeded(where);
+}
+
+} // namespace tomur

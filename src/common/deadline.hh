@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cooperative deadlines / cancellation for long-running phases.
+ *
+ * A Deadline is a cancellation token checked at *task boundaries*
+ * (between parallelFor iterations, between deployments in
+ * Testbed::runBatch, between trainer phases). Work in flight when the
+ * deadline trips always runs to completion, so a phase can overshoot
+ * its budget by at most one task granule — but it can never hang on a
+ * stuck solve, because every granule boundary is a cancellation point.
+ *
+ * Three modes:
+ *  - wall-clock (`afterMillis`): for interactive CLI runs;
+ *  - granule budget (`afterGranules`): every check() consumes one
+ *    granule; deterministic, no clock reads, so tests and golden
+ *    event streams can exercise deadline misses reproducibly;
+ *  - manual (`never` + `cancel()`): an external watchdog flips the
+ *    token.
+ *
+ * The current deadline propagates through the thread pool exactly
+ * like the trace parent: `ScopedDeadline` installs a thread-local
+ * pointer, `parallelFor` captures it at loop entry and re-installs it
+ * inside posted jobs. The Deadline object itself is shared mutable
+ * state (atomic trip flag / granule budget) and must outlive the
+ * loops that observe it; stack allocation in the driving frame is the
+ * intended pattern since parallelFor joins before returning.
+ */
+
+#ifndef TOMUR_COMMON_DEADLINE_HH
+#define TOMUR_COMMON_DEADLINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tomur {
+
+/** Thrown from cancellation points once the active deadline trips. */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    explicit DeadlineExceeded(const std::string &where)
+        : std::runtime_error("deadline exceeded at " + where),
+          where_(where)
+    {
+    }
+
+    const std::string &where() const { return where_; }
+
+  private:
+    std::string where_;
+};
+
+class Deadline
+{
+  public:
+    /** Token that never trips on its own (cancel() still works). */
+    static Deadline never() { return Deadline(Mode::None); }
+
+    /** Wall-clock deadline `ms` milliseconds from now. */
+    static Deadline
+    afterMillis(double ms)
+    {
+        return Deadline(Mode::WallClock, ms);
+    }
+
+    /**
+     * Deterministic budget: the first `n` check() calls pass, every
+     * later one reports expiry. No clock involved.
+     */
+    static Deadline
+    afterGranules(std::uint64_t n)
+    {
+        return Deadline(Mode::Granules, 0.0, n);
+    }
+
+    /** Manually trip the token (watchdog / external abort). */
+    void cancel() { tripped_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Cancellation point. Consumes one granule in granule mode.
+     * Returns true when the deadline has tripped; the first trip
+     * increments `tomur_deadline_misses_total`.
+     */
+    bool check();
+
+    /** Non-consuming peek: has the token already tripped? */
+    bool
+    expired() const
+    {
+        return tripped_.load(std::memory_order_relaxed);
+    }
+
+    /** check()s made so far (granule + wall-clock modes alike). */
+    std::uint64_t
+    checksMade() const
+    {
+        return checks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    enum class Mode { None, WallClock, Granules };
+
+    explicit Deadline(Mode mode, double ms = 0.0,
+                      std::uint64_t granules = 0);
+
+    void markTripped();
+
+    Mode mode_;
+    std::chrono::steady_clock::time_point wallDeadline_{};
+    std::uint64_t budget_ = 0;
+    std::atomic<std::uint64_t> checks_{0};
+    std::atomic<bool> tripped_{false};
+    std::atomic<bool> missCounted_{false};
+};
+
+/** Thread-local deadline observed by cancellation points (may be
+ *  null). Installed via ScopedDeadline, propagated by parallelFor. */
+Deadline *currentDeadline();
+
+/** Install `d` as the current deadline; returns the previous one so
+ *  callers can restore it (parallelFor job prologue/epilogue). */
+Deadline *setCurrentDeadline(Deadline *d);
+
+/** RAII installer for the calling thread's current deadline. */
+class ScopedDeadline
+{
+  public:
+    explicit ScopedDeadline(Deadline &d)
+        : prev_(setCurrentDeadline(&d))
+    {
+    }
+
+    ~ScopedDeadline() { setCurrentDeadline(prev_); }
+
+    ScopedDeadline(const ScopedDeadline &) = delete;
+    ScopedDeadline &operator=(const ScopedDeadline &) = delete;
+
+  private:
+    Deadline *prev_;
+};
+
+/**
+ * Cancellation point: throw DeadlineExceeded(`where`) when the
+ * current deadline (if any) has tripped. Cheap no-op otherwise.
+ */
+void checkDeadline(const char *where);
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_DEADLINE_HH

@@ -21,6 +21,20 @@ const char *const kEventNames[4] = {
     "RECALIBRATION_RECOMMENDED",
 };
 
+/** Supervisor wire names, in SupervisorEventKind order (same
+ *  layering note as above). */
+const char *const kSupervisorEventNames[9] = {
+    "RECALIBRATION_STARTED",
+    "RECALIBRATION_SUCCEEDED",
+    "RECALIBRATION_FAILED",
+    "BREAKER_OPENED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_CLOSED",
+    "DEADLINE_MISSED",
+    "RETRY_BUDGET_EXHAUSTED",
+    "CHECKPOINT_WRITTEN",
+};
+
 /** Most recent raw event lines kept in the digest. */
 constexpr std::size_t kLastEvents = 8;
 
@@ -147,6 +161,27 @@ parseMonitorJsonl(const std::string &body)
             d.summaryLine = line;
             continue;
         }
+        if (line.find("{\"supervisor_summary\":") == 0) {
+            d.hasSupervisor = true;
+            d.supervisorSummaryLine = line;
+            d.deadlineMisses =
+                jsonNumber(line, "deadline_misses");
+            continue;
+        }
+        std::string sup = jsonField(line, "supervisor_event");
+        if (!sup.empty()) {
+            d.hasSupervisor = true;
+            for (int k = 0; k < 9; ++k) {
+                if (sup == kSupervisorEventNames[k]) {
+                    ++d.supervisorEventCounts[k];
+                    break;
+                }
+            }
+            d.lastEvents.push_back(line);
+            if (d.lastEvents.size() > kLastEvents)
+                d.lastEvents.erase(d.lastEvents.begin());
+            continue;
+        }
         std::string kind = jsonField(line, "event");
         if (kind.empty())
             continue;
@@ -197,6 +232,19 @@ renderReport(const ReportArtifacts &artifacts,
             if (!monitor.summaryLine.empty())
                 out += "summary: " + monitor.summaryLine + "\n";
         }
+        if (monitor.hasSupervisor) {
+            out += "\n-- Supervisor events --\n";
+            for (int k = 0; k < 9; ++k) {
+                out += strf("%-26s %zu\n", kSupervisorEventNames[k],
+                            monitor.supervisorEventCounts[k]);
+            }
+            out += strf("deadline misses            %.0f\n",
+                        monitor.deadlineMisses);
+            if (!monitor.supervisorSummaryLine.empty()) {
+                out += "supervisor summary: " +
+                       monitor.supervisorSummaryLine + "\n";
+            }
+        }
         if (!trace_stats.empty()) {
             out += strf("\n-- Trace spans (%zu names) --\n",
                         trace_stats.size());
@@ -244,6 +292,24 @@ renderReport(const ReportArtifacts &artifacts,
         if (!monitor.summaryLine.empty()) {
             out += "<h2>Summary</h2>\n<pre>" +
                    htmlEscape(monitor.summaryLine) + "</pre>\n";
+        }
+        if (monitor.hasSupervisor) {
+            out += "<h2>Supervisor events</h2>\n<table>"
+                   "<tr><th>kind</th><th>count</th></tr>\n";
+            for (int k = 0; k < 9; ++k) {
+                out += strf("<tr><td>%s</td><td>%zu</td></tr>\n",
+                            kSupervisorEventNames[k],
+                            monitor.supervisorEventCounts[k]);
+            }
+            out += strf("<tr><td>deadline misses</td>"
+                        "<td>%.0f</td></tr>\n",
+                        monitor.deadlineMisses);
+            out += "</table>\n";
+            if (!monitor.supervisorSummaryLine.empty()) {
+                out += "<h2>Supervisor summary</h2>\n<pre>" +
+                       htmlEscape(monitor.supervisorSummaryLine) +
+                       "</pre>\n";
+            }
         }
     }
     if (!trace_stats.empty()) {

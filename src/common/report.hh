@@ -51,12 +51,18 @@ struct TraceNameStats
     std::uint64_t totalDurNs = 0; ///< summed span durations
 };
 
-/** Parsed monitor stream. */
+/** Parsed monitor (+ optional supervisor) stream. */
 struct MonitorDigest
 {
     std::size_t eventCounts[4] = {}; ///< by MonitorEventKind order
     std::vector<std::string> lastEvents; ///< most recent raw lines
     std::string summaryLine;             ///< raw summary trailer
+
+    /** Autopilot runs append supervisor events to the same stream. */
+    bool hasSupervisor = false;
+    std::size_t supervisorEventCounts[9] = {}; ///< SupervisorEventKind
+    double deadlineMisses = 0.0; ///< from the supervisor summary
+    std::string supervisorSummaryLine;
 };
 
 /** Parse a metrics dump body (skips comments and bucket series). */

@@ -127,4 +127,24 @@ Rng::split()
     return Rng((*this)());
 }
 
+RngState
+Rng::state() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.hasSpare = hasSpare_;
+    st.spare = spare_;
+    return st;
+}
+
+void
+Rng::setState(const RngState &st)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st.s[i];
+    hasSpare_ = st.hasSpare;
+    spare_ = st.spare;
+}
+
 } // namespace tomur

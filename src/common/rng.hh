@@ -19,6 +19,18 @@ namespace tomur {
 std::uint64_t splitmix64(std::uint64_t &state);
 
 /**
+ * Complete serializable Rng state (xoshiro words + Box-Muller spare).
+ * Capturing the spare matters: dropping it would desynchronize the
+ * normal() stream across a checkpoint/restore boundary.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+/**
  * xoshiro256** pseudo-random generator.
  *
  * Satisfies UniformRandomBitGenerator so it can also drive <random>
@@ -87,6 +99,13 @@ class Rng
 
     /** Derive an independent child generator (for per-task streams). */
     Rng split();
+
+    /** Snapshot the full generator state for checkpointing. */
+    RngState state() const;
+
+    /** Restore a previously captured state; the stream continues
+     *  exactly where the snapshot left off. */
+    void setState(const RngState &st);
 
   private:
     std::uint64_t s_[4];

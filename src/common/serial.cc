@@ -1,0 +1,34 @@
+#include "common/serial.hh"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+namespace tomur {
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a 64 basis
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL; // FNV-1a 64 prime
+    }
+    return h;
+}
+
+void
+writeSerialDouble(std::ostream &out, double v)
+{
+    out << std::setprecision(17) << v;
+}
+
+bool
+expectToken(std::istream &in, const char *token)
+{
+    std::string got;
+    in >> got;
+    return static_cast<bool>(in) && got == token;
+}
+
+} // namespace tomur

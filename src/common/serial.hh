@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared text-serialization primitives.
+ *
+ * Every persistent artifact in the repo (trained models, checkpoint
+ * generations, monitor/supervisor state) uses the same line-oriented
+ * discipline: magic tokens, max_digits10 doubles so reloads are
+ * bit-identical, and FNV-1a 64 checksums over framed bodies. These
+ * helpers used to be duplicated per serializer (ml/serialize.cc,
+ * tomur/serialize.cc, sim/measurement_cache.cc); they live here so
+ * the checkpoint store and the model format can never drift apart.
+ */
+
+#ifndef TOMUR_COMMON_SERIAL_HH
+#define TOMUR_COMMON_SERIAL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace tomur {
+
+/** FNV-1a 64-bit over a byte string (checksums, key digests). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Write a double with max_digits10 so a reload is bit-identical. */
+void writeSerialDouble(std::ostream &out, double v);
+
+/** Consume one whitespace-delimited token and require it to equal
+ *  `token`; false on mismatch or stream failure. */
+bool expectToken(std::istream &in, const char *token);
+
+} // namespace tomur
+
+#endif // TOMUR_COMMON_SERIAL_HH

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/deadline.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/telemetry.hh"
@@ -158,12 +159,25 @@ struct LoopState
 {
     const std::function<void(std::size_t)> *fn = nullptr;
     std::size_t n = 0;
+    Deadline *deadline = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex mutex;
     std::condition_variable cv;
     std::exception_ptr error;
     std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+
+    void
+    recordError(std::size_t i, std::exception_ptr e)
+    {
+        // Keep the lowest-index exception so the rethrow is
+        // deterministic no matter which worker faulted first.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (i < errorIndex) {
+            errorIndex = i;
+            error = std::move(e);
+        }
+    }
 
     /** Claim-and-run iterations until the range is exhausted. */
     void
@@ -173,15 +187,20 @@ struct LoopState
             std::size_t i = next.fetch_add(1);
             if (i >= n)
                 return;
-            try {
-                (*fn)(i);
-            } catch (...) {
-                // Keep the lowest-index exception so the rethrow is
-                // deterministic no matter which worker faulted first.
-                std::lock_guard<std::mutex> lock(mutex);
-                if (i < errorIndex) {
-                    errorIndex = i;
-                    error = std::current_exception();
+            // Each claimed iteration is one cancellation granule: an
+            // expired deadline skips the body (recording the miss at
+            // the lowest skipped index) but still counts the slot
+            // done, so the loop drains instead of hanging. Work that
+            // already started is never interrupted — the phase can
+            // overrun by at most the granules in flight.
+            if (deadline != nullptr && deadline->check()) {
+                recordError(i, std::make_exception_ptr(
+                                   DeadlineExceeded("parallelFor")));
+            } else {
+                try {
+                    (*fn)(i);
+                } catch (...) {
+                    recordError(i, std::current_exception());
                 }
             }
             if (done.fetch_add(1) + 1 == n) {
@@ -205,6 +224,7 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     // could deadlock a saturated fixed-size pool).
     ThreadPool &pool = ThreadPool::global();
     poolMetrics().loops.inc();
+    Deadline *deadline = currentDeadline();
     if (n == 1 || pool.threadCount() == 1 ||
         ThreadPool::onWorkerThread()) {
         poolMetrics().inlineLoops.inc();
@@ -212,6 +232,14 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
         std::size_t error_index =
             std::numeric_limits<std::size_t>::max();
         for (std::size_t i = 0; i < n; ++i) {
+            if (deadline != nullptr && deadline->check()) {
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::make_exception_ptr(
+                        DeadlineExceeded("parallelFor"));
+                }
+                break; // serial path: nothing in flight to finish
+            }
             try {
                 fn(i);
             } catch (...) {
@@ -229,6 +257,7 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     auto state = std::make_shared<LoopState>();
     state->fn = &fn;
     state->n = n;
+    state->deadline = deadline;
 
     std::size_t helpers = static_cast<std::size_t>(pool.threadCount());
     if (helpers > n)
@@ -242,7 +271,10 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
         pool.post([state, trace_parent] {
             std::uint64_t prev =
                 tracer().setInheritedParent(trace_parent);
+            Deadline *prev_deadline =
+                setCurrentDeadline(state->deadline);
             state->drain();
+            setCurrentDeadline(prev_deadline);
             tracer().setInheritedParent(prev);
         });
     }

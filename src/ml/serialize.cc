@@ -7,12 +7,12 @@
  * reloaded models predict bit-identically.
  */
 
-#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "ml/gbr.hh"
 #include "ml/linreg.hh"
 #include "ml/tree.hh"
@@ -21,19 +21,10 @@ namespace tomur::ml {
 
 namespace {
 
-void
-writeDouble(std::ostream &out, double v)
-{
-    out << std::setprecision(17) << v;
-}
-
-bool
-expectToken(std::istream &in, const char *token)
-{
-    std::string got;
-    in >> got;
-    return static_cast<bool>(in) && got == token;
-}
+// Shared helpers (common/serial.hh) under the historical local names
+// so the save/load bodies read unchanged.
+using tomur::expectToken;
+constexpr auto writeDouble = writeSerialDouble;
 
 } // namespace
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/telemetry.hh"
@@ -177,6 +178,11 @@ FaultInjectingTestbed::run(
     TraceSpan span("sim.faults.run");
     span.field("n",
                static_cast<std::uint64_t>(workloads.size()));
+    if (config_.crashAfterBatches >= 0) {
+        if (config_.crashAfterBatches == 0)
+            throw SimulatedCrash("sim.faults.run");
+        --config_.crashAfterBatches;
+    }
     auto out = inner_.run(workloads);
     ++stats_.batches;
     stats_.measurements += out.size();

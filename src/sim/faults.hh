@@ -77,6 +77,12 @@ struct FaultConfig
 
     std::uint64_t seed = 7777;
 
+    /** Chaos hook: when >= 0, run() throws SimulatedCrash after this
+     *  many further batches (the counter decrements per run() call;
+     *  the throwing call completes no measurement). Simulates a
+     *  kill -9 landing mid-replay for crash-resume tests; -1 = off. */
+    long crashAfterBatches = -1;
+
     /** Uniform shorthand: all random corruption modes at rate p
      *  (split evenly across drop/NaN/zero/saturate/outlier, plus
      *  batch truncation at p/2). */
@@ -138,6 +144,11 @@ class FaultInjectingTestbed : public Testbed
     /** Injection counters so far. */
     const FaultStats &stats() const { return stats_; }
     void resetStats() { stats_ = FaultStats{}; }
+
+    /** Snapshot / restore the fault-draw stream for checkpointing
+     *  (resume must replay the exact same fault sequence). */
+    RngState faultRngState() const { return rng_.state(); }
+    void setFaultRngState(const RngState &st) { rng_.setState(st); }
 
   private:
     void corrupt(Measurement &m, bool uses_degraded_accel);

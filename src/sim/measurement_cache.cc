@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/serial.hh"
 #include "common/telemetry.hh"
 
 namespace tomur::sim {
@@ -105,12 +106,9 @@ deploymentKey(const TestbedOptions &opts,
 std::uint64_t
 fnv1a64(const std::string &bytes)
 {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : bytes) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    // Thin delegate kept for source compatibility; the shared
+    // implementation lives in common/serial.hh.
+    return tomur::fnv1a64(std::string_view(bytes));
 }
 
 MeasurementCache::MeasurementCache()

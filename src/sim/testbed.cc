@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/telemetry.hh"
@@ -470,12 +471,29 @@ Testbed::runBatch(
     prewarm(batch);
     // Phase 2: draw noise (and, through the virtual run(), any
     // interposed faults) strictly in submission order — bit-identical
-    // to the serial loop whatever the pool width.
+    // to the serial loop whatever the pool width. Each deployment is
+    // one cancellation granule for the cooperative deadline.
     std::vector<std::vector<Measurement>> out;
     out.reserve(batch.size());
-    for (const auto &deploy : batch)
+    for (const auto &deploy : batch) {
+        checkDeadline("sim.runBatch");
         out.push_back(run(deploy));
+    }
     return out;
+}
+
+RngState
+Testbed::noiseState() const
+{
+    std::lock_guard<std::mutex> lock(noiseMutex_);
+    return rng_.state();
+}
+
+void
+Testbed::setNoiseState(const RngState &st)
+{
+    std::lock_guard<std::mutex> lock(noiseMutex_);
+    rng_.setState(st);
 }
 
 std::unique_ptr<Testbed>

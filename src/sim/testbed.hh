@@ -136,6 +136,25 @@ class Testbed
     Measurement runSolo(const framework::WorkloadProfile &workload);
 
     /**
+     * Noise-free equilibrium measurement of one deployment (through
+     * the memoization layer). Consumes NO noise-stream draws, so
+     * resumable drivers (the autopilot) can use it for ground-truth
+     * baselines without desynchronizing a checkpointed RNG state.
+     */
+    std::vector<Measurement>
+    solveNoiseFree(const std::vector<framework::WorkloadProfile> &w)
+        const
+    {
+        return solveCached(w);
+    }
+
+    /** Snapshot / restore the measurement-noise stream for
+     *  checkpointing (crash-safe resume must continue the stream
+     *  exactly where the snapshot left off). */
+    RngState noiseState() const;
+    void setNoiseState(const RngState &st);
+
+    /**
      * An independent testbed over the same NIC and solver options
      * but its own noise stream — per-worker instances for harnesses
      * that want concurrent noisy measurement without sharing rng_.
@@ -162,7 +181,7 @@ class Testbed
     const hw::NicConfig config_; ///< immutable after construction
     const TestbedOptions opts_;  ///< immutable after construction
     Rng rng_;                    ///< noise stream; noiseMutex_ guards
-    std::mutex noiseMutex_;
+    mutable std::mutex noiseMutex_;
     std::unique_ptr<MeasurementCache> cache_; ///< self-synchronized
 };
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/strutil.hh"
 #include "common/trace.hh"
 
@@ -393,9 +395,234 @@ PredictionMonitor::exportJsonl(std::ostream &out) const
     out << summary().toJson() << "\n";
 }
 
+namespace {
+
+/** Read the remainder of the current line after a leading space
+ *  (deployment/detail fields may contain spaces but no newlines). */
+bool
+readRestOfLine(std::istream &in, std::string *out)
+{
+    if (in.get() != ' ')
+        return false;
+    return static_cast<bool>(std::getline(in, *out));
+}
+
+} // namespace
+
+void
+PredictionMonitor::serialize(std::ostream &out) const
+{
+    auto d = [&](double v) {
+        out << ' ';
+        writeSerialDouble(out, v);
+    };
+    out << "monitor_state 1\n";
+    out << "counts " << samples_ << ' ' << invalid_ << ' '
+        << degraded_ << ' ' << errorSamples_ << ' '
+        << trafficSamples_ << "\n";
+    out << "ewma";
+    d(ewmaAbsErr_);
+    d(sumAbsErr_);
+    out << ' ' << (accuracyAlarm_ ? 1 : 0) << "\n";
+    out << "window " << window_.size();
+    for (double v : window_)
+        d(v);
+    out << "\n";
+    out << "ph " << phN_;
+    d(phMean_);
+    d(phUp_);
+    d(phUpMin_);
+    d(phDown_);
+    d(phDownMax_);
+    out << ' ' << driftsSinceRecal_ << "\n";
+    out << "traffic";
+    for (int a = 0; a < traffic::numAttributes; ++a)
+        d(trafficBase_[a]);
+    out << "\n";
+    out << "cooldown";
+    for (int k = 0; k < numMonitorEventKinds; ++k)
+        out << ' ' << lastFired_[k];
+    out << "\n";
+    out << "events " << events_.size() << "\n";
+    for (const auto &ev : events_) {
+        out << "event " << static_cast<int>(ev.kind) << ' '
+            << ev.sample;
+        d(ev.value);
+        d(ev.threshold);
+        out << "\n";
+        out << "deployment " << ev.deployment << "\n";
+        out << "detail " << ev.detail << "\n";
+    }
+}
+
+Status
+PredictionMonitor::restore(std::istream &in)
+{
+    auto bad = [](const char *section) {
+        return Status::corruptData(
+            strf("monitor state: unreadable %s section", section));
+    };
+
+    if (!expectToken(in, "monitor_state"))
+        return bad("magic");
+    int version = 0;
+    in >> version;
+    if (!in || version != 1) {
+        return Status::corruptData(
+            strf("monitor state: unsupported version %d", version));
+    }
+
+    std::size_t samples = 0, invalid = 0, degraded = 0,
+                errorSamples = 0, trafficSamples = 0;
+    if (!expectToken(in, "counts"))
+        return bad("counts");
+    in >> samples >> invalid >> degraded >> errorSamples >>
+        trafficSamples;
+    if (!in)
+        return bad("counts");
+
+    double ewma = 0.0, sumAbs = 0.0;
+    int alarm = 0;
+    if (!expectToken(in, "ewma"))
+        return bad("ewma");
+    in >> ewma >> sumAbs >> alarm;
+    if (!in)
+        return bad("ewma");
+
+    std::size_t wn = 0;
+    if (!expectToken(in, "window"))
+        return bad("window");
+    in >> wn;
+    if (!in || wn > samples)
+        return bad("window");
+    std::deque<double> window;
+    for (std::size_t i = 0; i < wn; ++i) {
+        double v = 0.0;
+        in >> v;
+        if (!in)
+            return bad("window");
+        window.push_back(v);
+    }
+
+    std::size_t phN = 0, drifts = 0;
+    double phMean = 0.0, phUp = 0.0, phUpMin = 0.0, phDown = 0.0,
+           phDownMax = 0.0;
+    if (!expectToken(in, "ph"))
+        return bad("ph");
+    in >> phN >> phMean >> phUp >> phUpMin >> phDown >> phDownMax >>
+        drifts;
+    if (!in)
+        return bad("ph");
+
+    double trafficBase[traffic::numAttributes];
+    if (!expectToken(in, "traffic"))
+        return bad("traffic");
+    for (int a = 0; a < traffic::numAttributes; ++a) {
+        in >> trafficBase[a];
+        if (!in)
+            return bad("traffic");
+    }
+
+    std::size_t lastFired[numMonitorEventKinds];
+    if (!expectToken(in, "cooldown"))
+        return bad("cooldown");
+    for (int k = 0; k < numMonitorEventKinds; ++k) {
+        in >> lastFired[k];
+        if (!in)
+            return bad("cooldown");
+    }
+
+    std::size_t nEvents = 0;
+    if (!expectToken(in, "events"))
+        return bad("events");
+    in >> nEvents;
+    if (!in || nEvents > samples * numMonitorEventKinds)
+        return bad("events");
+    std::vector<MonitorEvent> events;
+    events.reserve(nEvents);
+    for (std::size_t i = 0; i < nEvents; ++i) {
+        MonitorEvent ev;
+        int kind = -1;
+        if (!expectToken(in, "event"))
+            return bad("event");
+        in >> kind >> ev.sample >> ev.value >> ev.threshold;
+        if (!in || kind < 0 || kind >= numMonitorEventKinds)
+            return bad("event");
+        ev.kind = static_cast<MonitorEventKind>(kind);
+        if (!expectToken(in, "deployment") ||
+            !readRestOfLine(in, &ev.deployment))
+            return bad("event deployment");
+        if (!expectToken(in, "detail") ||
+            !readRestOfLine(in, &ev.detail))
+            return bad("event detail");
+        events.push_back(std::move(ev));
+    }
+
+    // Commit, then re-apply the observability side effects that a
+    // fresh process would otherwise have lost.
+    samples_ = samples;
+    invalid_ = invalid;
+    degraded_ = degraded;
+    errorSamples_ = errorSamples;
+    trafficSamples_ = trafficSamples;
+    ewmaAbsErr_ = ewma;
+    sumAbsErr_ = sumAbs;
+    accuracyAlarm_ = alarm != 0;
+    window_ = std::move(window);
+    phN_ = phN;
+    phMean_ = phMean;
+    phUp_ = phUp;
+    phUpMin_ = phUpMin;
+    phDown_ = phDown;
+    phDownMax_ = phDownMax;
+    driftsSinceRecal_ = drifts;
+    for (int a = 0; a < traffic::numAttributes; ++a)
+        trafficBase_[a] = trafficBase[a];
+    for (int k = 0; k < numMonitorEventKinds; ++k)
+        lastFired_[k] = lastFired[k];
+    events_ = std::move(events);
+
+    mSamples_.inc(samples_);
+    mInvalid_.inc(invalid_);
+    mDegraded_.inc(degraded_);
+    mEvents_.inc(events_.size());
+    for (const auto &ev : events_)
+        mKind_[static_cast<int>(ev.kind)]->inc();
+    if (errorSamples_ > 0)
+        mEwma_.set(ewmaAbsErr_);
+    return Status::ok();
+}
+
 // ---------------------------------------------------------------
 // Schedule replay
 // ---------------------------------------------------------------
+
+namespace {
+
+/** Sanity bounds on schedule values. Generous — they exist to reject
+ *  garbage that happens to lex as a number, not to police realistic
+ *  traffic, so a fuzzer can never smuggle an absurd profile (or a
+ *  repeat count that melts the replay) through the parser. */
+constexpr double kMaxScheduleFlows = 1e9;
+constexpr double kMaxSchedulePacketSize = 1e6;
+constexpr double kMaxScheduleMtbr = 1e12;
+constexpr double kMaxScheduleRepeats = 1e6;
+
+/** Strict full-token numeric parse: the whole token must be one
+ *  finite number (no trailing junk, no partial reads). */
+bool
+parseScheduleNumber(const std::string &token, double *out)
+{
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
 
 Result<std::vector<ScheduleStep>>
 parseSchedule(std::istream &in)
@@ -409,21 +636,50 @@ parseSchedule(std::istream &in)
         if (hash != std::string::npos)
             line.resize(hash);
         std::istringstream ss(line);
-        double flows = 0, size = 0, mtbr = 0;
-        if (!(ss >> flows))
+        std::vector<std::string> tokens;
+        std::string tok;
+        while (ss >> tok)
+            tokens.push_back(tok);
+        if (tokens.empty())
             continue; // blank / comment-only line
-        double repeats = 1;
-        if (!(ss >> size >> mtbr)) {
-            return Status::invalidArgument(
-                strf("schedule line %d: expected "
-                     "\"flows size mtbr [repeats]\"",
-                     lineno));
+        if (tokens.size() < 3 || tokens.size() > 4) {
+            return Status::invalidArgument(strf(
+                "schedule line %d: expected "
+                "\"flows size mtbr [repeats]\", found %zu field(s)",
+                lineno, tokens.size()));
         }
-        ss >> repeats; // optional
-        if (flows <= 0 || size <= 0 || mtbr < 0 || repeats < 1) {
+        double fields[4] = {0.0, 0.0, 0.0, 1.0};
+        static const char *const names[4] = {"flows", "size", "mtbr",
+                                             "repeats"};
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (!parseScheduleNumber(tokens[i], &fields[i])) {
+                return Status::invalidArgument(strf(
+                    "schedule line %d: %s field '%s' is not a "
+                    "finite number",
+                    lineno, names[i], tokens[i].c_str()));
+            }
+        }
+        double flows = fields[0], size = fields[1],
+               mtbr = fields[2], repeats = fields[3];
+        auto rangeError = [&](const char *what, double lo,
+                              double hi) {
             return Status::invalidArgument(
-                strf("schedule line %d: values out of range",
-                     lineno));
+                strf("schedule line %d: %s out of range [%g, %g]",
+                     lineno, what, lo, hi));
+        };
+        if (flows < 1.0 || flows > kMaxScheduleFlows)
+            return rangeError("flows", 1.0, kMaxScheduleFlows);
+        if (size < 1.0 || size > kMaxSchedulePacketSize)
+            return rangeError("size", 1.0, kMaxSchedulePacketSize);
+        if (mtbr < 0.0 || mtbr > kMaxScheduleMtbr)
+            return rangeError("mtbr", 0.0, kMaxScheduleMtbr);
+        if (repeats < 1.0 || repeats > kMaxScheduleRepeats)
+            return rangeError("repeats", 1.0, kMaxScheduleRepeats);
+        if (repeats != std::floor(repeats)) {
+            return Status::invalidArgument(
+                strf("schedule line %d: repeats must be an integer, "
+                     "got '%s'",
+                     lineno, tokens[3].c_str()));
         }
         ScheduleStep step;
         step.profile = traffic::TrafficProfile::defaults()

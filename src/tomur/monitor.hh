@@ -178,6 +178,26 @@ class PredictionMonitor
     /** All events as JSONL, then one summary trailer line. */
     void exportJsonl(std::ostream &out) const;
 
+    /**
+     * Write the complete detector state (rolling statistics,
+     * Page–Hinkley accumulators, traffic baselines, cooldowns, and
+     * the retained event list) so a restored monitor continues the
+     * fold — and re-exports the full event stream — exactly as if
+     * the process had never died. Options and the event sink are NOT
+     * serialized; construct the restored monitor with the same
+     * MonitorOptions and re-attach any sink.
+     */
+    void serialize(std::ostream &out) const;
+
+    /**
+     * Restore state written by serialize(). Parses into temporaries
+     * and commits only on success; re-applies sample/event counts to
+     * the process-wide counters (histogram refill is skipped — the
+     * registry histogram is cumulative observability, not part of
+     * the deterministic fold).
+     */
+    Status restore(std::istream &in);
+
     /** Also write each event (and nothing else) to this stream as
      *  it fires; pass nullptr to detach. */
     void setEventSink(std::ostream *sink) { sink_ = sink; }

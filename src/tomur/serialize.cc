@@ -17,7 +17,6 @@
  * validated.
  */
 
-#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -25,6 +24,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/strutil.hh"
 #include "tomur/predictor.hh"
 
@@ -49,20 +49,6 @@ constexpr int kMaxAccelQueues = 64;
  *  corrupt header and must not drive an allocation. */
 constexpr std::size_t kMaxBodyBytes = 16u << 20;
 
-void
-writeDouble(std::ostream &out, double v)
-{
-    out << std::setprecision(17) << v;
-}
-
-bool
-expectToken(std::istream &in, const char *token)
-{
-    std::string got;
-    in >> got;
-    return static_cast<bool>(in) && got == token;
-}
-
 Status
 sectionError(const char *section, const std::string &detail)
 {
@@ -75,12 +61,7 @@ sectionError(const char *section, const std::string &detail)
 std::uint64_t
 modelBodyChecksum(std::string_view body)
 {
-    std::uint64_t h = 1469598103934665603ULL; // FNV-1a 64 basis
-    for (unsigned char c : body) {
-        h ^= c;
-        h *= 1099511628211ULL; // FNV-1a 64 prime
-    }
-    return h;
+    return fnv1a64(body);
 }
 
 Status
@@ -139,11 +120,11 @@ AccelQueueModel::save(std::ostream &out) const
             "AccelQueueModel::save before calibrate");
     }
     out << "accel_model " << queues_ << " ";
-    writeDouble(out, t0_);
+    writeSerialDouble(out, t0_);
     out << " ";
-    writeDouble(out, byteSlope_);
+    writeSerialDouble(out, byteSlope_);
     out << " ";
-    writeDouble(out, matchSlope_);
+    writeSerialDouble(out, matchSlope_);
     out << "\n";
     return Status::ok();
 }

@@ -1,0 +1,744 @@
+#include "tomur/supervisor.hh"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/deadline.hh"
+#include "common/logging.hh"
+#include "common/serial.hh"
+#include "common/strutil.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+
+namespace tomur::core {
+
+namespace {
+
+/** tomur_supervisor_* metrics (looked up once). */
+struct SupervisorMetrics
+{
+    Counter &events =
+        metrics().counter("tomur_supervisor_events_total");
+    Counter &breakerOpen =
+        metrics().counter("tomur_supervisor_breaker_open_total");
+    Counter &breakerClosed =
+        metrics().counter("tomur_supervisor_breaker_closed_total");
+    Counter &recalibrations =
+        metrics().counter("tomur_supervisor_recalibrations_total");
+    Counter &recalFailures = metrics().counter(
+        "tomur_supervisor_recalibration_failures_total");
+    Counter &deadlineMissed =
+        metrics().counter("tomur_supervisor_deadline_missed_total");
+    Counter &checkpoints =
+        metrics().counter("tomur_supervisor_checkpoints_total");
+    Gauge &breakerState =
+        metrics().gauge("tomur_supervisor_breaker_state");
+};
+
+SupervisorMetrics &
+supMetrics()
+{
+    static SupervisorMetrics sm;
+    return sm;
+}
+
+} // namespace
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    panic("breakerStateName: bad state");
+}
+
+const char *
+supervisorEventName(SupervisorEventKind kind)
+{
+    switch (kind) {
+      case SupervisorEventKind::RecalibrationStarted:
+        return "RECALIBRATION_STARTED";
+      case SupervisorEventKind::RecalibrationSucceeded:
+        return "RECALIBRATION_SUCCEEDED";
+      case SupervisorEventKind::RecalibrationFailed:
+        return "RECALIBRATION_FAILED";
+      case SupervisorEventKind::BreakerOpened:
+        return "BREAKER_OPENED";
+      case SupervisorEventKind::BreakerHalfOpen:
+        return "BREAKER_HALF_OPEN";
+      case SupervisorEventKind::BreakerClosed:
+        return "BREAKER_CLOSED";
+      case SupervisorEventKind::DeadlineMissed:
+        return "DEADLINE_MISSED";
+      case SupervisorEventKind::RetryBudgetExhausted:
+        return "RETRY_BUDGET_EXHAUSTED";
+      case SupervisorEventKind::CheckpointWritten:
+        return "CHECKPOINT_WRITTEN";
+    }
+    panic("supervisorEventName: bad event kind");
+}
+
+std::string
+SupervisorEvent::toJson() const
+{
+    std::string line = "{\"supervisor_event\":\"";
+    line += supervisorEventName(kind);
+    line += strf("\",\"sample\":%llu", (unsigned long long)sample);
+    line += ",\"value\":\"" + traceFormat(value) + "\"";
+    line += ",\"detail\":\"" + jsonEscape(detail) + "\"}";
+    return line;
+}
+
+std::string
+SupervisorSummary::toJson() const
+{
+    std::string line = strf(
+        "{\"supervisor_summary\":{\"samples\":%llu,\"state\":\"%s\","
+        "\"breaker_trips\":%llu",
+        (unsigned long long)samples, breakerStateName(state),
+        (unsigned long long)breakerTrips);
+    line += strf(",\"recalibrations\":{\"attempted\":%llu,"
+                 "\"succeeded\":%llu,\"failed\":%llu}",
+                 (unsigned long long)recalibrationsAttempted,
+                 (unsigned long long)recalibrationsSucceeded,
+                 (unsigned long long)recalibrationsFailed);
+    line += strf(",\"deadline_misses\":%llu",
+                 (unsigned long long)deadlineMisses);
+    line += ",\"events\":{";
+    for (int k = 0; k < numSupervisorEventKinds; ++k) {
+        if (k)
+            line += ",";
+        line += "\"";
+        line +=
+            supervisorEventName(static_cast<SupervisorEventKind>(k));
+        line += strf("\":%llu", (unsigned long long)eventCounts[k]);
+    }
+    line += "}}}";
+    return line;
+}
+
+Supervisor::Supervisor(SupervisorOptions opts,
+                       RecalibrateFn recalibrate)
+    : opts_(opts), recalibrate_(std::move(recalibrate))
+{
+    supMetrics().breakerState.set(
+        static_cast<double>(static_cast<int>(state_)));
+}
+
+void
+Supervisor::fire(std::vector<SupervisorEvent> &out,
+                 SupervisorEventKind kind, std::size_t sample,
+                 double value, std::string detail)
+{
+    SupervisorEvent ev;
+    ev.kind = kind;
+    ev.sample = sample;
+    ev.value = value;
+    ev.detail = std::move(detail);
+
+    supMetrics().events.inc();
+    if (tracer().enabled()) {
+        tracePoint("supervisor.event",
+                   {{"kind", supervisorEventName(kind)},
+                    {"value", traceFormat(value)},
+                    {"state", breakerStateName(state_)}},
+                   static_cast<std::int64_t>(sample));
+    }
+    events_.push_back(ev);
+    out.push_back(std::move(ev));
+}
+
+std::size_t
+Supervisor::backoffSamples() const
+{
+    // trips counts the open we are computing the backoff for, so the
+    // first trip waits baseBackoffSamples, the next base*factor, ...
+    double backoff = static_cast<double>(opts_.baseBackoffSamples);
+    for (std::size_t t = 1; t < breakerTrips_; ++t)
+        backoff *= opts_.backoffFactor;
+    backoff = std::min(
+        backoff, static_cast<double>(opts_.maxBackoffSamples));
+    return static_cast<std::size_t>(backoff);
+}
+
+Status
+Supervisor::attemptRecalibration(std::size_t sample,
+                                 std::vector<SupervisorEvent> &out)
+{
+    ++recalibrationsAttempted_;
+    supMetrics().recalibrations.inc();
+    fire(out, SupervisorEventKind::RecalibrationStarted, sample,
+         static_cast<double>(recalibrationsAttempted_),
+         strf("attempt %zu of %zu", recalibrationsAttempted_,
+              opts_.maxRecalibrations));
+
+    Status st = Status::ok();
+    std::string detail;
+    if (!recalibrate_) {
+        st = Status::failedPrecondition("no recalibration hook");
+    } else {
+        try {
+            st = recalibrate_(sample, &detail);
+        } catch (const SimulatedCrash &) {
+            throw; // a crash must kill the run — that is its job
+        } catch (const DeadlineExceeded &e) {
+            ++deadlineMisses_;
+            supMetrics().deadlineMissed.inc();
+            fire(out, SupervisorEventKind::DeadlineMissed, sample,
+                 static_cast<double>(deadlineMisses_), e.what());
+            st = Status::unavailable(e.what());
+        } catch (const std::exception &e) {
+            st = Status::unavailable(
+                strf("recalibration threw: %s", e.what()));
+        }
+    }
+
+    if (st.isOk()) {
+        ++recalibrationsSucceeded_;
+        fire(out, SupervisorEventKind::RecalibrationSucceeded,
+             sample,
+             static_cast<double>(recalibrationsSucceeded_),
+             detail.empty() ? "model retrained" : detail);
+    } else {
+        ++recalibrationsFailed_;
+        supMetrics().recalFailures.inc();
+        fire(out, SupervisorEventKind::RecalibrationFailed, sample,
+             static_cast<double>(consecutiveFailures_ + 1),
+             st.message());
+    }
+    return st;
+}
+
+std::vector<SupervisorEvent>
+Supervisor::observe(std::size_t sample,
+                    const std::vector<MonitorEvent> &monitorEvents)
+{
+    std::vector<SupervisorEvent> fired;
+    lastSample_ = sample;
+
+    // ---- Open: wait out the backoff, then probe half-open ----
+    if (state_ == BreakerState::Open) {
+        if (sample < reopenAtSample_)
+            return fired; // still backing off; recommendations gated
+        state_ = BreakerState::HalfOpen;
+        supMetrics().breakerState.set(
+            static_cast<double>(static_cast<int>(state_)));
+        fire(fired, SupervisorEventKind::BreakerHalfOpen, sample,
+             static_cast<double>(breakerTrips_),
+             strf("backoff elapsed after trip %zu, probing",
+                  breakerTrips_));
+        Status probe = attemptRecalibration(sample, fired);
+        if (probe.isOk()) {
+            state_ = BreakerState::Closed;
+            consecutiveFailures_ = 0;
+            supMetrics().breakerState.set(
+                static_cast<double>(static_cast<int>(state_)));
+            supMetrics().breakerClosed.inc();
+            fire(fired, SupervisorEventKind::BreakerClosed, sample,
+                 static_cast<double>(breakerTrips_),
+                 "half-open probe succeeded");
+        } else {
+            ++breakerTrips_;
+            state_ = BreakerState::Open;
+            std::size_t backoff = backoffSamples();
+            reopenAtSample_ = sample + backoff;
+            supMetrics().breakerState.set(
+                static_cast<double>(static_cast<int>(state_)));
+            supMetrics().breakerOpen.inc();
+            fire(fired, SupervisorEventKind::BreakerOpened, sample,
+                 static_cast<double>(backoff),
+                 strf("half-open probe failed (trip %zu, backoff "
+                      "%zu samples): %s",
+                      breakerTrips_, backoff,
+                      probe.message().c_str()));
+        }
+        return fired;
+    }
+
+    // ---- Closed: act on recalibration recommendations ----
+    bool recommended = false;
+    for (const auto &ev : monitorEvents) {
+        if (ev.kind == MonitorEventKind::RecalibrationRecommended) {
+            recommended = true;
+            break;
+        }
+    }
+    if (!recommended)
+        return fired;
+
+    if (recalibrationsAttempted_ >= opts_.maxRecalibrations) {
+        if (!budgetExhaustedNoted_) {
+            budgetExhaustedNoted_ = true;
+            fire(fired, SupervisorEventKind::RetryBudgetExhausted,
+                 sample,
+                 static_cast<double>(recalibrationsAttempted_),
+                 strf("retry budget %zu spent; further "
+                      "recommendations ignored",
+                      opts_.maxRecalibrations));
+            warnEvent("supervisor", "retry-budget-exhausted",
+                      {{"attempts",
+                        std::to_string(recalibrationsAttempted_)}});
+        }
+        return fired;
+    }
+
+    Status st = attemptRecalibration(sample, fired);
+    if (st.isOk()) {
+        consecutiveFailures_ = 0;
+        return fired;
+    }
+    ++consecutiveFailures_;
+    if (consecutiveFailures_ >= opts_.failureThreshold) {
+        ++breakerTrips_;
+        state_ = BreakerState::Open;
+        std::size_t backoff = backoffSamples();
+        reopenAtSample_ = sample + backoff;
+        supMetrics().breakerState.set(
+            static_cast<double>(static_cast<int>(state_)));
+        supMetrics().breakerOpen.inc();
+        fire(fired, SupervisorEventKind::BreakerOpened, sample,
+             static_cast<double>(backoff),
+             strf("%zu consecutive failures (trip %zu, backoff %zu "
+                  "samples): %s",
+                  consecutiveFailures_, breakerTrips_, backoff,
+                  st.message().c_str()));
+        warnEvent("supervisor", "breaker-opened",
+                  {{"sample", std::to_string(sample)},
+                   {"backoff", std::to_string(backoff)}});
+    }
+    return fired;
+}
+
+void
+Supervisor::noteCheckpointWritten(std::size_t sample,
+                                  std::uint64_t generation)
+{
+    std::vector<SupervisorEvent> sinkhole;
+    supMetrics().checkpoints.inc();
+    fire(sinkhole, SupervisorEventKind::CheckpointWritten, sample,
+         static_cast<double>(generation),
+         strf("generation %llu", (unsigned long long)generation));
+}
+
+SupervisorSummary
+Supervisor::summary() const
+{
+    SupervisorSummary sum;
+    sum.samples = lastSample_;
+    sum.state = state_;
+    sum.breakerTrips = breakerTrips_;
+    sum.recalibrationsAttempted = recalibrationsAttempted_;
+    sum.recalibrationsSucceeded = recalibrationsSucceeded_;
+    sum.recalibrationsFailed = recalibrationsFailed_;
+    sum.deadlineMisses = deadlineMisses_;
+    for (const auto &ev : events_)
+        ++sum.eventCounts[static_cast<int>(ev.kind)];
+    return sum;
+}
+
+void
+Supervisor::exportJsonl(std::ostream &out) const
+{
+    for (const auto &ev : events_)
+        out << ev.toJson() << "\n";
+    out << summary().toJson() << "\n";
+}
+
+void
+Supervisor::serialize(std::ostream &out) const
+{
+    out << "supervisor_state 1\n";
+    out << "breaker " << static_cast<int>(state_) << ' '
+        << lastSample_ << ' ' << consecutiveFailures_ << ' '
+        << breakerTrips_ << ' ' << reopenAtSample_ << "\n";
+    out << "recal " << recalibrationsAttempted_ << ' '
+        << recalibrationsSucceeded_ << ' ' << recalibrationsFailed_
+        << ' ' << deadlineMisses_ << ' '
+        << (budgetExhaustedNoted_ ? 1 : 0) << "\n";
+    out << "events " << events_.size() << "\n";
+    for (const auto &ev : events_) {
+        out << "event " << static_cast<int>(ev.kind) << ' '
+            << ev.sample << ' ';
+        writeSerialDouble(out, ev.value);
+        out << "\n";
+        out << "detail " << ev.detail << "\n";
+    }
+}
+
+Status
+Supervisor::restore(std::istream &in)
+{
+    auto bad = [](const char *section) {
+        return Status::corruptData(strf(
+            "supervisor state: unreadable %s section", section));
+    };
+
+    if (!expectToken(in, "supervisor_state"))
+        return bad("magic");
+    int version = 0;
+    in >> version;
+    if (!in || version != 1) {
+        return Status::corruptData(strf(
+            "supervisor state: unsupported version %d", version));
+    }
+
+    int state = 0;
+    std::size_t lastSample = 0, consecutive = 0, trips = 0,
+                reopenAt = 0;
+    if (!expectToken(in, "breaker"))
+        return bad("breaker");
+    in >> state >> lastSample >> consecutive >> trips >> reopenAt;
+    if (!in || state < 0 || state > 2)
+        return bad("breaker");
+
+    std::size_t attempted = 0, succeeded = 0, failed = 0,
+                misses = 0;
+    int exhausted = 0;
+    if (!expectToken(in, "recal"))
+        return bad("recal");
+    in >> attempted >> succeeded >> failed >> misses >> exhausted;
+    if (!in)
+        return bad("recal");
+
+    std::size_t nEvents = 0;
+    if (!expectToken(in, "events"))
+        return bad("events");
+    in >> nEvents;
+    if (!in || nEvents > 1'000'000)
+        return bad("events");
+    std::vector<SupervisorEvent> events;
+    events.reserve(nEvents);
+    for (std::size_t i = 0; i < nEvents; ++i) {
+        SupervisorEvent ev;
+        int kind = -1;
+        if (!expectToken(in, "event"))
+            return bad("event");
+        in >> kind >> ev.sample >> ev.value;
+        if (!in || kind < 0 || kind >= numSupervisorEventKinds)
+            return bad("event");
+        ev.kind = static_cast<SupervisorEventKind>(kind);
+        if (!expectToken(in, "detail"))
+            return bad("event detail");
+        if (in.get() != ' ' || !std::getline(in, ev.detail))
+            return bad("event detail");
+        events.push_back(std::move(ev));
+    }
+
+    state_ = static_cast<BreakerState>(state);
+    lastSample_ = lastSample;
+    consecutiveFailures_ = consecutive;
+    breakerTrips_ = trips;
+    reopenAtSample_ = reopenAt;
+    recalibrationsAttempted_ = attempted;
+    recalibrationsSucceeded_ = succeeded;
+    recalibrationsFailed_ = failed;
+    deadlineMisses_ = misses;
+    budgetExhaustedNoted_ = exhausted != 0;
+    events_ = std::move(events);
+
+    supMetrics().events.inc(events_.size());
+    supMetrics().breakerState.set(
+        static_cast<double>(static_cast<int>(state_)));
+    return Status::ok();
+}
+
+// ---------------------------------------------------------------
+// Autopilot
+// ---------------------------------------------------------------
+
+namespace {
+
+void
+writeRngState(std::ostream &out, const char *tag,
+              const RngState &st)
+{
+    out << tag;
+    for (std::uint64_t s : st.s)
+        out << ' ' << s;
+    out << ' ' << (st.hasSpare ? 1 : 0) << ' ';
+    writeSerialDouble(out, st.spare);
+    out << "\n";
+}
+
+Status
+readRngState(std::istream &in, const char *tag, RngState *st)
+{
+    if (!expectToken(in, tag)) {
+        return Status::corruptData(
+            strf("autopilot checkpoint: missing %s section", tag));
+    }
+    int hasSpare = 0;
+    in >> st->s[0] >> st->s[1] >> st->s[2] >> st->s[3] >> hasSpare >>
+        st->spare;
+    if (!in) {
+        return Status::corruptData(
+            strf("autopilot checkpoint: unreadable %s state", tag));
+    }
+    st->hasSpare = hasSpare != 0;
+    return Status::ok();
+}
+
+/** Serialize everything a resumed run needs into one body. */
+Result<std::string>
+buildCheckpointBody(ReplayContext &ctx,
+                    const PredictionMonitor &monitor,
+                    const Supervisor &supervisor,
+                    std::size_t samplesDone)
+{
+    std::ostringstream body;
+    body << "tomur_autopilot 1\n";
+    body << "sample " << samplesDone << "\n";
+    if (auto s = ctx.model->save(body); !s)
+        return s.withContext("autopilot checkpoint");
+    monitor.serialize(body);
+    supervisor.serialize(body);
+    writeRngState(body, "noise_rng", ctx.soloBed->noiseState());
+    if (ctx.measureBed) {
+        writeRngState(body, "fault_rng",
+                      ctx.measureBed->faultRngState());
+    } else {
+        body << "fault_rng_absent\n";
+    }
+    return body.str();
+}
+
+/** Parse a checkpoint body back into the live objects. The RNG
+ *  streams are restored LAST, so any draws made while rebuilding
+ *  state (there are none today, but the ordering makes that a
+ *  non-assumption) are overwritten by the checkpointed cursor. */
+Result<std::size_t>
+restoreFromBody(ReplayContext &ctx, PredictionMonitor &monitor,
+                Supervisor &supervisor, const std::string &bodyStr)
+{
+    std::istringstream in(bodyStr);
+    if (!expectToken(in, "tomur_autopilot")) {
+        return Status::corruptData(
+            "autopilot checkpoint: missing magic");
+    }
+    int version = 0;
+    in >> version;
+    if (!in || version != 1) {
+        return Status::corruptData(strf(
+            "autopilot checkpoint: unsupported version %d",
+            version));
+    }
+    std::size_t samplesDone = 0;
+    if (!expectToken(in, "sample"))
+        return Status::corruptData(
+            "autopilot checkpoint: missing sample cursor");
+    in >> samplesDone;
+    if (!in)
+        return Status::corruptData(
+            "autopilot checkpoint: unreadable sample cursor");
+
+    TomurModel model;
+    if (auto s = model.load(in); !s)
+        return s.withContext("autopilot checkpoint model");
+    if (auto s = monitor.restore(in); !s)
+        return s.withContext("autopilot checkpoint");
+    if (auto s = supervisor.restore(in); !s)
+        return s.withContext("autopilot checkpoint");
+
+    RngState noise;
+    if (auto s = readRngState(in, "noise_rng", &noise); !s)
+        return s;
+    bool haveFault = false;
+    RngState fault;
+    {
+        std::streampos mark = in.tellg();
+        std::string tag;
+        in >> tag;
+        if (tag == "fault_rng_absent") {
+            haveFault = false;
+        } else if (tag == "fault_rng") {
+            in.seekg(mark);
+            if (auto s = readRngState(in, "fault_rng", &fault); !s)
+                return s;
+            haveFault = true;
+        } else {
+            return Status::corruptData(
+                "autopilot checkpoint: missing fault_rng section");
+        }
+    }
+    if (haveFault != (ctx.measureBed != nullptr)) {
+        return Status::failedPrecondition(
+            "autopilot checkpoint: measurement-path mismatch "
+            "(checkpoint and context disagree about fault "
+            "injection)");
+    }
+
+    *ctx.model = std::move(model);
+    ctx.soloBed->setNoiseState(noise);
+    if (ctx.measureBed)
+        ctx.measureBed->setFaultRngState(fault);
+    return samplesDone;
+}
+
+} // namespace
+
+Result<AutopilotResult>
+runAutopilot(ReplayContext &ctx,
+             const std::vector<ScheduleStep> &schedule,
+             PredictionMonitor &monitor, Supervisor &supervisor,
+             CheckpointStore *store, const AutopilotOptions &opts)
+{
+    if (!ctx.trainer || !ctx.model || !ctx.nf || !ctx.soloBed)
+        panic("runAutopilot: incomplete context");
+    TraceSpan span("supervisor.autopilot");
+    span.field("label", ctx.label);
+    span.field("steps",
+               static_cast<std::uint64_t>(schedule.size()));
+
+    // Resolve workloads and flatten the schedule into one entry per
+    // sample, so the checkpoint cursor is a single index.
+    std::vector<std::vector<framework::WorkloadProfile>> deployments;
+    std::vector<std::vector<framework::WorkloadProfile>> solos;
+    std::vector<std::size_t> stepOfSample;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto &w =
+            ctx.trainer->workloadOf(*ctx.nf, schedule[i].profile);
+        std::vector<framework::WorkloadProfile> deploy = {w};
+        deploy.insert(deploy.end(), ctx.competitors.begin(),
+                      ctx.competitors.end());
+        deployments.push_back(deploy);
+        solos.push_back({w});
+        for (int r = 0; r < schedule[i].repeats; ++r)
+            stepOfSample.push_back(i);
+    }
+    const std::size_t total = stepOfSample.size();
+
+    // ---- Resume ----
+    std::size_t startSample = 0;
+    if (opts.resume && store != nullptr) {
+        auto rec = store->loadLatestValid();
+        if (rec.isOk()) {
+            auto cursor = restoreFromBody(
+                ctx, monitor, supervisor, rec.value().body);
+            if (!cursor.isOk())
+                return cursor.status();
+            startSample = cursor.value();
+            if (startSample > total) {
+                return Status::failedPrecondition(strf(
+                    "autopilot checkpoint is %zu samples in but "
+                    "the schedule only has %zu",
+                    startSample, total));
+            }
+            span.field("resumed_at",
+                       static_cast<std::uint64_t>(startSample));
+            inform(strf("autopilot: resumed at sample %zu from "
+                        "checkpoint generation %llu",
+                        startSample,
+                        (unsigned long long)
+                            rec.value().generation));
+        } else if (rec.status().code() != StatusCode::NotFound) {
+            // Corrupt beyond recovery is an error; an empty store
+            // just means nothing to resume from.
+            return rec.status();
+        }
+    }
+
+    // Re-apply the deterministic drift bias when resuming past its
+    // activation point (setConfig keeps the fault-draw stream, and
+    // the checkpointed fault RNG state was restored above anyway).
+    if (ctx.measureBed && opts.replay.biasAtSample >= 0 &&
+        static_cast<long>(startSample) >
+            opts.replay.biasAtSample) {
+        auto cfg = ctx.measureBed->faultConfig();
+        cfg.biasFactor = opts.replay.biasFactor;
+        ctx.measureBed->setConfig(cfg);
+    }
+
+    // Prewarm the equilibrium solves across the pool (consumes no
+    // RNG, so it cannot perturb resume determinism).
+    ctx.soloBed->prewarm(solos);
+    sim::Testbed &measure =
+        ctx.measureBed
+            ? static_cast<sim::Testbed &>(*ctx.measureBed)
+            : *ctx.soloBed;
+    measure.prewarm(deployments);
+
+    // ---- Serial supervised replay ----
+    for (std::size_t sample0 = startSample; sample0 < total;
+         ++sample0) {
+        checkDeadline("supervisor.autopilot");
+        const std::size_t i = stepOfSample[sample0];
+        const auto &step = schedule[i];
+        const auto &w = deployments[i][0];
+
+        if (ctx.measureBed && opts.replay.biasAtSample >= 0 &&
+            static_cast<long>(sample0) == opts.replay.biasAtSample) {
+            auto cfg = ctx.measureBed->faultConfig();
+            cfg.biasFactor = opts.replay.biasFactor;
+            ctx.measureBed->setConfig(cfg);
+        }
+
+        // Noise-free solo baseline: consumes no RNG draws, so the
+        // only noise consumer in the loop is the measured co-run —
+        // exactly one batch per sample, which is what the
+        // checkpointed RNG cursor assumes.
+        auto soloMs = ctx.soloBed->solveNoiseFree(solos[i]);
+        double solo =
+            soloMs.empty() ? 0.0 : soloMs[0].truthThroughput;
+        auto breakdown = ctx.model->predictDetailed(
+            ctx.levels, step.profile, solo);
+
+        auto ms = measure.run(deployments[i]);
+        double measured = std::numeric_limits<double>::quiet_NaN();
+        for (const auto &m : ms) {
+            if (m.nfName == w.nfName) {
+                measured = m.throughput;
+                break;
+            }
+        }
+
+        auto fired = monitor.ingest(makeMonitorSample(
+            ctx.label, step.profile, breakdown, measured));
+        auto supEvents = supervisor.observe(sample0 + 1, fired);
+        for (const auto &ev : supEvents) {
+            if (ev.kind == SupervisorEventKind::BreakerOpened) {
+                // While the breaker is open, predictions must not
+                // trust the known-bad model: quarantine it so the
+                // PR 1 fallback chain serves solo-hint passthrough
+                // (confidence <= 0.25) until a probe retrains it.
+                ctx.model->markMemoryDegraded(
+                    "circuit breaker open: " + ev.detail);
+            }
+        }
+
+        if (store != nullptr && opts.checkpointEverySamples > 0 &&
+            (sample0 + 1) % opts.checkpointEverySamples == 0) {
+            // The CHECKPOINT_WRITTEN event goes in *before* the body
+            // is serialized, so the generation carries its own event
+            // and a resumed export replays the identical stream.
+            supervisor.noteCheckpointWritten(
+                sample0 + 1, store->nextGeneration());
+            auto body = buildCheckpointBody(ctx, monitor,
+                                            supervisor, sample0 + 1);
+            if (!body.isOk())
+                return body.status();
+            Status wrote = store->writeGeneration(body.value());
+            if (!wrote.isOk()) {
+                warnEvent("autopilot", "checkpoint-write-failed",
+                          {{"sample", std::to_string(sample0 + 1)},
+                           {"error", wrote.message()}});
+            }
+        }
+    }
+
+    AutopilotResult res;
+    res.samples = total;
+    res.startSample = startSample;
+    res.monitorSummary = monitor.summary();
+    res.supervisorSummary = supervisor.summary();
+    return res;
+}
+
+} // namespace tomur::core

@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "common/report.hh"
+#include "common/rng.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
 #include "nfs/registry.hh"
@@ -31,6 +32,7 @@ namespace tomur {
 namespace {
 
 namespace fw = framework;
+using namespace std::string_literals;
 using core::MonitorEvent;
 using core::MonitorEventKind;
 using core::MonitorOptions;
@@ -406,6 +408,118 @@ TEST(Schedule, RejectsMalformedAndEmptyInput)
     EXPECT_FALSE(core::parseSchedule(empty));
     std::istringstream negative("-5 1500 600\n");
     EXPECT_FALSE(core::parseSchedule(negative));
+}
+
+/** Invariants every accepted schedule must satisfy (the documented
+ *  field ranges): a fuzz input may be rejected, but anything that
+ *  parses must be safe to replay. */
+void
+expectScheduleInvariants(const std::vector<core::ScheduleStep> &steps,
+                         const std::string &input)
+{
+    for (const auto &s : steps) {
+        EXPECT_GE(s.repeats, 1) << input;
+        EXPECT_LE(s.repeats, 1000000) << input;
+        EXPECT_GE(s.profile.flowCount, 1u) << input;
+        EXPECT_LE(s.profile.flowCount, 1000000000u) << input;
+        EXPECT_GE(s.profile.packetSize, 1u) << input;
+        EXPECT_LE(s.profile.packetSize, 1000000u) << input;
+        EXPECT_TRUE(std::isfinite(s.profile.mtbr)) << input;
+        EXPECT_GE(s.profile.mtbr, 0.0) << input;
+    }
+}
+
+TEST(ScheduleFuzz, RandomByteSoupNeverCrashesOrLeaksGarbage)
+{
+    // Seeded and deterministic: the same 500 hostile inputs on every
+    // run. The property is "no crash, and whatever parses satisfies
+    // the range invariants" — not that any particular input parses.
+    Rng rng(20260807);
+    const std::string alphabet =
+        "0123456789.-+eE \t#\nxyz\\\"\0\x01\x7f"s;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string input;
+        std::size_t len = rng.uniformInt(std::uint64_t(120));
+        for (std::size_t i = 0; i < len; ++i)
+            input.push_back(
+                alphabet[rng.uniformInt(alphabet.size())]);
+        std::istringstream in(input);
+        auto parsed = core::parseSchedule(in);
+        if (parsed)
+            expectScheduleInvariants(parsed.value(), input);
+    }
+}
+
+TEST(ScheduleFuzz, HostileTokensAreRejectedNotAccepted)
+{
+    // Structured fuzz: lines of 3-4 tokens drawn from a pool that is
+    // mostly poison. Any line containing a poison token must fail the
+    // whole parse (parseSchedule is all-or-nothing per stream).
+    static const char *const poison[] = {
+        "nan", "inf", "-inf", "1e999",   "1.5.2", "12ab",
+        "--5", "+",   ".",    "1e",      "-0.5",  "\x7f7",
+        "2,5",
+    };
+    static const char *const valid[] = {"16000", "1500", "600", "4"};
+    Rng rng(777);
+    for (int iter = 0; iter < 500; ++iter) {
+        bool poisoned = false;
+        std::string input;
+        std::size_t tokens = 3 + rng.uniformInt(std::uint64_t(2));
+        for (std::size_t i = 0; i < tokens; ++i) {
+            if (rng.uniform() < 0.3) {
+                input += poison[rng.uniformInt(
+                    std::uint64_t(sizeof(poison) /
+                                  sizeof(poison[0])))];
+                poisoned = true;
+            } else {
+                input += valid[i < 4 ? i : 3];
+            }
+            input += ' ';
+        }
+        input += '\n';
+        std::istringstream in(input);
+        auto parsed = core::parseSchedule(in);
+        if (poisoned) {
+            EXPECT_FALSE(parsed) << "accepted poison: " << input;
+        }
+        if (parsed)
+            expectScheduleInvariants(parsed.value(), input);
+    }
+}
+
+TEST(ScheduleFuzz, InRangeSchedulesRoundTrip)
+{
+    // The positive property: any schedule rendered from in-range
+    // values parses back to exactly those values.
+    Rng rng(4242);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::uint64_t flows =
+            1 + rng.uniformInt(std::uint64_t(999999999));
+        std::uint64_t size =
+            1 + rng.uniformInt(std::uint64_t(999999));
+        std::uint64_t mtbr =
+            rng.uniformInt(std::uint64_t(1000000));
+        int repeats =
+            1 + static_cast<int>(
+                    rng.uniformInt(std::uint64_t(999999)));
+        std::string input = strf("%llu %llu %llu %d # fuzz\n",
+                                 (unsigned long long)flows,
+                                 (unsigned long long)size,
+                                 (unsigned long long)mtbr, repeats);
+        std::istringstream in(input);
+        auto parsed = core::parseSchedule(in);
+        ASSERT_TRUE(parsed) << input << ": "
+                            << parsed.status().toString();
+        ASSERT_EQ(parsed.value().size(), 1u);
+        const auto &s = parsed.value()[0];
+        EXPECT_EQ(s.profile.flowCount, flows) << input;
+        EXPECT_EQ(s.profile.packetSize, size) << input;
+        EXPECT_DOUBLE_EQ(s.profile.mtbr,
+                         static_cast<double>(mtbr))
+            << input;
+        EXPECT_EQ(s.repeats, repeats) << input;
+    }
 }
 
 TEST(Schedule, DefaultScheduleShiftsAndReturns)

@@ -40,10 +40,24 @@ fi
 
 echo ""
 echo "=== TSan: parallel-engine tests ==="
+# Derive the TSan target list from the sources rather than
+# hand-maintaining it here: every test file that defines a
+# "Parallel"-prefixed suite participates (that prefix is the marker
+# the -R filter below selects on, so the two stay in sync by
+# construction).
+tsan_targets=$(grep -l '^TEST\(_F\)\{0,1\}(Parallel' \
+    "$repo_root"/tests/test_*.cc | sed 's|.*/||; s|\.cc$||')
+if [ -z "$tsan_targets" ]; then
+    echo "no Parallel-suite test files found; nothing to TSan" >&2
+    exit 1
+fi
+echo "TSan targets:" $tsan_targets
+
 tsan_dir="$repo_root/build-tsan"
 cmake -B "$tsan_dir" -S "$repo_root" -DTOMUR_SANITIZE=thread
+# shellcheck disable=SC2086  # word-splitting the list is the point
 cmake --build "$tsan_dir" -j "$jobs" \
-    --target test_parallel --target test_telemetry
+    $(for t in $tsan_targets; do printf -- '--target %s ' "$t"; done)
 
 # Force a real pool even on single-core CI so TSan sees actual
 # cross-thread interleavings. Suite names in test_parallel.cc and

@@ -11,6 +11,10 @@
  *   diagnose <NF> [traffic opts]    per-resource breakdown
  *   monitor <NF> [--schedule FILE]  replay a traffic schedule through
  *                                   the prediction-quality monitor
+ *   autopilot <NF> [--checkpoint-dir D] [--resume]
+ *                                   self-healing monitored replay:
+ *                                   crash-safe checkpoints, circuit-
+ *                                   breaker recalibration, deadlines
  *   report [--metrics FILE] ...     render collected observability
  *                                   artifacts as a text/HTML dashboard
  *
@@ -26,17 +30,22 @@
  * style text dump of the tomur_* metrics registry (see DESIGN.md §8).
  *
  * Exit codes: 0 success, 1 runtime failure, 2 usage error,
- * 3 file I/O error, 4 corrupt model file.
+ * 3 file I/O error, 4 corrupt model file, 5 internal error
+ * (uncaught exception, reported as a structured warn event).
  */
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
+#include "common/checkpoint.hh"
+#include "common/deadline.hh"
 #include "common/logging.hh"
 #include "common/report.hh"
 #include "common/strutil.hh"
@@ -47,6 +56,7 @@
 #include "sim/faults.hh"
 #include "tomur/monitor.hh"
 #include "tomur/profiler.hh"
+#include "tomur/supervisor.hh"
 #include "usecases/diagnosis.hh"
 
 using namespace tomur;
@@ -61,6 +71,7 @@ enum ExitCode
     kExitUsage = 2,
     kExitIo = 3,
     kExitCorruptModel = 4,
+    kExitInternal = 5,
 };
 
 struct Cli
@@ -81,6 +92,14 @@ struct Cli
     std::string eventsOut;    ///< --events-out: monitor JSONL
     double biasFactor = 0.7;  ///< --bias: drift magnitude
     long biasAt = -1;         ///< --bias-at: sample index (off < 0)
+
+    // autopilot
+    std::string checkpointDir;       ///< --checkpoint-dir
+    bool resume = false;             ///< --resume
+    std::size_t checkpointEvery = 8; ///< --checkpoint-every
+    double deadlineMs = 0.0;         ///< --deadline-ms (0 = off)
+    std::size_t maxRecalibrations = 8; ///< --max-recalibrations
+    long crashAfter = -1; ///< --crash-after: chaos kill switch
 
     // report
     std::string reportMetrics; ///< --metrics: dump to render
@@ -106,6 +125,12 @@ usage()
         "  monitor <NF> [--schedule FILE] [--events-out FILE]\n"
         "          [--bias F] [--bias-at K] [--quota Q]\n"
         "          [--model FILE] [--faults P] [traffic opts]\n"
+        "  autopilot <NF> [--checkpoint-dir DIR] [--resume]\n"
+        "          [--checkpoint-every N] [--deadline-ms MS]\n"
+        "          [--max-recalibrations N] [--crash-after N]\n"
+        "          [--schedule FILE] [--events-out FILE]\n"
+        "          [--bias F] [--bias-at K] [--quota Q]\n"
+        "          [--faults P] [traffic opts]\n"
         "  report [--metrics FILE] [--trace FILE]\n"
         "          [--monitor FILE] [--out FILE] [--html]\n"
         "common options:\n"
@@ -220,6 +245,28 @@ parse(int argc, char **argv)
             }
         } else if (arg == "--bias-at") {
             cli.biasAt = static_cast<long>(numArg(argc, argv, i));
+        } else if (arg == "--checkpoint-dir") {
+            cli.checkpointDir = strArg(argc, argv, i);
+        } else if (arg == "--resume") {
+            cli.resume = true;
+        } else if (arg == "--checkpoint-every") {
+            cli.checkpointEvery =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (arg == "--deadline-ms") {
+            cli.deadlineMs = numArg(argc, argv, i);
+            if (cli.deadlineMs < 0.0) {
+                std::fprintf(stderr,
+                             "error: --deadline-ms expects a "
+                             "non-negative budget, got %g\n",
+                             cli.deadlineMs);
+                usage();
+            }
+        } else if (arg == "--max-recalibrations") {
+            cli.maxRecalibrations =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (arg == "--crash-after") {
+            cli.crashAfter =
+                static_cast<long>(numArg(argc, argv, i));
         } else if (arg == "--metrics") {
             cli.reportMetrics = strArg(argc, argv, i);
         } else if (arg == "--trace") {
@@ -539,6 +586,28 @@ cmdDiagnose(const Cli &cli)
     return kExitOk;
 }
 
+/** Load --schedule (or the built-in default), mapping failures to
+ *  exit codes. */
+std::vector<core::ScheduleStep>
+loadScheduleOrExit(const Cli &cli)
+{
+    if (cli.schedulePath.empty())
+        return core::defaultSchedule(cli.profile);
+    std::ifstream in(cli.schedulePath);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open '%s': %s\n",
+                     cli.schedulePath.c_str(), std::strerror(errno));
+        std::exit(kExitIo);
+    }
+    auto parsed = core::parseSchedule(in);
+    if (!parsed) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().toString().c_str());
+        std::exit(kExitUsage);
+    }
+    return parsed.value();
+}
+
 int
 cmdMonitor(const Cli &cli)
 {
@@ -546,25 +615,8 @@ cmdMonitor(const Cli &cli)
     auto nf = nfs::makeByName(cli.nf, env.dev);
     auto model = obtainModel(env, cli, *nf);
 
-    std::vector<core::ScheduleStep> schedule;
-    if (!cli.schedulePath.empty()) {
-        std::ifstream in(cli.schedulePath);
-        if (!in) {
-            std::fprintf(stderr, "error: cannot open '%s': %s\n",
-                         cli.schedulePath.c_str(),
-                         std::strerror(errno));
-            return kExitIo;
-        }
-        auto parsed = core::parseSchedule(in);
-        if (!parsed) {
-            std::fprintf(stderr, "error: %s\n",
-                         parsed.status().toString().c_str());
-            return kExitUsage;
-        }
-        schedule = parsed.value();
-    } else {
-        schedule = core::defaultSchedule(cli.profile);
-    }
+    std::vector<core::ScheduleStep> schedule =
+        loadScheduleOrExit(cli);
 
     const auto &w = env.trainer->workloadOf(*nf, cli.profile);
     auto ref = referenceContention(env, w);
@@ -619,6 +671,155 @@ cmdMonitor(const Cli &cli)
     }
     for (const auto &ev : monitor.events())
         std::printf("  %s\n", ev.toJson().c_str());
+    return kExitOk;
+}
+
+int
+cmdAutopilot(const Cli &cli)
+{
+    Env env(cli.faultRate);
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+
+    std::unique_ptr<CheckpointStore> store;
+    if (!cli.checkpointDir.empty())
+        store = std::make_unique<CheckpointStore>(cli.checkpointDir);
+
+    // A resumable run gets its model (and all detector state) from
+    // the checkpoint; only a fresh start pays for training.
+    bool haveCheckpoint = cli.resume && store != nullptr &&
+                          !store->listGenerations().empty();
+    core::TomurModel model;
+    if (!haveCheckpoint)
+        model = obtainModel(env, cli, *nf);
+
+    std::vector<core::ScheduleStep> schedule =
+        loadScheduleOrExit(cli);
+
+    const auto &w = env.trainer->workloadOf(*nf, cli.profile);
+    auto ref = referenceContention(env, w);
+
+    core::PredictionMonitor monitor;
+    core::ReplayContext ctx;
+    ctx.trainer = env.trainer.get();
+    ctx.model = &model;
+    ctx.nf = nf.get();
+    ctx.levels = ref.levels;
+    ctx.competitors = ref.workloads;
+    ctx.soloBed = &env.bed;
+    ctx.measureBed = &env.faulty;
+    ctx.label = cli.nf;
+
+    if (cli.crashAfter >= 0) {
+        auto cfg = env.faulty.faultConfig();
+        cfg.crashAfterBatches = cli.crashAfter;
+        env.faulty.setConfig(cfg);
+        std::fprintf(stderr,
+                     "chaos: will crash after %ld batches\n",
+                     cli.crashAfter);
+    }
+
+    // Recalibration = full retrain through the (possibly faulty,
+    // possibly biased) measurement path, under the optional wall-
+    // clock deadline. Degraded sub-models count as failure — the
+    // breaker should not close on a model that is itself limping.
+    core::TrainOptions topts;
+    topts.adaptive.quota = cli.quota;
+    if (cli.faultRate > 0.0)
+        topts.screen.verifyBelowRatio = 0.6;
+    auto recalibrate = [&](std::size_t sample,
+                           std::string *detail) -> Status {
+        (void)sample;
+        core::TrainReport report;
+        core::TomurModel fresh;
+        if (cli.deadlineMs > 0.0) {
+            Deadline dl = Deadline::afterMillis(cli.deadlineMs);
+            ScopedDeadline scope(dl);
+            fresh = env.trainer->train(*nf, cli.profile, topts,
+                                       &report);
+        } else {
+            fresh = env.trainer->train(*nf, cli.profile, topts,
+                                       &report);
+        }
+        if (report.subModelsDegraded > 0 ||
+            fresh.health().anyDegraded()) {
+            return Status::unavailable(
+                strf("retrain left %zu sub-models degraded",
+                     report.subModelsDegraded));
+        }
+        model = std::move(fresh);
+        if (detail != nullptr) {
+            *detail = strf("retrained (%zu memory samples, %zu "
+                           "faulty screened)",
+                           report.memorySamples,
+                           report.faultySamplesDetected);
+        }
+        return Status::ok();
+    };
+
+    core::SupervisorOptions sopts;
+    sopts.maxRecalibrations = cli.maxRecalibrations;
+    core::Supervisor supervisor(sopts, recalibrate);
+
+    core::AutopilotOptions aopts;
+    aopts.replay.biasAtSample = cli.biasAt;
+    aopts.replay.biasFactor = cli.biasFactor;
+    aopts.checkpointEverySamples =
+        store != nullptr ? cli.checkpointEvery : 0;
+    aopts.resume = cli.resume;
+
+    auto res = core::runAutopilot(ctx, schedule, monitor,
+                                  supervisor, store.get(), aopts);
+    if (!res) {
+        std::fprintf(stderr, "error: %s\n",
+                     res.status().toString().c_str());
+        switch (res.status().code()) {
+          case StatusCode::CorruptData:
+            return kExitCorruptModel;
+          case StatusCode::IoError:
+            return kExitIo;
+          default:
+            return kExitRuntime;
+        }
+    }
+
+    if (!cli.eventsOut.empty()) {
+        std::ofstream out(cli.eventsOut);
+        if (out) {
+            monitor.exportJsonl(out);
+            supervisor.exportJsonl(out);
+        }
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write events to '%s': %s\n",
+                         cli.eventsOut.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+    }
+
+    const auto &r = res.value();
+    const auto &sup = r.supervisorSummary;
+    std::printf("%s: %zu samples supervised (%zu resumed past), "
+                "breaker %s\n",
+                cli.nf.c_str(), r.samples, r.startSample,
+                core::breakerStateName(sup.state));
+    std::printf("  recalibrations: %zu attempted, %zu succeeded, "
+                "%zu failed (%zu breaker trips)\n",
+                sup.recalibrationsAttempted,
+                sup.recalibrationsSucceeded,
+                sup.recalibrationsFailed, sup.breakerTrips);
+    std::printf("  deadline misses: %zu\n", sup.deadlineMisses);
+    std::printf("  |rel error|: ewma %.4f, mean %.4f\n",
+                r.monitorSummary.ewmaAbsError,
+                r.monitorSummary.meanAbsError);
+    for (int k = 0; k < core::numSupervisorEventKinds; ++k) {
+        if (sup.eventCounts[k] == 0)
+            continue;
+        std::printf("    %-26s %zu\n",
+                    core::supervisorEventName(
+                        static_cast<core::SupervisorEventKind>(k)),
+                    sup.eventCounts[k]);
+    }
     return kExitOk;
 }
 
@@ -696,6 +897,8 @@ runCommand(const Cli &cli)
         return cmdDiagnose(cli);
     if (cli.command == "monitor")
         return cmdMonitor(cli);
+    if (cli.command == "autopilot")
+        return cmdAutopilot(cli);
     if (cli.command == "report")
         return cmdReport(cli);
     std::fprintf(stderr, "error: unknown command '%s'\n",
@@ -745,8 +948,32 @@ main(int argc, char **argv)
         requireKnownNf(cli.nf);
     if (!cli.traceOut.empty())
         tracer().enable();
-    // The root span must close before export, hence the helper scope.
-    int rc = runCommand(cli);
-    int obs_rc = writeObservability(cli);
-    return rc != kExitOk ? rc : obs_rc;
+    // Top-level containment: anything that escapes a command is an
+    // internal error, reported as a structured event (greppable by
+    // the same monitors that watch warnEvent streams) with its own
+    // exit code — never a raw terminate(). SimulatedCrash is the
+    // chaos harness's kill switch and gets its own event name so
+    // crash-resume scripts can tell a planned kill from a real bug.
+    try {
+        // Root span must close before export, hence the helper scope.
+        int rc = runCommand(cli);
+        int obs_rc = writeObservability(cli);
+        return rc != kExitOk ? rc : obs_rc;
+    } catch (const SimulatedCrash &e) {
+        warnEvent("cli", "simulated-crash",
+                  {{"command", cli.command}, {"what", e.what()}});
+        writeObservability(cli);
+        return kExitInternal;
+    } catch (const std::exception &e) {
+        warnEvent("cli", "uncaught-exception",
+                  {{"command", cli.command},
+                   {"type", typeid(e).name()},
+                   {"what", e.what()}});
+        return kExitInternal;
+    } catch (...) {
+        warnEvent("cli", "uncaught-exception",
+                  {{"command", cli.command},
+                   {"what", "non-standard exception"}});
+        return kExitInternal;
+    }
 }

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Regenerate the golden observability fixtures in tests/golden/
 # (canonical trace export + filtered metrics dump of the fixed
-# scenario in tests/test_telemetry.cc, and the monitor event stream
-# of the fixed replay in tests/test_monitor.cc).
+# scenario in tests/test_telemetry.cc, the monitor event stream of
+# the fixed replay in tests/test_monitor.cc, and the autopilot
+# monitor+supervisor event stream of the crash/resume scenario in
+# tests/test_supervisor.cc).
 #
 # Run this after intentionally changing instrumentation (new spans,
 # new fields, new metrics) and commit the updated fixtures together
@@ -18,7 +20,7 @@ build_dir="$repo_root/build"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_telemetry test_monitor
+    --target test_telemetry test_monitor test_supervisor
 
 # The serial run writes the fixtures; the wide run then re-runs the
 # scenario at TOMUR_THREADS=8 and asserts it reproduces them
@@ -27,6 +29,8 @@ TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_telemetry" \
     --gtest_filter='GoldenTrace.*'
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_monitor" \
     --gtest_filter='MonitorGolden.*'
+TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_supervisor" \
+    --gtest_filter='AutopilotGolden.*'
 
 echo ""
 echo "updated fixtures:"
