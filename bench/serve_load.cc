@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Closed-loop load generator for the serving daemon — `bench serve`.
+ *
+ * Drives the deterministic Server core directly through in-memory
+ * transports: N clients, each with at most one request outstanding,
+ * sending seeded-random /predict bodies (plus periodic /healthz
+ * probes). A client refused with 429/503 backs off exponentially
+ * with seeded jitter and retries — the classic closed-loop response
+ * to load shedding — so the run exercises the admission machinery,
+ * not just the happy path.
+ *
+ * Output: QPS and p50/p99 request latency (client-observed, send to
+ * fully parsed response) plus shed/throttle counts, written to
+ * BENCH_serve.json. Commit-to-commit diffs of that file are the
+ * serving-path performance trail, gated by tools/bench_report.sh.
+ *
+ * Determinism: all client behaviour (bodies, probe cadence, backoff
+ * jitter) derives from deriveSeed(seed, client); only the measured
+ * wall times vary across machines.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common.hh"
+#include "serve/registry.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+
+using namespace tomur;
+using namespace tomur::bench;
+
+namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Minimal client-side HTTP response scanner: returns the response
+ *  status and consumes the framed bytes, or 0 when incomplete. */
+int
+takeResponse(std::string &rx)
+{
+    std::size_t hdr_end = rx.find("\r\n\r\n");
+    if (hdr_end == std::string::npos)
+        return 0;
+    std::size_t body_len = 0;
+    std::size_t cl = rx.find("Content-Length:");
+    if (cl != std::string::npos && cl < hdr_end)
+        body_len = std::strtoul(rx.c_str() + cl + 15, nullptr, 10);
+    std::size_t total = hdr_end + 4 + body_len;
+    if (rx.size() < total)
+        return 0;
+    int status = 0;
+    std::size_t sp = rx.find(' ');
+    if (sp != std::string::npos && sp < hdr_end)
+        status = std::atoi(rx.c_str() + sp + 1);
+    rx.erase(0, total);
+    return status;
+}
+
+struct LoadClient
+{
+    std::shared_ptr<serve::MemoryTransport> pipe;
+    Rng rng{1};
+    std::string id;
+    bool waiting = false;
+    std::size_t backoffIters = 0;
+    int refusalStreak = 0;
+    std::string rx;
+    std::uint64_t sentNs = 0;
+    std::size_t completed = 0;
+    std::size_t refused = 0;
+    std::size_t errors = 0;
+};
+
+std::string
+predictRequest(Rng &rng)
+{
+    double flows = rng.uniform(1000.0, 64000.0);
+    double size = rng.uniform(64.0, 1500.0);
+    double mtbr = rng.uniform(10.0, 2000.0);
+    std::string body =
+        strf("{\"flows\":%.0f,\"size\":%.0f,\"mtbr\":%.0f}", flows,
+             size, mtbr);
+    return strf("POST /predict HTTP/1.1\r\n"
+                "Content-Length: %zu\r\n\r\n%s",
+                body.size(), body.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t clients = 32;
+    std::size_t perClient = 64;
+    std::string jsonOut;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            jsonOut = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--clients=", 10) == 0)
+            clients = std::strtoul(argv[i] + 10, nullptr, 10);
+        else if (std::strncmp(argv[i], "--requests=", 11) == 0)
+            perClient = std::strtoul(argv[i] + 11, nullptr, 10);
+    }
+
+    printHeader("serve_load",
+                "closed-loop serving throughput/latency under "
+                "admission control (not a paper figure)");
+
+    BenchEnv env;
+    auto &nf = env.nf("FlowMonitor");
+    core::TrainOptions topts;
+    topts.adaptive.quota = 60;
+    auto model = env.trainer->train(
+        nf, traffic::TrafficProfile::defaults(), topts);
+
+    // Reference contention mirroring the CLI serve path: heaviest
+    // large-WSS mem-bench plus a moderate regex bench.
+    std::vector<core::ContentionLevel> levels;
+    const core::BenchLibrary::MemBenchEntry *mem =
+        &env.lib->memBenches().front();
+    for (const auto &e : env.lib->memBenches()) {
+        if (e.config.wssBytes >= 12.0 * 1024 * 1024 &&
+            e.level.counters.cacheAccessRate() >
+                mem->level.counters.cacheAccessRate())
+            mem = &e;
+    }
+    levels.push_back(mem->level);
+    levels.push_back(
+        env.lib->accelBench(hw::AccelKind::Regex, 150e3, 800.0)
+            .level);
+
+    serve::ModelRegistry registry;
+    registry.install(std::move(model), "trained");
+    serve::ModelService service(registry, levels, "FlowMonitor");
+
+    serve::ServeOptions sopts;
+    // Deliberately undersized for the offered load: the queue is
+    // smaller than the client pool and the refill rate is below the
+    // per-client service rate, so the run sheds (503) and throttles
+    // (429) and the closed loop has to absorb it via backoff.
+    sopts.maxConnections = clients + 8;
+    sopts.maxQueueDepth = clients > 16 ? 16 : clients / 2 + 1;
+    sopts.maxRequestsPerStep = 8;
+    sopts.bucketCapacity = 8.0;
+    serve::Server server(sopts, service);
+
+    const std::uint64_t seed = 2024;
+    std::vector<LoadClient> pool(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+        auto &c = pool[i];
+        c.pipe = std::make_shared<serve::MemoryTransport>();
+        c.rng = Rng(deriveSeed(seed, i));
+        c.id = strf("client-%zu", i);
+        server.addConnection(
+            std::make_unique<serve::SharedTransport>(c.pipe), c.id);
+    }
+
+    std::vector<double> latencyMs;
+    latencyMs.reserve(clients * perClient);
+    std::size_t iterations = 0;
+    const std::size_t maxIterations = clients * perClient * 64;
+    std::uint64_t startNs = nowNs();
+
+    for (;; ++iterations) {
+        bool allDone = true;
+        for (auto &c : pool) {
+            if (c.completed >= perClient)
+                continue;
+            allDone = false;
+            if (c.pipe->closed()) {
+                // The server reaped this connection (shed at the cap
+                // or a close-marked refusal); reconnect and retry.
+                c.pipe = std::make_shared<serve::MemoryTransport>();
+                c.rx.clear();
+                c.waiting = false;
+                server.addConnection(
+                    std::make_unique<serve::SharedTransport>(c.pipe),
+                    c.id);
+            }
+            if (c.backoffIters > 0) {
+                --c.backoffIters;
+                continue;
+            }
+            if (!c.waiting) {
+                // One request outstanding per client (closed loop);
+                // every 16th request is a health probe.
+                std::string req =
+                    c.completed % 16 == 15
+                        ? "GET /healthz HTTP/1.1\r\n\r\n"
+                        : predictRequest(c.rng);
+                c.pipe->clientWrite(req);
+                c.sentNs = nowNs();
+                c.waiting = true;
+            }
+            c.rx += c.pipe->clientRead();
+            if (int status = takeResponse(c.rx); status != 0) {
+                c.waiting = false;
+                if (status == 200) {
+                    latencyMs.push_back(
+                        static_cast<double>(nowNs() - c.sentNs) /
+                        1e6);
+                    ++c.completed;
+                    c.refusalStreak = 0;
+                } else if (status == 429 || status == 503) {
+                    // Exponential backoff with seeded jitter: the
+                    // well-behaved response to shedding.
+                    ++c.refused;
+                    c.refusalStreak = std::min(c.refusalStreak + 1,
+                                               8);
+                    double base = static_cast<double>(
+                        1u << c.refusalStreak);
+                    c.backoffIters = static_cast<std::size_t>(
+                        base * c.rng.uniform(0.5, 1.5));
+                } else {
+                    ++c.errors;
+                    ++c.completed; // do not retry real errors forever
+                }
+            }
+        }
+        if (allDone || iterations >= maxIterations)
+            break;
+        server.step();
+        server.tickTokens(0.1); // refill below the service rate
+    }
+    double wallSec =
+        static_cast<double>(nowNs() - startNs) / 1e9;
+
+    std::size_t completed = 0, refused = 0, errors = 0;
+    for (const auto &c : pool) {
+        completed += c.completed;
+        refused += c.refused;
+        errors += c.errors;
+    }
+    std::sort(latencyMs.begin(), latencyMs.end());
+    auto pct = [&](double p) {
+        if (latencyMs.empty())
+            return 0.0;
+        std::size_t idx = static_cast<std::size_t>(
+            p * static_cast<double>(latencyMs.size() - 1));
+        return latencyMs[idx];
+    };
+    double qps = wallSec > 0.0
+                     ? static_cast<double>(completed) / wallSec
+                     : 0.0;
+
+    const auto &s = server.stats();
+    std::printf("clients %zu x %zu requests: %.0f qps, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                clients, perClient, qps, pct(0.50), pct(0.99));
+    std::printf("  refusals seen %zu (server: %zu shed, %zu "
+                "throttled), errors %zu, %zu iterations\n",
+                refused, s.shed, s.throttled, errors, iterations);
+    if (errors > 0 || completed == 0) {
+        std::fprintf(stderr,
+                     "error: %zu failed requests, %zu completed\n",
+                     errors, completed);
+        return 1;
+    }
+
+    if (!jsonOut.empty()) {
+        std::FILE *f = std::fopen(jsonOut.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         jsonOut.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"serve_load\",\n"
+            "  \"clients\": %zu,\n"
+            "  \"requests_per_client\": %zu,\n"
+            "  \"completed\": %zu,\n"
+            "  \"qps\": %.1f,\n"
+            "  \"p50_ms\": %.4f,\n"
+            "  \"p99_ms\": %.4f,\n"
+            "  \"refused\": %zu,\n"
+            "  \"shed\": %zu,\n"
+            "  \"throttled\": %zu\n"
+            "}\n",
+            clients, perClient, completed, qps, pct(0.50),
+            pct(0.99), refused, s.shed, s.throttled);
+        std::fclose(f);
+        std::printf("wrote %s\n", jsonOut.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+#include "serve/registry.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+
+namespace tomur::serve {
+
+namespace {
+
+Counter &
+swapOkCounter()
+{
+    static Counter &c =
+        metrics().counter("tomur_server_model_swaps_total");
+    return c;
+}
+
+Counter &
+swapFailCounter()
+{
+    static Counter &c =
+        metrics().counter("tomur_server_model_swap_failures_total");
+    return c;
+}
+
+Gauge &
+versionGauge()
+{
+    static Gauge &g =
+        metrics().gauge("tomur_server_model_version");
+    return g;
+}
+
+} // namespace
+
+ModelSnapshot
+ModelRegistry::current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ModelSnapshot s;
+    s.model = model_;
+    s.version = version_;
+    s.source = source_;
+    return s;
+}
+
+std::uint64_t
+ModelRegistry::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return version_;
+}
+
+std::uint64_t
+ModelRegistry::publish(core::TomurModel model, std::string source)
+{
+    auto fresh = std::make_shared<const core::TomurModel>(
+        std::move(model));
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(fresh);
+    source_ = std::move(source);
+    ++version_;
+    versionGauge().set(static_cast<double>(version_));
+    return version_;
+}
+
+std::uint64_t
+ModelRegistry::install(core::TomurModel model, std::string source)
+{
+    std::lock_guard<std::mutex> swap_lock(swapMutex_);
+    return publish(std::move(model), std::move(source));
+}
+
+Result<std::uint64_t>
+ModelRegistry::swapFrom(const Loader &loader, std::string source)
+{
+    std::lock_guard<std::mutex> swap_lock(swapMutex_);
+    TraceSpan span("server.model-swap");
+    span.field("source", source);
+    // Build the incoming model entirely off to the side: readers
+    // keep serving the current version for the full duration of the
+    // load, and see the new pointer only after it succeeded.
+    auto loaded = loader();
+    if (!loaded) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++swapsFailed_;
+        }
+        swapFailCounter().inc();
+        warnEvent("server", "model-swap-failed",
+                  {{"source", source},
+                   {"error", loaded.status().message()}});
+        return loaded.status().withContext(
+            "hot-swap from '" + source + "'");
+    }
+    if (loaded.value().health().anyDegraded()) {
+        warnEvent("server", "model-swap-degraded",
+                  {{"source", source}});
+    }
+    std::uint64_t v =
+        publish(std::move(loaded.value()), source);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++swapsSucceeded_;
+    }
+    swapOkCounter().inc();
+    return v;
+}
+
+Result<std::uint64_t>
+ModelRegistry::swapFromFile(const std::string &path)
+{
+    return swapFrom(
+        [&path]() -> Result<core::TomurModel> {
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                return Status::ioError("cannot open model file '" +
+                                       path + "'");
+            }
+            core::TomurModel model;
+            if (Status st = model.load(in); !st)
+                return st;
+            return model;
+        },
+        path);
+}
+
+std::size_t
+ModelRegistry::swapsSucceeded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return swapsSucceeded_;
+}
+
+std::size_t
+ModelRegistry::swapsFailed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return swapsFailed_;
+}
+
+} // namespace tomur::serve

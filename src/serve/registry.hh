@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Versioned in-memory model registry with atomic hot-swap.
+ *
+ * The serving daemon must never answer a query with half a model.
+ * The registry holds the active model behind a shared_ptr-to-const:
+ * readers copy the pointer (cheap, under a short mutex hold) and keep
+ * predicting against that immutable snapshot for the whole request,
+ * while a swap builds the incoming model *off to the side* and only
+ * publishes it once fully loaded. A failed load — corrupt file,
+ * truncated stream, wrong NF — leaves the previous version installed
+ * and serving; a loaded-but-degraded model is still published (its
+ * predictions fall through the PR 1 full -> memory-only -> solo
+ * degradation chain, surfaced via confidence), because a limping
+ * model beats a stale one only when the operator says so — the swap
+ * result reports degradation so they can decide.
+ *
+ * Swap attempts are serialized by a separate mutex so two concurrent
+ * reloads cannot interleave versions; readers are never blocked by a
+ * loading model, only by the pointer exchange.
+ */
+
+#ifndef TOMUR_SERVE_REGISTRY_HH
+#define TOMUR_SERVE_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hh"
+#include "tomur/predictor.hh"
+
+namespace tomur::serve {
+
+/** The published model snapshot a request predicts against. */
+struct ModelSnapshot
+{
+    std::shared_ptr<const core::TomurModel> model;
+    std::uint64_t version = 0; ///< 0 = nothing installed yet
+    std::string source;        ///< provenance ("trained", a path)
+
+    explicit operator bool() const { return model != nullptr; }
+};
+
+class ModelRegistry
+{
+  public:
+    /** Loader for swapFrom: produce the incoming model or the
+     *  Status explaining why there is none. */
+    using Loader = std::function<Result<core::TomurModel>()>;
+
+    /** The active snapshot (model may be null before the first
+     *  install). Safe from any thread. */
+    ModelSnapshot current() const;
+
+    /** Active version (0 until the first install). */
+    std::uint64_t version() const;
+
+    /**
+     * Publish a model unconditionally (initial install). Returns the
+     * new version.
+     */
+    std::uint64_t install(core::TomurModel model, std::string source);
+
+    /**
+     * Atomic hot-swap: run `loader`, and only if it succeeds publish
+     * the result. On failure the previous model keeps serving and
+     * the error is returned. Returns the new version on success.
+     */
+    Result<std::uint64_t> swapFrom(const Loader &loader,
+                                   std::string source);
+
+    /** swapFrom over TomurModel::load() on a file. */
+    Result<std::uint64_t> swapFromFile(const std::string &path);
+
+    /** Swap outcome counters (also mirrored into tomur_server_*
+     *  metrics). */
+    std::size_t swapsSucceeded() const;
+    std::size_t swapsFailed() const;
+
+  private:
+    std::uint64_t publish(core::TomurModel model,
+                          std::string source);
+
+    mutable std::mutex mutex_; ///< guards the snapshot fields
+    std::shared_ptr<const core::TomurModel> model_;
+    std::uint64_t version_ = 0;
+    std::string source_;
+    std::size_t swapsSucceeded_ = 0;
+    std::size_t swapsFailed_ = 0;
+
+    std::mutex swapMutex_; ///< serializes swap attempts end-to-end
+};
+
+} // namespace tomur::serve
+
+#endif // TOMUR_SERVE_REGISTRY_HH

@@ -1,0 +1,457 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "common/deadline.hh"
+#include "common/logging.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+
+namespace tomur::serve {
+
+namespace {
+
+struct ServerMetrics
+{
+    Counter &accepted;
+    Counter &acceptFailures;
+    Counter &parseErrors;
+    Counter &requests;
+    Counter &handled;
+    Counter &shed;
+    Counter &throttled;
+    Counter &deadlineMisses;
+    Counter &internalErrors;
+    Counter &dropped;
+    Gauge &connections;
+    Gauge &queueDepth;
+    Histogram &latencyMs;
+};
+
+ServerMetrics &
+serverMetrics()
+{
+    static ServerMetrics m = {
+        metrics().counter("tomur_server_accepted_total"),
+        metrics().counter("tomur_server_accept_failures_total"),
+        metrics().counter("tomur_server_parse_errors_total"),
+        metrics().counter("tomur_server_requests_total"),
+        metrics().counter("tomur_server_handled_total"),
+        metrics().counter("tomur_server_shed_total"),
+        metrics().counter("tomur_server_throttled_total"),
+        metrics().counter("tomur_server_deadline_misses_total"),
+        metrics().counter("tomur_server_internal_errors_total"),
+        metrics().counter("tomur_server_dropped_requests_total"),
+        metrics().gauge("tomur_server_connections"),
+        metrics().gauge("tomur_server_queue_depth"),
+        metrics().histogram(
+            "tomur_server_request_ms",
+            Histogram::exponentialBounds(0.01, 4.0, 10)),
+    };
+    return m;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts, Service &service)
+    : opts_(opts), service_(service)
+{
+    serverMetrics(); // eager registration: every dump shows the family
+}
+
+Server::~Server()
+{
+    for (auto &conn : conns_) {
+        if (!conn->transport->closed())
+            conn->transport->close();
+    }
+}
+
+void
+Server::addConnection(std::unique_ptr<Transport> transport,
+                      std::string client_id)
+{
+    auto conn = std::make_shared<Connection>(opts_.parser);
+    conn->id = nextConnId_++;
+    conn->transport = std::move(transport);
+    conn->clientId = std::move(client_id);
+    if (conns_.size() >= opts_.maxConnections || draining_) {
+        // Immediate 503 + close: the one thing an over-capacity (or
+        // draining) daemon owes a new connection is a fast answer.
+        ++stats_.acceptShed;
+        serverMetrics().shed.inc();
+        HttpResponse resp;
+        resp.status = 503;
+        resp.close = true;
+        resp.body = errorBody(draining_ ? "draining"
+                                        : "connection limit");
+        std::string bytes = renderResponse(resp);
+        (void)conn->transport->write(bytes.data(), bytes.size());
+        conn->transport->close();
+        return;
+    }
+    ++stats_.accepted;
+    serverMetrics().accepted.inc();
+    conns_.push_back(std::move(conn));
+    serverMetrics().connections.set(
+        static_cast<double>(conns_.size()));
+    didWork_ = true;
+}
+
+void
+Server::acceptPhase()
+{
+    if (listener_ == nullptr || draining_)
+        return;
+    for (std::size_t i = 0; i < opts_.maxAcceptsPerStep; ++i) {
+        AcceptResult r = listener_->accept();
+        if (r.none)
+            break;
+        if (!r.error.isOk()) {
+            // A failed accept (EMFILE, injected chaos) must never
+            // stop the daemon; count it and keep serving.
+            ++stats_.acceptFailures;
+            serverMetrics().acceptFailures.inc();
+            warnEvent("server", "accept-failed",
+                      {{"error", r.error.message()}});
+            continue;
+        }
+        addConnection(std::move(r.transport),
+                      r.clientId.empty() ? "anon"
+                                         : std::move(r.clientId));
+    }
+}
+
+bool
+Server::admitBucket(const std::string &client_id)
+{
+    if (opts_.bucketCapacity <= 0.0)
+        return true;
+    auto [it, fresh] =
+        buckets_.try_emplace(client_id, opts_.bucketCapacity);
+    (void)fresh;
+    if (it->second < 1.0)
+        return false;
+    it->second -= 1.0;
+    return true;
+}
+
+void
+Server::tickTokens(double tokens)
+{
+    for (auto &[id, level] : buckets_)
+        level = std::min(opts_.bucketCapacity, level + tokens);
+}
+
+void
+Server::respond(const std::shared_ptr<Connection> &conn,
+                HttpResponse resp)
+{
+    if (resp.close)
+        conn->closeAfterFlush = true;
+    conn->writeBuf += renderResponse(resp);
+    if (conn->writeBuf.size() - conn->writeOff >
+        opts_.maxWriteBufferBytes) {
+        // The peer is not reading; holding its responses hostage in
+        // RAM is how servers die. Drop it.
+        warnEvent("server", "write-buffer-overflow",
+                  {{"client", conn->clientId}});
+        killConnection(conn);
+    }
+}
+
+void
+Server::killConnection(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->dead)
+        return;
+    conn->dead = true;
+    conn->transport->close();
+    ++stats_.connectionsClosed;
+}
+
+void
+Server::admit(const std::shared_ptr<Connection> &conn)
+{
+    while (conn->parser.hasRequest()) {
+        HttpRequest req = conn->parser.takeRequest();
+        ++stats_.requestsAdmitted; // admission *attempts*
+        serverMetrics().requests.inc();
+
+        if (draining_) {
+            ++stats_.shed;
+            serverMetrics().shed.inc();
+            HttpResponse resp;
+            resp.status = 503;
+            resp.close = true;
+            resp.body = errorBody("draining");
+            respond(conn, resp);
+            continue;
+        }
+        if (!admitBucket(conn->clientId)) {
+            ++stats_.throttled;
+            serverMetrics().throttled.inc();
+            HttpResponse resp;
+            resp.status = 429;
+            resp.close = !req.keepAlive;
+            resp.extraHeaders.push_back("Retry-After: 1");
+            resp.body = errorBody("client over admission budget");
+            respond(conn, resp);
+            continue;
+        }
+        if (ready_.size() >= opts_.maxQueueDepth) {
+            ++stats_.shed;
+            serverMetrics().shed.inc();
+            HttpResponse resp;
+            resp.status = 503;
+            resp.close = !req.keepAlive;
+            resp.body = errorBody("request queue is full");
+            respond(conn, resp);
+            continue;
+        }
+        Pending p;
+        p.conn = conn;
+        p.request = std::move(req);
+        p.enqueuedNs = nowNs();
+        ready_.push_back(std::move(p));
+        ++conn->inflight;
+        didWork_ = true;
+    }
+    serverMetrics().queueDepth.set(
+        static_cast<double>(ready_.size()));
+}
+
+void
+Server::readPhase(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->dead || conn->sawEof || conn->parser.failed())
+        return;
+    char buf[8192];
+    std::size_t chunk =
+        std::min(sizeof(buf), opts_.readChunkBytes);
+    for (std::size_t i = 0; i < opts_.maxReadsPerConnPerStep; ++i) {
+        IoResult r = conn->transport->read(buf, chunk);
+        if (!r.ok()) {
+            killConnection(conn);
+            return;
+        }
+        if (r.eof) {
+            conn->sawEof = true;
+            break;
+        }
+        if (r.wouldBlock)
+            break;
+        if (r.n == 0)
+            break;
+        didWork_ = true;
+        if (Status st = conn->parser.feed(buf, r.n); !st) {
+            ++stats_.parseErrors;
+            serverMetrics().parseErrors.inc();
+            conn->parseErrorPending = true;
+            conn->parseErrorResp.status =
+                conn->parser.httpErrorStatus();
+            conn->parseErrorResp.close = true;
+            conn->parseErrorResp.body = errorBody(st.toString());
+            break;
+        }
+    }
+    admit(conn);
+    // A peer that half-closed mid-request will never complete it;
+    // drop the carcass once every admitted request is answered.
+    if (conn->sawEof && conn->inflight == 0 &&
+        !conn->parseErrorPending &&
+        conn->writeBuf.size() == conn->writeOff) {
+        killConnection(conn);
+    }
+}
+
+ServiceReply
+Server::invokeService(const HttpRequest &req)
+{
+    if (opts_.requestDeadlineGranules > 0) {
+        Deadline dl =
+            Deadline::afterGranules(opts_.requestDeadlineGranules);
+        ScopedDeadline scope(dl);
+        return service_.handle(req);
+    }
+    if (opts_.requestDeadlineMs > 0.0) {
+        Deadline dl = Deadline::afterMillis(opts_.requestDeadlineMs);
+        ScopedDeadline scope(dl);
+        return service_.handle(req);
+    }
+    return service_.handle(req);
+}
+
+void
+Server::handlePhase()
+{
+    std::size_t budget = opts_.maxRequestsPerStep;
+    while (budget-- > 0 && !ready_.empty()) {
+        Pending p = std::move(ready_.front());
+        ready_.pop_front();
+        didWork_ = true;
+        if (p.conn->dead) {
+            // The client hung up after admission; the work is moot.
+            ++stats_.droppedRequests;
+            serverMetrics().dropped.inc();
+            continue;
+        }
+        --p.conn->inflight;
+
+        HttpResponse resp;
+        resp.close = !p.request.keepAlive;
+        try {
+            ServiceReply reply = invokeService(p.request);
+            resp.status = reply.status;
+            resp.contentType = reply.contentType;
+            resp.body = std::move(reply.body);
+            ++stats_.requestsHandled;
+            serverMetrics().handled.inc();
+        } catch (const DeadlineExceeded &e) {
+            resp.status = 504;
+            resp.body = errorBody(e.what());
+            ++stats_.deadlineMisses;
+            serverMetrics().deadlineMisses.inc();
+        } catch (const std::exception &e) {
+            resp.status = 500;
+            resp.body = errorBody("internal error");
+            ++stats_.internalErrors;
+            serverMetrics().internalErrors.inc();
+            warnEvent("server", "handler-exception",
+                      {{"target", p.request.target},
+                       {"what", e.what()}});
+        }
+        serverMetrics().latencyMs.observe(
+            static_cast<double>(nowNs() - p.enqueuedNs) / 1e6);
+        respond(p.conn, std::move(resp));
+    }
+    serverMetrics().queueDepth.set(
+        static_cast<double>(ready_.size()));
+}
+
+void
+Server::flushPhase(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->dead)
+        return;
+    if (conn->parseErrorPending && conn->inflight == 0) {
+        conn->parseErrorPending = false;
+        respond(conn, std::move(conn->parseErrorResp));
+        if (conn->dead)
+            return;
+    }
+    while (conn->writeOff < conn->writeBuf.size()) {
+        IoResult r = conn->transport->write(
+            conn->writeBuf.data() + conn->writeOff,
+            conn->writeBuf.size() - conn->writeOff);
+        if (!r.ok() || r.eof) {
+            killConnection(conn);
+            return;
+        }
+        if (r.wouldBlock || r.n == 0)
+            break;
+        conn->writeOff += r.n;
+        didWork_ = true;
+    }
+    if (conn->writeOff == conn->writeBuf.size()) {
+        conn->writeBuf.clear();
+        conn->writeOff = 0;
+        if (conn->closeAfterFlush ||
+            (conn->sawEof && conn->inflight == 0)) {
+            killConnection(conn);
+        }
+    }
+}
+
+bool
+Server::step()
+{
+    didWork_ = false;
+    acceptPhase();
+    // Iterate over a snapshot: phases may mark connections dead but
+    // never add while iterating.
+    for (std::size_t i = 0; i < conns_.size(); ++i)
+        readPhase(conns_[i]);
+    handlePhase();
+    for (std::size_t i = 0; i < conns_.size(); ++i)
+        flushPhase(conns_[i]);
+    std::size_t before = conns_.size();
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const auto &c) {
+                                    return c->dead;
+                                }),
+                 conns_.end());
+    if (conns_.size() != before) {
+        didWork_ = true;
+        serverMetrics().connections.set(
+            static_cast<double>(conns_.size()));
+    }
+    return didWork_;
+}
+
+void
+Server::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    service_.onDrain();
+    TraceSpan span("server.drain-begin");
+    inform("server: drain started");
+}
+
+bool
+Server::drained() const
+{
+    if (!draining_)
+        return false;
+    if (!ready_.empty())
+        return false;
+    for (const auto &conn : conns_) {
+        if (conn->dead)
+            continue;
+        if (conn->inflight > 0 || conn->parseErrorPending ||
+            conn->writeOff < conn->writeBuf.size())
+            return false;
+    }
+    return true;
+}
+
+void
+Server::abortConnections()
+{
+    for (auto &conn : conns_) {
+        if (!conn->dead) {
+            std::size_t pending = conn->inflight;
+            stats_.droppedRequests += pending;
+            killConnection(conn);
+        }
+    }
+    ready_.clear();
+    conns_.clear();
+    serverMetrics().connections.set(0.0);
+}
+
+std::size_t
+Server::openConnections() const
+{
+    std::size_t n = 0;
+    for (const auto &conn : conns_) {
+        if (!conn->dead)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace tomur::serve

@@ -1,0 +1,365 @@
+#include "serve/service.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/deadline.hh"
+#include "common/report.hh"
+#include "common/strutil.hh"
+#include "common/telemetry.hh"
+#include "tomur/attribution.hh"
+
+namespace tomur::serve {
+
+// ---------------------------------------------------------------
+// Flat-JSON field extraction
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Position just past `"key"` followed by ':' (npos if absent). */
+std::size_t
+valueStart(const std::string &body, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t at = 0;
+    while ((at = body.find(needle, at)) != std::string::npos) {
+        std::size_t p = at + needle.size();
+        while (p < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[p])))
+            ++p;
+        if (p < body.size() && body[p] == ':') {
+            ++p;
+            while (p < body.size() &&
+                   std::isspace(
+                       static_cast<unsigned char>(body[p])))
+                ++p;
+            return p;
+        }
+        at += 1; // quoted key without a colon (e.g. a string value)
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+bool
+jsonHasField(const std::string &body, const std::string &key)
+{
+    return valueStart(body, key) != std::string::npos;
+}
+
+Result<double>
+jsonNumberField(const std::string &body, const std::string &key)
+{
+    std::size_t p = valueStart(body, key);
+    if (p == std::string::npos)
+        return Status::notFound("field '" + key + "' is absent");
+    std::size_t end = p;
+    while (end < body.size() &&
+           std::strchr("+-0123456789.eE", body[end]) != nullptr)
+        ++end;
+    if (end == p) {
+        return Status::invalidArgument(
+            "field '" + key + "' is not a number");
+    }
+    std::string token = body.substr(p, end - p);
+    char *stop = nullptr;
+    double v = std::strtod(token.c_str(), &stop);
+    if (stop != token.c_str() + token.size() || !std::isfinite(v)) {
+        return Status::invalidArgument(
+            "field '" + key + "' is not a finite number");
+    }
+    return v;
+}
+
+Result<std::string>
+jsonStringField(const std::string &body, const std::string &key)
+{
+    std::size_t p = valueStart(body, key);
+    if (p == std::string::npos)
+        return Status::notFound("field '" + key + "' is absent");
+    if (p >= body.size() || body[p] != '"') {
+        return Status::invalidArgument(
+            "field '" + key + "' is not a string");
+    }
+    std::string out;
+    for (std::size_t i = p + 1; i < body.size(); ++i) {
+        char c = body[i];
+        if (c == '"')
+            return out;
+        if (c == '\\') {
+            if (i + 1 >= body.size())
+                break;
+            char esc = body[++i];
+            if (esc == '"' || esc == '\\' || esc == '/')
+                out.push_back(esc);
+            else
+                return Status::invalidArgument(
+                    "unsupported escape in field '" + key + "'");
+            continue;
+        }
+        out.push_back(c);
+    }
+    return Status::invalidArgument(
+        "unterminated string in field '" + key + "'");
+}
+
+// ---------------------------------------------------------------
+// Reply helpers
+// ---------------------------------------------------------------
+
+ServiceReply
+replyFromStatus(const Status &st)
+{
+    ServiceReply r;
+    r.status = httpStatusFor(st.code());
+    r.body = errorBody(st.toString());
+    return r;
+}
+
+// ---------------------------------------------------------------
+// ModelService
+// ---------------------------------------------------------------
+
+ModelService::ModelService(
+    ModelRegistry &registry,
+    std::vector<core::ContentionLevel> reference_levels,
+    std::string label)
+    : registry_(registry), levels_(std::move(reference_levels)),
+      label_(std::move(label))
+{
+}
+
+ServiceReply
+ModelService::handle(const HttpRequest &req)
+{
+    const std::string path = req.path();
+    if (path == "/healthz") {
+        if (req.method != "GET" && req.method != "HEAD")
+            return {405, "application/json",
+                    errorBody("use GET /healthz")};
+        return handleHealthz();
+    }
+    if (path == "/metrics") {
+        if (req.method != "GET")
+            return {405, "application/json",
+                    errorBody("use GET /metrics")};
+        return handleMetrics();
+    }
+    if (path == "/report") {
+        if (req.method != "GET")
+            return {405, "application/json",
+                    errorBody("use GET /report")};
+        return handleReport(req);
+    }
+    if (path == "/predict") {
+        if (req.method != "POST")
+            return {405, "application/json",
+                    errorBody("use POST /predict")};
+        return handlePredict(req);
+    }
+    if (path == "/diagnose") {
+        if (req.method != "POST")
+            return {405, "application/json",
+                    errorBody("use POST /diagnose")};
+        return handleDiagnose(req);
+    }
+    if (path == "/reload") {
+        if (req.method != "POST")
+            return {405, "application/json",
+                    errorBody("use POST /reload")};
+        return handleReload(req);
+    }
+    return {404, "application/json",
+            errorBody("no such endpoint '" + path + "'")};
+}
+
+ServiceReply
+ModelService::handleHealthz() const
+{
+    auto snap = registry_.current();
+    bool degraded =
+        snap && snap.model->health().anyDegraded();
+    ServiceReply r;
+    r.body = strf("{\"status\":\"%s\",\"nf\":\"%s\","
+                  "\"model_version\":%llu,\"degraded\":%s}",
+                  draining_ ? "draining" : "ok",
+                  jsonEscape(label_).c_str(),
+                  (unsigned long long)snap.version,
+                  degraded ? "true" : "false");
+    if (!snap) {
+        r.status = 503;
+        r.body = errorBody("no model installed");
+    }
+    return r;
+}
+
+ServiceReply
+ModelService::handleMetrics() const
+{
+    ServiceReply r;
+    r.contentType = "text/plain; version=0.0.4";
+    r.body = metrics().dumpString();
+    return r;
+}
+
+ServiceReply
+ModelService::handleReport(const HttpRequest &req) const
+{
+    ReportArtifacts artifacts;
+    artifacts.metricsText = metrics().dumpString();
+    ReportOptions opts;
+    opts.html = req.queryParam("html") == "1";
+    opts.title = "Tomur serve report (" + label_ + ")";
+    auto rendered = renderReport(artifacts, opts);
+    if (!rendered)
+        return replyFromStatus(rendered.status());
+    ServiceReply r;
+    r.contentType =
+        opts.html ? "text/html; charset=utf-8" : "text/plain";
+    r.body = std::move(rendered.value());
+    return r;
+}
+
+Result<traffic::TrafficProfile>
+ModelService::profileFromBody(const std::string &body) const
+{
+    auto profile = traffic::TrafficProfile::defaults();
+    struct
+    {
+        const char *key;
+        traffic::Attribute attr;
+        double min, max;
+    } fields[] = {
+        {"flows", traffic::Attribute::FlowCount, 1.0, 1e9},
+        {"size", traffic::Attribute::PacketSize, 64.0, 1e6},
+        {"mtbr", traffic::Attribute::Mtbr, 0.0, 1e7},
+    };
+    for (const auto &f : fields) {
+        if (!jsonHasField(body, f.key))
+            continue;
+        auto v = jsonNumberField(body, f.key);
+        if (!v)
+            return v.status();
+        if (v.value() < f.min || v.value() > f.max) {
+            return Status::invalidArgument(
+                strf("field '%s' = %g is outside [%g, %g]", f.key,
+                     v.value(), f.min, f.max));
+        }
+        profile = profile.withAttribute(f.attr, v.value());
+    }
+    return profile;
+}
+
+ServiceReply
+ModelService::handlePredict(const HttpRequest &req) const
+{
+    auto snap = registry_.current();
+    if (!snap) {
+        return {503, "application/json",
+                errorBody("no model installed")};
+    }
+    auto profile = profileFromBody(req.body);
+    if (!profile)
+        return replyFromStatus(profile.status());
+
+    checkDeadline("server.predict");
+    auto b = snap.model->predictDetailed(levels_, profile.value());
+    metrics().counter("tomur_server_predictions_total").inc();
+
+    double drop_pct =
+        b.soloThroughput > 0.0
+            ? 100.0 * (1.0 - b.predicted / b.soloThroughput)
+            : 0.0;
+    ServiceReply r;
+    r.body = strf(
+        "{\"nf\":\"%s\",\"model_version\":%llu,"
+        "\"profile\":{\"flows\":%llu,\"size\":%llu,\"mtbr\":%g},"
+        "\"solo_pps\":%.1f,\"predicted_pps\":%.1f,"
+        "\"drop_pct\":%.2f,\"dominant\":\"%s\","
+        "\"confidence\":%.2f,\"degraded\":%s%s%s}",
+        jsonEscape(label_).c_str(),
+        (unsigned long long)snap.version,
+        (unsigned long long)profile.value().flowCount,
+        (unsigned long long)profile.value().packetSize,
+        profile.value().mtbr, b.soloThroughput, b.predicted,
+        drop_pct,
+        core::attributedResourceName(b.dominantResource),
+        b.confidence, b.degraded ? "true" : "false",
+        b.degraded ? ",\"degraded_reason\":\"" : "",
+        b.degraded
+            ? (jsonEscape(b.degradedReason) + "\"").c_str()
+            : "");
+    return r;
+}
+
+ServiceReply
+ModelService::handleDiagnose(const HttpRequest &req) const
+{
+    auto snap = registry_.current();
+    if (!snap) {
+        return {503, "application/json",
+                errorBody("no model installed")};
+    }
+    auto profile = profileFromBody(req.body);
+    if (!profile)
+        return replyFromStatus(profile.status());
+
+    checkDeadline("server.diagnose");
+    auto b = snap.model->predictDetailed(levels_, profile.value());
+    auto attribution = core::attributeContention(b);
+    metrics().counter("tomur_server_diagnoses_total").inc();
+
+    std::string ranked;
+    for (const auto &c : attribution.ranked) {
+        if (!ranked.empty())
+            ranked += ",";
+        ranked += strf("{\"resource\":\"%s\",\"drop_pps\":%.1f,"
+                       "\"share\":%.3f}",
+                       core::attributedResourceName(c.resource),
+                       c.drop, c.share);
+    }
+    ServiceReply r;
+    r.body = strf(
+        "{\"nf\":\"%s\",\"model_version\":%llu,"
+        "\"dominant\":\"%s\",\"solo_pps\":%.1f,"
+        "\"predicted_pps\":%.1f,\"total_drop_pps\":%.1f,"
+        "\"confidence\":%.2f,\"degraded\":%s,\"ranked\":[%s]}",
+        jsonEscape(label_).c_str(),
+        (unsigned long long)snap.version,
+        core::attributedResourceName(
+            attribution.dominantResource),
+        attribution.soloThroughput, attribution.predicted,
+        attribution.totalDrop, attribution.confidence,
+        attribution.degraded ? "true" : "false", ranked.c_str());
+    return r;
+}
+
+ServiceReply
+ModelService::handleReload(const HttpRequest &req)
+{
+    auto path = jsonStringField(req.body, "model");
+    if (!path)
+        return replyFromStatus(path.status());
+    auto swapped = registry_.swapFromFile(path.value());
+    if (!swapped) {
+        // The previous version keeps serving; say so explicitly.
+        ServiceReply r = replyFromStatus(swapped.status());
+        r.body = strf("{\"error\":\"%s\","
+                      "\"retained_version\":%llu}",
+                      jsonEscape(swapped.status().toString())
+                          .c_str(),
+                      (unsigned long long)registry_.version());
+        return r;
+    }
+    ServiceReply r;
+    r.body = strf("{\"version\":%llu,\"source\":\"%s\"}",
+                  (unsigned long long)swapped.value(),
+                  jsonEscape(path.value()).c_str());
+    return r;
+}
+
+} // namespace tomur::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Request handlers for the serving daemon, split from transport and
+ * connection handling so the service logic is testable without
+ * sockets and the server core is testable without models.
+ *
+ * A Service maps one parsed request onto a reply; the server core
+ * wraps every call in a per-request deadline and a catch-all, so a
+ * handler may throw (DeadlineExceeded included) without taking the
+ * daemon down. ModelService implements the real endpoints over a
+ * ModelRegistry snapshot: every request predicts against one
+ * immutable model version end-to-end, no matter how many hot-swaps
+ * land mid-request.
+ */
+
+#ifndef TOMUR_SERVE_SERVICE_HH
+#define TOMUR_SERVE_SERVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/http.hh"
+#include "serve/registry.hh"
+#include "tomur/contention.hh"
+#include "traffic/profile.hh"
+
+namespace tomur::serve {
+
+/** One handler outcome. */
+struct ServiceReply
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/** ServiceReply from a handler Status (error mapping + JSON body). */
+ServiceReply replyFromStatus(const Status &st);
+
+class Service
+{
+  public:
+    virtual ~Service() = default;
+
+    /**
+     * Handle one request. Runs under the server's per-request
+     * deadline; implementations doing heavy work should call
+     * checkDeadline() at convenient boundaries. May throw — the
+     * server maps DeadlineExceeded to 504 and anything else to 500.
+     */
+    virtual ServiceReply handle(const HttpRequest &req) = 0;
+
+    /** The server entered drain; handlers may flip health answers
+     *  (load balancers should stop routing here). Default: no-op. */
+    virtual void onDrain() {}
+};
+
+/**
+ * The real endpoints:
+ *
+ *   GET  /healthz   liveness + model version + degradation flag
+ *   GET  /metrics   Prometheus-style tomur_* registry dump
+ *   GET  /report    rendered observability report (?html=1)
+ *   POST /predict   {"flows":N,"size":B,"mtbr":M} -> prediction
+ *   POST /diagnose  same body -> ranked contention attribution
+ *   POST /reload    {"model":"PATH"} -> hot-swap the model
+ *
+ * Prediction happens against the registry snapshot and the reference
+ * contention levels captured at construction — the hot path touches
+ * no testbed, so a request costs microseconds, not an equilibrium
+ * solve.
+ */
+class ModelService : public Service
+{
+  public:
+    ModelService(ModelRegistry &registry,
+                 std::vector<core::ContentionLevel> reference_levels,
+                 std::string label);
+
+    ServiceReply handle(const HttpRequest &req) override;
+
+    /** Flip the health answer to "draining" (the server calls this
+     *  via onDrain when drain begins). */
+    void setDraining(bool draining) { draining_ = draining; }
+
+    void onDrain() override { setDraining(true); }
+
+  private:
+    ServiceReply handleHealthz() const;
+    ServiceReply handleMetrics() const;
+    ServiceReply handleReport(const HttpRequest &req) const;
+    ServiceReply handlePredict(const HttpRequest &req) const;
+    ServiceReply handleDiagnose(const HttpRequest &req) const;
+    ServiceReply handleReload(const HttpRequest &req);
+
+    Result<traffic::TrafficProfile>
+    profileFromBody(const std::string &body) const;
+
+    ModelRegistry &registry_;
+    std::vector<core::ContentionLevel> levels_;
+    std::string label_;
+    bool draining_ = false;
+};
+
+/**
+ * Minimal flat-JSON field extraction for the request bodies above.
+ * Deliberately not a general JSON parser: it finds `"key"` at the
+ * top level and parses the scalar after the colon, with strict
+ * syntax on what it does accept (no NaN/Inf, no trailing garbage in
+ * the number). Bodies are already size-capped by the HTTP parser.
+ */
+Result<double> jsonNumberField(const std::string &body,
+                               const std::string &key);
+Result<std::string> jsonStringField(const std::string &body,
+                                    const std::string &key);
+/** True when the key appears at all (absent fields keep defaults). */
+bool jsonHasField(const std::string &body, const std::string &key);
+
+} // namespace tomur::serve
+
+#endif // TOMUR_SERVE_SERVICE_HH

@@ -1,0 +1,268 @@
+#include "serve/transport.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/strutil.hh"
+
+namespace tomur::serve {
+
+// ---------------------------------------------------------------
+// MemoryTransport
+// ---------------------------------------------------------------
+
+IoResult
+MemoryTransport::read(char *buf, std::size_t cap)
+{
+    IoResult r;
+    if (closed_) {
+        r.error = Status::failedPrecondition(
+            "read on a closed memory transport");
+        return r;
+    }
+    if (toServer_.empty()) {
+        if (clientDone_)
+            r.eof = true;
+        else
+            r.wouldBlock = true;
+        return r;
+    }
+    std::size_t n = std::min(cap, toServer_.size());
+    if (readChunkCap_ > 0)
+        n = std::min(n, readChunkCap_);
+    std::memcpy(buf, toServer_.data(), n);
+    toServer_.erase(0, n);
+    r.n = n;
+    return r;
+}
+
+IoResult
+MemoryTransport::write(const char *buf, std::size_t n)
+{
+    IoResult r;
+    if (closed_) {
+        r.error = Status::failedPrecondition(
+            "write on a closed memory transport");
+        return r;
+    }
+    toClient_.append(buf, n);
+    r.n = n;
+    return r;
+}
+
+void
+MemoryTransport::clientWrite(const std::string &bytes)
+{
+    toServer_ += bytes;
+}
+
+std::string
+MemoryTransport::clientRead()
+{
+    std::string out;
+    out.swap(toClient_);
+    return out;
+}
+
+// ---------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------
+
+SocketTransport::SocketTransport(int fd)
+    : fd_(fd)
+{
+}
+
+SocketTransport::~SocketTransport()
+{
+    close();
+}
+
+IoResult
+SocketTransport::read(char *buf, std::size_t cap)
+{
+    IoResult r;
+    if (fd_ < 0) {
+        r.error = Status::failedPrecondition(
+            "read on a closed socket");
+        return r;
+    }
+    ssize_t n = ::read(fd_, buf, cap);
+    if (n > 0) {
+        r.n = static_cast<std::size_t>(n);
+    } else if (n == 0) {
+        r.eof = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR) {
+        r.wouldBlock = true;
+    } else {
+        r.error = Status::ioError(
+            strf("socket read: %s", std::strerror(errno)));
+    }
+    return r;
+}
+
+IoResult
+SocketTransport::write(const char *buf, std::size_t n)
+{
+    IoResult r;
+    if (fd_ < 0) {
+        r.error = Status::failedPrecondition(
+            "write on a closed socket");
+        return r;
+    }
+    ssize_t w = ::write(fd_, buf, n);
+    if (w >= 0) {
+        r.n = static_cast<std::size_t>(w);
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR) {
+        r.wouldBlock = true;
+    } else if (errno == EPIPE || errno == ECONNRESET) {
+        r.eof = true;
+    } else {
+        r.error = Status::ioError(
+            strf("socket write: %s", std::strerror(errno)));
+    }
+    return r;
+}
+
+void
+SocketTransport::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ---------------------------------------------------------------
+// MemoryListener
+// ---------------------------------------------------------------
+
+AcceptResult
+MemoryListener::accept()
+{
+    AcceptResult r;
+    if (queue_.empty()) {
+        r.none = true;
+        return r;
+    }
+    Entry e = std::move(queue_.front());
+    queue_.pop_front();
+    if (!e.error.isOk()) {
+        r.error = std::move(e.error);
+        return r;
+    }
+    r.transport = std::move(e.transport);
+    r.clientId = std::move(e.clientId);
+    return r;
+}
+
+void
+MemoryListener::enqueue(std::unique_ptr<Transport> t,
+                        std::string client_id)
+{
+    Entry e;
+    e.transport = std::move(t);
+    e.clientId = std::move(client_id);
+    queue_.push_back(std::move(e));
+}
+
+void
+MemoryListener::enqueueFailure(Status error)
+{
+    Entry e;
+    e.error = std::move(error);
+    queue_.push_back(std::move(e));
+}
+
+// ---------------------------------------------------------------
+// FaultInjectingTransport
+// ---------------------------------------------------------------
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, TransportFaults faults)
+    : inner_(std::move(inner)), faults_(faults), rng_(faults.seed)
+{
+}
+
+bool
+FaultInjectingTransport::roll(double rate)
+{
+    if (rate <= 0.0)
+        return false;
+    if (!rng_.chance(rate))
+        return false;
+    ++injected_;
+    return true;
+}
+
+IoResult
+FaultInjectingTransport::read(char *buf, std::size_t cap)
+{
+    if (roll(faults_.disconnectRate)) {
+        // Torn request: the peer vanishes; whatever bytes were in
+        // flight are gone for good.
+        inner_->close();
+        IoResult r;
+        r.eof = true;
+        return r;
+    }
+    if (roll(faults_.eagainRate)) {
+        IoResult r;
+        r.wouldBlock = true;
+        return r;
+    }
+    // Shrink the request, never the result: every byte the inner
+    // stream produced is delivered, just one at a time.
+    if (cap > 1 && roll(faults_.shortReadRate))
+        cap = 1;
+    return inner_->read(buf, cap);
+}
+
+IoResult
+FaultInjectingTransport::write(const char *buf, std::size_t n)
+{
+    if (roll(faults_.disconnectRate)) {
+        inner_->close();
+        IoResult r;
+        r.eof = true;
+        return r;
+    }
+    if (roll(faults_.eagainRate)) {
+        IoResult r;
+        r.wouldBlock = true;
+        return r;
+    }
+    if (n > 1 && roll(faults_.shortWriteRate))
+        n = 1;
+    return inner_->write(buf, n);
+}
+
+// ---------------------------------------------------------------
+// FaultInjectingListener
+// ---------------------------------------------------------------
+
+FaultInjectingListener::FaultInjectingListener(Listener &inner,
+                                               double failure_rate,
+                                               std::uint64_t seed)
+    : inner_(inner), failureRate_(failure_rate), rng_(seed)
+{
+}
+
+AcceptResult
+FaultInjectingListener::accept()
+{
+    if (failureRate_ > 0.0 && rng_.chance(failureRate_)) {
+        ++injected_;
+        AcceptResult r;
+        r.error = Status::unavailable("injected accept failure");
+        return r;
+    }
+    return inner_.accept();
+}
+
+} // namespace tomur::serve

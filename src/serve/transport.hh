@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Byte-stream transports for the serving daemon.
+ *
+ * The server core (serve/server.hh) never touches a file descriptor
+ * directly: every connection is a Transport and every accept source
+ * is a Listener. Three implementations exist:
+ *
+ *  - SocketTransport: a non-blocking TCP socket (the epoll path);
+ *  - MemoryTransport: an in-process duplex byte pipe, driven from
+ *    tests and the closed-loop load generator;
+ *  - FaultInjectingTransport / FaultInjectingListener: seeded chaos
+ *    wrappers around any of the above — short reads/writes, EAGAIN
+ *    storms, mid-request disconnects, accept failures — so the whole
+ *    connection state machine is chaos-testable deterministically.
+ *
+ * The I/O contract mirrors non-blocking POSIX semantics but without
+ * errno spelunking: every read/write returns an IoResult that says
+ * how many bytes moved and whether the stream would block, hit EOF,
+ * or failed. Short reads and writes are *normal* (the parser and the
+ * write-buffer flush loop are built around them); only `error` is
+ * terminal for a connection.
+ */
+
+#ifndef TOMUR_SERVE_TRANSPORT_HH
+#define TOMUR_SERVE_TRANSPORT_HH
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace tomur::serve {
+
+/** Outcome of one non-blocking read/write attempt. */
+struct IoResult
+{
+    std::size_t n = 0;      ///< bytes actually moved
+    bool wouldBlock = false; ///< nothing to do right now (EAGAIN)
+    bool eof = false;        ///< peer closed its half of the stream
+    Status error = Status::ok(); ///< terminal transport failure
+
+    bool ok() const { return error.isOk(); }
+};
+
+/** A bidirectional byte stream (one accepted connection). */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Read up to `cap` bytes into `buf`. */
+    virtual IoResult read(char *buf, std::size_t cap) = 0;
+
+    /** Write up to `n` bytes from `buf`; short writes are normal. */
+    virtual IoResult write(const char *buf, std::size_t n) = 0;
+
+    /** Close the stream (idempotent). */
+    virtual void close() = 0;
+
+    /** True once close() has been called (either side). */
+    virtual bool closed() const = 0;
+
+    /** Underlying file descriptor, or -1 for in-process transports
+     *  (the epoll loop needs it; the deterministic core does not). */
+    virtual int fd() const { return -1; }
+};
+
+// ---------------------------------------------------------------
+// In-process transport (tests, load generator)
+// ---------------------------------------------------------------
+
+/**
+ * A duplex in-memory pipe. The server side uses the Transport
+ * interface; the test/client side uses the client*() methods. No
+ * internal locking: the deterministic server core and its driver run
+ * on one thread by design.
+ */
+class MemoryTransport : public Transport
+{
+  public:
+    // Server side.
+    IoResult read(char *buf, std::size_t cap) override;
+    IoResult write(const char *buf, std::size_t n) override;
+    void close() override { closed_ = true; }
+    bool closed() const override { return closed_; }
+
+    // Client side.
+    /** Queue bytes for the server to read. */
+    void clientWrite(const std::string &bytes);
+    /** Half-close: the server sees EOF after draining the buffer. */
+    void clientShutdown() { clientDone_ = true; }
+    /** Take everything the server has written so far. */
+    std::string clientRead();
+    /** Bytes the server has written and the client has not taken. */
+    std::size_t clientPending() const { return toClient_.size(); }
+
+    /** Cap on bytes handed to the server per read() call (0 = no
+     *  cap). Lets tests force incremental parsing deterministically. */
+    void setReadChunkCap(std::size_t cap) { readChunkCap_ = cap; }
+
+  private:
+    std::string toServer_;  ///< client -> server bytes
+    std::string toClient_;  ///< server -> client bytes
+    std::size_t readChunkCap_ = 0;
+    bool clientDone_ = false;
+    bool closed_ = false;
+};
+
+/**
+ * Shared-ownership view over a transport. The server destroys the
+ * Transport it holds when it reaps a connection; a test or load-
+ * generator client that still needs its side of a MemoryTransport
+ * hands the server one of these and keeps the shared_ptr.
+ */
+class SharedTransport : public Transport
+{
+  public:
+    explicit SharedTransport(std::shared_ptr<Transport> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    IoResult read(char *buf, std::size_t cap) override
+    {
+        return inner_->read(buf, cap);
+    }
+    IoResult write(const char *buf, std::size_t n) override
+    {
+        return inner_->write(buf, n);
+    }
+    void close() override { inner_->close(); }
+    bool closed() const override { return inner_->closed(); }
+    int fd() const override { return inner_->fd(); }
+
+  private:
+    std::shared_ptr<Transport> inner_;
+};
+
+// ---------------------------------------------------------------
+// Real sockets (the epoll path)
+// ---------------------------------------------------------------
+
+/** A non-blocking socket. Takes ownership of the fd. */
+class SocketTransport : public Transport
+{
+  public:
+    explicit SocketTransport(int fd);
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    IoResult read(char *buf, std::size_t cap) override;
+    IoResult write(const char *buf, std::size_t n) override;
+    void close() override;
+    bool closed() const override { return fd_ < 0; }
+    int fd() const override { return fd_; }
+
+  private:
+    int fd_;
+};
+
+// ---------------------------------------------------------------
+// Accept sources
+// ---------------------------------------------------------------
+
+/** One accept() outcome. Exactly one of transport / none / error
+ *  is meaningful: a transport when a connection arrived, none=true
+ *  when nothing is pending, an error Status otherwise. */
+struct AcceptResult
+{
+    std::unique_ptr<Transport> transport;
+    std::string clientId; ///< admission key (peer address or label)
+    bool none = false;
+    Status error = Status::ok();
+};
+
+/** Source of new connections. */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+    virtual AcceptResult accept() = 0;
+};
+
+/** In-process listener: tests push pre-built transports. */
+class MemoryListener : public Listener
+{
+  public:
+    AcceptResult accept() override;
+
+    /** Queue a connection for the next accept(). */
+    void enqueue(std::unique_ptr<Transport> t, std::string client_id);
+    /** Queue a one-shot accept failure ahead of pending entries. */
+    void enqueueFailure(Status error);
+
+    std::size_t pending() const { return queue_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<Transport> transport;
+        std::string clientId;
+        Status error = Status::ok();
+    };
+    std::deque<Entry> queue_;
+};
+
+// ---------------------------------------------------------------
+// Chaos wrappers
+// ---------------------------------------------------------------
+
+/** Per-operation fault probabilities for the chaos transport. All
+ *  rates are in [0, 1] and drawn from one seeded stream, so a given
+ *  (seed, operation sequence) replays the identical fault pattern. */
+struct TransportFaults
+{
+    double shortReadRate = 0.0;  ///< cap a read at 1 byte
+    double shortWriteRate = 0.0; ///< cap a write at 1 byte
+    double eagainRate = 0.0;     ///< spurious wouldBlock
+    double disconnectRate = 0.0; ///< peer vanishes mid-stream
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Wraps any Transport with seeded fault injection. Short reads and
+ * writes shrink the request *before* touching the inner stream, so
+ * no bytes are ever lost or duplicated — they only arrive one at a
+ * time, exercising every incremental-parse boundary. Disconnects
+ * close the inner transport mid-stream: the torn-request case.
+ */
+class FaultInjectingTransport : public Transport
+{
+  public:
+    FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                            TransportFaults faults);
+
+    IoResult read(char *buf, std::size_t cap) override;
+    IoResult write(const char *buf, std::size_t n) override;
+    void close() override { inner_->close(); }
+    bool closed() const override { return inner_->closed(); }
+    int fd() const override { return inner_->fd(); }
+
+    /** Faults injected so far (tests assert the chaos was real). */
+    std::size_t faultsInjected() const { return injected_; }
+
+  private:
+    bool roll(double rate);
+
+    std::unique_ptr<Transport> inner_;
+    TransportFaults faults_;
+    Rng rng_;
+    std::size_t injected_ = 0;
+};
+
+/** Wraps a Listener so accept() fails with probability
+ *  `failureRate` (seeded; the failed accept consumes no entry). */
+class FaultInjectingListener : public Listener
+{
+  public:
+    FaultInjectingListener(Listener &inner, double failure_rate,
+                           std::uint64_t seed);
+
+    AcceptResult accept() override;
+
+    std::size_t failuresInjected() const { return injected_; }
+
+  private:
+    Listener &inner_;
+    double failureRate_;
+    Rng rng_;
+    std::size_t injected_ = 0;
+};
+
+} // namespace tomur::serve
+
+#endif // TOMUR_SERVE_TRANSPORT_HH

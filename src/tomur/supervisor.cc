@@ -666,8 +666,35 @@ runAutopilot(ReplayContext &ctx,
     measure.prewarm(deployments);
 
     // ---- Serial supervised replay ----
-    for (std::size_t sample0 = startSample; sample0 < total;
-         ++sample0) {
+    bool stoppedEarly = false;
+    std::size_t sample0 = startSample;
+    for (; sample0 < total; ++sample0) {
+        if (opts.stopRequested && opts.stopRequested()) {
+            // Cooperative stop (SIGTERM/SIGINT via the CLI): persist
+            // a final checkpoint at the current cursor so a resumed
+            // run continues exactly where this one left off, then
+            // return cleanly instead of dying mid-generation.
+            stoppedEarly = true;
+            if (store != nullptr) {
+                supervisor.noteCheckpointWritten(
+                    sample0, store->nextGeneration());
+                auto body = buildCheckpointBody(ctx, monitor,
+                                                supervisor, sample0);
+                if (!body.isOk())
+                    return body.status();
+                Status wrote = store->writeGeneration(body.value());
+                if (!wrote.isOk()) {
+                    warnEvent(
+                        "autopilot", "final-checkpoint-failed",
+                        {{"sample", std::to_string(sample0)},
+                         {"error", wrote.message()}});
+                }
+            }
+            inform(strf("autopilot: stop requested at sample %zu/"
+                        "%zu; final checkpoint written",
+                        sample0, total));
+            break;
+        }
         checkDeadline("supervisor.autopilot");
         const std::size_t i = stepOfSample[sample0];
         const auto &step = schedule[i];
@@ -736,6 +763,8 @@ runAutopilot(ReplayContext &ctx,
     AutopilotResult res;
     res.samples = total;
     res.startSample = startSample;
+    res.stoppedEarly = stoppedEarly;
+    res.stoppedAtSample = sample0;
     res.monitorSummary = monitor.summary();
     res.supervisorSummary = supervisor.summary();
     return res;

@@ -218,6 +218,14 @@ struct AutopilotOptions
     std::size_t checkpointEverySamples = 0;
     /** Resume from the newest valid generation when one exists. */
     bool resume = false;
+    /**
+     * Cooperative stop request (e.g. the CLI's SIGTERM/SIGINT flag).
+     * Checked once per sample; when it returns true the loop writes
+     * a final checkpoint (if a store is attached) and returns with
+     * stoppedEarly set — a clean, resumable exit instead of dying
+     * mid-generation. Null = never stop early.
+     */
+    std::function<bool()> stopRequested;
 };
 
 /** Autopilot outcome. */
@@ -225,6 +233,10 @@ struct AutopilotResult
 {
     std::size_t samples = 0;     ///< total samples in the schedule
     std::size_t startSample = 0; ///< samples skipped via resume
+    /** A cooperative stop request ended the run before the schedule
+     *  did; resume from the final checkpoint to continue. */
+    bool stoppedEarly = false;
+    std::size_t stoppedAtSample = 0; ///< samples completed at stop
     MonitorSummary monitorSummary;
     SupervisorSummary supervisorSummary;
 };

@@ -1,0 +1,1077 @@
+/**
+ * @file
+ * Serving-daemon tests: the hardened HTTP parser (including seeded
+ * byte-soup fuzz, truncation at every offset, and pipelined garbage),
+ * the deterministic server core's shedding / deadline / drain
+ * machinery, chaos runs through the fault-injecting transports, the
+ * versioned model registry's atomic hot-swap, and the real
+ * ModelService endpoints. The ParallelServe suite hammers the
+ * registry from concurrent readers and swappers and is picked up by
+ * the TSan target derivation in tools/run_sanitized_tests.sh.
+ *
+ * Everything here drives the core through MemoryTransports: no
+ * sockets, no wall-clock dependence (deadline tests use granule
+ * budgets), every chaos scenario seeded and reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.hh"
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "common/threadpool.hh"
+#include "nfs/registry.hh"
+#include "regex/ruleset.hh"
+#include "serve/registry.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "serve/transport.hh"
+#include "sim/faults.hh"
+#include "tomur/profiler.hh"
+
+namespace tomur {
+namespace {
+
+namespace fw = framework;
+using namespace std::string_literals;
+using serve::HttpRequest;
+using serve::HttpRequestParser;
+using serve::HttpResponse;
+using serve::MemoryListener;
+using serve::MemoryTransport;
+using serve::ParserLimits;
+using serve::ServeOptions;
+using serve::Server;
+using serve::ServiceReply;
+using serve::SharedTransport;
+using serve::TransportFaults;
+
+// ---------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------
+
+/** Scan one complete response off `rx`; 0 when incomplete. */
+int
+takeResponse(std::string &rx, std::string *body_out = nullptr)
+{
+    std::size_t hdr_end = rx.find("\r\n\r\n");
+    if (hdr_end == std::string::npos)
+        return 0;
+    std::size_t body_len = 0;
+    std::size_t cl = rx.find("Content-Length:");
+    if (cl != std::string::npos && cl < hdr_end)
+        body_len = std::strtoul(rx.c_str() + cl + 15, nullptr, 10);
+    std::size_t total = hdr_end + 4 + body_len;
+    if (rx.size() < total)
+        return 0;
+    int status = 0;
+    std::size_t sp = rx.find(' ');
+    if (sp != std::string::npos && sp < hdr_end)
+        status = std::atoi(rx.c_str() + sp + 1);
+    if (body_out != nullptr)
+        *body_out = rx.substr(hdr_end + 4, body_len);
+    rx.erase(0, total);
+    return status;
+}
+
+/** Every byte the server wrote must be a well-formed response
+ *  stream: parseable one response after another, nothing left over
+ *  but a possibly-incomplete tail. Returns the statuses seen. */
+std::vector<int>
+drainResponses(std::string &rx)
+{
+    std::vector<int> statuses;
+    while (int s = takeResponse(rx))
+        statuses.push_back(s);
+    return statuses;
+}
+
+/** Service stub with a pluggable handler. */
+struct StubService : serve::Service
+{
+    std::function<ServiceReply(const HttpRequest &)> fn;
+    bool drainSignalled = false;
+
+    StubService()
+    {
+        fn = [](const HttpRequest &req) {
+            ServiceReply r;
+            r.body = "{\"echo\":\"" + req.target + "\"}";
+            return r;
+        };
+    }
+
+    ServiceReply handle(const HttpRequest &req) override
+    {
+        return fn(req);
+    }
+    void onDrain() override { drainSignalled = true; }
+};
+
+std::string
+simpleGet(const std::string &target)
+{
+    return "GET " + target + " HTTP/1.1\r\n\r\n";
+}
+
+std::string
+simplePost(const std::string &target, const std::string &body)
+{
+    return strf("POST %s HTTP/1.1\r\nContent-Length: %zu\r\n\r\n%s",
+                target.c_str(), body.size(), body.c_str());
+}
+
+/** Step until `pred` holds or `cap` steps elapse. */
+template <typename Pred>
+void
+stepUntil(Server &server, Pred pred, int cap = 200)
+{
+    for (int i = 0; i < cap && !pred(); ++i)
+        server.step();
+}
+
+// ---------------------------------------------------------------
+// Parser: correct streams
+// ---------------------------------------------------------------
+
+TEST(HttpParser, ParsesSimpleGet)
+{
+    HttpRequestParser p;
+    std::string req = "GET /healthz?html=1 HTTP/1.1\r\n"
+                      "Host: x\r\n\r\n";
+    ASSERT_TRUE(p.feed(req.data(), req.size()).isOk());
+    ASSERT_TRUE(p.hasRequest());
+    HttpRequest r = p.takeRequest();
+    EXPECT_EQ(r.method, "GET");
+    EXPECT_EQ(r.path(), "/healthz");
+    EXPECT_EQ(r.queryParam("html"), "1");
+    EXPECT_EQ(r.header("host"), "x");
+    EXPECT_TRUE(r.keepAlive);
+    EXPECT_FALSE(p.midRequest());
+}
+
+TEST(HttpParser, ParsesPostBodyExactly)
+{
+    HttpRequestParser p;
+    std::string req = simplePost("/predict", "{\"flows\":1}");
+    ASSERT_TRUE(p.feed(req.data(), req.size()).isOk());
+    ASSERT_TRUE(p.hasRequest());
+    EXPECT_EQ(p.takeRequest().body, "{\"flows\":1}");
+}
+
+TEST(HttpParser, ByteAtATimeFeedIsEquivalent)
+{
+    std::string req = simplePost("/predict", "{\"flows\":42}") +
+                      simpleGet("/metrics");
+    HttpRequestParser p;
+    for (char c : req)
+        ASSERT_TRUE(p.feed(&c, 1).isOk());
+    ASSERT_TRUE(p.hasRequest());
+    EXPECT_EQ(p.takeRequest().body, "{\"flows\":42}");
+    ASSERT_TRUE(p.hasRequest());
+    EXPECT_EQ(p.takeRequest().target, "/metrics");
+}
+
+TEST(HttpParser, TruncationAtEveryOffsetThenResumption)
+{
+    // A valid request split at every possible byte boundary must
+    // parse identically; the truncated prefix alone must never be an
+    // error (only incomplete).
+    std::string req = "POST /predict HTTP/1.1\r\n"
+                      "Content-Length: 11\r\n"
+                      "Connection: keep-alive\r\n\r\n"
+                      "{\"flows\":1}";
+    for (std::size_t cut = 0; cut <= req.size(); ++cut) {
+        HttpRequestParser p;
+        ASSERT_TRUE(p.feed(req.data(), cut).isOk())
+            << "cut at " << cut;
+        EXPECT_FALSE(p.failed()) << "cut at " << cut;
+        EXPECT_EQ(p.hasRequest(), cut == req.size());
+        ASSERT_TRUE(
+            p.feed(req.data() + cut, req.size() - cut).isOk())
+            << "resume at " << cut;
+        ASSERT_TRUE(p.hasRequest()) << "resume at " << cut;
+        EXPECT_EQ(p.takeRequest().body, "{\"flows\":1}");
+    }
+}
+
+TEST(HttpParser, Http10DefaultsToClose)
+{
+    HttpRequestParser p;
+    std::string req = "GET / HTTP/1.0\r\n\r\n";
+    ASSERT_TRUE(p.feed(req.data(), req.size()).isOk());
+    ASSERT_TRUE(p.hasRequest());
+    EXPECT_FALSE(p.takeRequest().keepAlive);
+}
+
+TEST(HttpParser, ConnectionCloseHonoured)
+{
+    HttpRequestParser p;
+    std::string req = "GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+    ASSERT_TRUE(p.feed(req.data(), req.size()).isOk());
+    ASSERT_TRUE(p.hasRequest());
+    EXPECT_FALSE(p.takeRequest().keepAlive);
+}
+
+// ---------------------------------------------------------------
+// Parser: hostile streams
+// ---------------------------------------------------------------
+
+struct Poisoning
+{
+    const char *stream;
+    int http;
+};
+
+TEST(HttpParserRejects, MalformedStreamsPoisonWithRightStatus)
+{
+    const Poisoning cases[] = {
+        {"NOT-A-REQUEST\r\n\r\n", 400},
+        {"GET\r\n\r\n", 400},
+        {"GET / HTTP/2.0\r\n\r\n", 505},
+        {"GET / FTP/1.1\r\n\r\n", 505},
+        {"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+        {"POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n", 400},
+        {"POST / HTTP/1.1\r\nContent-Length: 1\r\n"
+         "Content-Length: 2\r\n\r\n",
+         400},
+        {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+         501},
+        {"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400},
+    };
+    for (const auto &c : cases) {
+        HttpRequestParser p;
+        Status st = p.feed(c.stream, std::strlen(c.stream));
+        EXPECT_FALSE(st.isOk()) << c.stream;
+        EXPECT_TRUE(p.failed()) << c.stream;
+        EXPECT_EQ(p.httpErrorStatus(), c.http) << c.stream;
+        EXPECT_FALSE(p.hasRequest()) << c.stream;
+        // Poison is permanent: further bytes change nothing.
+        EXPECT_FALSE(p.feed("GET / HTTP/1.1\r\n\r\n", 18).isOk());
+        EXPECT_FALSE(p.hasRequest());
+    }
+}
+
+TEST(HttpParserRejects, OversizedDimensionsAreCappedBeforeBuffering)
+{
+    ParserLimits tight;
+    tight.maxRequestLineBytes = 64;
+    tight.maxHeaderBytes = 128;
+    tight.maxHeaders = 4;
+    tight.maxBodyBytes = 32;
+
+    { // request line
+        HttpRequestParser p(tight);
+        std::string line = "GET /" + std::string(200, 'a');
+        EXPECT_FALSE(p.feed(line.data(), line.size()).isOk());
+        EXPECT_EQ(p.httpErrorStatus(), 431);
+    }
+    { // total header bytes (no terminating newline needed)
+        HttpRequestParser p(tight);
+        std::string req =
+            "GET / HTTP/1.1\r\nX: " + std::string(200, 'b');
+        EXPECT_FALSE(p.feed(req.data(), req.size()).isOk());
+        EXPECT_EQ(p.httpErrorStatus(), 431);
+    }
+    { // header count
+        HttpRequestParser p(tight);
+        std::string req = "GET / HTTP/1.1\r\n";
+        for (int i = 0; i < 6; ++i)
+            req += strf("H%d: v\r\n", i);
+        req += "\r\n";
+        EXPECT_FALSE(p.feed(req.data(), req.size()).isOk());
+        EXPECT_EQ(p.httpErrorStatus(), 431);
+    }
+    { // declared body size: rejected before any body byte arrives
+        HttpRequestParser p(tight);
+        std::string req =
+            "POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n";
+        EXPECT_FALSE(p.feed(req.data(), req.size()).isOk());
+        EXPECT_EQ(p.httpErrorStatus(), 413);
+    }
+}
+
+TEST(HttpParserFuzz, ByteSoupNeverCrashes)
+{
+    // Seeded and deterministic: the same hostile streams every run.
+    // The property is "no crash, no hang, and a poisoned parser
+    // reports one of the documented HTTP statuses" — not that any
+    // particular soup parses.
+    Rng rng(20260808);
+    const std::string alphabet =
+        "GET POST/predict HTTP/1.1\r\n\t:0123456789"
+        "Content-Length Transfer-Encoding{}\"\\\x01\x7f\x00"s;
+    for (int iter = 0; iter < 500; ++iter) {
+        HttpRequestParser p;
+        std::size_t len =
+            1 + rng.uniformInt(std::uint64_t(300));
+        std::string soup;
+        for (std::size_t i = 0; i < len; ++i)
+            soup.push_back(
+                alphabet[rng.uniformInt(alphabet.size())]);
+        // Feed in random-sized chunks to hit every resume path.
+        std::size_t off = 0;
+        while (off < soup.size()) {
+            std::size_t chunk = 1 + rng.uniformInt(std::uint64_t(7));
+            chunk = std::min(chunk, soup.size() - off);
+            (void)p.feed(soup.data() + off, chunk);
+            off += chunk;
+        }
+        while (p.hasRequest())
+            (void)p.takeRequest();
+        if (p.failed()) {
+            int s = p.httpErrorStatus();
+            EXPECT_TRUE(s == 400 || s == 413 || s == 431 ||
+                        s == 501 || s == 505)
+                << "status " << s << " for: " << soup;
+        }
+    }
+}
+
+TEST(HttpParserFuzz, PipelinedGarbageAfterValidRequests)
+{
+    // Valid requests followed by garbage: everything before the
+    // poison parses; the poison is reported; nothing after it leaks.
+    Rng rng(4242);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::size_t valid =
+            1 + rng.uniformInt(std::uint64_t(3));
+        std::string stream;
+        for (std::size_t i = 0; i < valid; ++i)
+            stream += simplePost("/predict", "{\"flows\":7}");
+        std::string garbage = "\x01\x02garbage without structure";
+        stream += garbage.substr(
+            0, 1 + rng.uniformInt(garbage.size() - 1));
+
+        HttpRequestParser p;
+        Status st = p.feed(stream.data(), stream.size());
+        std::size_t got = 0;
+        while (p.hasRequest()) {
+            EXPECT_EQ(p.takeRequest().body, "{\"flows\":7}");
+            ++got;
+        }
+        EXPECT_EQ(got, valid);
+        // The garbage tail either poisoned the parser already or is
+        // an incomplete prefix; never a parsed request.
+        if (!st.isOk()) {
+            EXPECT_EQ(p.httpErrorStatus(), 400);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Server core: shedding, deadlines, drain
+// ---------------------------------------------------------------
+
+struct CoreHarness
+{
+    explicit CoreHarness(ServeOptions opts = {},
+                         StubService *svc = nullptr)
+        : service(svc != nullptr ? *svc : ownService),
+          server(opts, service)
+    {
+    }
+
+    /** Connect a client pipe under `id`. */
+    std::shared_ptr<MemoryTransport>
+    connect(const std::string &id)
+    {
+        auto pipe = std::make_shared<MemoryTransport>();
+        server.addConnection(std::make_unique<SharedTransport>(pipe),
+                             id);
+        return pipe;
+    }
+
+    StubService ownService;
+    StubService &service;
+    Server server;
+};
+
+TEST(ServerCore, EchoesThroughMemoryTransport)
+{
+    CoreHarness h;
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/ping"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    std::string rx = pipe->clientRead(), body;
+    EXPECT_EQ(takeResponse(rx, &body), 200);
+    EXPECT_EQ(body, "{\"echo\":\"/ping\"}");
+    EXPECT_EQ(h.server.stats().requestsHandled, 1u);
+}
+
+TEST(ServerCore, QueueOverflowSheds503ButKeepsConnection)
+{
+    ServeOptions opts;
+    opts.maxQueueDepth = 2;
+    opts.maxRequestsPerStep = 1;
+    CoreHarness h(opts);
+    auto pipe = h.connect("c1");
+    // Four pipelined requests hit an empty queue of depth 2: two are
+    // admitted, two shed — and the shed answers arrive first only if
+    // ordering broke, so check the full sequence.
+    std::string burst;
+    for (int i = 0; i < 4; ++i)
+        burst += simpleGet(strf("/r%d", i));
+    pipe->clientWrite(burst);
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 2;
+    });
+    std::string rx = pipe->clientRead();
+    auto statuses = drainResponses(rx);
+    ASSERT_EQ(statuses.size(), 4u);
+    EXPECT_EQ(h.server.stats().shed, 2u);
+    EXPECT_EQ(std::count(statuses.begin(), statuses.end(), 503), 2);
+    EXPECT_EQ(std::count(statuses.begin(), statuses.end(), 200), 2);
+    EXPECT_FALSE(pipe->closed()); // keep-alive survives shedding
+}
+
+TEST(ServerCore, TokenBucketThrottles429AndRecoversOnRefill)
+{
+    ServeOptions opts;
+    opts.bucketCapacity = 2.0;
+    CoreHarness h(opts);
+    auto pipe = h.connect("tenant-a");
+    std::string burst;
+    for (int i = 0; i < 4; ++i)
+        burst += simpleGet("/r");
+    pipe->clientWrite(burst);
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 2;
+    });
+    std::string rx = pipe->clientRead();
+    auto statuses = drainResponses(rx);
+    ASSERT_EQ(statuses.size(), 4u);
+    EXPECT_EQ(std::count(statuses.begin(), statuses.end(), 429), 2);
+    EXPECT_EQ(h.server.stats().throttled, 2u);
+    EXPECT_TRUE(rx.empty());
+
+    // Refill restores admission for the same client.
+    h.server.tickTokens(2.0);
+    pipe->clientWrite(simpleGet("/again"));
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 3;
+    });
+    rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 200);
+}
+
+TEST(ServerCore, PerClientBucketsAreIndependent)
+{
+    ServeOptions opts;
+    opts.bucketCapacity = 1.0;
+    CoreHarness h(opts);
+    auto a = h.connect("tenant-a");
+    auto b = h.connect("tenant-b");
+    a->clientWrite(simpleGet("/a1") + simpleGet("/a2"));
+    b->clientWrite(simpleGet("/b1"));
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 2;
+    });
+    std::string rxa = a->clientRead(), rxb = b->clientRead();
+    auto sa = drainResponses(rxa);
+    ASSERT_EQ(sa.size(), 2u);
+    // Refusals are fast-fail: the 429 for the over-budget second
+    // request goes out at admission time, before the admitted first
+    // request finishes — so it arrives first on the wire.
+    EXPECT_EQ(sa[0], 429); // tenant-a over budget
+    EXPECT_EQ(sa[1], 200);
+    EXPECT_EQ(takeResponse(rxb), 200); // tenant-b unaffected
+}
+
+TEST(ServerCore, ConnectionCapSheds503AndCloses)
+{
+    ServeOptions opts;
+    opts.maxConnections = 1;
+    CoreHarness h(opts);
+    auto keep = h.connect("c1");
+    auto shed = h.connect("c2");
+    std::string rx = shed->clientRead();
+    EXPECT_EQ(takeResponse(rx), 503);
+    EXPECT_TRUE(shed->closed());
+    EXPECT_FALSE(keep->closed());
+    EXPECT_EQ(h.server.stats().acceptShed, 1u);
+}
+
+TEST(ServerCore, DeadlineTripMaps504AndCountsMiss)
+{
+    ServeOptions opts;
+    opts.requestDeadlineGranules = 2; // deterministic budget
+    StubService slow;
+    slow.fn = [](const HttpRequest &) -> ServiceReply {
+        for (int i = 0; i < 8; ++i)
+            checkDeadline("test.slow-handler");
+        return {};
+    };
+    CoreHarness h(opts, &slow);
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/slow"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    std::string rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 504);
+    EXPECT_EQ(h.server.stats().deadlineMisses, 1u);
+    EXPECT_EQ(h.server.stats().requestsHandled, 0u);
+
+    // The daemon moves on: the next (fast) request still succeeds.
+    slow.fn = [](const HttpRequest &) { return ServiceReply{}; };
+    pipe->clientWrite(simpleGet("/fast"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 200);
+}
+
+TEST(ServerCore, HandlerExceptionMaps500AndServerSurvives)
+{
+    StubService bad;
+    bad.fn = [](const HttpRequest &) -> ServiceReply {
+        throw std::runtime_error("handler bug");
+    };
+    CoreHarness h({}, &bad);
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/boom"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    std::string rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 500);
+    EXPECT_EQ(h.server.stats().internalErrors, 1u);
+
+    bad.fn = [](const HttpRequest &) { return ServiceReply{}; };
+    pipe->clientWrite(simpleGet("/ok"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 200);
+}
+
+TEST(ServerCore, ParseErrorAnswers4xxAfterEarlierResponses)
+{
+    CoreHarness h;
+    auto pipe = h.connect("c1");
+    // A valid request pipelined ahead of garbage: the 200 must come
+    // out before the 400, then the connection closes.
+    pipe->clientWrite(simpleGet("/ok") + "\x01garbage\r\n\r\n");
+    stepUntil(h.server, [&] { return pipe->closed(); });
+    std::string rx = pipe->clientRead();
+    auto statuses = drainResponses(rx);
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_EQ(statuses[0], 200);
+    EXPECT_EQ(statuses[1], 400);
+    EXPECT_TRUE(pipe->closed());
+    EXPECT_EQ(h.server.stats().parseErrors, 1u);
+}
+
+TEST(ServerCore, GracefulDrainFinishesAdmittedShedsNew)
+{
+    ServeOptions opts;
+    opts.maxRequestsPerStep = 1;
+    CoreHarness h(opts);
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/admitted"));
+    // Read+admit without handling: one step admits and handles one —
+    // so preload two, drain, then watch both finish and a third shed.
+    pipe->clientWrite(simpleGet("/admitted2"));
+    h.server.step(); // admits both, handles the first
+    h.server.beginDrain();
+    EXPECT_TRUE(h.service.drainSignalled);
+    EXPECT_FALSE(h.server.drained()); // one admitted request pending
+    pipe->clientWrite(simpleGet("/late"));
+    stepUntil(h.server, [&] { return h.server.drained(); });
+    EXPECT_TRUE(h.server.drained());
+    std::string rx = pipe->clientRead();
+    auto statuses = drainResponses(rx);
+    ASSERT_EQ(statuses.size(), 3u);
+    EXPECT_EQ(statuses[0], 200); // handled before drain began
+    // Admitted work finished (a second 200) and the post-drain
+    // request was shed (503, fast-fail so it may precede the 200).
+    EXPECT_EQ(std::count(statuses.begin(), statuses.end(), 200), 2);
+    EXPECT_EQ(std::count(statuses.begin(), statuses.end(), 503), 1);
+    EXPECT_EQ(h.server.stats().requestsHandled, 2u);
+}
+
+TEST(ServerCore, DrainingServerRefusesNewConnections)
+{
+    CoreHarness h;
+    h.server.beginDrain();
+    auto pipe = h.connect("late");
+    std::string rx = pipe->clientRead();
+    EXPECT_EQ(takeResponse(rx), 503);
+    EXPECT_TRUE(pipe->closed());
+    EXPECT_TRUE(h.server.drained());
+}
+
+TEST(ServerCore, WriteBufferOverflowDropsNonReadingClient)
+{
+    ServeOptions opts;
+    opts.maxWriteBufferBytes = 64;
+    StubService big;
+    big.fn = [](const HttpRequest &) {
+        ServiceReply r;
+        r.body = std::string(4096, 'x');
+        return r;
+    };
+    CoreHarness h(opts, &big);
+    // Reads flow but every write would block (a client that sends
+    // and never reads): the response can never flush, the buffer
+    // crosses the cap, and the connection is dropped instead of
+    // growing without bound.
+    struct WriteBlocked : SharedTransport
+    {
+        using SharedTransport::SharedTransport;
+        serve::IoResult write(const char *, std::size_t) override
+        {
+            serve::IoResult r;
+            r.wouldBlock = true;
+            return r;
+        }
+    };
+    auto inner = std::make_shared<MemoryTransport>();
+    h.server.addConnection(std::make_unique<WriteBlocked>(inner),
+                           "firehose");
+    inner->clientWrite(simpleGet("/big"));
+    stepUntil(h.server, [&] {
+        return h.server.openConnections() == 0;
+    });
+    EXPECT_EQ(h.server.openConnections(), 0u);
+    EXPECT_EQ(h.server.stats().connectionsClosed, 1u);
+}
+
+// ---------------------------------------------------------------
+// Chaos: fault-injecting transports and listeners
+// ---------------------------------------------------------------
+
+TEST(ServeChaos, ShortReadsStillProduceCorrectResponses)
+{
+    CoreHarness h;
+    auto inner = std::make_shared<MemoryTransport>();
+    TransportFaults faults;
+    faults.shortReadRate = 1.0; // every read delivers one byte
+    faults.seed = 11;
+    auto chaos = std::make_unique<serve::FaultInjectingTransport>(
+        std::make_unique<SharedTransport>(inner), faults);
+    auto *chaosPtr = chaos.get();
+    h.server.addConnection(std::move(chaos), "slowpoke");
+    inner->clientWrite(simplePost("/predict", "{\"flows\":5}"));
+    stepUntil(h.server, [&] { return inner->clientPending() > 0; },
+              2000);
+    std::string rx = inner->clientRead(), body;
+    EXPECT_EQ(takeResponse(rx, &body), 200);
+    EXPECT_EQ(body, "{\"echo\":\"/predict\"}");
+    EXPECT_GT(chaosPtr->faultsInjected(), 0u);
+}
+
+TEST(ServeChaos, EagainStormsOnlyDelayService)
+{
+    CoreHarness h;
+    auto inner = std::make_shared<MemoryTransport>();
+    TransportFaults faults;
+    faults.eagainRate = 0.8;
+    faults.shortWriteRate = 0.5;
+    faults.seed = 13;
+    h.server.addConnection(
+        std::make_unique<serve::FaultInjectingTransport>(
+            std::make_unique<SharedTransport>(inner), faults),
+        "stormy");
+    for (int i = 0; i < 3; ++i)
+        inner->clientWrite(simpleGet(strf("/r%d", i)));
+    stepUntil(h.server,
+              [&] { return h.server.stats().requestsHandled >= 3; },
+              2000);
+    stepUntil(h.server, [&] { return inner->clientPending() > 0; },
+              2000);
+    std::string rx = inner->clientRead();
+    // Flush progress is fault-gated; keep stepping until all three
+    // responses arrived.
+    for (int i = 0; i < 2000 && drainResponses(rx).size() < 3; ++i) {
+        h.server.step();
+        rx += inner->clientRead();
+    }
+    EXPECT_EQ(h.server.stats().requestsHandled, 3u);
+}
+
+TEST(ServeChaos, MidRequestDisconnectsNeverCrashTheServer)
+{
+    // Seeded chaos soup: many clients, some sending valid requests,
+    // some garbage, all through transports that tear connections and
+    // starve reads. Property: the server survives, and every byte it
+    // emitted frames as well-formed HTTP.
+    Rng rng(987);
+    CoreHarness h;
+    struct Chaotic
+    {
+        std::shared_ptr<MemoryTransport> pipe;
+    };
+    std::vector<Chaotic> clients;
+    for (int i = 0; i < 24; ++i) {
+        Chaotic c;
+        c.pipe = std::make_shared<MemoryTransport>();
+        TransportFaults faults;
+        faults.shortReadRate = 0.3;
+        faults.eagainRate = 0.3;
+        faults.disconnectRate = 0.05;
+        faults.seed = deriveSeed(555, static_cast<std::size_t>(i));
+        h.server.addConnection(
+            std::make_unique<serve::FaultInjectingTransport>(
+                std::make_unique<SharedTransport>(c.pipe), faults),
+            strf("chaos-%d", i));
+        if (rng.uniform() < 0.7) {
+            c.pipe->clientWrite(
+                simplePost("/predict", "{\"flows\":9}"));
+        } else {
+            c.pipe->clientWrite("\x7f\x01 torn garbage \r\n\r\n");
+        }
+        if (rng.uniform() < 0.3)
+            c.pipe->clientShutdown(); // half-close mid-stream
+        clients.push_back(std::move(c));
+    }
+    for (int s = 0; s < 500; ++s)
+        h.server.step();
+    // No crash is most of the property; the rest is well-formedness.
+    for (auto &c : clients) {
+        std::string rx = c.pipe->clientRead();
+        std::string copy = rx;
+        auto statuses = drainResponses(copy);
+        for (int s : statuses) {
+            EXPECT_TRUE(s == 200 || s == 400 || s == 503)
+                << "unexpected status " << s;
+        }
+        // Leftover bytes may only be an incomplete tail, and only if
+        // the connection died mid-flush.
+        if (!copy.empty()) {
+            EXPECT_EQ(copy.find("HTTP/1.1 "), 0u);
+        }
+    }
+}
+
+TEST(ServeChaos, TornRequestIsReapedWithoutAResponse)
+{
+    CoreHarness h;
+    auto pipe = h.connect("torn");
+    std::string full = simplePost("/predict", "{\"flows\":3}");
+    pipe->clientWrite(full.substr(0, full.size() / 2));
+    pipe->clientShutdown();
+    stepUntil(h.server, [&] {
+        return h.server.openConnections() == 0;
+    });
+    EXPECT_EQ(h.server.openConnections(), 0u);
+    EXPECT_EQ(pipe->clientPending(), 0u); // no half response
+    EXPECT_EQ(h.server.stats().requestsHandled, 0u);
+}
+
+TEST(ServeChaos, AcceptFailuresAreCountedNotFatal)
+{
+    StubService svc;
+    Server server({}, svc);
+    MemoryListener inner;
+    serve::FaultInjectingListener listener(inner, 0.5, 99);
+    server.setListener(&listener);
+    std::vector<std::shared_ptr<MemoryTransport>> pipes;
+    for (int i = 0; i < 8; ++i) {
+        auto pipe = std::make_shared<MemoryTransport>();
+        inner.enqueue(std::make_unique<SharedTransport>(pipe),
+                      strf("c%d", i));
+        pipes.push_back(pipe);
+    }
+    inner.enqueueFailure(Status::ioError("EMFILE"));
+    stepUntil(server, [&] { return server.stats().accepted == 8; },
+              500);
+    EXPECT_EQ(server.stats().accepted, 8u);
+    EXPECT_GE(server.stats().acceptFailures, 1u);
+    // Accepted connections actually serve.
+    pipes[0]->clientWrite(simpleGet("/after-chaos"));
+    stepUntil(server, [&] { return pipes[0]->clientPending() > 0; });
+    std::string rx = pipes[0]->clientRead();
+    EXPECT_EQ(takeResponse(rx), 200);
+    server.setListener(nullptr);
+}
+
+// ---------------------------------------------------------------
+// Model registry: versioning + atomic hot-swap
+// ---------------------------------------------------------------
+
+/** Shared trained model + reference levels (built once: training is
+ *  the expensive part of this binary). */
+struct ModelWorld
+{
+    ModelWorld()
+        : rules(regex::defaultRuleSet()), bed(hw::blueField2()),
+          faulty(bed, {})
+    {
+        dev.regex = std::make_shared<fw::RegexDevice>(rules);
+        dev.compression = std::make_shared<fw::CompressionDevice>();
+        dev.crypto = std::make_shared<fw::CryptoDevice>();
+        lib = std::make_unique<core::BenchLibrary>(faulty, dev,
+                                                   rules);
+        trainer = std::make_unique<core::TomurTrainer>(*lib);
+        nf = nfs::makeByName("FlowMonitor", dev);
+        core::TrainOptions topts;
+        topts.adaptive.quota = 60;
+        model = trainer->train(*nf,
+                               traffic::TrafficProfile::defaults(),
+                               topts);
+
+        const core::BenchLibrary::MemBenchEntry *mem =
+            &lib->memBenches().front();
+        for (const auto &e : lib->memBenches()) {
+            if (e.config.wssBytes >= 12.0 * 1024 * 1024 &&
+                e.level.counters.cacheAccessRate() >
+                    mem->level.counters.cacheAccessRate())
+                mem = &e;
+        }
+        levels.push_back(mem->level);
+        levels.push_back(
+            lib->accelBench(hw::AccelKind::Regex, 150e3, 800.0)
+                .level);
+
+        modelFile = testing::TempDir() + "tomur_serve_model.bin";
+        std::ofstream out(modelFile, std::ios::binary);
+        saveStatus = model.save(out);
+    }
+
+    regex::RuleSet rules;
+    fw::DeviceSet dev;
+    sim::Testbed bed;
+    sim::FaultInjectingTestbed faulty;
+    std::unique_ptr<core::BenchLibrary> lib;
+    std::unique_ptr<core::TomurTrainer> trainer;
+    std::unique_ptr<fw::NetworkFunction> nf;
+    core::TomurModel model;
+    std::vector<core::ContentionLevel> levels;
+    std::string modelFile;
+    Status saveStatus = Status::ok();
+};
+
+ModelWorld &
+world()
+{
+    static ModelWorld *w = new ModelWorld();
+    return *w;
+}
+
+TEST(ModelRegistry, InstallBumpsVersionAndPublishesSnapshot)
+{
+    serve::ModelRegistry reg;
+    EXPECT_EQ(reg.version(), 0u);
+    EXPECT_FALSE(reg.current());
+    reg.install(world().model, "trained");
+    EXPECT_EQ(reg.version(), 1u);
+    auto snap = reg.current();
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap.source, "trained");
+}
+
+TEST(ModelRegistry, HotSwapFromFilePublishesNewVersion)
+{
+    ASSERT_TRUE(world().saveStatus.isOk())
+        << world().saveStatus.toString();
+    serve::ModelRegistry reg;
+    reg.install(world().model, "trained");
+    auto swapped = reg.swapFromFile(world().modelFile);
+    ASSERT_TRUE(swapped.isOk()) << swapped.status().toString();
+    EXPECT_EQ(swapped.value(), 2u);
+    EXPECT_EQ(reg.current().source, world().modelFile);
+    EXPECT_EQ(reg.swapsSucceeded(), 1u);
+}
+
+TEST(ModelRegistry, FailedSwapKeepsPreviousVersionServing)
+{
+    serve::ModelRegistry reg;
+    reg.install(world().model, "trained");
+    auto before = reg.current();
+
+    // Missing file.
+    auto missing = reg.swapFromFile("/nonexistent/model.bin");
+    EXPECT_FALSE(missing.isOk());
+
+    // Corrupt file: valid path, garbage bytes.
+    std::string corrupt =
+        testing::TempDir() + "tomur_serve_corrupt.bin";
+    {
+        std::ofstream out(corrupt, std::ios::binary);
+        out << "not a model at all";
+    }
+    auto bad = reg.swapFromFile(corrupt);
+    EXPECT_FALSE(bad.isOk());
+
+    EXPECT_EQ(reg.version(), 1u);
+    EXPECT_EQ(reg.swapsFailed(), 2u);
+    auto after = reg.current();
+    EXPECT_EQ(before.model.get(), after.model.get());
+
+    // The retained model still predicts.
+    auto b = after.model->predictDetailed(
+        world().levels, traffic::TrafficProfile::defaults());
+    EXPECT_GT(b.predicted, 0.0);
+}
+
+TEST(ModelRegistry, SnapshotOutlivesSwap)
+{
+    serve::ModelRegistry reg;
+    reg.install(world().model, "trained");
+    auto snap = reg.current(); // a request in flight
+    ASSERT_TRUE(reg.swapFromFile(world().modelFile).isOk());
+    // The old snapshot keeps working after the swap dropped it.
+    auto b = snap.model->predictDetailed(
+        world().levels, traffic::TrafficProfile::defaults());
+    EXPECT_GT(b.predicted, 0.0);
+    EXPECT_NE(snap.model.get(), reg.current().model.get());
+}
+
+// ---------------------------------------------------------------
+// ModelService endpoints
+// ---------------------------------------------------------------
+
+struct ServiceHarness
+{
+    ServiceHarness()
+        : service(registry, world().levels, "FlowMonitor"),
+          server({}, service)
+    {
+        registry.install(world().model, "trained");
+        pipe = std::make_shared<MemoryTransport>();
+        server.addConnection(std::make_unique<SharedTransport>(pipe),
+                             "tester");
+    }
+
+    /** Round-trip one request; returns status, stores body. */
+    int
+    roundTrip(const std::string &request)
+    {
+        pipe->clientWrite(request);
+        std::size_t handledBefore = server.stats().requestsHandled;
+        stepUntil(server, [&] { return pipe->clientPending() > 0; });
+        (void)handledBefore;
+        std::string rx = pipe->clientRead();
+        return takeResponse(rx, &body);
+    }
+
+    serve::ModelRegistry registry;
+    serve::ModelService service;
+    Server server;
+    std::shared_ptr<MemoryTransport> pipe;
+    std::string body;
+};
+
+TEST(ModelServiceEndpoints, HealthzReportsVersionAndDrain)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simpleGet("/healthz")), 200);
+    EXPECT_NE(h.body.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(h.body.find("\"model_version\":1"),
+              std::string::npos);
+    h.service.setDraining(true);
+    EXPECT_EQ(h.roundTrip(simpleGet("/healthz")), 200);
+    EXPECT_NE(h.body.find("\"status\":\"draining\""),
+              std::string::npos);
+}
+
+TEST(ModelServiceEndpoints, PredictReturnsPrediction)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simplePost(
+                  "/predict",
+                  "{\"flows\":20000,\"size\":512,\"mtbr\":400}")),
+              200);
+    EXPECT_NE(h.body.find("\"predicted_pps\":"), std::string::npos);
+    EXPECT_NE(h.body.find("\"dominant\":"), std::string::npos);
+}
+
+TEST(ModelServiceEndpoints, PredictValidatesProfile)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simplePost("/predict",
+                                     "{\"flows\":-5}")),
+              400);
+    EXPECT_EQ(h.roundTrip(simplePost("/predict",
+                                     "{\"flows\":\"many\"}")),
+              400);
+    EXPECT_EQ(h.roundTrip(simplePost("/predict",
+                                     "{\"flows\":nan}")),
+              400);
+    // A body with no recognised field falls back to the default
+    // traffic profile — degraded input degrades gracefully.
+    EXPECT_EQ(h.roundTrip(simplePost("/predict", "not json")), 200);
+}
+
+TEST(ModelServiceEndpoints, DiagnoseRanksResources)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simplePost("/diagnose",
+                                     "{\"flows\":20000}")),
+              200);
+    EXPECT_NE(h.body.find("\"ranked\":["), std::string::npos);
+}
+
+TEST(ModelServiceEndpoints, MethodAndPathErrors)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simpleGet("/predict")), 405);
+    EXPECT_EQ(h.roundTrip(simplePost("/healthz", "{}")), 405);
+    EXPECT_EQ(h.roundTrip(simpleGet("/no-such-endpoint")), 404);
+}
+
+TEST(ModelServiceEndpoints, MetricsEndpointDumpsRegistry)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simpleGet("/metrics")), 200);
+    EXPECT_NE(h.body.find("tomur_server_requests_total"),
+              std::string::npos);
+}
+
+TEST(ModelServiceEndpoints, ReloadHotSwapsAndReportsFailure)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simplePost(
+                  "/reload",
+                  "{\"model\":\"" + world().modelFile + "\"}")),
+              200);
+    EXPECT_EQ(h.registry.version(), 2u);
+
+    int status = h.roundTrip(simplePost(
+        "/reload", "{\"model\":\"/nonexistent/model.bin\"}"));
+    EXPECT_GE(status, 400);
+    EXPECT_NE(h.body.find("\"retained_version\":2"),
+              std::string::npos);
+    EXPECT_EQ(h.registry.version(), 2u); // still serving v2
+}
+
+// ---------------------------------------------------------------
+// Parallel (TSan-covered): concurrent readers vs hot-swaps
+// ---------------------------------------------------------------
+
+TEST(ParallelServeRegistry, ConcurrentPredictionsDuringHotSwaps)
+{
+    serve::ModelRegistry reg;
+    reg.install(world().model, "trained");
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&reg] {
+            auto profile = traffic::TrafficProfile::defaults();
+            for (int i = 0; i < 200; ++i) {
+                auto snap = reg.current();
+                ASSERT_TRUE(snap);
+                auto b = snap.model->predictDetailed(
+                    world().levels, profile);
+                EXPECT_GT(b.predicted, 0.0);
+            }
+        });
+    }
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < 20; ++i) {
+                auto r = reg.swapFromFile(world().modelFile);
+                EXPECT_TRUE(r.isOk());
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(reg.version(), 41u); // 1 install + 40 swaps
+    EXPECT_EQ(reg.swapsSucceeded(), 40u);
+}
+
+} // namespace
+} // namespace tomur

@@ -1,21 +1,27 @@
 #!/bin/sh
-# Build and run the staged pipeline benchmark and leave a
-# machine-readable performance record in BENCH_micro.json: wall time
-# per pipeline stage (profile sweep, GBR fit, train+predict batch,
-# prediction batch, DES run), once with TOMUR_THREADS=1 and once at
-# the configured pool width, plus per-stage speedups. Commit-to-commit
-# diffs of this file are the repo's perf-regression trail.
+# Build and run the repo's performance benchmarks, leaving machine-
+# readable records whose commit-to-commit diffs are the perf trail:
 #
-# After the run, per-stage times are compared against the baseline
-# committed at HEAD (git show HEAD:BENCH_micro.json); any stage slower
-# by more than the tolerance fails the script, so CI catches perf
-# regressions, not just correctness ones.
+#   BENCH_micro.json  staged pipeline wall times (serial + parallel
+#                     variants, per-stage speedups)
+#   BENCH_serve.json  serving-path QPS and p50/p99 latency from the
+#                     closed-loop load generator (bench/serve_load)
 #
-# Usage: tools/bench_report.sh [output.json]
+# After each run the fresh numbers are compared against the baseline
+# committed at HEAD (git show HEAD:<file>); a stage slower — or a
+# serving path slower / higher-latency — by more than the tolerance
+# fails the script, so CI catches perf regressions, not just
+# correctness ones. Absent baselines (first run, new file) skip the
+# gate instead of failing it.
+#
+# Usage: tools/bench_report.sh [micro_out.json] [serve_out.json]
 #   TOMUR_THREADS=N           width of the parallel variant
 #                             (default: cores)
-#   TOMUR_BENCH_TOLERANCE=F   allowed relative slowdown per stage
+#   TOMUR_BENCH_TOLERANCE=F   allowed relative regression
 #                             (default: 0.15 = 15%)
+#   TOMUR_SERVE_TOLERANCE=F   allowed serving regression
+#                             (default: 0.50 — wall-clock QPS is far
+#                             noisier than stage times)
 #   TOMUR_BENCH_NO_GATE=1     skip the baseline comparison
 # Uses the regular build/ directory next to the repo root.
 set -eu
@@ -23,36 +29,51 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build"
 out="${1:-$repo_root/BENCH_micro.json}"
+serve_out="${2:-$repo_root/BENCH_serve.json}"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target micro_benchmarks
+    --target micro_benchmarks --target serve_load
 
 "$build_dir/bench/micro_benchmarks" --pipeline-only --json="$out"
+"$build_dir/bench/serve_load" --json="$serve_out"
 
-echo ""
-echo "=== $out ==="
-cat "$out"
+for f in "$out" "$serve_out"; do
+    echo ""
+    echo "=== $f ==="
+    if [ -f "$f" ]; then
+        cat "$f"
+    else
+        echo "(missing: benchmark produced no output)"
+    fi
+done
 
 if [ "${TOMUR_BENCH_NO_GATE:-0}" = "1" ]; then
     echo "TOMUR_BENCH_NO_GATE=1: skipping baseline comparison"
     exit 0
 fi
 
-baseline=$(cd "$repo_root" && \
-    git show HEAD:BENCH_micro.json 2>/dev/null || true)
-if [ -z "$baseline" ]; then
-    echo "no committed BENCH_micro.json baseline; skipping gate"
-    exit 0
-fi
+# baseline_of FILE: print the HEAD-committed baseline to stdout, or
+# nothing when HEAD has no copy (first run) — which skips that gate.
+baseline_of() {
+    (cd "$repo_root" && \
+        git show "HEAD:$(basename "$1")" 2>/dev/null || true)
+}
+
+status=0
 
 echo ""
-echo "=== regression gate (vs HEAD baseline) ==="
-base_file=$(mktemp)
-printf '%s' "$baseline" > "$base_file"
-status=0
-python3 - "$out" "$base_file" \
-    "${TOMUR_BENCH_TOLERANCE:-0.15}" <<'EOF' || status=$?
+echo "=== regression gate: BENCH_micro (vs HEAD baseline) ==="
+baseline=$(baseline_of "$out")
+if [ ! -f "$out" ]; then
+    echo "current run left no $out; skipping gate"
+elif [ -z "$baseline" ]; then
+    echo "no committed BENCH_micro.json baseline; skipping gate"
+else
+    base_file=$(mktemp)
+    printf '%s' "$baseline" > "$base_file"
+    python3 - "$out" "$base_file" \
+        "${TOMUR_BENCH_TOLERANCE:-0.15}" <<'EOF' || status=$?
 import json, sys
 
 with open(sys.argv[2]) as f:
@@ -69,6 +90,8 @@ for stage in current.get("stages", []):
         print(f"  {name}: new stage, no baseline")
         continue
     for key in ("serial_sec", "parallel_sec"):
+        if key not in base[name] or key not in stage:
+            continue
         old, new = base[name][key], stage[key]
         if old <= 0:
             continue
@@ -83,5 +106,51 @@ if failed:
     sys.exit(1)
 print("within tolerance")
 EOF
-rm -f "$base_file"
+    rm -f "$base_file"
+fi
+
+echo ""
+echo "=== regression gate: BENCH_serve (vs HEAD baseline) ==="
+baseline=$(baseline_of "$serve_out")
+if [ ! -f "$serve_out" ]; then
+    echo "current run left no $serve_out; skipping gate"
+elif [ -z "$baseline" ]; then
+    echo "no committed BENCH_serve.json baseline; skipping gate"
+else
+    base_file=$(mktemp)
+    printf '%s' "$baseline" > "$base_file"
+    python3 - "$serve_out" "$base_file" \
+        "${TOMUR_SERVE_TOLERANCE:-0.50}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+tol = float(sys.argv[3])
+
+# (metric, direction): qps must not drop, latencies must not grow.
+checks = [("qps", -1), ("p50_ms", +1), ("p99_ms", +1)]
+failed = False
+for key, sign in checks:
+    if key not in baseline or key not in current:
+        print(f"  {key}: absent in baseline or current; skipped")
+        continue
+    old, new = baseline[key], current[key]
+    if old <= 0:
+        continue
+    rel = sign * (new - old) / old
+    mark = "FAIL" if rel > tol else "ok"
+    print(f"  {key}: {old:.3f} -> {new:.3f} ({rel:+.1%} worse) "
+          f"{mark}")
+    if rel > tol:
+        failed = True
+if failed:
+    print(f"serving regression above {tol:.0%} tolerance")
+    sys.exit(1)
+print("within tolerance")
+EOF
+    rm -f "$base_file"
+fi
+
 exit "$status"

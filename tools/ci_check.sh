@@ -3,10 +3,16 @@
 #
 #   1. Tier-1: regular build + full ctest suite (the contract every
 #      PR is held to).
-#   2. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
+#   2. Serve smoke: start the real daemon on an ephemeral port, hit
+#      /healthz + /predict + /metrics over actual sockets, then
+#      SIGTERM it and assert a clean drain (exit 0). The in-memory
+#      transports cover the core exhaustively; this is the one place
+#      the epoll/signal path is exercised end-to-end.
+#   3. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
 #      suite, TSan on the parallel-engine tests).
-#   3. Performance: tools/bench_report.sh (micro benchmark stages
-#      gated against the committed BENCH_micro.json baseline).
+#   4. Performance: tools/bench_report.sh (micro benchmark stages and
+#      serving QPS/latency gated against the committed BENCH_*.json
+#      baselines).
 #
 # Usage: tools/ci_check.sh
 #   TOMUR_SKIP_TSAN=1      forwarded to run_sanitized_tests.sh
@@ -25,11 +31,71 @@ cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 echo ""
-echo "=== Tier 2: sanitizer passes ==="
+echo "=== Tier 2: serve smoke (daemon + graceful drain) ==="
+smoke_dir=$(mktemp -d)
+port_file="$smoke_dir/port"
+"$build_dir/tools/tomur_cli" serve FlowMonitor --port 0 \
+    --port-file "$port_file" > "$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' \
+    EXIT
+
+# The daemon trains before it binds; wait for the port file.
+i=0
+while [ ! -s "$port_file" ]; do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "serve smoke: daemon died before binding" >&2
+        cat "$smoke_dir/serve.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 240 ]; then
+        echo "serve smoke: daemon never wrote $port_file" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+python3 - "$port_file" <<'EOF'
+import json, sys, urllib.request
+
+port = int(open(sys.argv[1]).read().strip())
+base = f"http://127.0.0.1:{port}"
+
+with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+    health = json.load(r)
+assert health["status"] == "ok", health
+
+body = json.dumps({"flows": 20000, "size": 512, "mtbr": 400})
+req = urllib.request.Request(base + "/predict",
+                             data=body.encode(), method="POST")
+with urllib.request.urlopen(req, timeout=10) as r:
+    pred = json.load(r)
+assert pred.get("predicted_pps", 0) > 0, pred
+
+with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+    metrics = r.read().decode()
+assert "tomur_server_requests_total" in metrics, metrics[:200]
+print("serve smoke: healthz/predict/metrics answered correctly")
+EOF
+
+kill -TERM "$serve_pid"
+smoke_status=0
+wait "$serve_pid" || smoke_status=$?
+trap - EXIT
+rm -rf "$smoke_dir"
+if [ "$smoke_status" -ne 0 ]; then
+    echo "serve smoke: daemon exit $smoke_status (wanted 0)" >&2
+    exit 1
+fi
+echo "serve smoke: SIGTERM drained cleanly (exit 0)"
+
+echo ""
+echo "=== Tier 3: sanitizer passes ==="
 "$repo_root/tools/run_sanitized_tests.sh"
 
 echo ""
-echo "=== Tier 3: performance gate ==="
+echo "=== Tier 4: performance gate ==="
 "$repo_root/tools/bench_report.sh"
 
 echo ""

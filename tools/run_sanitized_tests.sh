@@ -8,9 +8,10 @@
 # "no memory error and no UB".
 #
 # Pass 2 (build-tsan/, -DTOMUR_SANITIZE=thread): the parallel-engine
-# tests (thread pool, batched testbed runs, concurrent training) and
+# tests (thread pool, batched testbed runs, concurrent training),
 # the telemetry concurrency properties (striped metric shards,
-# MeasurementCache stats, cross-thread span nesting) under TSan,
+# MeasurementCache stats, cross-thread span nesting), and the serving
+# model registry (concurrent predictions vs hot-swaps) under TSan,
 # which is how "bit-identical results" is upgraded to "and no data
 # race produced them by luck".
 #

@@ -17,6 +17,10 @@
  *                                   breaker recalibration, deadlines
  *   report [--metrics FILE] ...     render collected observability
  *                                   artifacts as a text/HTML dashboard
+ *   serve <NF> [--port P] ...       prediction daemon: HTTP/JSON over
+ *                                   epoll with load shedding, request
+ *                                   deadlines, model hot-swap, and
+ *                                   graceful SIGTERM drain
  *
  * Traffic options: --flows N --size B --mtbr M (defaults 16000 /
  * 1500 / 600). All runs happen on the built-in BlueField-2 testbed;
@@ -53,6 +57,9 @@
 #include "common/trace.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
+#include "serve/epoll_server.hh"
+#include "serve/registry.hh"
+#include "serve/service.hh"
 #include "sim/faults.hh"
 #include "tomur/monitor.hh"
 #include "tomur/profiler.hh"
@@ -101,6 +108,16 @@ struct Cli
     std::size_t maxRecalibrations = 8; ///< --max-recalibrations
     long crashAfter = -1; ///< --crash-after: chaos kill switch
 
+    // serve
+    int port = 0;                      ///< --port (0 = ephemeral)
+    std::string bindAddress = "127.0.0.1"; ///< --bind
+    std::string portFile;              ///< --port-file: write bound port
+    std::size_t maxConnections = 256;  ///< --max-connections
+    std::size_t queueDepth = 64;       ///< --queue-depth
+    double drainMs = 5000.0;           ///< --drain-ms
+    double rate = 0.0;  ///< --rate: bucket refill per second (0 = off)
+    double burst = 0.0; ///< --burst: bucket capacity (0 = off)
+
     // report
     std::string reportMetrics; ///< --metrics: dump to render
     std::string reportTrace;   ///< --trace: trace JSONL to render
@@ -133,6 +150,11 @@ usage()
         "          [--faults P] [traffic opts]\n"
         "  report [--metrics FILE] [--trace FILE]\n"
         "          [--monitor FILE] [--out FILE] [--html]\n"
+        "  serve <NF> [--port P] [--bind ADDR] [--port-file FILE]\n"
+        "          [--model FILE] [--quota Q] [--deadline-ms MS]\n"
+        "          [--max-connections N] [--queue-depth N]\n"
+        "          [--drain-ms MS] [--rate R] [--burst B]\n"
+        "          [--faults P] [traffic opts]\n"
         "common options:\n"
         "  --trace-out FILE    write a JSONL span trace of the run\n"
         "  --metrics-out FILE  write a metrics registry text dump\n");
@@ -267,6 +289,31 @@ parse(int argc, char **argv)
         } else if (arg == "--crash-after") {
             cli.crashAfter =
                 static_cast<long>(numArg(argc, argv, i));
+        } else if (arg == "--port") {
+            cli.port = static_cast<int>(numArg(argc, argv, i));
+            if (cli.port < 0 || cli.port > 65535) {
+                std::fprintf(stderr,
+                             "error: --port expects 0..65535, "
+                             "got %d\n",
+                             cli.port);
+                usage();
+            }
+        } else if (arg == "--bind") {
+            cli.bindAddress = strArg(argc, argv, i);
+        } else if (arg == "--port-file") {
+            cli.portFile = strArg(argc, argv, i);
+        } else if (arg == "--max-connections") {
+            cli.maxConnections =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (arg == "--queue-depth") {
+            cli.queueDepth =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (arg == "--drain-ms") {
+            cli.drainMs = numArg(argc, argv, i);
+        } else if (arg == "--rate") {
+            cli.rate = numArg(argc, argv, i);
+        } else if (arg == "--burst") {
+            cli.burst = numArg(argc, argv, i);
         } else if (arg == "--metrics") {
             cli.reportMetrics = strArg(argc, argv, i);
         } else if (arg == "--trace") {
@@ -677,6 +724,11 @@ cmdMonitor(const Cli &cli)
 int
 cmdAutopilot(const Cli &cli)
 {
+    // Install SIGTERM/SIGINT -> flag handlers before any heavy work:
+    // a signal during initial training is remembered and honoured at
+    // the first sample instead of killing the process mid-setup.
+    serve::installShutdownHandlers();
+
     Env env(cli.faultRate);
     auto nf = nfs::makeByName(cli.nf, env.dev);
 
@@ -766,6 +818,9 @@ cmdAutopilot(const Cli &cli)
     aopts.checkpointEverySamples =
         store != nullptr ? cli.checkpointEvery : 0;
     aopts.resume = cli.resume;
+    // SIGTERM/SIGINT ends the run cleanly: the loop writes a final
+    // checkpoint and returns, instead of dying mid-generation.
+    aopts.stopRequested = serve::shutdownRequested;
 
     auto res = core::runAutopilot(ctx, schedule, monitor,
                                   supervisor, store.get(), aopts);
@@ -799,6 +854,13 @@ cmdAutopilot(const Cli &cli)
 
     const auto &r = res.value();
     const auto &sup = r.supervisorSummary;
+    if (r.stoppedEarly) {
+        std::printf("%s: stopped by signal at sample %zu/%zu "
+                    "(final checkpoint %s)\n",
+                    cli.nf.c_str(), r.stoppedAtSample, r.samples,
+                    store != nullptr ? "written" : "skipped: no "
+                                                   "--checkpoint-dir");
+    }
     std::printf("%s: %zu samples supervised (%zu resumed past), "
                 "breaker %s\n",
                 cli.nf.c_str(), r.samples, r.startSample,
@@ -819,6 +881,75 @@ cmdAutopilot(const Cli &cli)
                     core::supervisorEventName(
                         static_cast<core::SupervisorEventKind>(k)),
                     sup.eventCounts[k]);
+    }
+    return kExitOk;
+}
+
+int
+cmdServe(const Cli &cli)
+{
+    Env env(cli.faultRate);
+    auto nf = nfs::makeByName(cli.nf, env.dev);
+    auto model = obtainModel(env, cli, *nf);
+
+    // Reference contention is captured once, up front: the request
+    // hot path predicts against these levels and never touches a
+    // testbed, so a /predict costs microseconds.
+    const auto &w = env.trainer->workloadOf(*nf, cli.profile);
+    auto ref = referenceContention(env, w);
+
+    serve::ModelRegistry registry;
+    registry.install(std::move(model), cli.modelPath.empty()
+                                           ? "trained"
+                                           : cli.modelPath);
+    serve::ModelService service(registry, ref.levels, cli.nf);
+
+    serve::ServeOptions sopts;
+    sopts.maxConnections = cli.maxConnections;
+    sopts.maxQueueDepth = cli.queueDepth;
+    sopts.requestDeadlineMs = cli.deadlineMs;
+    sopts.bucketCapacity = cli.burst;
+    serve::Server core(sopts, service);
+
+    serve::EpollOptions eopts;
+    eopts.bindAddress = cli.bindAddress;
+    eopts.port = cli.port;
+    eopts.drainDeadlineMs = cli.drainMs;
+    eopts.bucketRefillPerSec = cli.rate;
+    serve::EpollServer daemon(core, eopts);
+    if (!daemon.status().isOk()) {
+        std::fprintf(stderr, "error: %s\n",
+                     daemon.status().toString().c_str());
+        return kExitIo;
+    }
+
+    if (!cli.portFile.empty()) {
+        // Scripts binding port 0 discover the choice here; written
+        // before run() so pollers see it as soon as we can serve.
+        std::ofstream out(cli.portFile);
+        if (out)
+            out << daemon.boundPort() << "\n";
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write port file '%s': %s\n",
+                         cli.portFile.c_str(), std::strerror(errno));
+            return kExitIo;
+        }
+    }
+
+    serve::installShutdownHandlers();
+    Status st = daemon.run();
+
+    const auto &s = core.stats();
+    std::printf("served %zu requests (%zu shed, %zu throttled, "
+                "%zu deadline misses, %zu parse errors, "
+                "%zu internal errors)\n",
+                s.requestsHandled, s.shed + s.acceptShed,
+                s.throttled, s.deadlineMisses, s.parseErrors,
+                s.internalErrors);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "error: %s\n", st.toString().c_str());
+        return kExitRuntime;
     }
     return kExitOk;
 }
@@ -901,6 +1032,8 @@ runCommand(const Cli &cli)
         return cmdAutopilot(cli);
     if (cli.command == "report")
         return cmdReport(cli);
+    if (cli.command == "serve")
+        return cmdServe(cli);
     std::fprintf(stderr, "error: unknown command '%s'\n",
                  cli.command.c_str());
     usage();
