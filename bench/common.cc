@@ -170,6 +170,15 @@ BenchReport::writeJson(const std::string &path, int serialThreads,
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
     std::fprintf(f, "  \"threads_serial\": %d,\n", serialThreads);
     std::fprintf(f, "  \"threads_parallel\": %d,\n", parallelThreads);
+    if (parallelThreads < 2) {
+        // A one-thread pool makes the "parallel" column a second
+        // serial run — record that, so downstream tooling skips
+        // parallel-speedup assertions instead of failing them.
+        std::fprintf(f,
+                     "  \"note\": \"parallel pass ran with a "
+                     "1-thread pool; speedups compare two serial "
+                     "runs\",\n");
+    }
     std::fprintf(f, "  \"stages\": [\n");
     double tot_s = 0.0, tot_p = 0.0;
     for (std::size_t i = 0; i < stages_.size(); ++i) {

@@ -238,11 +238,15 @@ BENCHMARK(BM_WorkloadProfiling);
  * One serial-or-parallel pass over the pipeline stages. Everything
  * is constructed fresh per pass (own testbed, cold solve cache) so
  * the serial baseline and the parallel run do identical work.
+ * @return the pool width the pass actually ran at (the pool may
+ *         clamp the request), so the report never claims a width it
+ *         did not get.
  */
-void
+int
 runPipeline(bench::BenchReport &report, bool parallel, int threads)
 {
     setGlobalThreadCount(threads);
+    int actual = globalThreadCount();
 
     // Stage 1: the BenchLibrary profiling sweep (the one-time
     // synthetic-competitor measurement effort).
@@ -401,6 +405,8 @@ runPipeline(bench::BenchReport &report, bool parallel, int threads)
             });
         benchmark::DoNotOptimize(res);
     });
+
+    return actual;
 }
 
 } // namespace
@@ -437,9 +443,19 @@ main(int argc, char **argv)
         bench::BenchReport report("micro");
         std::printf("\npipeline stages (serial vs %d threads):\n",
                     hw_threads);
-        runPipeline(report, /*parallel=*/false, 1);
-        runPipeline(report, /*parallel=*/true, hw_threads);
-        if (report.writeJson(json_path, 1, hw_threads))
+        int serial_w = runPipeline(report, /*parallel=*/false, 1);
+        int parallel_w =
+            runPipeline(report, /*parallel=*/true, hw_threads);
+        if (parallel_w < 2) {
+            // One-thread "parallel" numbers are serial numbers: say
+            // so rather than report a fake speedup baseline (the
+            // JSON records the actual width for the same reason).
+            std::printf("note: pool width %d — the \"parallel\" pass "
+                        "ran serially; speedups compare two serial "
+                        "runs\n",
+                        parallel_w);
+        }
+        if (report.writeJson(json_path, serial_w, parallel_w))
             std::printf("wrote %s\n", json_path.c_str());
     }
     return 0;

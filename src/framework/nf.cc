@@ -62,6 +62,7 @@ NetworkFunction::add(std::unique_ptr<Element> element)
 Verdict
 NetworkFunction::processPacket(net::Packet &pkt, CostContext &ctx)
 {
+    ++packetsProcessed_;
     for (auto &e : elements_) {
         if (e->process(pkt, ctx) == Verdict::Drop)
             return Verdict::Drop;
@@ -72,6 +73,7 @@ NetworkFunction::processPacket(net::Packet &pkt, CostContext &ctx)
 void
 NetworkFunction::reset()
 {
+    packetsProcessed_ = 0;
     for (auto &e : elements_)
         e->reset();
 }

@@ -8,6 +8,7 @@
 #ifndef TOMUR_FRAMEWORK_NF_HH
 #define TOMUR_FRAMEWORK_NF_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,14 @@ class NetworkFunction
     /** Run one packet through the chain. */
     Verdict processPacket(net::Packet &pkt, CostContext &ctx);
 
+    /** Packets processed since construction or the last reset().
+     *  Lets an incremental profiler detect that the NF was driven
+     *  (or reset) behind its back and rebuild its warm state. */
+    std::uint64_t packetsProcessed() const
+    {
+        return packetsProcessed_;
+    }
+
     /** Reset all element state. */
     void reset();
 
@@ -82,6 +91,7 @@ class NetworkFunction
     int cores_ = 2;
     double pacedRate_ = 0.0;
     int queues_[hw::numAccelKinds] = {1, 1, 1};
+    std::uint64_t packetsProcessed_ = 0;
     std::vector<std::unique_ptr<Element>> elements_;
 };
 

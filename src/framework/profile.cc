@@ -33,66 +33,86 @@ profileMetrics()
 
 } // namespace
 
-WorkloadProfile
-profileWorkload(NetworkFunction &nf,
-                const traffic::TrafficProfile &traffic_profile,
-                const regex::RuleSet *ruleset,
-                const ProfileOptions &opts)
+WorkloadProfiler::WorkloadProfiler(NetworkFunction &nf,
+                                   const regex::RuleSet *ruleset,
+                                   ProfileOptions opts)
+    : nf_(nf), ruleset_(ruleset), opts_(opts)
 {
-    if (opts.samplePackets == 0)
+}
+
+WorkloadProfile
+WorkloadProfiler::profile(
+    const traffic::TrafficProfile &traffic_profile)
+{
+    if (opts_.samplePackets == 0)
         fatal("profileWorkload: zero sample packets");
 
     TraceSpan span("profile.workload");
-    span.field("nf", nf.name());
+    span.field("nf", nf_.name());
     span.field("flows",
                static_cast<std::uint64_t>(traffic_profile.flowCount));
     span.field("packet_size", static_cast<std::uint64_t>(
                                   traffic_profile.packetSize));
     span.field("mtbr", traceFormat(traffic_profile.mtbr));
 
-    nf.reset();
-    traffic::TrafficGen gen(traffic_profile, ruleset, opts.seed);
+    // Incremental warm state is sound only when the NF still holds
+    // exactly the flows this session warmed (flow identity is a pure
+    // function of the flow index, so warm sets nest by flow count)
+    // and the new profile wants at least as many.
+    std::uint64_t want = opts_.warmFlows
+        ? std::min<std::uint64_t>(traffic_profile.flowCount,
+                                  opts_.maxWarmupPackets)
+        : 0;
+    bool incremental = warmed_ && opts_.warmFlows &&
+                       nf_.packetsProcessed() == expectedPackets_ &&
+                       want >= warmedFlows_;
+    if (!incremental) {
+        nf_.reset();
+        warmedFlows_ = 0;
+    }
+    span.field("warm", incremental ? "incremental" : "fresh");
+
+    traffic::TrafficGen gen(traffic_profile, ruleset_, opts_.seed);
 
     // Phase 1: warm per-flow state so data-structure footprints match
     // the flow count (accelerator-non-functional, empty payloads —
     // flow state depends only on addressing).
-    if (opts.warmFlows) {
+    if (opts_.warmFlows && want > warmedFlows_) {
         CostContext warm_ctx;
         warm_ctx.setAccelFunctional(false);
-        std::uint64_t n = std::min<std::uint64_t>(
-            traffic_profile.flowCount, opts.maxWarmupPackets);
         // Reuse one buffer, rewriting the addressing per flow: the
         // warm-up only needs flow identity, not payload bytes.
         net::Packet pkt =
             net::PacketBuilder::build(gen.flowTuple(0), {});
-        for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t i = warmedFlows_; i < want; ++i) {
             // Restore the TTL before rewriting (NFs may have
             // decremented or re-addressed the shared buffer).
             pkt.bytes()[net::ethHeaderLen + 8] = 64;
             pkt.rewriteAddressing(gen.flowTuple(i));
-            nf.processPacket(pkt, warm_ctx);
+            nf_.processPacket(pkt, warm_ctx);
         }
-        profileMetrics().warmupPackets.inc(n);
+        profileMetrics().warmupPackets.inc(want - warmedFlows_);
+        warmedFlows_ = want;
     }
 
     // Phase 2: measure over fully-functional sample packets.
     CostContext ctx;
     double frame_bytes = 0.0;
     std::size_t drops = 0;
-    for (std::size_t i = 0; i < opts.samplePackets; ++i) {
+    for (std::size_t i = 0; i < opts_.samplePackets; ++i) {
         net::Packet pkt = gen.next();
         frame_bytes += static_cast<double>(pkt.size());
-        if (nf.processPacket(pkt, ctx) == Verdict::Drop)
+        if (nf_.processPacket(pkt, ctx) == Verdict::Drop)
             ++drops;
     }
 
-    const double n = static_cast<double>(opts.samplePackets);
+    const double n = static_cast<double>(opts_.samplePackets);
     WorkloadProfile w;
-    w.nfName = nf.name();
-    w.pattern = nf.pattern();
-    w.cores = nf.cores();
+    w.nfName = nf_.name();
+    w.pattern = nf_.pattern();
+    w.cores = nf_.cores();
     w.traffic = traffic_profile;
-    w.pacedRate = nf.pacedRate();
+    w.pacedRate = nf_.pacedRate();
     w.instrPerPacket = ctx.instructions() / n;
     w.llcReadsPerPacket = ctx.memReads() / n;
     w.llcWritesPerPacket = ctx.memWrites() / n;
@@ -136,7 +156,7 @@ profileWorkload(NetworkFunction &nf,
         use.requestsPerPacket = req_count[k] / n;
         use.bytesPerRequest = req_bytes[k] / req_count[k];
         use.matchesPerRequest = req_matches[k] / req_count[k];
-        use.queues = nf.queueCount(static_cast<hw::AccelKind>(k));
+        use.queues = nf_.queueCount(static_cast<hw::AccelKind>(k));
         if (span.active()) {
             tracePoint(
                 "profile.accel",
@@ -149,12 +169,25 @@ profileWorkload(NetworkFunction &nf,
     }
 
     profileMetrics().workloads.inc();
-    profileMetrics().packets.inc(opts.samplePackets);
+    profileMetrics().packets.inc(opts_.samplePackets);
     profileMetrics().instrPerPacket.observe(w.instrPerPacket);
     span.field("instr_per_pkt", traceFormat(w.instrPerPacket));
     span.field("wss_bytes", traceFormat(w.wssBytes));
     span.field("drop_fraction", traceFormat(w.dropFraction));
+
+    expectedPackets_ = nf_.packetsProcessed();
+    warmed_ = true;
     return w;
+}
+
+WorkloadProfile
+profileWorkload(NetworkFunction &nf,
+                const traffic::TrafficProfile &traffic_profile,
+                const regex::RuleSet *ruleset,
+                const ProfileOptions &opts)
+{
+    WorkloadProfiler session(nf, ruleset, opts);
+    return session.profile(traffic_profile);
 }
 
 } // namespace tomur::framework

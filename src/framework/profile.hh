@@ -82,10 +82,54 @@ struct ProfileOptions
 };
 
 /**
- * Profile one NF under one traffic profile.
+ * Incremental profiling session over one NF.
+ *
+ * Flow identities are a pure function of the flow index
+ * (TrafficGen::flowTuple), so the warm set of a profile with fewer
+ * flows is a prefix of the warm set of any larger profile. A session
+ * exploits that: profiling a sequence of traffic profiles in
+ * ascending flow-count order warms each flow exactly once instead of
+ * re-warming from scratch per profile — the dominant cost of a
+ * training sweep. Profiling a smaller flow count than the NF
+ * currently holds (or detecting that the NF was driven or reset
+ * behind the session's back, via NetworkFunction::packetsProcessed)
+ * falls back to a full reset + re-warm, which is exactly the
+ * one-shot profileWorkload behaviour.
+ */
+class WorkloadProfiler
+{
+  public:
+    /**
+     * @param ruleset ruleset for MTBR payload synthesis (may be null
+     *        for mtbr == 0 profiles)
+     */
+    WorkloadProfiler(NetworkFunction &nf,
+                     const regex::RuleSet *ruleset,
+                     ProfileOptions opts = {});
+
+    /** Profile one traffic profile, reusing warm flow state from
+     *  earlier calls of this session when sound. */
+    WorkloadProfile
+    profile(const traffic::TrafficProfile &traffic_profile);
+
+    /** The NF this session profiles (identity check for caches). */
+    const NetworkFunction *target() const { return &nf_; }
+
+  private:
+    NetworkFunction &nf_;
+    const regex::RuleSet *ruleset_;
+    ProfileOptions opts_;
+    std::uint64_t warmedFlows_ = 0;   ///< flows [0, n) in NF tables
+    std::uint64_t expectedPackets_ = 0; ///< tamper detection
+    bool warmed_ = false;
+};
+
+/**
+ * Profile one NF under one traffic profile (one-shot).
  *
  * The NF is reset, warmed across the profile's flows, then measured
- * over opts.samplePackets fully-functional packets.
+ * over opts.samplePackets fully-functional packets. Equivalent to a
+ * fresh WorkloadProfiler's first profile() call.
  *
  * @param ruleset ruleset for MTBR payload synthesis (may be null for
  *        mtbr == 0 profiles)

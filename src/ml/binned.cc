@@ -1,0 +1,125 @@
+#include "ml/binned.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+
+namespace tomur::ml {
+
+namespace {
+
+/** One feature's binning, built independently per feature. */
+struct FeatureBins
+{
+    std::vector<std::uint16_t> codes;
+    std::vector<double> lo, hi;
+};
+
+/** Below this many row*feature cells binning stays serial. */
+constexpr std::size_t kParallelBinWork = 4096;
+
+FeatureBins
+binFeature(const Dataset &data, std::size_t f, std::size_t max_bins)
+{
+    const std::size_t n = data.size();
+    const double *col = data.column(f);
+
+    std::vector<double> sorted(col, col + n);
+    std::sort(sorted.begin(), sorted.end());
+
+    // Inclusive upper edges, always actual data values. One bin per
+    // distinct value when they fit (the lossless case); otherwise
+    // quantile cuts of the sorted column, deduplicated.
+    std::vector<double> upper;
+    std::size_t distinct = 1;
+    for (std::size_t i = 1; i < n; ++i)
+        distinct += sorted[i] != sorted[i - 1];
+    if (distinct <= max_bins) {
+        upper.reserve(distinct);
+        upper.push_back(sorted[0]);
+        for (std::size_t i = 1; i < n; ++i) {
+            if (sorted[i] != sorted[i - 1])
+                upper.push_back(sorted[i]);
+        }
+    } else {
+        upper.reserve(max_bins);
+        for (std::size_t b = 1; b <= max_bins; ++b) {
+            double edge = sorted[b * n / max_bins - 1];
+            if (upper.empty() || edge != upper.back())
+                upper.push_back(edge);
+        }
+    }
+
+    FeatureBins out;
+    out.codes.resize(n);
+    out.lo.assign(upper.size(),
+                  std::numeric_limits<double>::infinity());
+    out.hi.assign(upper.size(),
+                  -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = col[i];
+        std::size_t b = static_cast<std::size_t>(
+            std::lower_bound(upper.begin(), upper.end(), v) -
+            upper.begin());
+        out.codes[i] = static_cast<std::uint16_t>(b);
+        out.lo[b] = std::min(out.lo[b], v);
+        out.hi[b] = std::max(out.hi[b], v);
+    }
+    return out;
+}
+
+} // namespace
+
+BinnedMatrix
+BinnedMatrix::build(const Dataset &data, std::size_t max_bins)
+{
+    if (data.empty())
+        panic("BinnedMatrix::build: empty dataset");
+    max_bins = std::clamp<std::size_t>(max_bins, 2, 65535);
+
+    const std::size_t n_feat = data.numFeatures();
+    BinnedMatrix bm;
+    bm.rows_ = data.size();
+    bm.features_ = n_feat;
+    bm.fingerprint_ = data.featureFingerprint();
+
+    // Per-feature binning is independent: fan it across the pool at
+    // sufficient work, collected in feature order either way.
+    std::vector<FeatureBins> per_feature;
+    if (data.size() * n_feat >= kParallelBinWork) {
+        per_feature = parallelMap(n_feat, [&](std::size_t f) {
+            return binFeature(data, f, max_bins);
+        });
+    } else {
+        per_feature.reserve(n_feat);
+        for (std::size_t f = 0; f < n_feat; ++f)
+            per_feature.push_back(binFeature(data, f, max_bins));
+    }
+
+    bm.binStart_.resize(n_feat + 1);
+    bm.binStart_[0] = 0;
+    for (std::size_t f = 0; f < n_feat; ++f) {
+        bm.binStart_[f + 1] =
+            bm.binStart_[f] +
+            static_cast<std::uint32_t>(per_feature[f].lo.size());
+    }
+    bm.codes_.resize(n_feat * bm.rows_);
+    bm.lo_.resize(bm.binStart_[n_feat]);
+    bm.hi_.resize(bm.binStart_[n_feat]);
+    for (std::size_t f = 0; f < n_feat; ++f) {
+        std::copy(per_feature[f].codes.begin(),
+                  per_feature[f].codes.end(),
+                  bm.codes_.begin() + f * bm.rows_);
+        std::copy(per_feature[f].lo.begin(),
+                  per_feature[f].lo.end(),
+                  bm.lo_.begin() + bm.binStart_[f]);
+        std::copy(per_feature[f].hi.begin(),
+                  per_feature[f].hi.end(),
+                  bm.hi_.begin() + bm.binStart_[f]);
+    }
+    return bm;
+}
+
+} // namespace tomur::ml

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pre-binned (histogram) view of a Dataset's feature matrix.
+ *
+ * Bin edges are quantiles of each feature column, computed once per
+ * fit; every row is coded into a per-feature bin index. Tree growth
+ * then scans O(bins) cumulative sums per node instead of sorting
+ * row slices. When a feature has at most maxBins distinct values,
+ * every value gets its own bin and the binned split search is
+ * lossless: it reproduces the exact-greedy scan's splits.
+ */
+
+#ifndef TOMUR_ML_BINNED_HH
+#define TOMUR_ML_BINNED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace tomur::ml {
+
+/**
+ * Immutable binned feature matrix: codes are column-major
+ * (feature-contiguous), bin value ranges are global per feature.
+ * A BinnedMatrix is a pure function of a Dataset's feature matrix;
+ * `fingerprint` records which one (Dataset::featureFingerprint), so
+ * callers can reuse a binning across fits on the same features.
+ */
+class BinnedMatrix
+{
+  public:
+    /** Build from a dataset (quantile edges, per-row codes). */
+    static BinnedMatrix build(const Dataset &data,
+                              std::size_t max_bins = 256);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t numFeatures() const { return features_; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Codes of one feature column (rows() entries). */
+    const std::uint16_t *codesOf(std::size_t f) const
+    {
+        return codes_.data() + f * rows_;
+    }
+
+    /** Bin count of one feature. */
+    std::size_t numBins(std::size_t f) const
+    {
+        return binStart_[f + 1] - binStart_[f];
+    }
+
+    /** First bin slot of feature f in the flat lo/hi arrays. */
+    std::size_t binStart(std::size_t f) const { return binStart_[f]; }
+
+    /** Total bins across features (histogram arena row width). */
+    std::size_t totalBins() const { return binStart_[features_]; }
+
+    /** Smallest value observed in a flat bin slot. */
+    double binLo(std::size_t slot) const { return lo_[slot]; }
+
+    /** Largest value observed in a flat bin slot. */
+    double binHi(std::size_t slot) const { return hi_[slot]; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t features_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    std::vector<std::uint16_t> codes_;   ///< [f * rows_ + i]
+    std::vector<std::uint32_t> binStart_; ///< features_ + 1 entries
+    std::vector<double> lo_, hi_;        ///< per flat bin slot
+};
+
+} // namespace tomur::ml
+
+#endif // TOMUR_ML_BINNED_HH

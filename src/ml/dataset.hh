@@ -1,12 +1,16 @@
 /**
  * @file
- * Row-major regression dataset plus split helpers.
+ * Columnar (structure-of-arrays) regression dataset plus split
+ * helpers. Features live in one contiguous column-major matrix so
+ * per-feature scans (binning, split search) walk sequential memory;
+ * rows are materialized on demand for row-oriented consumers.
  */
 
 #ifndef TOMUR_ML_DATASET_HH
 #define TOMUR_ML_DATASET_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,19 +28,44 @@ class Dataset
     explicit Dataset(std::vector<std::string> feature_names);
 
     /** Append one sample; arity must match. */
-    void add(std::vector<double> features, double label);
+    void add(const std::vector<double> &features, double label);
 
     std::size_t size() const { return y_.size(); }
     std::size_t numFeatures() const { return names_.size(); }
     bool empty() const { return y_.empty(); }
 
-    const std::vector<double> &row(std::size_t i) const { return x_[i]; }
+    /** One feature value (column-major lookup, no allocation). */
+    double at(std::size_t i, std::size_t f) const
+    {
+        return cols_[f * stride_ + i];
+    }
+
+    /** Contiguous view of one feature column (size() entries). */
+    const double *column(std::size_t f) const
+    {
+        return cols_.data() + f * stride_;
+    }
+
+    /** Materialize one row (for row-oriented consumers). */
+    std::vector<double> row(std::size_t i) const;
+
     double label(std::size_t i) const { return y_[i]; }
     const std::vector<std::string> &featureNames() const
     {
         return names_;
     }
     const std::vector<double> &labels() const { return y_; }
+
+    /**
+     * Order-independent digest of the feature matrix (FNV-1a over
+     * the value bytes in row-major walk order). Two datasets with
+     * equal fingerprints and sizes hold bit-identical features —
+     * the warm-start oracle for skipping re-binning.
+     */
+    std::uint64_t featureFingerprint() const;
+
+    /** Digest of the label vector (same scheme). */
+    std::uint64_t labelFingerprint() const;
 
     /**
      * Random train/test split.
@@ -49,8 +78,13 @@ class Dataset
     void append(const Dataset &other);
 
   private:
+    void ensureCapacity(std::size_t rows);
+
     std::vector<std::string> names_;
-    std::vector<std::vector<double>> x_;
+    /** Column-major feature storage: column f occupies
+     *  [f * stride_, f * stride_ + size()). */
+    std::vector<double> cols_;
+    std::size_t stride_ = 0; ///< row capacity per column
     std::vector<double> y_;
 };
 

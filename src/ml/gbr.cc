@@ -17,6 +17,16 @@ constexpr std::size_t kParallelRows = 512;
 
 namespace tomur::ml {
 
+bool
+operator==(const GbrParams &a, const GbrParams &b)
+{
+    return a.numTrees == b.numTrees &&
+           a.learningRate == b.learningRate &&
+           a.maxDepth == b.maxDepth &&
+           a.minSamplesLeaf == b.minSamplesLeaf &&
+           a.subsample == b.subsample && a.seed == b.seed;
+}
+
 GradientBoostingRegressor::GradientBoostingRegressor(GbrParams params)
     : params_(params)
 {
@@ -25,9 +35,26 @@ GradientBoostingRegressor::GradientBoostingRegressor(GbrParams params)
 void
 GradientBoostingRegressor::fit(const Dataset &data)
 {
+    fit(data, nullptr);
+}
+
+void
+GradientBoostingRegressor::fit(
+    const Dataset &data, std::shared_ptr<const BinnedMatrix> binned)
+{
     if (data.empty())
         fatal("GradientBoostingRegressor::fit: empty dataset");
-    trees_.clear();
+
+    const std::uint64_t feature_fp = data.featureFingerprint();
+    const std::uint64_t label_fp = data.labelFingerprint();
+    if (fitted_ && feature_fp == fitFeatureFp_ &&
+        label_fp == fitLabelFp_) {
+        // Warm no-op: the fitted model was computed from this exact
+        // dataset (a cold refit would reproduce it byte for byte).
+        metrics().counter("tomur_gbr_warm_fits_total").inc();
+        tracePoint("ml.gbr.warm", {{"reused", "model"}});
+        return;
+    }
 
     TraceSpan span("ml.gbr.fit");
     span.field("rows", static_cast<std::uint64_t>(data.size()));
@@ -38,6 +65,27 @@ GradientBoostingRegressor::fit(const Dataset &data)
     metrics().counter("tomur_gbr_trees_total")
         .inc(static_cast<std::uint64_t>(
             std::max(0, params_.numTrees)));
+
+    // Binning is a pure function of the feature matrix: reuse a
+    // caller-shared or cached one when the fingerprint proves it
+    // describes these features, else (re)bin.
+    if (binned && binned->fingerprint() == feature_fp &&
+        binned->rows() == data.size()) {
+        binned_ = std::move(binned);
+        span.field("binning", "shared");
+    } else if (binned_ && binned_->fingerprint() == feature_fp &&
+               binned_->rows() == data.size()) {
+        span.field("binning", "cached");
+    } else {
+        binned_ = std::make_shared<const BinnedMatrix>(
+            BinnedMatrix::build(data));
+        span.field("binning", "built");
+    }
+    const BinnedMatrix &bm = *binned_;
+
+    trees_.clear();
+    trees_.reserve(static_cast<std::size_t>(
+        std::max(0, params_.numTrees)));
 
     base_ = 0.0;
     for (std::size_t i = 0; i < data.size(); ++i)
@@ -53,24 +101,30 @@ GradientBoostingRegressor::fit(const Dataset &data)
     TreeParams tp;
     tp.maxDepth = params_.maxDepth;
     tp.minSamplesLeaf = params_.minSamplesLeaf;
+    TreeScratch scratch;
 
     std::size_t n_sub = std::max<std::size_t>(
         2, static_cast<std::size_t>(params_.subsample * data.size()));
 
     for (int m = 0; m < params_.numTrees; ++m) {
-        for (std::size_t i = 0; i < data.size(); ++i)
+        // Residuals and the per-round least-squares loss in one
+        // pass: traced and untraced runs do the same work, tracing
+        // only adds the emission.
+        double loss = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i) {
             residual[i] = data.label(i) - pred[i];
+            loss += residual[i] * residual[i];
+        }
         if (span.active()) {
-            // Per-round least-squares loss (before this round's
-            // tree), keyed by the round as the logical step: the
-            // boosting curve is diffable without timing data. Only
-            // computed while tracing — it is an extra O(rows) pass.
-            double loss = 0.0;
-            for (std::size_t i = 0; i < data.size(); ++i)
-                loss += residual[i] * residual[i];
-            loss /= static_cast<double>(data.size());
+            // Loss before this round's tree, keyed by the round as
+            // the logical step: the boosting curve is diffable
+            // without timing data.
             tracePoint("ml.gbr.round",
-                       {{"loss", traceFormat(loss)}}, m);
+                       {{"loss",
+                         traceFormat(
+                             loss /
+                             static_cast<double>(data.size()))}},
+                       m);
         }
 
         std::vector<std::size_t> rows;
@@ -83,24 +137,26 @@ GradientBoostingRegressor::fit(const Dataset &data)
         }
 
         RegressionTree tree;
-        tree.fit(data, residual, rows, tp);
+        tree.fitBinned(bm, residual, rows, tp, &scratch);
         // Per-row prediction updates are independent (each index
         // writes only pred[i]) — no reduction, so parallel execution
         // is bit-identical to the serial loop.
         if (data.size() >= kParallelRows) {
             parallelFor(data.size(), [&](std::size_t i) {
                 pred[i] +=
-                    params_.learningRate * tree.predict(data.row(i));
+                    params_.learningRate * tree.predictRow(data, i);
             });
         } else {
             for (std::size_t i = 0; i < data.size(); ++i) {
                 pred[i] +=
-                    params_.learningRate * tree.predict(data.row(i));
+                    params_.learningRate * tree.predictRow(data, i);
             }
         }
         trees_.push_back(std::move(tree));
     }
     fitted_ = true;
+    fitFeatureFp_ = feature_fp;
+    fitLabelFp_ = label_fp;
 }
 
 double
@@ -118,14 +174,20 @@ GradientBoostingRegressor::predict(
 std::vector<double>
 GradientBoostingRegressor::predictAll(const Dataset &data) const
 {
+    if (!fitted_)
+        panic("GradientBoostingRegressor::predict before fit");
     std::vector<double> out(data.size());
+    auto one = [&](std::size_t i) {
+        double y = base_;
+        for (const auto &t : trees_)
+            y += params_.learningRate * t.predictRow(data, i);
+        out[i] = y;
+    };
     if (data.size() >= kParallelRows) {
-        parallelFor(data.size(), [&](std::size_t i) {
-            out[i] = predict(data.row(i));
-        });
+        parallelFor(data.size(), one);
     } else {
         for (std::size_t i = 0; i < data.size(); ++i)
-            out[i] = predict(data.row(i));
+            one(i);
     }
     return out;
 }

@@ -8,7 +8,9 @@
 #ifndef TOMUR_ML_GBR_HH
 #define TOMUR_ML_GBR_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "ml/tree.hh"
@@ -28,9 +30,20 @@ struct GbrParams
     std::uint64_t seed = 1;
 };
 
+/** Two parameter sets that produce identical fits — the guard for
+ *  reusing a fitted regressor object as a warm-start seed. */
+bool operator==(const GbrParams &a, const GbrParams &b);
+
 /**
  * Least-squares gradient boosting: F_0 = mean(y);
  * F_m = F_{m-1} + lr * tree_m(residuals).
+ *
+ * Refits warm-start on dataset fingerprints without ever changing
+ * the result: a fit on byte-identical features and labels is a
+ * no-op (the fitted model already is the answer), a fit on the same
+ * features with new labels reuses the cached histogram binning (a
+ * pure function of the features), and anything else falls back to a
+ * cold fit. Model bytes are identical to a cold fit in every case.
  */
 class GradientBoostingRegressor
 {
@@ -39,6 +52,14 @@ class GradientBoostingRegressor
 
     /** Fit on a dataset (labels taken from the dataset). */
     void fit(const Dataset &data);
+
+    /**
+     * Fit sharing a pre-built binning of data's features (the
+     * seed-ensemble case: bin once, fit many members). The binning
+     * is used only if its fingerprint matches the dataset.
+     */
+    void fit(const Dataset &data,
+             std::shared_ptr<const BinnedMatrix> binned);
 
     /** Predict one sample. */
     double predict(const std::vector<double> &features) const;
@@ -61,6 +82,11 @@ class GradientBoostingRegressor
     double base_ = 0.0;
     std::vector<RegressionTree> trees_;
     bool fitted_ = false;
+
+    /** Warm-start caches: what the fitted model was computed from. */
+    std::shared_ptr<const BinnedMatrix> binned_;
+    std::uint64_t fitFeatureFp_ = 0;
+    std::uint64_t fitLabelFp_ = 0;
 };
 
 } // namespace tomur::ml

@@ -69,7 +69,7 @@ LinearRegression::fit(const Dataset &data, double ridge)
     for (std::size_t i = 0; i < data.size(); ++i) {
         aug[0] = 1.0;
         for (std::size_t j = 0; j < f; ++j)
-            aug[j + 1] = data.row(i)[j];
+            aug[j + 1] = data.at(i, j);
         for (std::size_t r = 0; r < n; ++r) {
             for (std::size_t c = 0; c < n; ++c)
                 ata[r * n + c] += aug[r] * aug[c];

@@ -101,6 +101,11 @@ GradientBoostingRegressor::load(std::istream &in)
     params_.learningRate = lr;
     params_.numTrees = static_cast<int>(count);
     fitted_ = true;
+    // A loaded model matches no in-memory dataset: drop the
+    // warm-start caches so the next fit runs cold.
+    binned_.reset();
+    fitFeatureFp_ = 0;
+    fitLabelFp_ = 0;
     return true;
 }
 

@@ -1,16 +1,21 @@
 /**
  * @file
  * Least-squares regression tree (CART), the base learner for the
- * gradient-boosting regressor.
+ * gradient-boosting regressor. Growth runs on a histogram-binned
+ * view of the dataset: per-node split search walks O(bins)
+ * cumulative sums with the histogram-subtraction trick instead of
+ * sorting row slices.
  */
 
 #ifndef TOMUR_ML_TREE_HH
 #define TOMUR_ML_TREE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
+#include "ml/binned.hh"
 #include "ml/dataset.hh"
 
 namespace tomur::ml {
@@ -22,14 +27,42 @@ struct TreeParams
     std::size_t minSamplesLeaf = 2;
 };
 
+/** One histogram cell: label sum + row count of a bin. */
+struct HistBin
+{
+    double sum = 0.0;
+    std::uint32_t count = 0;
+};
+
 /**
- * Binary regression tree fit by exact greedy least-squares splits.
+ * Reusable growth scratch: the histogram arena (one slot per live
+ * node level) and the row-partition buffers. A boosting loop keeps
+ * one TreeScratch and passes it to every fitBinned call, so no tree
+ * after the first allocates.
+ */
+class TreeScratch
+{
+  private:
+    friend class RegressionTree;
+    std::vector<HistBin> hist_;     ///< slots_ * totalBins_ cells
+    std::vector<std::size_t> rows_; ///< in-place partitioned rows
+    std::vector<std::size_t> tmp_;  ///< stable-partition staging
+    std::size_t totalBins_ = 0;
+    int slots_ = 0;
+};
+
+/**
+ * Binary regression tree fit by greedy least-squares splits over
+ * histogram bins (lossless vs the exact-greedy scan when every
+ * feature has at most max_bins distinct values).
  */
 class RegressionTree
 {
   public:
     /**
-     * Fit on a subset of rows of a dataset.
+     * Fit on a subset of rows of a dataset. Convenience wrapper
+     * that bins the dataset just for this fit — boosting loops
+     * should bin once and call fitBinned per tree instead.
      * @param data feature matrix provider
      * @param labels regression targets (may differ from data labels,
      *        e.g. boosting residuals), index-aligned with data rows
@@ -39,8 +72,23 @@ class RegressionTree
              const std::vector<std::size_t> &rows,
              const TreeParams &params);
 
+    /**
+     * Fit on a pre-binned dataset view.
+     * @param scratch optional reusable growth buffers (histograms,
+     *        partitions); pass the same object across trees to
+     *        amortize allocation. nullptr uses a local scratch.
+     */
+    void fitBinned(const BinnedMatrix &binned,
+                   const std::vector<double> &labels,
+                   const std::vector<std::size_t> &rows,
+                   const TreeParams &params,
+                   TreeScratch *scratch = nullptr);
+
     /** Predict one sample. */
     double predict(const std::vector<double> &features) const;
+
+    /** Predict one dataset row without materializing it. */
+    double predictRow(const Dataset &data, std::size_t i) const;
 
     /** Number of nodes (0 before fit). */
     std::size_t numNodes() const { return nodes_.size(); }
@@ -64,9 +112,11 @@ class RegressionTree
         int right = -1;
     };
 
-    int grow(const Dataset &data, const std::vector<double> &labels,
-             std::vector<std::size_t> &rows, int depth,
-             const TreeParams &params);
+    int growBinned(const BinnedMatrix &binned,
+                   const std::vector<double> &labels,
+                   std::size_t begin, std::size_t end, int depth,
+                   int slot, double sum, const TreeParams &params,
+                   TreeScratch &scratch);
 
     std::vector<Node> nodes_;
 };

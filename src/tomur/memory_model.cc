@@ -1,12 +1,20 @@
 #include "tomur/memory_model.hh"
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
 
 namespace tomur::core {
+
+bool
+operator==(const MemoryModelOptions &a, const MemoryModelOptions &b)
+{
+    return a.seeds == b.seeds && a.gbr == b.gbr &&
+           a.trafficAware == b.trafficAware;
+}
 
 MemoryModel::MemoryModel(MemoryModelOptions opts) : opts_(opts)
 {
@@ -53,14 +61,27 @@ MemoryModel::fit(const ml::Dataset &data)
             }
         }
     }
+    // Bin the shared feature matrix once for the whole ensemble:
+    // the members differ only in their subsample seed.
+    std::shared_ptr<const ml::BinnedMatrix> binned;
+    if (opts_.seeds > 1) {
+        binned = std::make_shared<const ml::BinnedMatrix>(
+            ml::BinnedMatrix::build(data));
+    }
     // Ensemble members are independent given their seeds: fit them
-    // across the pool, collected in seed order.
+    // across the pool, collected in seed order. A member fitted by
+    // an earlier call warm-starts (same params -> same object; the
+    // regressor's fingerprints decide what survives), which never
+    // changes its result — only what work the refit skips.
     models_ = parallelMap(
         static_cast<std::size_t>(opts_.seeds), [&](std::size_t s) {
             ml::GbrParams p = opts_.gbr;
             p.seed = opts_.gbr.seed + static_cast<std::uint64_t>(s);
-            ml::GradientBoostingRegressor gbr(p);
-            gbr.fit(data);
+            ml::GradientBoostingRegressor gbr =
+                s < models_.size() && models_[s].params() == p
+                    ? std::move(models_[s])
+                    : ml::GradientBoostingRegressor(p);
+            gbr.fit(data, binned);
             return gbr;
         });
     fitted_ = true;

@@ -28,6 +28,10 @@ struct MemoryModelOptions
     bool trafficAware = true;
 };
 
+/** Option equality (guards warm-start reuse of a fitted model). */
+bool operator==(const MemoryModelOptions &a,
+                const MemoryModelOptions &b);
+
 /**
  * Seed-averaged GBR predicting throughput under memory contention.
  */
@@ -63,6 +67,7 @@ class MemoryModel
 
     bool fitted() const { return fitted_; }
     bool trafficAware() const { return opts_.trafficAware; }
+    const MemoryModelOptions &options() const { return opts_; }
 
     /** Serialize the fitted ensemble to a text stream. */
     Status save(std::ostream &out) const;

@@ -192,14 +192,38 @@ class TomurTrainer
     /** The bench library this trainer draws on. */
     BenchLibrary &library() { return library_; }
 
+    /** Profile every uncached profile of a planned sweep, smallest
+     *  flow count first, so the incremental session warms each flow
+     *  exactly once. Purely a cache warmer: subsequent workloadOf
+     *  calls hit the cache in any order. */
+    void
+    prewarmWorkloads(framework::NetworkFunction &nf,
+                     std::vector<traffic::TrafficProfile> profiles);
+
   private:
+    /** The incremental profiling session for one NF (created on
+     *  first use, replaced if a different instance takes the name). */
+    framework::WorkloadProfiler &
+    profilerFor(framework::NetworkFunction &nf);
+
     BenchLibrary &library_;
+    std::map<std::string,
+             std::unique_ptr<framework::WorkloadProfiler>>
+        profilers_;
     std::map<std::pair<std::string, std::vector<double>>,
              framework::WorkloadProfile>
         workloadCache_;
     std::map<std::pair<std::string, std::vector<double>>,
              ContentionLevel>
         contentionCache_;
+    /** Warm-start seeds for retraining: the previous run's fitted
+     *  ensembles per NF name. Reuse never changes results (the
+     *  regressors' fingerprint contract); it only skips re-binning
+     *  and no-op refits in the supervisor's bounded retrain loop. */
+    std::map<std::string, MemoryModel> warmMemory_;
+    std::map<std::string,
+             std::vector<ml::GradientBoostingRegressor>>
+        warmSolo_;
 };
 
 } // namespace tomur::core

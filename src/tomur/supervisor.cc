@@ -598,7 +598,17 @@ runAutopilot(ReplayContext &ctx,
                static_cast<std::uint64_t>(schedule.size()));
 
     // Resolve workloads and flatten the schedule into one entry per
-    // sample, so the checkpoint cursor is a single index.
+    // sample, so the checkpoint cursor is a single index. Pre-profile
+    // the whole schedule smallest-flow-count-first so the trainer's
+    // incremental profiling session warms each flow once; the cache
+    // then serves the in-order loop below.
+    {
+        std::vector<traffic::TrafficProfile> profiles;
+        profiles.reserve(schedule.size());
+        for (const auto &step : schedule)
+            profiles.push_back(step.profile);
+        ctx.trainer->prewarmWorkloads(*ctx.nf, std::move(profiles));
+    }
     std::vector<std::vector<framework::WorkloadProfile>> deployments;
     std::vector<std::vector<framework::WorkloadProfile>> solos;
     std::vector<std::size_t> stepOfSample;

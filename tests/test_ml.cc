@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <sstream>
 
 #include "common/rng.hh"
 #include "ml/dataset.hh"
@@ -247,6 +250,175 @@ TEST(Metrics, Rmse)
 {
     EXPECT_DOUBLE_EQ(rmse({1, 2}, {1, 2}), 0.0);
     EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+// ---- Histogram-fit properties ----
+
+/**
+ * Reference exact-greedy tree: sorts each feature's node values and
+ * scans candidate midpoints between adjacent distinct values with
+ * the same gain measure, guards and tie-breaking (ascending
+ * thresholds, features in index order, strict '>') the histogram
+ * scan claims to reproduce. Integer-valued features and labels keep
+ * every sum exact, so agreement must be bitwise.
+ */
+struct RefTree
+{
+    struct RefNode
+    {
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1, right = -1;
+    };
+    std::vector<RefNode> nodes;
+
+    int grow(const Dataset &d, std::vector<std::size_t> rows,
+             int depth, double sum, const TreeParams &p)
+    {
+        const std::size_t n = rows.size();
+        int idx = static_cast<int>(nodes.size());
+        nodes.push_back({});
+        nodes[idx].value = sum / static_cast<double>(n);
+        if (depth >= p.maxDepth || n < 2 * p.minSamplesLeaf)
+            return idx;
+
+        double best_gain = 1e-12, best_thr = 0.0;
+        int best_f = -1;
+        for (std::size_t f = 0; f < d.numFeatures(); ++f) {
+            std::vector<std::pair<double, double>> vl; // (value,label)
+            for (std::size_t r : rows)
+                vl.push_back({d.at(r, f), d.labels()[r]});
+            std::sort(vl.begin(), vl.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
+            double ls = 0.0;
+            std::size_t lc = 0;
+            for (std::size_t k = 0; k + 1 < n; ++k) {
+                ls += vl[k].second;
+                ++lc;
+                if (vl[k].first == vl[k + 1].first)
+                    continue;
+                if (lc < p.minSamplesLeaf ||
+                    n - lc < p.minSamplesLeaf)
+                    continue;
+                double rs = sum - ls;
+                double gain =
+                    ls * ls / lc + rs * rs / (n - lc) -
+                    sum * sum / static_cast<double>(n);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_f = static_cast<int>(f);
+                    best_thr =
+                        0.5 * (vl[k].first + vl[k + 1].first);
+                }
+            }
+        }
+        if (best_f < 0)
+            return idx;
+
+        std::vector<std::size_t> lrows, rrows;
+        double lsum = 0.0;
+        for (std::size_t r : rows) {
+            if (d.at(r, static_cast<std::size_t>(best_f)) <=
+                best_thr) {
+                lrows.push_back(r);
+                lsum += d.labels()[r];
+            } else {
+                rrows.push_back(r);
+            }
+        }
+        nodes[idx].feature = best_f;
+        nodes[idx].threshold = best_thr;
+        int l = grow(d, std::move(lrows), depth + 1, lsum, p);
+        int r = grow(d, std::move(rrows), depth + 1, sum - lsum, p);
+        nodes[idx].left = l;
+        nodes[idx].right = r;
+        return idx;
+    }
+
+    double predict(const std::vector<double> &x) const
+    {
+        int idx = 0;
+        for (;;) {
+            const RefNode &nd = nodes[idx];
+            if (nd.feature < 0)
+                return nd.value;
+            idx = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+        }
+    }
+};
+
+TEST(TreeProperty, HistogramMatchesExactGreedyOnDistinctValues)
+{
+    // Fewer distinct values than bins -> binning is lossless (one
+    // bin per value) and the histogram scan must reproduce the
+    // exact-greedy tree: same structure, same thresholds, same leaf
+    // values, bit for bit.
+    for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+        Rng rng(seed);
+        Dataset d({"a", "b", "c"});
+        for (int i = 0; i < 300; ++i) {
+            double a = rng.uniformInt(12);
+            double b = rng.uniformInt(7);
+            double c = rng.uniformInt(3);
+            double y = rng.uniformInt(40);
+            d.add({a, b, c}, y);
+        }
+        std::vector<std::size_t> rows(d.size());
+        std::iota(rows.begin(), rows.end(), 0);
+
+        TreeParams p;
+        p.maxDepth = 5;
+        RegressionTree t;
+        t.fit(d, d.labels(), rows, p);
+
+        RefTree ref;
+        double sum = 0.0;
+        for (std::size_t r : rows)
+            sum += d.labels()[r];
+        ref.grow(d, rows, 0, sum, p);
+
+        ASSERT_EQ(t.numNodes(), ref.nodes.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            EXPECT_EQ(t.predictRow(d, i), ref.predict(d.row(i)))
+                << "seed " << seed << " row " << i;
+        }
+    }
+}
+
+TEST(GbrProperty, WarmRefitOnUnchangedDataIsByteIdentical)
+{
+    Dataset d = makeDataset(400, 31, piecewise, 0.1);
+    GbrParams gp;
+    gp.numTrees = 25;
+
+    ml::GradientBoostingRegressor cold(gp);
+    cold.fit(d);
+    std::ostringstream cold_bytes;
+    cold.save(cold_bytes);
+
+    // Warm path: refit the already-fitted model on the same data.
+    ml::GradientBoostingRegressor warm(gp);
+    warm.fit(d);
+    warm.fit(d); // no-op: fingerprints match
+    std::ostringstream warm_bytes;
+    warm.save(warm_bytes);
+    EXPECT_EQ(cold_bytes.str(), warm_bytes.str());
+
+    // Same features, new labels: binning is reused, the boosting
+    // rerun — and still byte-identical to a cold fit on that data.
+    Dataset relabeled(d.featureNames());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        relabeled.add(d.row(i), d.labels()[i] + 1.0);
+    warm.fit(relabeled);
+    ml::GradientBoostingRegressor cold2(gp);
+    cold2.fit(relabeled);
+    std::ostringstream warm2_bytes, cold2_bytes;
+    warm.save(warm2_bytes);
+    cold2.save(cold2_bytes);
+    EXPECT_EQ(cold2_bytes.str(), warm2_bytes.str());
 }
 
 } // namespace

@@ -190,6 +190,30 @@ TEST(ParallelDeterminism, GbrFitIsBitIdenticalAcrossWidths)
         EXPECT_EQ(serial[i], parallel[i]) << "row " << i;
 }
 
+TEST(ParallelDeterminism, GbrModelBytesIdenticalAtWidths1And8)
+{
+    // Stronger than prediction equality: the serialized model bytes
+    // (every threshold, leaf value and tree shape) must not depend
+    // on the pool width. 8 threads exceeds this machine's cores on
+    // purpose — oversubscription must not change the answer either.
+    auto data = syntheticDataset(1024);
+    ml::GbrParams gp;
+    gp.numTrees = 30;
+
+    auto fitBytes = [&](int width) {
+        PoolWidth pool(width);
+        ml::GradientBoostingRegressor gbr(gp);
+        gbr.fit(data);
+        std::ostringstream out;
+        gbr.save(out);
+        return out.str();
+    };
+    std::string at1 = fitBytes(1);
+    std::string at8 = fitBytes(8);
+    EXPECT_FALSE(at1.empty());
+    EXPECT_EQ(at1, at8);
+}
+
 TEST(ParallelDeterminism, RunBatchMatchesSerialRunLoop)
 {
     auto rules = regex::defaultRuleSet();

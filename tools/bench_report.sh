@@ -110,6 +110,56 @@ EOF
 fi
 
 echo ""
+echo "=== speedup gate: train_predict parallel scaling ==="
+# The training hot path must actually scale: at TOMUR_THREADS=8 the
+# parallel train_predict stage is required to beat the serial run by
+# >= 1.5x (shrunk by TOMUR_BENCH_TOLERANCE). A 1-thread pool or a
+# single-core machine cannot exhibit parallel speedup — those runs
+# SKIP with the reason printed rather than fail.
+if [ ! -f "$out" ]; then
+    echo "current run left no $out; skipping speedup gate"
+else
+    cores="$(nproc 2>/dev/null || echo 1)"
+    python3 - "$out" "$cores" \
+        "${TOMUR_BENCH_TOLERANCE:-0.15}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+cores = int(sys.argv[2])
+tol = float(sys.argv[3])
+
+threads = int(report.get("threads_parallel", 1))
+if threads < 2:
+    print(f"  SKIP: parallel pass ran with a {threads}-thread pool "
+          "(no parallel speedup to assert)")
+    sys.exit(0)
+if cores < 2:
+    print(f"  SKIP: {cores} online core(s) — parallel speedup is "
+          "not observable on this machine")
+    sys.exit(0)
+
+stage = next((s for s in report.get("stages", [])
+              if s["name"] == "train_predict"), None)
+if stage is None:
+    print("  train_predict stage missing from report")
+    sys.exit(1)
+serial, parallel = stage["serial_sec"], stage["parallel_sec"]
+if parallel <= 0:
+    print("  train_predict parallel_sec is zero; cannot assert")
+    sys.exit(1)
+speedup = serial / parallel
+required = 1.5 * (1.0 - tol)
+mark = "ok" if speedup >= required else "FAIL"
+print(f"  train_predict: {serial:.3f}s serial / {parallel:.3f}s "
+      f"at {threads} threads = {speedup:.2f}x "
+      f"(required >= {required:.2f}x) {mark}")
+if speedup < required:
+    sys.exit(1)
+EOF
+fi
+
+echo ""
 echo "=== regression gate: BENCH_serve (vs HEAD baseline) ==="
 baseline=$(baseline_of "$serve_out")
 if [ ! -f "$serve_out" ]; then

@@ -12,7 +12,8 @@
 #      suite, TSan on the parallel-engine tests).
 #   4. Performance: tools/bench_report.sh (micro benchmark stages and
 #      serving QPS/latency gated against the committed BENCH_*.json
-#      baselines).
+#      baselines, plus the train_predict parallel-speedup assertion —
+#      >= 1.5x at TOMUR_THREADS=8, skipped on single-core machines).
 #
 # Usage: tools/ci_check.sh
 #   TOMUR_SKIP_TSAN=1      forwarded to run_sanitized_tests.sh
