@@ -130,7 +130,7 @@ BenchReport::stage(const std::string &name)
         if (s.name == name)
             return s;
     }
-    stages_.push_back(Stage{name, 0.0, 0.0});
+    stages_.push_back(Stage{name, 0.0, 0.0, false, false});
     return stages_.back();
 }
 
@@ -140,6 +140,19 @@ BenchReport::record(const std::string &name, bool parallel,
 {
     Stage &s = stage(name);
     (parallel ? s.parallelSec : s.serialSec) = seconds;
+    (parallel ? s.hasParallel : s.hasSerial) = true;
+}
+
+void
+BenchReport::extra(const std::string &key, double value)
+{
+    for (auto &e : extras_) {
+        if (e.first == key) {
+            e.second = value;
+            return;
+        }
+    }
+    extras_.emplace_back(key, value);
 }
 
 double
@@ -185,14 +198,34 @@ BenchReport::writeJson(const std::string &path, int serialThreads,
         const Stage &s = stages_[i];
         tot_s += s.serialSec;
         tot_p += s.parallelSec;
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"serial_sec\": %.6f, "
-                     "\"parallel_sec\": %.6f, \"speedup\": %.3f}%s\n",
-                     s.name.c_str(), s.serialSec, s.parallelSec,
-                     speedup(s.serialSec, s.parallelSec),
+        // Only the variants that actually ran are emitted: a stage
+        // that was skipped in one pass (e.g. the scenario stage
+        // under --no-scenario, or a single-variant extra stage) must
+        // not publish a fake 0-second measurement for diff tooling
+        // to trip over.
+        std::string body = strf("\"name\": \"%s\"", s.name.c_str());
+        if (s.hasSerial)
+            body += strf(", \"serial_sec\": %.6f", s.serialSec);
+        if (s.hasParallel)
+            body += strf(", \"parallel_sec\": %.6f", s.parallelSec);
+        if (s.hasSerial && s.hasParallel) {
+            body += strf(", \"speedup\": %.3f",
+                         speedup(s.serialSec, s.parallelSec));
+        }
+        std::fprintf(f, "    {%s}%s\n", body.c_str(),
                      i + 1 < stages_.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    if (!extras_.empty()) {
+        std::fprintf(f, "  \"extras\": {\n");
+        for (std::size_t i = 0; i < extras_.size(); ++i) {
+            std::fprintf(f, "    \"%s\": %.6f%s\n",
+                         extras_[i].first.c_str(),
+                         extras_[i].second,
+                         i + 1 < extras_.size() ? "," : "");
+        }
+        std::fprintf(f, "  },\n");
+    }
     std::fprintf(f,
                  "  \"total\": {\"serial_sec\": %.6f, "
                  "\"parallel_sec\": %.6f, \"speedup\": %.3f}\n",

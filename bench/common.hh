@@ -135,11 +135,19 @@ class BenchReport
     double measure(const std::string &stage, bool parallel,
                    const std::function<void()> &fn);
 
+    /** Record a scalar side metric (recovery samples, overhead
+     *  fractions, ...); emitted under an "extras" object. Re-using a
+     *  key overwrites. */
+    void extra(const std::string &key, double value);
+
     /**
-     * Write the report. Stages appear in first-recorded order with
-     * serial_sec / parallel_sec / speedup; a "total" entry sums all
-     * stages. @return false (with a warning) when the file cannot
-     * be written.
+     * Write the report. Stages appear in first-recorded order; each
+     * stage carries only the variant keys that were actually
+     * recorded (serial_sec / parallel_sec, plus speedup when both
+     * ran) so downstream diff tooling never compares against an
+     * absent measurement. A "total" entry sums all stages.
+     * @return false (with a warning) when the file cannot be
+     * written.
      */
     bool writeJson(const std::string &path, int serialThreads,
                    int parallelThreads) const;
@@ -150,11 +158,14 @@ class BenchReport
         std::string name;
         double serialSec = 0.0;
         double parallelSec = 0.0;
+        bool hasSerial = false;
+        bool hasParallel = false;
     };
     Stage &stage(const std::string &name);
 
     std::string bench_;
     std::vector<Stage> stages_;
+    std::vector<std::pair<std::string, double>> extras_;
 };
 
 } // namespace tomur::bench

@@ -15,6 +15,9 @@
  * Flags (besides the usual --benchmark_* ones):
  *   --pipeline-only   skip the google-benchmark suite
  *   --no-pipeline     skip the staged pipeline + JSON
+ *   --no-scenario     skip the nonstationary replay scenario stage
+ *                     (the JSON then omits that stage and its
+ *                     extras, rather than publishing zeros)
  *   --json=PATH       output path (default BENCH_micro.json)
  */
 
@@ -31,6 +34,7 @@
 #include "hw/accel_des.hh"
 #include "hw/cache.hh"
 #include "regex/generator.hh"
+#include "replay_scenarios.hh"
 #include "tomur/supervisor.hh"
 
 using namespace tomur;
@@ -243,7 +247,8 @@ BENCHMARK(BM_WorkloadProfiling);
  *         did not get.
  */
 int
-runPipeline(bench::BenchReport &report, bool parallel, int threads)
+runPipeline(bench::BenchReport &report, bool parallel, int threads,
+            bool scenario)
 {
     setGlobalThreadCount(threads);
     int actual = globalThreadCount();
@@ -406,6 +411,12 @@ runPipeline(bench::BenchReport &report, bool parallel, int threads)
         benchmark::DoNotOptimize(res);
     });
 
+    // Stage 8: the nonstationary stress harness — a synthesized
+    // regime-change scenario through the autopilot, with the
+    // time-to-recovery and profiler-overhead extras.
+    if (scenario)
+        bench::runReplayScenarioStage(report, parallel);
+
     return actual;
 }
 
@@ -416,6 +427,7 @@ main(int argc, char **argv)
 {
     bool pipeline = true;
     bool micro = true;
+    bool scenario = true;
     std::string json_path = "BENCH_micro.json";
 
     // Strip our flags before google-benchmark sees the rest.
@@ -425,6 +437,8 @@ main(int argc, char **argv)
             micro = false;
         } else if (std::strcmp(argv[i], "--no-pipeline") == 0) {
             pipeline = false;
+        } else if (std::strcmp(argv[i], "--no-scenario") == 0) {
+            scenario = false;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
         } else {
@@ -443,9 +457,10 @@ main(int argc, char **argv)
         bench::BenchReport report("micro");
         std::printf("\npipeline stages (serial vs %d threads):\n",
                     hw_threads);
-        int serial_w = runPipeline(report, /*parallel=*/false, 1);
-        int parallel_w =
-            runPipeline(report, /*parallel=*/true, hw_threads);
+        int serial_w =
+            runPipeline(report, /*parallel=*/false, 1, scenario);
+        int parallel_w = runPipeline(report, /*parallel=*/true,
+                                     hw_threads, scenario);
         if (parallel_w < 2) {
             // One-thread "parallel" numbers are serial numbers: say
             // so rather than report a fake speedup baseline (the

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Nonstationary-replay benchmark stage: a synthesized composite
+ * scenario (diurnal swing, flash crowd, MTBR spike) driven through
+ * the supervised autopilot with the sampling profiler attached.
+ *
+ * Besides the usual serial/parallel wall time ("replay_scenarios"),
+ * the serial pass records recovery-time and profiler-overhead
+ * numbers as BENCH_micro.json extras:
+ *
+ *   replay_recoveries              regime changes that recovered
+ *   replay_recovery_mean_samples   mean time-to-recovery (samples)
+ *   replay_recovery_max_samples    worst time-to-recovery (samples)
+ *   replay_profiler_overhead_frac  ingest-loop slowdown from the
+ *                                  profiler (fraction; budget 0.05,
+ *                                  gated by tools/bench_report.sh)
+ */
+
+#ifndef TOMUR_BENCH_REPLAY_SCENARIOS_HH
+#define TOMUR_BENCH_REPLAY_SCENARIOS_HH
+
+#include "common.hh"
+
+namespace tomur::bench {
+
+/** Run the scenario stage at the current pool width. Extras are
+ *  recorded on the serial pass only, so the parallel timing stays a
+ *  pure replay measurement. */
+void runReplayScenarioStage(BenchReport &report, bool parallel);
+
+} // namespace tomur::bench
+
+#endif // TOMUR_BENCH_REPLAY_SCENARIOS_HH

@@ -14,11 +14,12 @@ namespace {
 /** Monitor wire names, in MonitorEventKind order. Kept as literals:
  *  common/ sits below tomur/ in the layering, so the renderer parses
  *  the serialized stream rather than including the monitor header. */
-const char *const kEventNames[4] = {
+const char *const kEventNames[5] = {
     "DRIFT_DETECTED",
     "ACCURACY_DEGRADED",
     "TRAFFIC_SHIFT",
     "RECALIBRATION_RECOMMENDED",
+    "ACCURACY_RECOVERED",
 };
 
 /** Supervisor wire names, in SupervisorEventKind order (same
@@ -159,6 +160,14 @@ parseMonitorJsonl(const std::string &body)
     while (std::getline(in, line)) {
         if (line.find("{\"summary\":") == 0) {
             d.summaryLine = line;
+            if (line.find("\"recovery\":{") != std::string::npos) {
+                d.hasRecovery = true;
+                d.recoveryCount = jsonNumber(line, "count");
+                d.recoveryMeanSamples = std::strtod(
+                    jsonField(line, "mean").c_str(), nullptr);
+                d.recoveryMaxSamples = jsonNumber(line, "max");
+                d.recoveryOpen = jsonNumber(line, "open") != 0.0;
+            }
             continue;
         }
         if (line.find("{\"supervisor_summary\":") == 0) {
@@ -185,7 +194,7 @@ parseMonitorJsonl(const std::string &body)
         std::string kind = jsonField(line, "event");
         if (kind.empty())
             continue;
-        for (int k = 0; k < 4; ++k) {
+        for (int k = 0; k < 5; ++k) {
             if (kind == kEventNames[k]) {
                 ++d.eventCounts[k];
                 break;
@@ -220,9 +229,23 @@ renderReport(const ReportArtifacts &artifacts,
         out += "== " + opts.title + " ==\n";
         if (have_monitor) {
             out += "\n-- Monitor events --\n";
-            for (int k = 0; k < 4; ++k) {
+            for (int k = 0; k < 5; ++k) {
                 out += strf("%-26s %zu\n", kEventNames[k],
                             monitor.eventCounts[k]);
+            }
+            if (monitor.hasRecovery) {
+                out += "\n-- Recovery (regime change -> recovered "
+                       "accuracy) --\n";
+                out += strf("%-26s %.0f\n", "recoveries",
+                            monitor.recoveryCount);
+                out += strf("%-26s %.1f\n",
+                            "mean recovery (samples)",
+                            monitor.recoveryMeanSamples);
+                out += strf("%-26s %.0f\n",
+                            "max recovery (samples)",
+                            monitor.recoveryMaxSamples);
+                out += strf("%-26s %s\n", "open regime",
+                            monitor.recoveryOpen ? "yes" : "no");
             }
             if (!monitor.lastEvents.empty()) {
                 out += "recent events:\n";
@@ -278,11 +301,24 @@ renderReport(const ReportArtifacts &artifacts,
     if (have_monitor) {
         out += "<h2>Monitor events</h2>\n<table>"
                "<tr><th>kind</th><th>count</th></tr>\n";
-        for (int k = 0; k < 4; ++k) {
+        for (int k = 0; k < 5; ++k) {
             out += strf("<tr><td>%s</td><td>%zu</td></tr>\n",
                         kEventNames[k], monitor.eventCounts[k]);
         }
         out += "</table>\n";
+        if (monitor.hasRecovery) {
+            out += "<h2>Recovery</h2>\n<table>"
+                   "<tr><th>recoveries</th>"
+                   "<th>mean (samples)</th><th>max (samples)</th>"
+                   "<th>open regime</th></tr>\n";
+            out += strf("<tr><td>%.0f</td><td>%.1f</td>"
+                        "<td>%.0f</td><td>%s</td></tr>\n",
+                        monitor.recoveryCount,
+                        monitor.recoveryMeanSamples,
+                        monitor.recoveryMaxSamples,
+                        monitor.recoveryOpen ? "yes" : "no");
+            out += "</table>\n";
+        }
         if (!monitor.lastEvents.empty()) {
             out += "<h2>Recent events</h2>\n<pre>";
             for (const auto &e : monitor.lastEvents)

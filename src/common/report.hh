@@ -54,9 +54,17 @@ struct TraceNameStats
 /** Parsed monitor (+ optional supervisor) stream. */
 struct MonitorDigest
 {
-    std::size_t eventCounts[4] = {}; ///< by MonitorEventKind order
+    std::size_t eventCounts[5] = {}; ///< by MonitorEventKind order
     std::vector<std::string> lastEvents; ///< most recent raw lines
     std::string summaryLine;             ///< raw summary trailer
+
+    /** Time-to-recovery rollup from the summary trailer (absent in
+     *  streams written before the recovery metric existed). */
+    bool hasRecovery = false;
+    double recoveryCount = 0.0;
+    double recoveryMeanSamples = 0.0;
+    double recoveryMaxSamples = 0.0;
+    bool recoveryOpen = false;
 
     /** Autopilot runs append supervisor events to the same stream. */
     bool hasSupervisor = false;

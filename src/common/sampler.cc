@@ -1,0 +1,127 @@
+#include "common/sampler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "common/strutil.hh"
+
+namespace tomur {
+
+std::uint64_t
+SamplingProfiler::clockNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+SamplingProfiler::SamplingProfiler(SamplerOptions opts)
+    : opts_(opts), rng_(opts.seed)
+{
+    if (opts_.ringCapacity == 0)
+        opts_.ringCapacity = 1;
+    if (opts_.meanPeriod == 0)
+        opts_.meanPeriod = 1;
+    ring_.reserve(opts_.ringCapacity);
+    countdown_ = nextGap();
+}
+
+std::uint64_t
+SamplingProfiler::nextGap()
+{
+    // Uniform in [1, 2*meanPeriod - 1]: mean = meanPeriod, and a
+    // meanPeriod of 1 degenerates to sampling every token.
+    return 1 + rng_.uniformInt(2 * opts_.meanPeriod - 1);
+}
+
+int
+SamplingProfiler::registerSite(const std::string &name)
+{
+    for (std::size_t i = 0; i < siteNames_.size(); ++i) {
+        if (siteNames_[i] == name)
+            return static_cast<int>(i);
+    }
+    siteNames_.push_back(name);
+    siteTokens_.push_back(0);
+    siteSampled_.push_back(0);
+    siteSampledNs_.push_back(0);
+    return static_cast<int>(siteNames_.size()) - 1;
+}
+
+void
+SamplingProfiler::endToken(int site, std::uint64_t durNs)
+{
+    ++sampledTokens_;
+    if (site >= 0 &&
+        static_cast<std::size_t>(site) < siteSampled_.size()) {
+        ++siteSampled_[static_cast<std::size_t>(site)];
+        siteSampledNs_[static_cast<std::size_t>(site)] += durNs;
+    }
+    SampledToken tok;
+    tok.site = site;
+    tok.index = tokens_;
+    tok.durNs = durNs;
+    if (ring_.size() < opts_.ringCapacity) {
+        ring_.push_back(tok);
+        return;
+    }
+    // Full: overwrite the oldest slot — bounded memory by design.
+    ring_[ringHead_] = tok;
+    ringHead_ = (ringHead_ + 1) % opts_.ringCapacity;
+    ++dropped_;
+}
+
+std::vector<SampledToken>
+SamplingProfiler::ringContents() const
+{
+    std::vector<SampledToken> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < opts_.ringCapacity) {
+        out = ring_; // not yet wrapped: insertion order is age order
+        return out;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(ringHead_ + i) % ring_.size()]);
+    return out;
+}
+
+std::vector<SamplerSiteStats>
+SamplingProfiler::siteStats() const
+{
+    std::vector<SamplerSiteStats> out;
+    out.reserve(siteNames_.size());
+    for (std::size_t i = 0; i < siteNames_.size(); ++i) {
+        SamplerSiteStats s;
+        s.name = siteNames_[i];
+        s.tokens = siteTokens_[i];
+        s.sampled = siteSampled_[i];
+        s.sampledNs = siteSampledNs_[i];
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+SamplingProfiler::exportText(std::ostream &out) const
+{
+    out << strf("sampling profiler: %llu tokens, %llu sampled "
+                "(mean period %llu), ring %zu/%zu, %llu evicted\n",
+                (unsigned long long)tokens_,
+                (unsigned long long)sampledTokens_,
+                (unsigned long long)opts_.meanPeriod, ring_.size(),
+                opts_.ringCapacity, (unsigned long long)dropped_);
+    for (const auto &s : siteStats()) {
+        double mean_us =
+            s.sampled ? static_cast<double>(s.sampledNs) /
+                            static_cast<double>(s.sampled) / 1e3
+                      : 0.0;
+        out << strf("  %-24s tokens=%-10llu sampled=%-8llu "
+                    "mean=%.2fus\n",
+                    s.name.c_str(), (unsigned long long)s.tokens,
+                    (unsigned long long)s.sampled, mean_us);
+    }
+}
+
+} // namespace tomur

@@ -37,8 +37,18 @@ kindMetricName(MonitorEventKind kind)
         return "tomur_monitor_traffic_shift_total";
       case MonitorEventKind::RecalibrationRecommended:
         return "tomur_monitor_recalibration_recommended_total";
+      case MonitorEventKind::AccuracyRecovered:
+        return "tomur_monitor_accuracy_recovered_total";
     }
     panic("kindMetricName: bad event kind");
+}
+
+/** Bucket layout of the recovery-span histogram (1 .. 32768
+ *  samples, exponential). */
+std::vector<double>
+recoveryBounds()
+{
+    return Histogram::exponentialBounds(1.0, 2.0, 16);
 }
 
 } // namespace
@@ -55,6 +65,8 @@ monitorEventName(MonitorEventKind kind)
         return "TRAFFIC_SHIFT";
       case MonitorEventKind::RecalibrationRecommended:
         return "RECALIBRATION_RECOMMENDED";
+      case MonitorEventKind::AccuracyRecovered:
+        return "ACCURACY_RECOVERED";
     }
     panic("monitorEventName: bad event kind");
 }
@@ -115,7 +127,13 @@ MonitorSummary::toJson() const
             monitorEventName(static_cast<MonitorEventKind>(k));
         line += strf("\":%llu", (unsigned long long)eventCounts[k]);
     }
-    line += "}}}";
+    line += strf("},\"recovery\":{\"count\":%llu",
+                 (unsigned long long)recoveries);
+    line += ",\"mean\":\"" + traceFormat(meanRecoverySamples) + "\"";
+    line += strf(",\"max\":%llu,\"open\":%d}",
+                 (unsigned long long)maxRecoverySamples,
+                 recoveryOpen ? 1 : 0);
+    line += "}}";
     return line;
 }
 
@@ -158,7 +176,9 @@ PredictionMonitor::PredictionMonitor(MonitorOptions opts)
       mErrHist_(metrics().histogram(
           "tomur_monitor_abs_rel_error",
           opts_.errorBounds.empty() ? defaultErrorBounds()
-                                    : opts_.errorBounds))
+                                    : opts_.errorBounds)),
+      mRecoveryHist_(metrics().histogram("tomur_recovery_samples",
+                                         recoveryBounds()))
 {
     if (opts_.errorBounds.empty())
         opts_.errorBounds = defaultErrorBounds();
@@ -197,6 +217,15 @@ PredictionMonitor::fire(std::vector<MonitorEvent> &out,
     lastFired_[static_cast<int>(kind)] = samples_;
     mEvents_.inc();
     mKind_[static_cast<int>(kind)]->inc();
+    if (kind == MonitorEventKind::TrafficShift ||
+        kind == MonitorEventKind::DriftDetected) {
+        // A regime change opens (or restarts) the recovery window;
+        // the span is measured from the latest regime change.
+        recoveryOpen_ = true;
+        recoveryStartSample_ = samples_;
+        recoveryTriggerKind_ = static_cast<int>(kind);
+        recoveryStable_ = 0;
+    }
     if (tracer().enabled()) {
         tracePoint("monitor.event",
                    {{"kind", monitorEventName(kind)},
@@ -351,6 +380,40 @@ PredictionMonitor::ingest(const MonitorSample &s)
              std::move(detail));
         driftsSinceRecal_ = 0;
     }
+
+    // ---- Recovery span: samples from the latest regime change
+    // until the error EWMA holds below the recovered threshold. A
+    // window opened this very sample cannot close yet (samples_ ==
+    // recoveryStartSample_), and invalid samples never reach here,
+    // so only valid post-change samples advance the stability run.
+    if (recoveryOpen_ && samples_ > recoveryStartSample_) {
+        double recovered =
+            opts_.recoveredFactor * opts_.accuracyThreshold;
+        if (ewmaAbsErr_ <= recovered) {
+            ++recoveryStable_;
+            if (recoveryStable_ >= opts_.recoveryStableSamples) {
+                std::size_t span = samples_ - recoveryStartSample_;
+                ++recoveries_;
+                sumRecoverySamples_ += static_cast<double>(span);
+                maxRecoverySamples_ =
+                    std::max(maxRecoverySamples_, span);
+                mRecoveryHist_.observe(static_cast<double>(span));
+                fire(fired, MonitorEventKind::AccuracyRecovered, s,
+                     static_cast<double>(span), recovered,
+                     strf("%s at sample %llu recovered after %llu "
+                          "samples",
+                          monitorEventName(
+                              static_cast<MonitorEventKind>(
+                                  recoveryTriggerKind_)),
+                          (unsigned long long)recoveryStartSample_,
+                          (unsigned long long)span));
+                recoveryOpen_ = false;
+                recoveryStable_ = 0;
+            }
+        } else {
+            recoveryStable_ = 0;
+        }
+    }
     return fired;
 }
 
@@ -384,6 +447,13 @@ PredictionMonitor::summary() const
     }
     for (const auto &ev : events_)
         ++sum.eventCounts[static_cast<int>(ev.kind)];
+    sum.recoveries = recoveries_;
+    sum.meanRecoverySamples =
+        recoveries_ ? sumRecoverySamples_ /
+                          static_cast<double>(recoveries_)
+                    : 0.0;
+    sum.maxRecoverySamples = maxRecoverySamples_;
+    sum.recoveryOpen = recoveryOpen_;
     return sum;
 }
 
@@ -416,7 +486,7 @@ PredictionMonitor::serialize(std::ostream &out) const
         out << ' ';
         writeSerialDouble(out, v);
     };
-    out << "monitor_state 1\n";
+    out << "monitor_state 2\n";
     out << "counts " << samples_ << ' ' << invalid_ << ' '
         << degraded_ << ' ' << errorSamples_ << ' '
         << trafficSamples_ << "\n";
@@ -443,6 +513,11 @@ PredictionMonitor::serialize(std::ostream &out) const
     for (int k = 0; k < numMonitorEventKinds; ++k)
         out << ' ' << lastFired_[k];
     out << "\n";
+    out << "recovery " << (recoveryOpen_ ? 1 : 0) << ' '
+        << recoveryStartSample_ << ' ' << recoveryTriggerKind_
+        << ' ' << recoveryStable_ << ' ' << recoveries_;
+    d(sumRecoverySamples_);
+    out << ' ' << maxRecoverySamples_ << "\n";
     out << "events " << events_.size() << "\n";
     for (const auto &ev : events_) {
         out << "event " << static_cast<int>(ev.kind) << ' '
@@ -467,7 +542,7 @@ PredictionMonitor::restore(std::istream &in)
         return bad("magic");
     int version = 0;
     in >> version;
-    if (!in || version != 1) {
+    if (!in || version != 2) {
         return Status::corruptData(
             strf("monitor state: unsupported version %d", version));
     }
@@ -532,6 +607,18 @@ PredictionMonitor::restore(std::istream &in)
             return bad("cooldown");
     }
 
+    int recoveryOpen = 0, recoveryTrigger = 0;
+    std::size_t recoveryStart = 0, recoveryStable = 0,
+                recoveries = 0, maxRecovery = 0;
+    double sumRecovery = 0.0;
+    if (!expectToken(in, "recovery"))
+        return bad("recovery");
+    in >> recoveryOpen >> recoveryStart >> recoveryTrigger >>
+        recoveryStable >> recoveries >> sumRecovery >> maxRecovery;
+    if (!in || recoveryTrigger < 0 ||
+        recoveryTrigger >= numMonitorEventKinds)
+        return bad("recovery");
+
     std::size_t nEvents = 0;
     if (!expectToken(in, "events"))
         return bad("events");
@@ -580,6 +667,13 @@ PredictionMonitor::restore(std::istream &in)
         trafficBase_[a] = trafficBase[a];
     for (int k = 0; k < numMonitorEventKinds; ++k)
         lastFired_[k] = lastFired[k];
+    recoveryOpen_ = recoveryOpen != 0;
+    recoveryStartSample_ = recoveryStart;
+    recoveryTriggerKind_ = recoveryTrigger;
+    recoveryStable_ = recoveryStable;
+    recoveries_ = recoveries;
+    sumRecoverySamples_ = sumRecovery;
+    maxRecoverySamples_ = maxRecovery;
     events_ = std::move(events);
 
     mSamples_.inc(samples_);
@@ -704,6 +798,16 @@ defaultSchedule(const traffic::TrafficProfile &base)
         traffic::Attribute::FlowCount,
         4.0 * static_cast<double>(base.flowCount));
     return {{base, 60}, {shifted, 60}, {base, 40}};
+}
+
+std::vector<ScheduleStep>
+toSchedule(const std::vector<traffic::SynthStep> &steps)
+{
+    std::vector<ScheduleStep> out;
+    out.reserve(steps.size());
+    for (const auto &s : steps)
+        out.push_back({s.profile, s.repeats});
+    return out;
 }
 
 ReplayResult

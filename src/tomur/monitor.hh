@@ -21,9 +21,18 @@
  *
  * Detections surface three ways at once: structured MonitorEvents
  * (DRIFT_DETECTED, ACCURACY_DEGRADED, TRAFFIC_SHIFT,
- * RECALIBRATION_RECOMMENDED) retained in order and exportable as
- * JSONL, `monitor.event` trace points, and `tomur_monitor_*`
- * metrics.
+ * RECALIBRATION_RECOMMENDED, ACCURACY_RECOVERED) retained in order
+ * and exportable as JSONL, `monitor.event` trace points, and
+ * `tomur_monitor_*` metrics.
+ *
+ * Time-to-recovery is a first-class metric: every regime change
+ * (TRAFFIC_SHIFT or DRIFT_DETECTED) opens a recovery window, and
+ * when the error EWMA then holds below recoveredFactor *
+ * accuracyThreshold for recoveryStableSamples consecutive valid
+ * samples, an ACCURACY_RECOVERED event fires whose value is the
+ * span in samples since the (latest) regime change — also observed
+ * into the `tomur_recovery_samples` histogram and rolled up in the
+ * summary trailer.
  *
  * Determinism contract: ingest() is a pure fold over the sample
  * stream — no wall clock, no RNG, deterministic double formatting —
@@ -47,6 +56,7 @@
 #include "sim/faults.hh"
 #include "tomur/attribution.hh"
 #include "tomur/profiler.hh"
+#include "traffic/synth.hh"
 
 namespace tomur::core {
 
@@ -76,9 +86,10 @@ enum class MonitorEventKind
     AccuracyDegraded,          ///< error EWMA crossed the threshold
     TrafficShift,              ///< attribute delta vs baseline
     RecalibrationRecommended,  ///< drift + degraded accuracy
+    AccuracyRecovered,         ///< regime-change window closed
 };
 
-constexpr int numMonitorEventKinds = 4;
+constexpr int numMonitorEventKinds = 5;
 
 /** Wire name ("DRIFT_DETECTED", ...). */
 const char *monitorEventName(MonitorEventKind kind);
@@ -120,6 +131,11 @@ struct MonitorOptions
     double trafficAlpha = 0.2;
     /** Minimum samples between two events of the same kind. */
     std::size_t cooldown = 16;
+    /** A recovery window closes once the error EWMA holds below
+     *  recoveredFactor * accuracyThreshold... */
+    double recoveredFactor = 0.8;
+    /** ...for this many consecutive valid samples. */
+    std::size_t recoveryStableSamples = 4;
     /** Bucket layout for the error histogram/percentiles (empty:
      *  exponential 0.005 .. 2.56). */
     std::vector<double> errorBounds;
@@ -136,6 +152,12 @@ struct MonitorSummary
     double meanAbsError = 0.0;
     double p50 = 0.0, p90 = 0.0, p99 = 0.0; ///< windowed |rel err|
     std::size_t eventCounts[numMonitorEventKinds] = {};
+
+    // Time-to-recovery rollup (spans in samples).
+    std::size_t recoveries = 0;
+    double meanRecoverySamples = 0.0;
+    std::size_t maxRecoverySamples = 0;
+    bool recoveryOpen = false; ///< a regime change is unrecovered
 
     std::string toJson() const;
 };
@@ -238,6 +260,17 @@ class PredictionMonitor
     // Per-kind cooldown bookkeeping (sample index of last event).
     std::size_t lastFired_[numMonitorEventKinds];
 
+    // Recovery window (regime change -> recovered accuracy). A new
+    // regime change while a window is open restarts the clock: the
+    // span measures from the *latest* regime change.
+    bool recoveryOpen_ = false;
+    std::size_t recoveryStartSample_ = 0;
+    int recoveryTriggerKind_ = 0;
+    std::size_t recoveryStable_ = 0;
+    std::size_t recoveries_ = 0;
+    double sumRecoverySamples_ = 0.0;
+    std::size_t maxRecoverySamples_ = 0;
+
     // Metrics (looked up once; registration is the only lock).
     Counter &mSamples_;
     Counter &mInvalid_;
@@ -246,6 +279,7 @@ class PredictionMonitor
     Counter *mKind_[numMonitorEventKinds];
     Gauge &mEwma_;
     Histogram &mErrHist_;
+    Histogram &mRecoveryHist_;
 };
 
 // ---------------------------------------------------------------
@@ -269,6 +303,11 @@ Result<std::vector<ScheduleStep>> parseSchedule(std::istream &in);
  *  flow-count shift, then back — enough to exercise every event. */
 std::vector<ScheduleStep>
 defaultSchedule(const traffic::TrafficProfile &base);
+
+/** Lower a synthesized scenario (traffic/synth) onto the replayable
+ *  schedule machinery. */
+std::vector<ScheduleStep>
+toSchedule(const std::vector<traffic::SynthStep> &steps);
 
 /** Everything a replay needs about the deployment under watch. */
 struct ReplayContext

@@ -676,6 +676,16 @@ runAutopilot(ReplayContext &ctx,
     measure.prewarm(deployments);
 
     // ---- Serial supervised replay ----
+    // Profiler sites are registered once, outside the loop, so the
+    // per-sample cost on the unsampled path is one countdown
+    // decrement per phase.
+    SamplingProfiler *prof = opts.profiler;
+    int siteSolve = prof ? prof->registerSite("solve") : 0;
+    int sitePredict = prof ? prof->registerSite("predict") : 0;
+    int siteMeasure = prof ? prof->registerSite("measure") : 0;
+    int siteIngest = prof ? prof->registerSite("ingest") : 0;
+    int siteSupervise = prof ? prof->registerSite("supervise") : 0;
+    int siteCheckpoint = prof ? prof->registerSite("checkpoint") : 0;
     bool stoppedEarly = false;
     std::size_t sample0 = startSample;
     for (; sample0 < total; ++sample0) {
@@ -721,24 +731,43 @@ runAutopilot(ReplayContext &ctx,
         // only noise consumer in the loop is the measured co-run —
         // exactly one batch per sample, which is what the
         // checkpointed RNG cursor assumes.
-        auto soloMs = ctx.soloBed->solveNoiseFree(solos[i]);
+        std::vector<sim::Measurement> soloMs;
+        {
+            SamplingProfiler::Scope scope(prof, siteSolve);
+            soloMs = ctx.soloBed->solveNoiseFree(solos[i]);
+        }
         double solo =
             soloMs.empty() ? 0.0 : soloMs[0].truthThroughput;
-        auto breakdown = ctx.model->predictDetailed(
-            ctx.levels, step.profile, solo);
+        PredictionBreakdown breakdown;
+        {
+            SamplingProfiler::Scope scope(prof, sitePredict);
+            breakdown = ctx.model->predictDetailed(
+                ctx.levels, step.profile, solo);
+        }
 
-        auto ms = measure.run(deployments[i]);
         double measured = std::numeric_limits<double>::quiet_NaN();
-        for (const auto &m : ms) {
-            if (m.nfName == w.nfName) {
-                measured = m.throughput;
-                break;
+        {
+            SamplingProfiler::Scope scope(prof, siteMeasure);
+            auto ms = measure.run(deployments[i]);
+            for (const auto &m : ms) {
+                if (m.nfName == w.nfName) {
+                    measured = m.throughput;
+                    break;
+                }
             }
         }
 
-        auto fired = monitor.ingest(makeMonitorSample(
-            ctx.label, step.profile, breakdown, measured));
-        auto supEvents = supervisor.observe(sample0 + 1, fired);
+        std::vector<MonitorEvent> fired;
+        {
+            SamplingProfiler::Scope scope(prof, siteIngest);
+            fired = monitor.ingest(makeMonitorSample(
+                ctx.label, step.profile, breakdown, measured));
+        }
+        std::vector<SupervisorEvent> supEvents;
+        {
+            SamplingProfiler::Scope scope(prof, siteSupervise);
+            supEvents = supervisor.observe(sample0 + 1, fired);
+        }
         for (const auto &ev : supEvents) {
             if (ev.kind == SupervisorEventKind::BreakerOpened) {
                 // While the breaker is open, predictions must not
@@ -752,6 +781,7 @@ runAutopilot(ReplayContext &ctx,
 
         if (store != nullptr && opts.checkpointEverySamples > 0 &&
             (sample0 + 1) % opts.checkpointEverySamples == 0) {
+            SamplingProfiler::Scope scope(prof, siteCheckpoint);
             // The CHECKPOINT_WRITTEN event goes in *before* the body
             // is serialized, so the generation carries its own event
             // and a resumed export replays the identical stream.

@@ -44,6 +44,7 @@
 #include <iosfwd>
 
 #include "common/checkpoint.hh"
+#include "common/sampler.hh"
 #include "tomur/monitor.hh"
 
 namespace tomur::core {
@@ -226,6 +227,14 @@ struct AutopilotOptions
      * mid-generation. Null = never stop early.
      */
     std::function<bool()> stopRequested;
+    /**
+     * Optional sampling profiler for the replay loop's phases
+     * (solve, predict, measure, ingest, supervise, checkpoint).
+     * Pure observability: the profiler draws from its own seeded
+     * gap stream and never touches a decision path, so attaching
+     * one cannot perturb the event stream. Null = no profiling.
+     */
+    SamplingProfiler *profiler = nullptr;
 };
 
 /** Autopilot outcome. */

@@ -22,11 +22,14 @@
 
 #include "common/report.hh"
 #include "common/rng.hh"
+#include "common/sampler.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
 #include "tomur/monitor.hh"
+#include "tomur/supervisor.hh"
+#include "traffic/synth.hh"
 
 namespace tomur {
 namespace {
@@ -271,12 +274,17 @@ TEST(Monitor, TrafficShiftDetectedOnAttributeJump)
     EXPECT_NE(fired[0].detail.find("flow_count"),
               std::string::npos);
     // The shifted regime becomes the baseline: staying there is not
-    // another shift.
+    // another shift. Accuracy is already healthy, so the only event
+    // in the aftermath is the recovery that closes the window the
+    // shift opened.
     for (int i = 0; i < 40; ++i) {
         auto s2 = sample(1000.0, 1000.0);
         s2.profile = shifted;
-        EXPECT_TRUE(m.ingest(s2).empty());
+        for (const auto &ev : m.ingest(s2))
+            EXPECT_EQ(ev.kind, MonitorEventKind::AccuracyRecovered);
     }
+    EXPECT_EQ(countKind(m, MonitorEventKind::TrafficShift), 1u);
+    EXPECT_EQ(countKind(m, MonitorEventKind::AccuracyRecovered), 1u);
 }
 
 TEST(Monitor, RecalibrationRecommendedAfterDriftWhileInaccurate)
@@ -533,6 +541,183 @@ TEST(Schedule, DefaultScheduleShiftsAndReturns)
 }
 
 // ---------------------------------------------------------------
+// Time-to-recovery
+// ---------------------------------------------------------------
+
+/** Feed warm-up, then a synthesized scenario family, then a steady
+ *  tail through a monitor with perfect predictions: regime changes
+ *  come only from the traffic stream, and every recovery window must
+ *  close during the tail. */
+PredictionMonitor
+runFamilyThroughMonitor(const std::vector<traffic::SynthStep> &family)
+{
+    PredictionMonitor m;
+    auto base = traffic::TrafficProfile::defaults();
+    auto feed = [&](const traffic::TrafficProfile &p, int repeats) {
+        for (int i = 0; i < repeats; ++i) {
+            auto s = sample(1000.0, 1000.0);
+            s.profile = p;
+            m.ingest(s);
+        }
+    };
+    feed(base, 40);
+    for (const auto &step : family)
+        feed(step.profile, step.repeats);
+    feed(base, 40);
+    return m;
+}
+
+TEST(Recovery, EveryScenarioFamilyRecoversFinitely)
+{
+    auto base = traffic::TrafficProfile::defaults();
+    traffic::DiurnalOptions diurnal;
+    diurnal.base = base;
+    diurnal.amplitude = 0.9;
+    diurnal.period = 8;
+    traffic::FlashCrowdOptions flash;
+    flash.base = base;
+    traffic::FlowChurnOptions churn;
+    churn.base = base;
+    traffic::MtbrSpikeOptions spike;
+    spike.base = base;
+    struct
+    {
+        const char *name;
+        std::vector<traffic::SynthStep> steps;
+    } families[] = {
+        {"diurnal", traffic::diurnalSteps(diurnal)},
+        {"flash", traffic::flashCrowdSteps(flash)},
+        {"churn", traffic::flowChurnSteps(churn)},
+        {"mtbr_spike", traffic::mtbrSpikeSteps(spike)},
+    };
+    for (const auto &f : families) {
+        auto m = runFamilyThroughMonitor(f.steps);
+        auto sum = m.summary();
+        EXPECT_GE(sum.eventCounts[static_cast<int>(
+                      MonitorEventKind::TrafficShift)],
+                  1u)
+            << f.name;
+        // Every regime change recovered, in finite sample time.
+        EXPECT_GE(sum.recoveries, 1u) << f.name;
+        EXPECT_FALSE(sum.recoveryOpen) << f.name;
+        EXPECT_TRUE(std::isfinite(sum.meanRecoverySamples))
+            << f.name;
+        EXPECT_GE(sum.meanRecoverySamples, 1.0) << f.name;
+        EXPECT_GE(sum.maxRecoverySamples, 1u) << f.name;
+        EXPECT_LE(sum.maxRecoverySamples, sum.samples) << f.name;
+        EXPECT_EQ(sum.recoveries,
+                  countKind(m, MonitorEventKind::AccuracyRecovered))
+            << f.name;
+    }
+}
+
+TEST(Recovery, NoShiftScenarioEmitsNoEvents)
+{
+    // False-positive guard: a stationary scenario with benign
+    // measurement wobble must not open recovery windows or fire any
+    // detector.
+    auto steps =
+        traffic::steadySteps(traffic::TrafficProfile::defaults(),
+                             300);
+    PredictionMonitor m;
+    std::size_t i = 0;
+    for (const auto &step : steps) {
+        for (int r = 0; r < step.repeats; ++r) {
+            auto s = sample(1000.0, 1000.0 + (i++ % 16) - 8.0);
+            s.profile = step.profile;
+            EXPECT_TRUE(m.ingest(s).empty());
+        }
+    }
+    auto sum = m.summary();
+    for (int k = 0; k < core::numMonitorEventKinds; ++k)
+        EXPECT_EQ(sum.eventCounts[k], 0u) << k;
+    EXPECT_EQ(sum.recoveries, 0u);
+    EXPECT_FALSE(sum.recoveryOpen);
+    EXPECT_DOUBLE_EQ(sum.meanRecoverySamples, 0.0);
+}
+
+TEST(Recovery, ReTriggerRestartsTheWindow)
+{
+    // A second regime change before the first window closes restarts
+    // the span: the recovery measures from the LATEST change.
+    MonitorOptions opts;
+    opts.recoveryStableSamples = 8;
+    opts.cooldown = 2;
+    PredictionMonitor m(opts);
+    auto base = traffic::TrafficProfile::defaults();
+    for (int i = 0; i < 20; ++i) {
+        auto s = sample(1000.0, 1000.0);
+        s.profile = base;
+        m.ingest(s);
+    }
+    auto shifted = base.withAttribute(
+        traffic::Attribute::FlowCount,
+        4.0 * static_cast<double>(base.flowCount));
+    auto s1 = sample(1000.0, 1000.0);
+    s1.profile = shifted;
+    m.ingest(s1); // shift #1 opens the window at sample 21
+    for (int i = 0; i < 3; ++i) {
+        auto s = sample(1000.0, 1000.0);
+        s.profile = shifted;
+        m.ingest(s);
+    }
+    auto shifted2 = shifted.withAttribute(
+        traffic::Attribute::FlowCount,
+        4.0 * static_cast<double>(shifted.flowCount));
+    auto s2 = sample(1000.0, 1000.0);
+    s2.profile = shifted2;
+    m.ingest(s2); // shift #2 at sample 25 restarts the span
+    for (int i = 0; i < 20; ++i) {
+        auto s = sample(1000.0, 1000.0);
+        s.profile = shifted2;
+        m.ingest(s);
+    }
+    auto sum = m.summary();
+    EXPECT_EQ(sum.eventCounts[static_cast<int>(
+                  MonitorEventKind::TrafficShift)],
+              2u);
+    ASSERT_EQ(sum.recoveries, 1u);
+    // Span counts from shift #2 (sample 25), not shift #1: 8 stable
+    // samples after it.
+    EXPECT_EQ(sum.maxRecoverySamples, 8u);
+    EXPECT_FALSE(sum.recoveryOpen);
+}
+
+TEST(Recovery, OpenWindowSurvivesSerializeRestore)
+{
+    // Crash-resume faithfulness: a monitor checkpointed mid-window
+    // must fire the same recovery at the same sample after restore.
+    auto drive = [](PredictionMonitor &m, int from, int to) {
+        auto base = traffic::TrafficProfile::defaults();
+        auto shifted = base.withAttribute(
+            traffic::Attribute::FlowCount,
+            4.0 * static_cast<double>(base.flowCount));
+        for (int i = from; i < to; ++i) {
+            auto s = sample(1000.0, 1000.0);
+            s.profile = i >= 20 ? shifted : base;
+            m.ingest(s);
+        }
+    };
+    PredictionMonitor full;
+    drive(full, 0, 40);
+
+    PredictionMonitor first;
+    drive(first, 0, 22); // window opened at 21, still open
+    std::ostringstream saved;
+    first.serialize(saved);
+    PredictionMonitor second;
+    std::istringstream in(saved.str());
+    ASSERT_TRUE(second.restore(in).isOk());
+    EXPECT_TRUE(second.summary().recoveryOpen);
+    drive(second, 22, 40);
+
+    std::ostringstream a, b;
+    full.exportJsonl(a);
+    second.exportJsonl(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+// ---------------------------------------------------------------
 // Report renderer
 // ---------------------------------------------------------------
 
@@ -750,6 +935,130 @@ TEST(MonitorGolden, WideReplayIsByteIdenticalToFixture)
         return;
     }
     checkGolden("monitor_events.jsonl", events);
+}
+
+// ---------------------------------------------------------------
+// Golden nonstationary scenario replay (through the autopilot)
+// ---------------------------------------------------------------
+
+/**
+ * The nonstationary golden scenario: a compact synthesized composite
+ * (diurnal swing, flash crowd, MTBR spike with steady tails) driven
+ * through the supervised autopilot, with the sampling profiler
+ * attached — the profiler reads the wall clock but must not be able
+ * to perturb the event stream, which this fixture pins together with
+ * width invariance.
+ */
+std::string
+runGoldenScenarioReplay()
+{
+    regex::RuleSet rules = regex::defaultRuleSet();
+    fw::DeviceSet dev;
+    dev.regex = std::make_shared<fw::RegexDevice>(rules);
+    dev.compression = std::make_shared<fw::CompressionDevice>();
+    dev.crypto = std::make_shared<fw::CryptoDevice>();
+
+    sim::Testbed bed(hw::blueField2());
+    sim::FaultInjectingTestbed faulty(bed, {});
+    core::BenchLibrary lib(faulty, dev, rules);
+    core::TomurTrainer trainer(lib);
+
+    auto defaults = traffic::TrafficProfile::defaults();
+    auto nf = nfs::makeByName("FlowMonitor", dev);
+    core::TrainOptions topts;
+    topts.adaptive.quota = 60;
+    auto model = trainer.train(*nf, defaults, topts);
+
+    const core::BenchLibrary::MemBenchEntry *mem =
+        &lib.memBenches().front();
+    for (const auto &e : lib.memBenches()) {
+        if (e.config.wssBytes >= 12.0 * 1024 * 1024 &&
+            e.level.counters.cacheAccessRate() >
+                mem->level.counters.cacheAccessRate()) {
+            mem = &e;
+        }
+    }
+    const auto &rx =
+        lib.accelBench(hw::AccelKind::Regex, 150e3, 800.0);
+
+    core::ReplayContext ctx;
+    ctx.trainer = &trainer;
+    ctx.model = &model;
+    ctx.nf = nf.get();
+    ctx.levels = {mem->level, rx.level};
+    ctx.competitors = {mem->workload, rx.workload};
+    ctx.soloBed = &bed;
+    ctx.measureBed = &faulty;
+    ctx.label = "FlowMonitor";
+
+    std::vector<traffic::SynthStep> steps;
+    auto append = [&](std::vector<traffic::SynthStep> more) {
+        steps.insert(steps.end(), more.begin(), more.end());
+    };
+    append(traffic::steadySteps(defaults, 16));
+    traffic::DiurnalOptions diurnal;
+    diurnal.base = defaults;
+    diurnal.amplitude = 0.85;
+    diurnal.period = 12;
+    append(traffic::diurnalSteps(diurnal));
+    append(traffic::steadySteps(defaults, 8));
+    traffic::FlashCrowdOptions flash;
+    flash.base = defaults;
+    flash.peak = 6.0;
+    flash.ramp = 2;
+    flash.hold = 4;
+    flash.decay = 2;
+    append(traffic::flashCrowdSteps(flash));
+    append(traffic::steadySteps(defaults, 8));
+    traffic::MtbrSpikeOptions spike;
+    spike.base = defaults;
+    spike.mtbr = 1100.0;
+    spike.ramp = 2;
+    spike.hold = 4;
+    append(traffic::mtbrSpikeSteps(spike));
+    append(traffic::steadySteps(defaults, 12));
+    auto schedule = core::toSchedule(steps);
+
+    core::PredictionMonitor monitor;
+    core::Supervisor supervisor(
+        {}, [](std::size_t, std::string *) { return Status::ok(); });
+    SamplingProfiler profiler;
+    core::AutopilotOptions aopts;
+    aopts.profiler = &profiler;
+    auto res = core::runAutopilot(ctx, schedule, monitor,
+                                  supervisor, nullptr, aopts);
+    EXPECT_TRUE(res) << res.status().toString();
+
+    std::ostringstream out;
+    monitor.exportJsonl(out);
+    supervisor.exportJsonl(out);
+    return out.str();
+}
+
+TEST(ReplayGolden, SerialScenarioMatchesFixture)
+{
+    PoolWidth width(1);
+    auto events = runGoldenScenarioReplay();
+    // The scenario must exercise regime changes AND their recovery.
+    EXPECT_NE(events.find("TRAFFIC_SHIFT"), std::string::npos);
+    EXPECT_NE(events.find("ACCURACY_RECOVERED"), std::string::npos);
+    checkGolden("replay_events.jsonl", events);
+}
+
+TEST(ReplayGolden, WideScenarioIsByteIdenticalToFixture)
+{
+    PoolWidth width(8);
+    auto events = runGoldenScenarioReplay();
+    if (std::getenv("TOMUR_UPDATE_GOLDENS")) {
+        std::string serial_events;
+        {
+            PoolWidth serial(1);
+            serial_events = runGoldenScenarioReplay();
+        }
+        EXPECT_EQ(serial_events, events);
+        return;
+    }
+    checkGolden("replay_events.jsonl", events);
 }
 
 } // namespace

@@ -3,7 +3,9 @@
 # readable records whose commit-to-commit diffs are the perf trail:
 #
 #   BENCH_micro.json  staged pipeline wall times (serial + parallel
-#                     variants, per-stage speedups)
+#                     variants, per-stage speedups) plus replay
+#                     extras: recovery-time samples and the sampling
+#                     profiler's ingest-overhead fraction
 #   BENCH_serve.json  serving-path QPS and p50/p99 latency from the
 #                     closed-loop load generator (bench/serve_load)
 #
@@ -105,6 +107,73 @@ if failed:
     print(f"benchmark regression above {tol:.0%} tolerance")
     sys.exit(1)
 print("within tolerance")
+EOF
+    rm -f "$base_file"
+fi
+
+echo ""
+echo "=== replay gate: profiler overhead + recovery time ==="
+# The replay_scenarios stage records extras: the sampling-profiler
+# overhead fraction is held to an absolute budget (5%, widened by
+# the tolerance), and the recovery-time metrics are gated against
+# the committed baseline like any other perf number. Runs without
+# the scenario stage (--no-scenario) simply have no extras and SKIP.
+if [ ! -f "$out" ]; then
+    echo "current run left no $out; skipping replay gate"
+else
+    base_file=$(mktemp)
+    baseline_of "$out" > "$base_file"
+    python3 - "$out" "$base_file" \
+        "${TOMUR_BENCH_TOLERANCE:-0.15}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+try:
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+except (OSError, ValueError):
+    baseline = {}
+tol = float(sys.argv[3])
+
+cur = current.get("extras", {})
+base = baseline.get("extras", {})
+failed = False
+
+key = "replay_profiler_overhead_frac"
+if key not in cur:
+    print("  SKIP: no replay extras in this run "
+          "(scenario stage disabled?)")
+    sys.exit(0)
+budget = 0.05 * (1.0 + tol)
+mark = "FAIL" if cur[key] > budget else "ok"
+print(f"  {key}: {cur[key]:.4f} (budget {budget:.4f}) {mark}")
+if cur[key] > budget:
+    failed = True
+
+# Recovery time is deterministic sample counts, but gate it with
+# the same relative tolerance so a genuinely slower-to-recover
+# monitor fails while jitterless equality stays trivially green.
+for key in ("replay_recovery_mean_samples",
+            "replay_recovery_max_samples"):
+    if key not in cur:
+        print(f"  {key}: absent in current run; skipped")
+        continue
+    if key not in base:
+        print(f"  {key}: {cur[key]:.1f} (no baseline)")
+        continue
+    old, new = base[key], cur[key]
+    if old <= 0:
+        continue
+    rel = (new - old) / old
+    mark = "FAIL" if rel > tol else "ok"
+    print(f"  {key}: {old:.1f} -> {new:.1f} ({rel:+.1%}) {mark}")
+    if rel > tol:
+        failed = True
+if failed:
+    print("replay gate failed")
+    sys.exit(1)
+print("replay metrics within budget")
 EOF
     rm -f "$base_file"
 fi

@@ -8,9 +8,13 @@
 #      SIGTERM it and assert a clean drain (exit 0). The in-memory
 #      transports cover the core exhaustively; this is the one place
 #      the epoll/signal path is exercised end-to-end.
-#   3. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
+#   3. Replay smoke: compile a small scenario script through
+#      `tomur_cli replay --scenario` and assert the run recovers
+#      from its regime change (the CLI + DSL + autopilot wiring,
+#      end-to-end, without the minutes-long bench stage).
+#   4. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
 #      suite, TSan on the parallel-engine tests).
-#   4. Performance: tools/bench_report.sh (micro benchmark stages and
+#   5. Performance: tools/bench_report.sh (micro benchmark stages and
 #      serving QPS/latency gated against the committed BENCH_*.json
 #      baselines, plus the train_predict parallel-speedup assertion —
 #      >= 1.5x at TOMUR_THREADS=8, skipped on single-core machines).
@@ -92,11 +96,44 @@ fi
 echo "serve smoke: SIGTERM drained cleanly (exit 0)"
 
 echo ""
-echo "=== Tier 3: sanitizer passes ==="
+echo "=== Tier 3: replay smoke (scenario DSL -> autopilot) ==="
+replay_dir=$(mktemp -d)
+trap 'rm -rf "$replay_dir"' EXIT
+cat > "$replay_dir/smoke.scn" <<'EOF'
+# ci_check replay smoke: one flash crowd between steady shoulders.
+base flows=16000 size=512 mtbr=600
+steady n=12
+flash peak=5 ramp=2 hold=3 decay=2
+steady n=8
+EOF
+"$build_dir/tools/tomur_cli" replay FlowMonitor \
+    --scenario "$replay_dir/smoke.scn" \
+    --profile-out "$replay_dir/profile.txt" \
+    > "$replay_dir/replay.log" 2>&1 || {
+    echo "replay smoke: tomur_cli replay failed" >&2
+    cat "$replay_dir/replay.log" >&2
+    exit 1
+}
+grep -q "recovery: " "$replay_dir/replay.log" || {
+    echo "replay smoke: no recovery line in output" >&2
+    cat "$replay_dir/replay.log" >&2
+    exit 1
+}
+grep -q "sampling profiler:" "$replay_dir/profile.txt" || {
+    echo "replay smoke: profiler export missing" >&2
+    exit 1
+}
+sed -n 's/^/  /p' "$replay_dir/replay.log"
+trap - EXIT
+rm -rf "$replay_dir"
+echo "replay smoke: scenario ran through the autopilot"
+
+echo ""
+echo "=== Tier 4: sanitizer passes ==="
 "$repo_root/tools/run_sanitized_tests.sh"
 
 echo ""
-echo "=== Tier 4: performance gate ==="
+echo "=== Tier 5: performance gate ==="
 "$repo_root/tools/bench_report.sh"
 
 echo ""

@@ -15,6 +15,11 @@
  *                                   self-healing monitored replay:
  *                                   crash-safe checkpoints, circuit-
  *                                   breaker recalibration, deadlines
+ *   replay <NF> [--scenario FILE]   nonstationary stress harness:
+ *                                   synthesized regime-change scenario
+ *                                   through the autopilot, with time-
+ *                                   to-recovery and a sampling profile
+ *                                   of the replay loop
  *   report [--metrics FILE] ...     render collected observability
  *                                   artifacts as a text/HTML dashboard
  *   serve <NF> [--port P] ...       prediction daemon: HTTP/JSON over
@@ -64,6 +69,7 @@
 #include "tomur/monitor.hh"
 #include "tomur/profiler.hh"
 #include "tomur/supervisor.hh"
+#include "traffic/synth.hh"
 #include "usecases/diagnosis.hh"
 
 using namespace tomur;
@@ -96,6 +102,7 @@ struct Cli
 
     // monitor
     std::string schedulePath; ///< --schedule: replay script
+    std::string scenarioPath; ///< --scenario: synthesizer script
     std::string eventsOut;    ///< --events-out: monitor JSONL
     double biasFactor = 0.7;  ///< --bias: drift magnitude
     long biasAt = -1;         ///< --bias-at: sample index (off < 0)
@@ -107,6 +114,9 @@ struct Cli
     double deadlineMs = 0.0;         ///< --deadline-ms (0 = off)
     std::size_t maxRecalibrations = 8; ///< --max-recalibrations
     long crashAfter = -1; ///< --crash-after: chaos kill switch
+
+    // replay
+    std::string profileOut; ///< --profile-out: sampling profile dump
 
     // serve
     int port = 0;                      ///< --port (0 = ephemeral)
@@ -139,15 +149,18 @@ usage()
         "          [--faults P]\n"
         "  diagnose <NF> [--flows N] [--size B] [--mtbr M]\n"
         "          [--model FILE] [--faults P]\n"
-        "  monitor <NF> [--schedule FILE] [--events-out FILE]\n"
-        "          [--bias F] [--bias-at K] [--quota Q]\n"
-        "          [--model FILE] [--faults P] [traffic opts]\n"
+        "  monitor <NF> [--schedule FILE] [--scenario FILE]\n"
+        "          [--events-out FILE] [--bias F] [--bias-at K]\n"
+        "          [--quota Q] [--model FILE] [--faults P]\n"
+        "          [traffic opts]\n"
         "  autopilot <NF> [--checkpoint-dir DIR] [--resume]\n"
         "          [--checkpoint-every N] [--deadline-ms MS]\n"
         "          [--max-recalibrations N] [--crash-after N]\n"
-        "          [--schedule FILE] [--events-out FILE]\n"
-        "          [--bias F] [--bias-at K] [--quota Q]\n"
-        "          [--faults P] [traffic opts]\n"
+        "          [--schedule FILE] [--scenario FILE]\n"
+        "          [--events-out FILE] [--bias F] [--bias-at K]\n"
+        "          [--quota Q] [--faults P] [traffic opts]\n"
+        "  replay <NF> [--scenario FILE] [--profile-out FILE]\n"
+        "          [autopilot opts] [traffic opts]\n"
         "  report [--metrics FILE] [--trace FILE]\n"
         "          [--monitor FILE] [--out FILE] [--html]\n"
         "  serve <NF> [--port P] [--bind ADDR] [--port-file FILE]\n"
@@ -254,6 +267,10 @@ parse(int argc, char **argv)
             cli.metricsOut = strArg(argc, argv, i);
         } else if (arg == "--schedule") {
             cli.schedulePath = strArg(argc, argv, i);
+        } else if (arg == "--scenario") {
+            cli.scenarioPath = strArg(argc, argv, i);
+        } else if (arg == "--profile-out") {
+            cli.profileOut = strArg(argc, argv, i);
         } else if (arg == "--events-out") {
             cli.eventsOut = strArg(argc, argv, i);
         } else if (arg == "--bias") {
@@ -633,13 +650,42 @@ cmdDiagnose(const Cli &cli)
     return kExitOk;
 }
 
-/** Load --schedule (or the built-in default), mapping failures to
- *  exit codes. */
+/** Load --schedule / --scenario (or the built-in default), mapping
+ *  failures to exit codes. --scenario goes through the nonstationary
+ *  synthesizer DSL and is lowered onto the same ScheduleStep replay
+ *  machinery. The `replay` command defaults to the composite stress
+ *  scenario instead of the plain monitor schedule. */
 std::vector<core::ScheduleStep>
 loadScheduleOrExit(const Cli &cli)
 {
-    if (cli.schedulePath.empty())
+    if (!cli.schedulePath.empty() && !cli.scenarioPath.empty()) {
+        std::fprintf(stderr, "error: --schedule and --scenario are "
+                             "mutually exclusive\n");
+        std::exit(kExitUsage);
+    }
+    if (!cli.scenarioPath.empty()) {
+        std::ifstream in(cli.scenarioPath);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open '%s': %s\n",
+                         cli.scenarioPath.c_str(),
+                         std::strerror(errno));
+            std::exit(kExitIo);
+        }
+        auto parsed = traffic::parseScenario(in);
+        if (!parsed) {
+            std::fprintf(stderr, "error: %s\n",
+                         parsed.status().toString().c_str());
+            std::exit(kExitUsage);
+        }
+        return core::toSchedule(parsed.value());
+    }
+    if (cli.schedulePath.empty()) {
+        if (cli.command == "replay") {
+            return core::toSchedule(
+                traffic::defaultComposite(cli.profile));
+        }
         return core::defaultSchedule(cli.profile);
+    }
     std::ifstream in(cli.schedulePath);
     if (!in) {
         std::fprintf(stderr, "error: cannot open '%s': %s\n",
@@ -721,8 +767,10 @@ cmdMonitor(const Cli &cli)
     return kExitOk;
 }
 
+/** Shared driver for `autopilot` and `replay`. Replay mode attaches
+ *  the sampling profiler and reports the time-to-recovery rollup. */
 int
-cmdAutopilot(const Cli &cli)
+runSupervisedReplay(const Cli &cli, bool replayMode)
 {
     // Install SIGTERM/SIGINT -> flag handlers before any heavy work:
     // a signal during initial training is remembered and honoured at
@@ -821,6 +869,9 @@ cmdAutopilot(const Cli &cli)
     // SIGTERM/SIGINT ends the run cleanly: the loop writes a final
     // checkpoint and returns, instead of dying mid-generation.
     aopts.stopRequested = serve::shutdownRequested;
+    SamplingProfiler profiler;
+    if (replayMode)
+        aopts.profiler = &profiler;
 
     auto res = core::runAutopilot(ctx, schedule, monitor,
                                   supervisor, store.get(), aopts);
@@ -882,7 +933,50 @@ cmdAutopilot(const Cli &cli)
                         static_cast<core::SupervisorEventKind>(k)),
                     sup.eventCounts[k]);
     }
+    const auto &mon = r.monitorSummary;
+    if (replayMode || mon.recoveries > 0 || mon.recoveryOpen) {
+        std::printf("  recovery: %zu regime changes recovered "
+                    "(mean %.1f samples, max %zu)%s\n",
+                    mon.recoveries, mon.meanRecoverySamples,
+                    mon.maxRecoverySamples,
+                    mon.recoveryOpen ? "; one regime still open"
+                                     : "");
+    }
+    if (replayMode) {
+        std::printf("  profiler: %llu tokens, %llu sampled "
+                    "(%llu dropped from ring)\n",
+                    static_cast<unsigned long long>(
+                        profiler.tokens()),
+                    static_cast<unsigned long long>(
+                        profiler.sampledTokens()),
+                    static_cast<unsigned long long>(
+                        profiler.droppedTokens()));
+    }
+    if (!cli.profileOut.empty()) {
+        std::ofstream out(cli.profileOut);
+        if (out)
+            profiler.exportText(out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write profile to '%s': %s\n",
+                         cli.profileOut.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+    }
     return kExitOk;
+}
+
+int
+cmdAutopilot(const Cli &cli)
+{
+    return runSupervisedReplay(cli, /*replayMode=*/false);
+}
+
+int
+cmdReplay(const Cli &cli)
+{
+    return runSupervisedReplay(cli, /*replayMode=*/true);
 }
 
 int
@@ -1030,6 +1124,8 @@ runCommand(const Cli &cli)
         return cmdMonitor(cli);
     if (cli.command == "autopilot")
         return cmdAutopilot(cli);
+    if (cli.command == "replay")
+        return cmdReplay(cli);
     if (cli.command == "report")
         return cmdReport(cli);
     if (cli.command == "serve")

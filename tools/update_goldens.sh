@@ -2,9 +2,9 @@
 # Regenerate the golden observability fixtures in tests/golden/
 # (canonical trace export + filtered metrics dump of the fixed
 # scenario in tests/test_telemetry.cc, the monitor event stream of
-# the fixed replay in tests/test_monitor.cc, and the autopilot
-# monitor+supervisor event stream of the crash/resume scenario in
-# tests/test_supervisor.cc).
+# the fixed replay plus the nonstationary-scenario replay in
+# tests/test_monitor.cc, and the autopilot monitor+supervisor event
+# stream of the crash/resume scenario in tests/test_supervisor.cc).
 #
 # Run this after intentionally changing instrumentation (new spans,
 # new fields, new metrics) and commit the updated fixtures together
@@ -28,7 +28,7 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_telemetry" \
     --gtest_filter='GoldenTrace.*'
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_monitor" \
-    --gtest_filter='MonitorGolden.*'
+    --gtest_filter='MonitorGolden.*:ReplayGolden.*'
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_supervisor" \
     --gtest_filter='AutopilotGolden.*'
 
