@@ -10,14 +10,31 @@
  * to load shedding — so the run exercises the admission machinery,
  * not just the happy path.
  *
- * Output: QPS and p50/p99 request latency (client-observed, send to
- * fully parsed response) plus shed/throttle counts, written to
- * BENCH_serve.json. Commit-to-commit diffs of that file are the
- * serving-path performance trail, gated by tools/bench_report.sh.
+ * Measurement protocol (the numbers must survive a skeptical read):
+ *
+ *  - Warm-up: each client's first requests are completed but their
+ *    latencies are excluded from every quantile — cold caches and
+ *    the first admission-queue fill are not steady state.
+ *  - Two phases: phase A is the plain load; in phase B (second half
+ *    of the run) a sidecar scraper polls /debug/vars and /debug/slo
+ *    the way a monitoring agent would. The headline p50/p99 come
+ *    from phase A only; the A-vs-B p50 delta is the measured /debug
+ *    overhead, recorded as an extra and gated by bench_report.sh.
+ *  - Refusals are counted as refusal *responses* (one logical
+ *    request can be refused many times before completing), broken
+ *    down by client-observed status; completions that needed at
+ *    least one retry are reported separately from first-attempt
+ *    completions so the two latency populations don't blur.
+ *
+ * Output: QPS, phase-A p50/p99, refusal breakdown, and an extras
+ * object (first-attempt vs retried quantiles, debug-poll overhead,
+ * SLO budget state), written to BENCH_serve.json. Commit-to-commit
+ * diffs of that file are the serving-path performance trail, gated
+ * by tools/bench_report.sh.
  *
  * Determinism: all client behaviour (bodies, probe cadence, backoff
- * jitter) derives from deriveSeed(seed, client); only the measured
- * wall times vary across machines.
+ * jitter, scraper cadence) derives from deriveSeed(seed, client);
+ * only the measured wall times vary across machines.
  */
 
 #include <algorithm>
@@ -25,6 +42,7 @@
 #include <cstring>
 
 #include "common.hh"
+#include "serve/observe.hh"
 #include "serve/registry.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
@@ -72,12 +90,14 @@ struct LoadClient
     Rng rng{1};
     std::string id;
     bool waiting = false;
+    bool hadRefusal = false; ///< current logical request was refused
     std::size_t backoffIters = 0;
     int refusalStreak = 0;
     std::string rx;
     std::uint64_t sentNs = 0;
     std::size_t completed = 0;
-    std::size_t refused = 0;
+    std::size_t refused429 = 0;
+    std::size_t refused503 = 0;
     std::size_t errors = 0;
 };
 
@@ -93,6 +113,16 @@ predictRequest(Rng &rng)
     return strf("POST /predict HTTP/1.1\r\n"
                 "Content-Length: %zu\r\n\r\n%s",
                 body.size(), body.c_str());
+}
+
+double
+pct(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
 }
 
 } // namespace
@@ -154,6 +184,16 @@ main(int argc, char **argv)
     sopts.bucketCapacity = 8.0;
     serve::Server server(sopts, service);
 
+    // The bench runs the deployed observability configuration: the
+    // observatory (access log + SLO tracker + phase profiler) is
+    // attached exactly the way `tomur serve` attaches it, so its
+    // cost is inside every number this bench publishes.
+    SamplingProfiler profiler;
+    serve::ServerObservatory observatory;
+    observatory.profiler = &profiler;
+    service.attachObservatory(&observatory);
+    server.setObservatory(&observatory);
+
     const std::uint64_t seed = 2024;
     std::vector<LoadClient> pool(clients);
     for (std::size_t i = 0; i < clients; ++i) {
@@ -165,13 +205,34 @@ main(int argc, char **argv)
             std::make_unique<serve::SharedTransport>(c.pipe), c.id);
     }
 
-    std::vector<double> latencyMs;
-    latencyMs.reserve(clients * perClient);
+    // Sidecar scraper: idle in phase A, polls the /debug endpoints
+    // in phase B like an external monitoring agent.
+    auto scraperPipe = std::make_shared<serve::MemoryTransport>();
+    server.addConnection(
+        std::make_unique<serve::SharedTransport>(scraperPipe),
+        "debug-scraper");
+    bool scraperWaiting = false;
+    std::string scraperRx;
+    std::uint64_t scraperSentNs = 0;
+    std::size_t debugPolls = 0, debugAnswered = 0;
+
+    // First warmup completions per client stay out of the quantiles.
+    const std::size_t warmup =
+        std::min<std::size_t>(perClient / 8, 8);
+    const std::size_t totalTarget = clients * perClient;
+
+    std::vector<double> latA, latB;       // steady state, by phase
+    std::vector<double> latFirst, latRetried, latDebug;
+    latA.reserve(totalTarget);
+    std::size_t totalCompleted = 0;
+    std::size_t warmupExcluded = 0, retriedRequests = 0;
     std::size_t iterations = 0;
     const std::size_t maxIterations = clients * perClient * 64;
     std::uint64_t startNs = nowNs();
 
     for (;; ++iterations) {
+        // Phase B begins once half the logical requests are done.
+        bool phaseB = totalCompleted * 2 >= totalTarget;
         bool allDone = true;
         for (auto &c : pool) {
             if (c.completed >= perClient)
@@ -206,15 +267,28 @@ main(int argc, char **argv)
             if (int status = takeResponse(c.rx); status != 0) {
                 c.waiting = false;
                 if (status == 200) {
-                    latencyMs.push_back(
+                    double ms =
                         static_cast<double>(nowNs() - c.sentNs) /
-                        1e6);
+                        1e6;
+                    if (c.completed < warmup) {
+                        ++warmupExcluded;
+                    } else {
+                        (phaseB ? latB : latA).push_back(ms);
+                        (c.hadRefusal ? latRetried : latFirst)
+                            .push_back(ms);
+                    }
+                    if (c.hadRefusal)
+                        ++retriedRequests;
                     ++c.completed;
+                    ++totalCompleted;
                     c.refusalStreak = 0;
+                    c.hadRefusal = false;
                 } else if (status == 429 || status == 503) {
                     // Exponential backoff with seeded jitter: the
                     // well-behaved response to shedding.
-                    ++c.refused;
+                    (status == 429 ? c.refused429 : c.refused503) +=
+                        1;
+                    c.hadRefusal = true;
                     c.refusalStreak = std::min(c.refusalStreak + 1,
                                                8);
                     double base = static_cast<double>(
@@ -224,6 +298,33 @@ main(int argc, char **argv)
                 } else {
                     ++c.errors;
                     ++c.completed; // do not retry real errors forever
+                    ++totalCompleted;
+                    c.hadRefusal = false;
+                }
+            }
+        }
+        if (phaseB && !scraperPipe->closed()) {
+            if (!scraperWaiting && iterations % 32 == 0) {
+                scraperPipe->clientWrite(
+                    debugPolls % 2 == 0
+                        ? "GET /debug/vars HTTP/1.1\r\n\r\n"
+                        : "GET /debug/slo HTTP/1.1\r\n\r\n");
+                scraperSentNs = nowNs();
+                scraperWaiting = true;
+                ++debugPolls;
+            }
+            if (scraperWaiting) {
+                scraperRx += scraperPipe->clientRead();
+                if (int status = takeResponse(scraperRx);
+                    status != 0) {
+                    scraperWaiting = false;
+                    if (status == 200) {
+                        ++debugAnswered;
+                        latDebug.push_back(
+                            static_cast<double>(nowNs() -
+                                                scraperSentNs) /
+                            1e6);
+                    }
                 }
             }
         }
@@ -235,31 +336,64 @@ main(int argc, char **argv)
     double wallSec =
         static_cast<double>(nowNs() - startNs) / 1e9;
 
-    std::size_t completed = 0, refused = 0, errors = 0;
+    std::size_t completed = 0, refused429 = 0, refused503 = 0,
+                errors = 0;
     for (const auto &c : pool) {
         completed += c.completed;
-        refused += c.refused;
+        refused429 += c.refused429;
+        refused503 += c.refused503;
         errors += c.errors;
     }
-    std::sort(latencyMs.begin(), latencyMs.end());
-    auto pct = [&](double p) {
-        if (latencyMs.empty())
-            return 0.0;
-        std::size_t idx = static_cast<std::size_t>(
-            p * static_cast<double>(latencyMs.size() - 1));
-        return latencyMs[idx];
-    };
+    std::size_t refused = refused429 + refused503;
+    std::sort(latA.begin(), latA.end());
+    std::sort(latB.begin(), latB.end());
+    std::sort(latFirst.begin(), latFirst.end());
+    std::sort(latRetried.begin(), latRetried.end());
+    std::sort(latDebug.begin(), latDebug.end());
     double qps = wallSec > 0.0
                      ? static_cast<double>(completed) / wallSec
                      : 0.0;
+    // /debug overhead: phase-B p50 relative to phase-A p50, floored
+    // at zero (B faster than A is noise, not negative overhead).
+    double debugOverhead = 0.0;
+    bool haveOverhead = !latA.empty() && !latB.empty() &&
+                        debugPolls > 0;
+    if (haveOverhead && pct(latA, 0.50) > 0.0) {
+        debugOverhead = std::max(
+            0.0, (pct(latB, 0.50) - pct(latA, 0.50)) /
+                     pct(latA, 0.50));
+    }
 
     const auto &s = server.stats();
     std::printf("clients %zu x %zu requests: %.0f qps, "
-                "p50 %.3f ms, p99 %.3f ms\n",
-                clients, perClient, qps, pct(0.50), pct(0.99));
-    std::printf("  refusals seen %zu (server: %zu shed, %zu "
-                "throttled), errors %zu, %zu iterations\n",
-                refused, s.shed, s.throttled, errors, iterations);
+                "p50 %.3f ms, p99 %.3f ms (phase A, %zu warm-up "
+                "samples excluded)\n",
+                clients, perClient, qps, pct(latA, 0.50),
+                pct(latA, 0.99), warmupExcluded);
+    std::printf("  refusal responses %zu (client saw %zu x 429, "
+                "%zu x 503; server: %zu shed, %zu throttled); "
+                "%zu/%zu requests needed a retry\n",
+                refused, refused429, refused503, s.shed,
+                s.throttled, retriedRequests, completed);
+    std::printf("  first-attempt p50 %.3f ms (%zu), retried p50 "
+                "%.3f ms (%zu)\n",
+                pct(latFirst, 0.50), latFirst.size(),
+                pct(latRetried, 0.50), latRetried.size());
+    std::printf("  debug polls %zu (%zu answered), debug p50 "
+                "%.3f ms, p50 overhead %+.1f%%\n",
+                debugPolls, debugAnswered, pct(latDebug, 0.50),
+                debugOverhead * 100.0);
+    for (const auto &st : observatory.slo.states()) {
+        std::printf("  slo %s: %llu/%llu bad, budget %.3f, "
+                    "%llu burns\n",
+                    st.name.c_str(),
+                    (unsigned long long)st.bad,
+                    (unsigned long long)st.total,
+                    st.budgetRemaining,
+                    (unsigned long long)st.burnEvents);
+    }
+    std::printf("  %zu iterations, %zu errors\n", iterations,
+                errors);
     if (errors > 0 || completed == 0) {
         std::fprintf(stderr,
                      "error: %zu failed requests, %zu completed\n",
@@ -274,6 +408,16 @@ main(int argc, char **argv)
                          jsonOut.c_str());
             return 1;
         }
+        auto slos = observatory.slo.states();
+        double availBudget = 1.0, predictBudget = 1.0;
+        double burnEvents = 0.0;
+        for (const auto &st : slos) {
+            if (st.name == "availability")
+                availBudget = st.budgetRemaining;
+            else if (st.name == "predict_latency")
+                predictBudget = st.budgetRemaining;
+            burnEvents += static_cast<double>(st.burnEvents);
+        }
         std::fprintf(
             f,
             "{\n"
@@ -285,11 +429,31 @@ main(int argc, char **argv)
             "  \"p50_ms\": %.4f,\n"
             "  \"p99_ms\": %.4f,\n"
             "  \"refused\": %zu,\n"
+            "  \"refused_429\": %zu,\n"
+            "  \"refused_503\": %zu,\n"
+            "  \"retried_requests\": %zu,\n"
+            "  \"warmup_excluded\": %zu,\n"
             "  \"shed\": %zu,\n"
-            "  \"throttled\": %zu\n"
+            "  \"throttled\": %zu,\n"
+            "  \"extras\": {\n"
+            "    \"first_attempt_p50_ms\": %.4f,\n"
+            "    \"first_attempt_p99_ms\": %.4f,\n"
+            "    \"retried_p50_ms\": %.4f,\n"
+            "    \"debug_polls\": %zu,\n"
+            "    \"debug_p50_ms\": %.4f,\n"
+            "    \"serve_debug_overhead_frac\": %.4f,\n"
+            "    \"slo_availability_budget\": %.4f,\n"
+            "    \"slo_predict_latency_budget\": %.4f,\n"
+            "    \"slo_burn_events\": %.0f\n"
+            "  }\n"
             "}\n",
-            clients, perClient, completed, qps, pct(0.50),
-            pct(0.99), refused, s.shed, s.throttled);
+            clients, perClient, completed, qps, pct(latA, 0.50),
+            pct(latA, 0.99), refused, refused429, refused503,
+            retriedRequests, warmupExcluded, s.shed, s.throttled,
+            pct(latFirst, 0.50), pct(latFirst, 0.99),
+            pct(latRetried, 0.50), debugPolls,
+            pct(latDebug, 0.50), debugOverhead, availBudget,
+            predictBudget, burnEvents);
         std::fclose(f);
         std::printf("wrote %s\n", jsonOut.c_str());
     }

@@ -39,6 +39,15 @@ const char *const kSupervisorEventNames[9] = {
 /** Most recent raw event lines kept in the digest. */
 constexpr std::size_t kLastEvents = 8;
 
+} // namespace
+
+const char *const kVerdictNames[7] = {
+    "ok", "shed", "throttled", "deadline",
+    "error", "parse", "dropped",
+};
+
+namespace {
+
 /** Extract the string value of "key" from a flat JSON line. */
 std::string
 jsonField(const std::string &line, const std::string &key)
@@ -207,22 +216,124 @@ parseMonitorJsonl(const std::string &body)
     return d;
 }
 
+SloDigest
+parseSloJsonl(const std::string &body)
+{
+    SloDigest d;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("{\"slo_summary\":") == 0) {
+            d.hasSummary = true;
+            d.eventsDropped = jsonNumber(line, "events_dropped");
+            // The objectives array is a nested list on one line;
+            // carve it out and digest each {...} element with the
+            // flat-field helpers (every field inside is scalar).
+            std::string open = "\"objectives\":[";
+            auto start = line.find(open);
+            if (start == std::string::npos)
+                continue;
+            start += open.size();
+            auto end = line.find(']', start);
+            if (end == std::string::npos)
+                continue;
+            std::string arr = line.substr(start, end - start);
+            std::size_t pos = 0;
+            while (pos < arr.size()) {
+                auto close = arr.find('}', pos);
+                if (close == std::string::npos)
+                    break;
+                std::string obj = arr.substr(pos, close + 1 - pos);
+                SloObjectiveRow row;
+                row.name = jsonField(obj, "name");
+                row.kind = jsonField(obj, "kind");
+                row.target = std::strtod(
+                    jsonField(obj, "target").c_str(), nullptr);
+                row.total = jsonNumber(obj, "total");
+                row.bad = jsonNumber(obj, "bad");
+                row.fastBurn = std::strtod(
+                    jsonField(obj, "fast_burn").c_str(), nullptr);
+                row.slowBurn = std::strtod(
+                    jsonField(obj, "slow_burn").c_str(), nullptr);
+                row.budgetRemaining = std::strtod(
+                    jsonField(obj, "budget_remaining").c_str(),
+                    nullptr);
+                row.burning =
+                    obj.find("\"burning\":true") != std::string::npos;
+                row.burnEvents = jsonNumber(obj, "burn_events");
+                row.recoveredEvents =
+                    jsonNumber(obj, "recovered_events");
+                if (!row.name.empty())
+                    d.objectives.push_back(std::move(row));
+                pos = close + 1;
+                if (pos < arr.size() && arr[pos] == ',')
+                    ++pos;
+            }
+            continue;
+        }
+        std::string kind = jsonField(line, "event");
+        if (kind == "SLO_BURN")
+            ++d.burnEvents;
+        else if (kind == "SLO_RECOVERED")
+            ++d.recoveredEvents;
+        else
+            continue;
+        d.lastEvents.push_back(line);
+        if (d.lastEvents.size() > kLastEvents)
+            d.lastEvents.erase(d.lastEvents.begin());
+    }
+    return d;
+}
+
+AccessDigest
+parseAccessJsonl(const std::string &body)
+{
+    AccessDigest d;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string verdict = jsonField(line, "verdict");
+        if (verdict.empty())
+            continue;
+        ++d.records;
+        int status = static_cast<int>(jsonNumber(line, "status"));
+        int cls = status / 100;
+        d.statusClass[(cls >= 1 && cls <= 5) ? cls : 0] += 1;
+        for (int k = 0; k < 7; ++k) {
+            if (verdict == kVerdictNames[k]) {
+                ++d.verdictCounts[k];
+                break;
+            }
+        }
+        if (line.find("\"deadline_miss\":true") != std::string::npos)
+            ++d.deadlineMisses;
+        d.totalHandleMs += jsonNumber(line, "handle_ms");
+    }
+    return d;
+}
+
 Result<std::string>
 renderReport(const ReportArtifacts &artifacts,
              const ReportOptions &opts)
 {
     if (artifacts.metricsText.empty() &&
         artifacts.traceJsonl.empty() &&
-        artifacts.monitorJsonl.empty()) {
+        artifacts.monitorJsonl.empty() &&
+        artifacts.sloJsonl.empty() &&
+        artifacts.accessJsonl.empty()) {
         return Status::invalidArgument(
-            "no artifacts to render (metrics, trace, and monitor "
-            "streams are all empty)");
+            "no artifacts to render (metrics, trace, monitor, SLO, "
+            "and access streams are all empty)");
     }
 
     auto metric_samples = parseMetricsText(artifacts.metricsText);
     auto trace_stats = parseTraceJsonl(artifacts.traceJsonl);
     auto monitor = parseMonitorJsonl(artifacts.monitorJsonl);
+    auto slo = parseSloJsonl(artifacts.sloJsonl);
+    auto access = parseAccessJsonl(artifacts.accessJsonl);
     bool have_monitor = !artifacts.monitorJsonl.empty();
+    bool have_slo = !artifacts.sloJsonl.empty();
+    bool have_access = access.records > 0;
 
     std::string out;
     if (!opts.html) {
@@ -266,6 +377,64 @@ renderReport(const ReportArtifacts &artifacts,
             if (!monitor.supervisorSummaryLine.empty()) {
                 out += "supervisor summary: " +
                        monitor.supervisorSummaryLine + "\n";
+            }
+        }
+        if (have_slo) {
+            out += "\n-- SLO objectives --\n";
+            out += strf("%-24s %-12s %8s %8s %6s %9s %9s %7s %s\n",
+                        "name", "kind", "target", "total", "bad",
+                        "fast", "slow", "budget", "state");
+            for (const auto &o : slo.objectives) {
+                out += strf(
+                    "%-24s %-12s %8.4f %8.0f %6.0f %9.3f %9.3f "
+                    "%7.3f %s\n",
+                    o.name.c_str(), o.kind.c_str(), o.target,
+                    o.total, o.bad, o.fastBurn, o.slowBurn,
+                    o.budgetRemaining,
+                    o.burning ? "BURNING" : "ok");
+            }
+            out += strf("%-26s %zu\n", "SLO_BURN",
+                        slo.burnEvents);
+            out += strf("%-26s %zu\n", "SLO_RECOVERED",
+                        slo.recoveredEvents);
+            if (slo.eventsDropped > 0) {
+                out += strf("%-26s %.0f\n", "events dropped",
+                            slo.eventsDropped);
+            }
+            if (!slo.lastEvents.empty()) {
+                out += "recent slo events:\n";
+                for (const auto &e : slo.lastEvents)
+                    out += "  " + e + "\n";
+            }
+        }
+        if (have_access) {
+            out += strf("\n-- Access log (%zu records) --\n",
+                        access.records);
+            static const char *const cls[6] = {
+                "no answer", "1xx", "2xx", "3xx", "4xx", "5xx"};
+            for (int k = 0; k < 6; ++k) {
+                if (access.statusClass[k] > 0)
+                    out += strf("%-26s %zu\n", cls[k],
+                                access.statusClass[k]);
+            }
+            std::string verdicts;
+            for (int k = 0; k < 7; ++k) {
+                if (access.verdictCounts[k] == 0)
+                    continue;
+                if (!verdicts.empty())
+                    verdicts += " ";
+                verdicts += strf("%s=%zu", kVerdictNames[k],
+                                 access.verdictCounts[k]);
+            }
+            out += "verdicts: " + verdicts + "\n";
+            out += strf("%-26s %zu\n", "deadline misses",
+                        access.deadlineMisses);
+            std::size_t answered = access.records -
+                                   access.statusClass[0];
+            if (answered > 0) {
+                out += strf("%-26s %.3f\n", "mean handle ms",
+                            access.totalHandleMs /
+                                static_cast<double>(answered));
             }
         }
         if (!trace_stats.empty()) {
@@ -347,6 +516,57 @@ renderReport(const ReportArtifacts &artifacts,
                        "</pre>\n";
             }
         }
+    }
+    if (have_slo) {
+        out += "<h2>SLO objectives</h2>\n<table>"
+               "<tr><th>name</th><th>kind</th><th>target</th>"
+               "<th>total</th><th>bad</th><th>fast burn</th>"
+               "<th>slow burn</th><th>budget</th>"
+               "<th>state</th></tr>\n";
+        for (const auto &o : slo.objectives) {
+            out += strf("<tr><td>%s</td><td>%s</td><td>%.4f</td>"
+                        "<td>%.0f</td><td>%.0f</td><td>%.3f</td>"
+                        "<td>%.3f</td><td>%.3f</td>"
+                        "<td>%s</td></tr>\n",
+                        htmlEscape(o.name).c_str(),
+                        htmlEscape(o.kind).c_str(), o.target,
+                        o.total, o.bad, o.fastBurn, o.slowBurn,
+                        o.budgetRemaining,
+                        o.burning ? "BURNING" : "ok");
+        }
+        out += "</table>\n";
+        out += strf("<p>SLO_BURN events: %zu &middot; "
+                    "SLO_RECOVERED events: %zu</p>\n",
+                    slo.burnEvents, slo.recoveredEvents);
+        if (!slo.lastEvents.empty()) {
+            out += "<h2>Recent SLO events</h2>\n<pre>";
+            for (const auto &e : slo.lastEvents)
+                out += htmlEscape(e) + "\n";
+            out += "</pre>\n";
+        }
+    }
+    if (have_access) {
+        out += strf("<h2>Access log (%zu records)</h2>\n",
+                    access.records);
+        out += "<table><tr><th>outcome</th><th>count</th></tr>\n";
+        static const char *const cls[6] = {
+            "no answer", "1xx", "2xx", "3xx", "4xx", "5xx"};
+        for (int k = 0; k < 6; ++k) {
+            if (access.statusClass[k] > 0)
+                out += strf("<tr><td>%s</td><td>%zu</td></tr>\n",
+                            cls[k], access.statusClass[k]);
+        }
+        for (int k = 0; k < 7; ++k) {
+            if (access.verdictCounts[k] > 0)
+                out += strf("<tr><td>verdict %s</td>"
+                            "<td>%zu</td></tr>\n",
+                            kVerdictNames[k],
+                            access.verdictCounts[k]);
+        }
+        out += strf("<tr><td>deadline misses</td>"
+                    "<td>%zu</td></tr>\n",
+                    access.deadlineMisses);
+        out += "</table>\n";
     }
     if (!trace_stats.empty()) {
         out += "<h2>Trace spans</h2>\n<table>"

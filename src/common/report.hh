@@ -1,9 +1,10 @@
 /**
  * @file
- * Observability report renderer: folds the three artifact streams a
- * run can produce — a Prometheus-style metrics dump
- * (`--metrics-out`), a trace JSONL export (`--trace-out`), and a
- * monitor event stream (`tomur monitor --events-out`) — into one
+ * Observability report renderer: folds the artifact streams a run
+ * can produce — a Prometheus-style metrics dump (`--metrics-out`),
+ * a trace JSONL export (`--trace-out`), a monitor event stream
+ * (`tomur monitor --events-out`), an SLO stream (/debug/slo), and a
+ * serving access log (/debug/access or `--access-log`) — into one
  * self-contained text or HTML dashboard. Everything is parsed from
  * the serialized artifacts, not from live registries, so the
  * renderer works on files collected from another process, another
@@ -27,6 +28,8 @@ struct ReportArtifacts
     std::string metricsText;  ///< Prometheus-style dump body
     std::string traceJsonl;   ///< trace export (one JSON per line)
     std::string monitorJsonl; ///< monitor events + summary trailer
+    std::string sloJsonl;     ///< SLO events + slo_summary trailer
+    std::string accessJsonl;  ///< serving access log (JSONL)
 };
 
 /** Rendering options. */
@@ -73,6 +76,47 @@ struct MonitorDigest
     std::string supervisorSummaryLine;
 };
 
+/** One objective row from the slo_summary trailer. */
+struct SloObjectiveRow
+{
+    std::string name;
+    std::string kind; ///< "availability" | "latency"
+    double target = 0.0;
+    double total = 0.0;
+    double bad = 0.0;
+    double fastBurn = 0.0;
+    double slowBurn = 0.0;
+    double budgetRemaining = 0.0;
+    bool burning = false;
+    double burnEvents = 0.0;
+    double recoveredEvents = 0.0;
+};
+
+/** Parsed SLO stream (SLO_BURN/SLO_RECOVERED events + trailer). */
+struct SloDigest
+{
+    std::size_t burnEvents = 0;      ///< event lines seen
+    std::size_t recoveredEvents = 0; ///< event lines seen
+    std::vector<std::string> lastEvents; ///< most recent raw lines
+    bool hasSummary = false;
+    std::vector<SloObjectiveRow> objectives;
+    double eventsDropped = 0.0;
+};
+
+/** Parsed access-log stream, rolled up by outcome. */
+struct AccessDigest
+{
+    std::size_t records = 0;
+    /** [0]=no answer (status 0), [1..5]=1xx..5xx responses. */
+    std::size_t statusClass[6] = {};
+    std::size_t verdictCounts[7] = {}; ///< by kVerdictNames order
+    std::size_t deadlineMisses = 0;
+    double totalHandleMs = 0.0; ///< summed over answered requests
+};
+
+/** Access-log verdict wire names, in AccessDigest counter order. */
+extern const char *const kVerdictNames[7];
+
 /** Parse a metrics dump body (skips comments and bucket series). */
 std::vector<MetricSample> parseMetricsText(const std::string &body);
 
@@ -81,6 +125,12 @@ std::vector<TraceNameStats> parseTraceJsonl(const std::string &body);
 
 /** Digest a monitor JSONL stream (events + summary trailer). */
 MonitorDigest parseMonitorJsonl(const std::string &body);
+
+/** Digest an SLO stream (`tomur serve` /debug/slo body). */
+SloDigest parseSloJsonl(const std::string &body);
+
+/** Digest an access-log stream (/debug/access or --access-log). */
+AccessDigest parseAccessJsonl(const std::string &body);
 
 /**
  * Render the dashboard. Returns an error only when every artifact is

@@ -269,6 +269,71 @@ MetricsRegistry::dumpString(const DumpOptions &opts) const
     return ss.str();
 }
 
+void
+MetricsRegistry::dumpJson(std::ostream &out,
+                          const DumpOptions &opts) const
+{
+    // Same merged-and-sorted walk as dump(), JSON framing.
+    std::lock_guard<std::mutex> lock(mutex_);
+    struct Row
+    {
+        const std::string *name;
+        int kind; // 0 counter, 1 gauge, 2 histogram
+        const void *metric;
+    };
+    std::vector<Row> rows;
+    for (const auto &[name, m] : counters_)
+        rows.push_back({&name, 0, m.get()});
+    for (const auto &[name, m] : gauges_)
+        rows.push_back({&name, 1, m.get()});
+    for (const auto &[name, m] : histograms_)
+        rows.push_back({&name, 2, m.get()});
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return *a.name < *b.name;
+              });
+
+    out << "{";
+    bool first = true;
+    for (const Row &r : rows) {
+        if (excluded(*r.name, opts))
+            continue;
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << *r.name << "\":";
+        if (r.kind == 0) {
+            out << static_cast<const Counter *>(r.metric)->value();
+        } else if (r.kind == 1) {
+            out << fmtMetric(
+                static_cast<const Gauge *>(r.metric)->value());
+        } else {
+            auto s = static_cast<const Histogram *>(r.metric)
+                         ->snapshot();
+            out << "{\"count\":" << s.count
+                << ",\"sum\":" << fmtMetric(s.sum)
+                << ",\"buckets\":[";
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+                cum += s.counts[i];
+                out << "{\"le\":" << fmtMetric(s.bounds[i])
+                    << ",\"cum\":" << cum << "},";
+            }
+            cum += s.counts.back();
+            out << "{\"le\":\"+Inf\",\"cum\":" << cum << "}]}";
+        }
+    }
+    out << "}";
+}
+
+std::string
+MetricsRegistry::dumpJsonString(const DumpOptions &opts) const
+{
+    std::ostringstream ss;
+    dumpJson(ss, opts);
+    return ss.str();
+}
+
 std::size_t
 MetricsRegistry::size() const
 {

@@ -139,6 +139,15 @@ class MetricsRegistry
     void dump(std::ostream &out, const DumpOptions &opts = {}) const;
     std::string dumpString(const DumpOptions &opts = {}) const;
 
+    /** One JSON object, sorted by metric name (the /debug/vars
+     *  body): counters and gauges as numbers, histograms as
+     *  {"count","sum","buckets":[{"le","cum"}...]} with cumulative
+     *  bucket counts and an explicit "+Inf" — the same convention
+     *  as the text dump, so both views agree. */
+    void dumpJson(std::ostream &out,
+                  const DumpOptions &opts = {}) const;
+    std::string dumpJsonString(const DumpOptions &opts = {}) const;
+
     /** Distinct registered metrics. */
     std::size_t size() const;
 

@@ -1,0 +1,159 @@
+#include "serve/observe.hh"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "common/strutil.hh"
+#include "common/telemetry.hh"
+
+namespace tomur::serve {
+
+AccessLog::AccessLog(AccessLogOptions opts)
+    : opts_(opts)
+{
+    if (opts_.capacity == 0)
+        opts_.capacity = 1;
+    ring_.resize(opts_.capacity);
+}
+
+void
+AccessLog::record(AccessRecord rec)
+{
+    if (filled_ == opts_.capacity)
+        ++dropped_;
+    else
+        ++filled_;
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % opts_.capacity;
+    ++recorded_;
+}
+
+std::size_t
+AccessLog::size() const
+{
+    return filled_;
+}
+
+std::vector<AccessRecord>
+AccessLog::snapshot() const
+{
+    std::vector<AccessRecord> out;
+    out.reserve(filled_);
+    std::size_t start =
+        (head_ + opts_.capacity - filled_) % opts_.capacity;
+    for (std::size_t i = 0; i < filled_; ++i)
+        out.push_back(ring_[(start + i) % opts_.capacity]);
+    return out;
+}
+
+std::string
+AccessLog::formatRecord(const AccessRecord &rec, bool canonical)
+{
+    std::string line = strf(
+        "{\"id\":\"%s\",\"peer\":\"%s\",\"method\":\"%s\","
+        "\"path\":\"%s\",\"status\":%d,\"bytes\":%zu,"
+        "\"step\":%llu,\"wait_steps\":%llu",
+        jsonEscape(rec.id).c_str(), jsonEscape(rec.peer).c_str(),
+        jsonEscape(rec.method).c_str(),
+        jsonEscape(rec.path).c_str(), rec.status, rec.bodyBytes,
+        (unsigned long long)rec.step,
+        (unsigned long long)rec.waitSteps);
+    if (!canonical) {
+        line += strf(",\"queue_wait_ms\":%.3f,\"handle_ms\":%.3f",
+                     rec.queueWaitMs, rec.handleMs);
+    }
+    line += strf(",\"verdict\":\"%s\",\"deadline_miss\":%s}",
+                 jsonEscape(rec.verdict).c_str(),
+                 rec.deadlineMiss ? "true" : "false");
+    return line;
+}
+
+void
+AccessLog::exportJsonl(std::ostream &out, bool canonical,
+                       std::size_t maxLines) const
+{
+    auto records = snapshot();
+    std::size_t start = 0;
+    if (maxLines > 0 && records.size() > maxLines)
+        start = records.size() - maxLines;
+    for (std::size_t i = start; i < records.size(); ++i)
+        out << formatRecord(records[i], canonical) << "\n";
+}
+
+std::string
+AccessLog::exportString(bool canonical, std::size_t maxLines) const
+{
+    std::ostringstream ss;
+    exportJsonl(ss, canonical, maxLines);
+    return ss.str();
+}
+
+std::vector<SloObjective>
+defaultServeObjectives()
+{
+    SloObjective availability;
+    availability.name = "availability";
+    availability.kind = SloKind::Availability;
+    availability.target = 0.999;
+    availability.fastWindow = 64;
+    availability.slowWindow = 512;
+    availability.burnThreshold = 2.0;
+
+    SloObjective predict;
+    predict.name = "predict_latency";
+    predict.kind = SloKind::Latency;
+    predict.pathFilter = "/predict";
+    predict.latencyThresholdMs = 50.0;
+    predict.target = 0.99;
+    predict.fastWindow = 64;
+    predict.slowWindow = 512;
+    predict.burnThreshold = 2.0;
+
+    return {availability, predict};
+}
+
+ServerObservatory::ServerObservatory()
+    : ServerObservatory(defaultServeObjectives())
+{
+}
+
+ServerObservatory::ServerObservatory(
+    std::vector<SloObjective> objectives, AccessLogOptions log_opts)
+    : accessLog(log_opts), slo(std::move(objectives))
+{
+    // Eager registration: the log-pressure counters show up (at
+    // zero) in every dump, like the server families.
+    metrics().counter("tomur_server_access_records_total");
+    metrics().counter("tomur_server_access_dropped_total");
+}
+
+double
+profilerScopeCostNs()
+{
+    // Min-of-batches over the *unsampled* path: a huge meanPeriod
+    // makes nearly every token take the two-bump-and-a-decrement
+    // fast path, which is what the serve loop pays per phase.
+    SamplerOptions opts;
+    opts.ringCapacity = 16;
+    opts.meanPeriod = 1 << 20;
+    SamplingProfiler probe(opts);
+    int site = probe.registerSite("calibrate");
+    constexpr int kBatch = 4096;
+    double bestNs = 1e9;
+    for (int round = 0; round < 4; ++round) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kBatch; ++i)
+            SamplingProfiler::Scope scope(&probe, site);
+        auto t1 = std::chrono::steady_clock::now();
+        double perToken =
+            std::chrono::duration<double, std::nano>(t1 - t0)
+                .count() /
+            kBatch;
+        if (perToken < bestNs)
+            bestNs = perToken;
+    }
+    return bestNs;
+}
+
+} // namespace tomur::serve

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The serving observatory: the per-request observability state the
+ * server core writes and the /debug endpoints read.
+ *
+ * AccessLog is a bounded ring of per-request outcome records — one
+ * line per answered (or refused, or dropped) request, JSONL on the
+ * way out. Two export modes mirror the tracer's:
+ *
+ *  - full: every field, wall-clock latencies included — the
+ *    operator-facing `--access-log` file and /debug/access body;
+ *  - canonical: wall-clock fields omitted, logical step indices
+ *    kept, so a deterministic scenario exports byte-identically at
+ *    any TOMUR_THREADS (the serve-observatory golden diffs this).
+ *
+ * ServerObservatory bundles the access log, the SLO tracker, and an
+ * optional sampling profiler behind one pointer: the Server core
+ * takes it via setObservatory() and feeds it; ModelService takes
+ * the same pointer and serves it read-only under /debug. Both run
+ * on the single-threaded core, so the bundle needs no locking —
+ * same ownership rule as SamplingProfiler.
+ */
+
+#ifndef TOMUR_SERVE_OBSERVE_HH
+#define TOMUR_SERVE_OBSERVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/sampler.hh"
+#include "common/slo.hh"
+
+namespace tomur::serve {
+
+/** One request outcome, as the access log remembers it. */
+struct AccessRecord
+{
+    /** Correlation id: "c<conn>-r<seq>" for parsed requests,
+     *  "c<conn>-parse" for parser poison (no request to number). */
+    std::string id;
+    std::string peer;   ///< client id ("anon" for plain sockets)
+    std::string method; ///< empty for parse errors
+    std::string path;   ///< empty for parse errors
+    int status = 0;     ///< 0 = dropped before an answer existed
+    std::size_t bodyBytes = 0; ///< response body size
+    /** Logical server step indices (deterministic). */
+    std::uint64_t step = 0;      ///< step the outcome landed in
+    std::uint64_t waitSteps = 0; ///< steps spent queued (0 = inline)
+    /** Wall-clock measurements (omitted from canonical export). */
+    double queueWaitMs = 0.0;
+    double handleMs = 0.0;
+    /** ok|shed|throttled|deadline|error|parse|dropped. */
+    std::string verdict = "ok";
+    bool deadlineMiss = false;
+};
+
+/** Access-log tuning. */
+struct AccessLogOptions
+{
+    /** Records retained; a full ring overwrites its oldest entry
+     *  (and counts the eviction), like the sampling profiler. */
+    std::size_t capacity = 4096;
+};
+
+class AccessLog
+{
+  public:
+    explicit AccessLog(AccessLogOptions opts = {});
+
+    void record(AccessRecord rec);
+
+    /** Records currently retained (<= capacity). */
+    std::size_t size() const;
+    /** Records ever recorded. */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Records evicted by ring wrap-around. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Retained records, oldest first. */
+    std::vector<AccessRecord> snapshot() const;
+
+    /** One JSON object per line, oldest first. canonical omits the
+     *  wall-clock fields (see file header). `maxLines` keeps only
+     *  the newest N lines (0 = all retained). */
+    void exportJsonl(std::ostream &out, bool canonical = false,
+                     std::size_t maxLines = 0) const;
+    std::string exportString(bool canonical = false,
+                             std::size_t maxLines = 0) const;
+
+    /** One record rendered as its JSONL line (shared by export and
+     *  the CLI's line-at-a-time --access-log writer). */
+    static std::string formatRecord(const AccessRecord &rec,
+                                    bool canonical);
+
+  private:
+    AccessLogOptions opts_;
+    std::vector<AccessRecord> ring_; ///< capacity fixed up front
+    std::size_t head_ = 0;           ///< next slot to overwrite
+    std::size_t filled_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Everything the server core feeds and /debug serves. The profiler
+ * pointer is optional (null = phase profiling off); the caller owns
+ * it, same as Server::setListener.
+ */
+struct ServerObservatory
+{
+    AccessLog accessLog;
+    SloTracker slo;
+    SamplingProfiler *profiler = nullptr;
+    /** Streaming tap: called with every record as it lands, before
+     *  ring eviction can touch it — the CLI's --access-log file
+     *  writer. The ring stays the bounded /debug view. */
+    std::function<void(const AccessRecord &)> accessSink;
+
+    /** Objectives default to defaultServeObjectives(). */
+    ServerObservatory();
+    ServerObservatory(std::vector<SloObjective> objectives,
+                      AccessLogOptions log_opts = {});
+};
+
+/**
+ * The daemon's stock objectives: availability >= 99.9% over all
+ * endpoints, and /predict answered within 50 ms at p99 (burn math
+ * over windows of requests; see common/slo.hh).
+ */
+std::vector<SloObjective> defaultServeObjectives();
+
+/**
+ * Measure the per-token cost of an unsampled profiler scope on this
+ * machine (min over a few timed batches, like the replay-bench
+ * overhead stage). The server core multiplies this by the token
+ * count to maintain tomur_server_profiler_overhead_frac.
+ */
+double profilerScopeCostNs();
+
+} // namespace tomur::serve
+
+#endif // TOMUR_SERVE_OBSERVE_HH

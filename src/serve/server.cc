@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 
 #include "common/deadline.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/telemetry.hh"
 #include "common/trace.hh"
 
@@ -25,8 +27,11 @@ struct ServerMetrics
     Counter &deadlineMisses;
     Counter &internalErrors;
     Counter &dropped;
+    Counter &accessRecords;
+    Counter &accessDropped;
     Gauge &connections;
     Gauge &queueDepth;
+    Gauge &profOverhead;
     Histogram &latencyMs;
 };
 
@@ -44,8 +49,11 @@ serverMetrics()
         metrics().counter("tomur_server_deadline_misses_total"),
         metrics().counter("tomur_server_internal_errors_total"),
         metrics().counter("tomur_server_dropped_requests_total"),
+        metrics().counter("tomur_server_access_records_total"),
+        metrics().counter("tomur_server_access_dropped_total"),
         metrics().gauge("tomur_server_connections"),
         metrics().gauge("tomur_server_queue_depth"),
+        metrics().gauge("tomur_server_profiler_overhead_frac"),
         metrics().histogram(
             "tomur_server_request_ms",
             Histogram::exponentialBounds(0.01, 4.0, 10)),
@@ -75,6 +83,67 @@ Server::~Server()
     for (auto &conn : conns_) {
         if (!conn->transport->closed())
             conn->transport->close();
+    }
+}
+
+void
+Server::setObservatory(ServerObservatory *observatory)
+{
+    observatory_ = observatory;
+    registeredProfiler_ = nullptr;
+    if (observatory_ != nullptr &&
+        observatory_->profiler != nullptr) {
+        SamplingProfiler *prof = observatory_->profiler;
+        registeredProfiler_ = prof;
+        siteAccept_ = prof->registerSite("serve.accept");
+        siteRead_ = prof->registerSite("serve.read");
+        siteHandle_ = prof->registerSite("serve.handle");
+        siteFlush_ = prof->registerSite("serve.flush");
+        // Instrumentation cost is estimated as measured-per-token
+        // cost x token count over wall time since attach; the gauge
+        // is refreshed every 256 steps.
+        profPerTokenNs_ = profilerScopeCostNs();
+        profAttachNs_ = nowNs();
+        serverMetrics().profOverhead.set(0.0);
+    }
+}
+
+void
+Server::logAccess(AccessRecord rec)
+{
+    if (observatory_ == nullptr)
+        return;
+    if (observatory_->accessSink)
+        observatory_->accessSink(rec);
+    std::uint64_t dropped_before = observatory_->accessLog.dropped();
+    observatory_->accessLog.record(std::move(rec));
+    serverMetrics().accessRecords.inc();
+    if (observatory_->accessLog.dropped() > dropped_before)
+        serverMetrics().accessDropped.inc();
+}
+
+void
+Server::ingestSlo(const std::string &path, int status,
+                  double latency_ms, bool deadline_miss)
+{
+    if (observatory_ == nullptr)
+        return;
+    SloOutcome outcome;
+    outcome.path = path;
+    outcome.status = status;
+    outcome.latencyMs = latency_ms;
+    outcome.deadlineMiss = deadline_miss;
+    for (const SloEvent &ev : observatory_->slo.ingest(outcome)) {
+        // Mirror budget transitions into the trace ring so a burn
+        // lines up with the requests around it.
+        tracePoint("slo.event",
+                   {{"event", ev.kind == SloEventKind::Burn
+                                  ? "SLO_BURN"
+                                  : "SLO_RECOVERED"},
+                    {"objective", ev.objective},
+                    {"fast_burn", traceFormat(ev.fastBurn)},
+                    {"slow_burn", traceFormat(ev.slowBurn)}},
+                   static_cast<std::int64_t>(ev.sample));
     }
 }
 
@@ -188,6 +257,29 @@ Server::admit(const std::shared_ptr<Connection> &conn)
         HttpRequest req = conn->parser.takeRequest();
         ++stats_.requestsAdmitted; // admission *attempts*
         serverMetrics().requests.inc();
+        std::string rid = strf("c%llu-r%llu",
+                               (unsigned long long)conn->id,
+                               (unsigned long long)++conn->requestSeq);
+
+        // Refusals are answered inline (never queued): respond,
+        // log the outcome under the request's correlation id, and
+        // charge the SLO budget — a shed request is exactly the
+        // availability loss the burn rate must see.
+        auto refuse = [&](HttpResponse resp, const char *verdict) {
+            resp.extraHeaders.push_back("X-Request-Id: " + rid);
+            AccessRecord rec;
+            rec.id = rid;
+            rec.peer = conn->clientId;
+            rec.method = req.method;
+            rec.path = req.path();
+            rec.status = resp.status;
+            rec.bodyBytes = resp.body.size();
+            rec.step = stepIndex_;
+            rec.verdict = verdict;
+            respond(conn, std::move(resp));
+            ingestSlo(rec.path, rec.status, 0.0, false);
+            logAccess(std::move(rec));
+        };
 
         if (draining_) {
             ++stats_.shed;
@@ -196,7 +288,7 @@ Server::admit(const std::shared_ptr<Connection> &conn)
             resp.status = 503;
             resp.close = true;
             resp.body = errorBody("draining");
-            respond(conn, resp);
+            refuse(std::move(resp), "shed");
             continue;
         }
         if (!admitBucket(conn->clientId)) {
@@ -207,7 +299,7 @@ Server::admit(const std::shared_ptr<Connection> &conn)
             resp.close = !req.keepAlive;
             resp.extraHeaders.push_back("Retry-After: 1");
             resp.body = errorBody("client over admission budget");
-            respond(conn, resp);
+            refuse(std::move(resp), "throttled");
             continue;
         }
         if (ready_.size() >= opts_.maxQueueDepth) {
@@ -217,13 +309,15 @@ Server::admit(const std::shared_ptr<Connection> &conn)
             resp.status = 503;
             resp.close = !req.keepAlive;
             resp.body = errorBody("request queue is full");
-            respond(conn, resp);
+            refuse(std::move(resp), "shed");
             continue;
         }
         Pending p;
         p.conn = conn;
         p.request = std::move(req);
         p.enqueuedNs = nowNs();
+        p.rid = std::move(rid);
+        p.admittedStep = stepIndex_;
         ready_.push_back(std::move(p));
         ++conn->inflight;
         didWork_ = true;
@@ -240,6 +334,10 @@ Server::readPhase(const std::shared_ptr<Connection> &conn)
     char buf[8192];
     std::size_t chunk =
         std::min(sizeof(buf), opts_.readChunkBytes);
+    // The parse child span opens lazily on the first byte read, so
+    // idle connections polled every step record nothing.
+    std::optional<TraceSpan> parseSpan;
+    std::uint64_t bytesRead = 0;
     for (std::size_t i = 0; i < opts_.maxReadsPerConnPerStep; ++i) {
         IoResult r = conn->transport->read(buf, chunk);
         if (!r.ok()) {
@@ -255,6 +353,13 @@ Server::readPhase(const std::shared_ptr<Connection> &conn)
         if (r.n == 0)
             break;
         didWork_ = true;
+        if (!parseSpan) {
+            parseSpan.emplace("server.parse");
+            parseSpan->field("conn",
+                             static_cast<std::uint64_t>(conn->id));
+            parseSpan->field("peer", conn->clientId);
+        }
+        bytesRead += r.n;
         if (Status st = conn->parser.feed(buf, r.n); !st) {
             ++stats_.parseErrors;
             serverMetrics().parseErrors.inc();
@@ -263,9 +368,26 @@ Server::readPhase(const std::shared_ptr<Connection> &conn)
                 conn->parser.httpErrorStatus();
             conn->parseErrorResp.close = true;
             conn->parseErrorResp.body = errorBody(st.toString());
+            parseSpan->field("error", st.toString());
+            // Parser poison has no request to number; it still gets
+            // an access line (and an SLO fold — a 4xx is not an
+            // availability loss, but the stream stays complete).
+            AccessRecord rec;
+            rec.id = strf("c%llu-parse",
+                          (unsigned long long)conn->id);
+            rec.peer = conn->clientId;
+            rec.status = conn->parseErrorResp.status;
+            rec.bodyBytes = conn->parseErrorResp.body.size();
+            rec.step = stepIndex_;
+            rec.verdict = "parse";
+            ingestSlo("", rec.status, 0.0, false);
+            logAccess(std::move(rec));
             break;
         }
     }
+    if (parseSpan)
+        parseSpan->field("bytes", bytesRead);
+    parseSpan.reset();
     admit(conn);
     // A peer that half-closed mid-request will never complete it;
     // drop the carcass once every admitted request is answered.
@@ -305,13 +427,43 @@ Server::handlePhase()
             // The client hung up after admission; the work is moot.
             ++stats_.droppedRequests;
             serverMetrics().dropped.inc();
+            AccessRecord rec;
+            rec.id = p.rid;
+            rec.peer = p.conn->clientId;
+            rec.method = p.request.method;
+            rec.path = p.request.path();
+            rec.status = 0;
+            rec.step = stepIndex_;
+            rec.waitSteps = stepIndex_ - p.admittedStep;
+            rec.queueWaitMs =
+                static_cast<double>(nowNs() - p.enqueuedNs) / 1e6;
+            rec.verdict = "dropped";
+            logAccess(std::move(rec));
             continue;
         }
         --p.conn->inflight;
 
+        std::uint64_t handleStartNs = nowNs();
+        TraceSpan span("server.request");
+        std::string path;
+        {
+            TraceSpan route("server.route");
+            path = p.request.path();
+            route.field("path", path);
+        }
+        if (span.active()) {
+            span.field("id", p.rid);
+            span.field("peer", p.conn->clientId);
+            span.field("method", p.request.method);
+            span.field("path", path);
+        }
+
         HttpResponse resp;
         resp.close = !p.request.keepAlive;
+        const char *verdict = "ok";
+        bool deadlineMiss = false;
         try {
+            TraceSpan handleSpan("server.handle");
             ServiceReply reply = invokeService(p.request);
             resp.status = reply.status;
             resp.contentType = reply.contentType;
@@ -323,18 +475,50 @@ Server::handlePhase()
             resp.body = errorBody(e.what());
             ++stats_.deadlineMisses;
             serverMetrics().deadlineMisses.inc();
+            verdict = "deadline";
+            deadlineMiss = true;
         } catch (const std::exception &e) {
             resp.status = 500;
             resp.body = errorBody("internal error");
             ++stats_.internalErrors;
             serverMetrics().internalErrors.inc();
+            verdict = "error";
             warnEvent("server", "handler-exception",
                       {{"target", p.request.target},
                        {"what", e.what()}});
         }
-        serverMetrics().latencyMs.observe(
-            static_cast<double>(nowNs() - p.enqueuedNs) / 1e6);
-        respond(p.conn, std::move(resp));
+        span.field("status",
+                   static_cast<std::int64_t>(resp.status));
+        std::uint64_t doneNs = nowNs();
+        double latencyMs =
+            static_cast<double>(doneNs - p.enqueuedNs) / 1e6;
+        serverMetrics().latencyMs.observe(latencyMs);
+
+        AccessRecord rec;
+        rec.id = p.rid;
+        rec.peer = p.conn->clientId;
+        rec.method = p.request.method;
+        rec.path = path;
+        rec.status = resp.status;
+        rec.bodyBytes = resp.body.size();
+        rec.step = stepIndex_;
+        rec.waitSteps = stepIndex_ - p.admittedStep;
+        rec.queueWaitMs =
+            static_cast<double>(handleStartNs - p.enqueuedNs) / 1e6;
+        rec.handleMs =
+            static_cast<double>(doneNs - handleStartNs) / 1e6;
+        rec.verdict = verdict;
+        rec.deadlineMiss = deadlineMiss;
+        {
+            TraceSpan writeSpan("server.write");
+            writeSpan.field(
+                "bytes",
+                static_cast<std::uint64_t>(resp.body.size()));
+            resp.extraHeaders.push_back("X-Request-Id: " + p.rid);
+            respond(p.conn, std::move(resp));
+        }
+        ingestSlo(path, rec.status, latencyMs, deadlineMiss);
+        logAccess(std::move(rec));
     }
     serverMetrics().queueDepth.set(
         static_cast<double>(ready_.size()));
@@ -377,15 +561,36 @@ Server::flushPhase(const std::shared_ptr<Connection> &conn)
 bool
 Server::step()
 {
+    // Only sample with the profiler whose sites we registered: a
+    // profiler swapped into the bundle mid-flight would be indexed
+    // with stale site ids (see registeredProfiler_).
+    SamplingProfiler *prof =
+        observatory_ != nullptr &&
+                observatory_->profiler == registeredProfiler_
+            ? registeredProfiler_
+            : nullptr;
+    ++stepIndex_;
     didWork_ = false;
-    acceptPhase();
-    // Iterate over a snapshot: phases may mark connections dead but
-    // never add while iterating.
-    for (std::size_t i = 0; i < conns_.size(); ++i)
-        readPhase(conns_[i]);
-    handlePhase();
-    for (std::size_t i = 0; i < conns_.size(); ++i)
-        flushPhase(conns_[i]);
+    {
+        SamplingProfiler::Scope scope(prof, siteAccept_);
+        acceptPhase();
+    }
+    {
+        // Iterate over a snapshot: phases may mark connections dead
+        // but never add while iterating.
+        SamplingProfiler::Scope scope(prof, siteRead_);
+        for (std::size_t i = 0; i < conns_.size(); ++i)
+            readPhase(conns_[i]);
+    }
+    {
+        SamplingProfiler::Scope scope(prof, siteHandle_);
+        handlePhase();
+    }
+    {
+        SamplingProfiler::Scope scope(prof, siteFlush_);
+        for (std::size_t i = 0; i < conns_.size(); ++i)
+            flushPhase(conns_[i]);
+    }
     std::size_t before = conns_.size();
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const auto &c) {
@@ -396,6 +601,15 @@ Server::step()
         didWork_ = true;
         serverMetrics().connections.set(
             static_cast<double>(conns_.size()));
+    }
+    if (prof != nullptr && (stepIndex_ & 255) == 0) {
+        std::uint64_t now = nowNs();
+        if (now > profAttachNs_) {
+            serverMetrics().profOverhead.set(
+                profPerTokenNs_ *
+                static_cast<double>(prof->tokens()) /
+                static_cast<double>(now - profAttachNs_));
+        }
     }
     return didWork_;
 }
@@ -437,6 +651,18 @@ Server::abortConnections()
             stats_.droppedRequests += pending;
             killConnection(conn);
         }
+    }
+    for (const Pending &p : ready_) {
+        AccessRecord rec;
+        rec.id = p.rid;
+        rec.peer = p.conn->clientId;
+        rec.method = p.request.method;
+        rec.path = p.request.path();
+        rec.status = 0;
+        rec.step = stepIndex_;
+        rec.waitSteps = stepIndex_ - p.admittedStep;
+        rec.verdict = "dropped";
+        logAccess(std::move(rec));
     }
     ready_.clear();
     conns_.clear();

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "serve/http.hh"
+#include "serve/observe.hh"
 #include "serve/service.hh"
 #include "serve/transport.hh"
 
@@ -113,6 +114,22 @@ class Server
      *  be injected with addConnection). */
     void setListener(Listener *listener) { listener_ = listener; }
 
+    /**
+     * Attach the serving observatory (may be null = observability
+     * off, the default). The core then writes an AccessRecord for
+     * every request outcome, folds each outcome into the SLO
+     * tracker (mirroring burn events as slo.event trace points),
+     * and — when the bundle carries a profiler — wraps each step
+     * phase in a sampled serve.* profiler scope and maintains
+     * tomur_server_profiler_overhead_frac. Caller owns the bundle;
+     * same lifetime rule as setListener.
+     */
+    void setObservatory(ServerObservatory *observatory);
+
+    /** Steps taken so far — the logical clock access records carry
+     *  (deterministic, unlike wall time). */
+    std::uint64_t stepIndex() const { return stepIndex_; }
+
     /** Inject an established connection (tests, load generator). */
     void addConnection(std::unique_ptr<Transport> transport,
                        std::string client_id);
@@ -165,6 +182,9 @@ class Server
          *  the connection never reorders responses. */
         bool parseErrorPending = false;
         HttpResponse parseErrorResp;
+        /** Requests parsed on this connection — the "-r<seq>" half
+         *  of the correlation id. */
+        std::uint64_t requestSeq = 0;
 
         Connection(ParserLimits limits)
             : parser(limits)
@@ -177,6 +197,8 @@ class Server
         std::shared_ptr<Connection> conn;
         HttpRequest request;
         std::uint64_t enqueuedNs = 0;
+        std::string rid; ///< correlation id ("c<conn>-r<seq>")
+        std::uint64_t admittedStep = 0;
     };
 
     void acceptPhase();
@@ -189,6 +211,9 @@ class Server
     ServiceReply invokeService(const HttpRequest &req);
     bool admitBucket(const std::string &client_id);
     void killConnection(const std::shared_ptr<Connection> &conn);
+    void logAccess(AccessRecord rec);
+    void ingestSlo(const std::string &path, int status,
+                   double latency_ms, bool deadline_miss);
 
     ServeOptions opts_;
     Service &service_;
@@ -200,6 +225,19 @@ class Server
     bool draining_ = false;
     bool didWork_ = false;
     std::uint64_t nextConnId_ = 1;
+    std::uint64_t stepIndex_ = 0;
+
+    ServerObservatory *observatory_ = nullptr;
+    /** The profiler whose sites setObservatory() registered. A
+     *  profiler attached to the bundle afterwards is served by
+     *  /debug/profile but not sampled by the core until the next
+     *  setObservatory() call — beginToken() elides its bounds
+     *  check, so stepping with unregistered site ids is UB. */
+    SamplingProfiler *registeredProfiler_ = nullptr;
+    int siteAccept_ = 0, siteRead_ = 0;
+    int siteHandle_ = 0, siteFlush_ = 0;
+    double profPerTokenNs_ = 0.0;
+    std::uint64_t profAttachNs_ = 0;
 };
 
 } // namespace tomur::serve

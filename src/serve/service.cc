@@ -5,10 +5,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <sstream>
+
 #include "common/deadline.hh"
 #include "common/report.hh"
 #include "common/strutil.hh"
 #include "common/telemetry.hh"
+#include "common/trace.hh"
+#include "serve/observe.hh"
 #include "tomur/attribution.hh"
 
 namespace tomur::serve {
@@ -173,6 +177,12 @@ ModelService::handle(const HttpRequest &req)
                     errorBody("use POST /reload")};
         return handleReload(req);
     }
+    if (path.rfind("/debug/", 0) == 0) {
+        if (req.method != "GET")
+            return {405, "application/json",
+                    errorBody("use GET " + path)};
+        return handleDebug(path);
+    }
     return {404, "application/json",
             errorBody("no such endpoint '" + path + "'")};
 }
@@ -222,6 +232,79 @@ ModelService::handleReport(const HttpRequest &req) const
         opts.html ? "text/html; charset=utf-8" : "text/plain";
     r.body = std::move(rendered.value());
     return r;
+}
+
+namespace {
+
+/** /debug responses are cap-bounded like requests: keep only the
+ *  newest complete lines that fit. */
+constexpr std::size_t kDebugBodyCap = 256 * 1024;
+
+std::string
+capTailLines(std::string body)
+{
+    if (body.size() <= kDebugBodyCap)
+        return body;
+    std::size_t cut = body.size() - kDebugBodyCap;
+    std::size_t nl = body.find('\n', cut);
+    if (nl == std::string::npos)
+        return {};
+    return body.substr(nl + 1);
+}
+
+} // namespace
+
+ServiceReply
+ModelService::handleDebug(const std::string &path) const
+{
+    ServiceReply r;
+    if (path == "/debug/vars") {
+        r.body = metrics().dumpJsonString();
+        return r;
+    }
+    if (path == "/debug/trace") {
+        if (!tracer().enabled()) {
+            r.body = "{\"enabled\":false,\"records\":0}";
+            return r;
+        }
+        TraceExportOptions topts;
+        topts.canonical = true;
+        r.contentType = "application/jsonl";
+        r.body = capTailLines(tracer().exportString(topts));
+        return r;
+    }
+    // Observatory-backed views 503 without one attached — but only
+    // the known views: an unknown /debug path is a 404 either way.
+    bool backed = path == "/debug/slo" || path == "/debug/access" ||
+                  path == "/debug/profile";
+    if (backed && observatory_ == nullptr) {
+        return {503, "application/json",
+                errorBody("observatory not attached")};
+    }
+    if (path == "/debug/slo") {
+        r.contentType = "application/jsonl";
+        r.body = capTailLines(observatory_->slo.exportString());
+        return r;
+    }
+    if (path == "/debug/access") {
+        r.contentType = "application/jsonl";
+        r.body = capTailLines(
+            observatory_->accessLog.exportString());
+        return r;
+    }
+    if (path == "/debug/profile") {
+        if (observatory_->profiler == nullptr) {
+            return {503, "application/json",
+                    errorBody("no profiler attached")};
+        }
+        std::ostringstream ss;
+        observatory_->profiler->exportText(ss);
+        r.contentType = "text/plain";
+        r.body = capTailLines(ss.str());
+        return r;
+    }
+    return {404, "application/json",
+            errorBody("no such endpoint '" + path + "'")};
 }
 
 Result<traffic::TrafficProfile>

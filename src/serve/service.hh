@@ -26,6 +26,8 @@
 
 namespace tomur::serve {
 
+struct ServerObservatory;
+
 /** One handler outcome. */
 struct ServiceReply
 {
@@ -65,6 +67,20 @@ class Service
  *   POST /diagnose  same body -> ranked contention attribution
  *   POST /reload    {"model":"PATH"} -> hot-swap the model
  *
+ * Live introspection (GET-only, read-only, response bodies capped
+ * the way requests are capped by ParserLimits):
+ *
+ *   GET /debug/vars     metrics snapshot as one JSON object
+ *   GET /debug/trace    recent canonical trace spans (JSONL)
+ *   GET /debug/slo      SLO burn events + budget summary (JSONL)
+ *   GET /debug/access   recent access-log records (JSONL)
+ *   GET /debug/profile  sampling-profiler text dump
+ *
+ * /debug/slo, /debug/access and /debug/profile need the observatory
+ * attached (attachObservatory) and answer 503 without it; the trace
+ * and access bodies are the same artifacts `tomur report` ingests,
+ * so `curl /debug/slo > slo.jsonl` feeds straight into the report.
+ *
  * Prediction happens against the registry snapshot and the reference
  * contention levels captured at construction — the hot path touches
  * no testbed, so a request costs microseconds, not an equilibrium
@@ -85,6 +101,13 @@ class ModelService : public Service
 
     void onDrain() override { setDraining(true); }
 
+    /** Read-only view for the /debug endpoints (the same bundle the
+     *  Server writes; both run on the single-threaded core). */
+    void attachObservatory(const ServerObservatory *observatory)
+    {
+        observatory_ = observatory;
+    }
+
   private:
     ServiceReply handleHealthz() const;
     ServiceReply handleMetrics() const;
@@ -92,6 +115,7 @@ class ModelService : public Service
     ServiceReply handlePredict(const HttpRequest &req) const;
     ServiceReply handleDiagnose(const HttpRequest &req) const;
     ServiceReply handleReload(const HttpRequest &req);
+    ServiceReply handleDebug(const std::string &path) const;
 
     Result<traffic::TrafficProfile>
     profileFromBody(const std::string &body) const;
@@ -100,6 +124,7 @@ class ModelService : public Service
     std::vector<core::ContentionLevel> levels_;
     std::string label_;
     bool draining_ = false;
+    const ServerObservatory *observatory_ = nullptr;
 };
 
 /**

@@ -24,8 +24,12 @@
 
 #include "common/deadline.hh"
 #include "common/rng.hh"
+#include "common/sampler.hh"
+#include "common/slo.hh"
 #include "common/strutil.hh"
 #include "common/threadpool.hh"
+#include "common/trace.hh"
+#include "serve/observe.hh"
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
 #include "serve/registry.hh"
@@ -1071,6 +1075,482 @@ TEST(ParallelServeRegistry, ConcurrentPredictionsDuringHotSwaps)
         th.join();
     EXPECT_EQ(reg.version(), 41u); // 1 install + 40 swaps
     EXPECT_EQ(reg.swapsSucceeded(), 40u);
+}
+
+// ---------------------------------------------------------------
+// Access log
+// ---------------------------------------------------------------
+
+serve::AccessRecord
+accessRecord(const std::string &id, int status = 200)
+{
+    serve::AccessRecord rec;
+    rec.id = id;
+    rec.peer = "tester";
+    rec.method = "GET";
+    rec.path = "/x";
+    rec.status = status;
+    rec.queueWaitMs = 1.5;
+    rec.handleMs = 2.5;
+    return rec;
+}
+
+TEST(AccessLog, RingOverwritesOldestAndCountsDrops)
+{
+    serve::AccessLogOptions opts;
+    opts.capacity = 2;
+    serve::AccessLog log(opts);
+    log.record(accessRecord("r1"));
+    log.record(accessRecord("r2"));
+    log.record(accessRecord("r3"));
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.recorded(), 3u);
+    EXPECT_EQ(log.dropped(), 1u);
+    auto snap = log.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].id, "r2"); // oldest retained first
+    EXPECT_EQ(snap[1].id, "r3");
+}
+
+TEST(AccessLog, CanonicalExportOmitsWallClockAndCapsLines)
+{
+    serve::AccessLog log;
+    log.record(accessRecord("r1"));
+    log.record(accessRecord("r2"));
+
+    std::string full = log.exportString(false);
+    EXPECT_NE(full.find("\"queue_wait_ms\":1.500"),
+              std::string::npos);
+    EXPECT_NE(full.find("\"handle_ms\":2.500"), std::string::npos);
+
+    // Canonical: wall-clock fields gone, logical fields kept — this
+    // is what makes the serve-observatory golden thread-invariant.
+    std::string canon = log.exportString(true);
+    EXPECT_EQ(canon.find("queue_wait_ms"), std::string::npos);
+    EXPECT_EQ(canon.find("handle_ms"), std::string::npos);
+    EXPECT_NE(canon.find("\"step\":"), std::string::npos);
+
+    // maxLines keeps only the newest complete records.
+    std::string tail = log.exportString(true, 1);
+    EXPECT_EQ(tail.find("r1"), std::string::npos);
+    EXPECT_NE(tail.find("r2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Server core + observatory integration
+// ---------------------------------------------------------------
+
+TEST(ServerObservatory, CorrelationIdsAndAccessRecords)
+{
+    serve::ServerObservatory obs;
+    CoreHarness h;
+    h.server.setObservatory(&obs);
+    auto pipe = h.connect("c1");
+
+    pipe->clientWrite(simpleGet("/one"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    std::string raw = pipe->clientRead();
+    // The response echoes the correlation id as a header.
+    EXPECT_NE(raw.find("X-Request-Id: c1-r1"), std::string::npos);
+
+    pipe->clientWrite(simpleGet("/two"));
+    stepUntil(h.server, [&] { return pipe->clientPending() > 0; });
+    raw = pipe->clientRead();
+    EXPECT_NE(raw.find("X-Request-Id: c1-r2"), std::string::npos);
+
+    auto records = obs.accessLog.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].id, "c1-r1");
+    EXPECT_EQ(records[0].peer, "c1");
+    EXPECT_EQ(records[0].path, "/one");
+    EXPECT_EQ(records[0].status, 200);
+    EXPECT_EQ(records[0].verdict, "ok");
+    EXPECT_EQ(records[1].id, "c1-r2");
+}
+
+TEST(ServerObservatory, RefusalsAndParseErrorsAreLoggedAndCharged)
+{
+    SloObjective avail;
+    avail.name = "itest_avail";
+    avail.target = 0.9;
+    avail.fastWindow = 4;
+    avail.slowWindow = 8;
+    avail.burnThreshold = 1e9; // classification only, no events
+    serve::ServerObservatory obs({avail});
+
+    ServeOptions opts;
+    opts.maxQueueDepth = 2;
+    opts.maxRequestsPerStep = 1;
+    CoreHarness h(opts);
+    h.server.setObservatory(&obs);
+
+    auto pipe = h.connect("c1");
+    std::string burst;
+    for (int i = 0; i < 4; ++i)
+        burst += simpleGet(strf("/r%d", i));
+    pipe->clientWrite(burst);
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 2;
+    });
+
+    auto garbage = h.connect("c2");
+    garbage->clientWrite("\x01garbage\r\n\r\n");
+    stepUntil(h.server, [&] { return garbage->closed(); });
+
+    std::size_t shed = 0, ok = 0, parse = 0;
+    for (const auto &rec : obs.accessLog.snapshot()) {
+        if (rec.verdict == "shed") {
+            ++shed;
+            EXPECT_EQ(rec.status, 503);
+        } else if (rec.verdict == "ok") {
+            ++ok;
+        } else if (rec.verdict == "parse") {
+            ++parse;
+            EXPECT_EQ(rec.status, 400);
+            EXPECT_EQ(rec.id, "c2-parse");
+        }
+    }
+    EXPECT_EQ(shed, 2u);
+    EXPECT_EQ(ok, 2u);
+    EXPECT_EQ(parse, 1u);
+
+    // The SLO fold saw every outcome: 2 shed (bad) + 2 ok + the
+    // parse error's 400 (not an availability loss).
+    auto st = obs.slo.states().at(0);
+    EXPECT_EQ(st.total, 5u);
+    EXPECT_EQ(st.bad, 2u);
+}
+
+TEST(ServerObservatory, AccessSinkStreamsEveryRecord)
+{
+    serve::ServerObservatory obs;
+    std::vector<std::string> streamed;
+    obs.accessSink = [&](const serve::AccessRecord &rec) {
+        streamed.push_back(rec.id);
+    };
+    CoreHarness h;
+    h.server.setObservatory(&obs);
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/a") + simpleGet("/b"));
+    stepUntil(h.server, [&] {
+        return h.server.stats().requestsHandled >= 2;
+    });
+    EXPECT_EQ(streamed,
+              (std::vector<std::string>{"c1-r1", "c1-r2"}));
+}
+
+TEST(ServerObservatory, AbortLogsQueuedRequestsAsDropped)
+{
+    serve::ServerObservatory obs;
+    ServeOptions opts;
+    opts.maxRequestsPerStep = 1;
+    CoreHarness h(opts);
+    h.server.setObservatory(&obs);
+    auto pipe = h.connect("c1");
+    pipe->clientWrite(simpleGet("/done") + simpleGet("/queued"));
+    h.server.step(); // admits both, handles and flushes the first
+    h.server.abortConnections();
+
+    auto records = obs.accessLog.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].verdict, "ok");
+    EXPECT_EQ(records[1].verdict, "dropped");
+    EXPECT_EQ(records[1].status, 0);
+    EXPECT_EQ(records[1].path, "/queued");
+}
+
+// ---------------------------------------------------------------
+// /debug endpoints
+// ---------------------------------------------------------------
+
+TEST(DebugEndpoints, VarsAndTraceAnswerWithoutObservatory)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/vars")), 200);
+    EXPECT_EQ(h.body.front(), '{');
+    EXPECT_NE(h.body.find("\"tomur_server_requests_total\":"),
+              std::string::npos);
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/trace")), 200);
+
+    // The observatory-backed endpoints refuse cleanly instead.
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/slo")), 503);
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/access")), 503);
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/profile")), 503);
+}
+
+TEST(DebugEndpoints, ObservatoryBackedEndpointsServeArtifacts)
+{
+    ServiceHarness h;
+    serve::ServerObservatory obs;
+    h.service.attachObservatory(&obs);
+    h.server.setObservatory(&obs);
+
+    EXPECT_EQ(h.roundTrip(simpleGet("/healthz")), 200);
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/slo")), 200);
+    EXPECT_NE(h.body.find("\"slo_summary\":"), std::string::npos);
+    EXPECT_NE(h.body.find("\"availability\""), std::string::npos);
+
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/access")), 200);
+    EXPECT_NE(h.body.find("\"verdict\":\"ok\""), std::string::npos);
+    EXPECT_NE(h.body.find("\"path\":\"/healthz\""),
+              std::string::npos);
+
+    // No profiler attached yet; then attach one and retry.
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/profile")), 503);
+    SamplingProfiler profiler;
+    obs.profiler = &profiler;
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/profile")), 200);
+    EXPECT_NE(h.body.find("sampling profiler"), std::string::npos);
+}
+
+TEST(DebugEndpoints, MethodAndUnknownPathContracts)
+{
+    ServiceHarness h;
+    EXPECT_EQ(h.roundTrip(simplePost("/debug/vars", "{}")), 405);
+    EXPECT_EQ(h.roundTrip(simpleGet("/debug/no-such-view")), 404);
+}
+
+TEST(DebugEndpointsFuzz, ByteSoupDebugPathsNeverCrash)
+{
+    // Hostile /debug suffixes straight into the service router: the
+    // contract is a clean status from the documented set, never a
+    // crash — same seed discipline as the parser fuzz.
+    ServiceHarness h;
+    Rng rng(20260808);
+    const std::string alphabet =
+        "varstraceslprofileacs/.%\\\x01\x7f\x00 {}\"?=&"s;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::size_t len = rng.uniformInt(std::uint64_t(24));
+        std::string suffix;
+        for (std::size_t i = 0; i < len; ++i)
+            suffix.push_back(
+                alphabet[rng.uniformInt(alphabet.size())]);
+        HttpRequest req;
+        req.method = "GET";
+        req.target = "/debug/" + suffix;
+        ServiceReply reply = h.service.handle(req);
+        EXPECT_TRUE(reply.status == 200 || reply.status == 404 ||
+                    reply.status == 503)
+            << "status " << reply.status << " for: " << suffix;
+    }
+}
+
+// ---------------------------------------------------------------
+// Serve-observatory golden: canonical access + SLO + trace streams
+// ---------------------------------------------------------------
+
+#ifndef TOMUR_GOLDEN_DIR
+#define TOMUR_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string
+goldenPath(const std::string &file)
+{
+    return std::string(TOMUR_GOLDEN_DIR) + "/" + file;
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Compare against (or, with TOMUR_UPDATE_GOLDENS=1, rewrite) one
+ *  golden fixture. */
+void
+checkGolden(const std::string &file, const std::string &actual)
+{
+    const std::string path = goldenPath(file);
+    if (std::getenv("TOMUR_UPDATE_GOLDENS")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::string expected = readFileOrEmpty(path);
+    ASSERT_FALSE(expected.empty())
+        << path << " is missing; regenerate with "
+        << "tools/update_goldens.sh";
+    EXPECT_EQ(expected, actual)
+        << "golden mismatch for " << file
+        << "; if the change is intentional, regenerate with "
+        << "tools/update_goldens.sh and review the diff";
+}
+
+/** RAII global pool width (restores the configured width on exit). */
+struct PoolWidth
+{
+    explicit PoolWidth(int threads) { setGlobalThreadCount(threads); }
+    ~PoolWidth() { setGlobalThreadCount(configuredThreadCount()); }
+};
+
+/**
+ * The fixed observatory scenario: one deterministic server run that
+ * produces every access-log verdict and both SLO transitions —
+ * two plain requests, a granule-deadline 504, a handler-exception
+ * 500 (opens SLO_BURN), a queue-overflow burst (2 ok + 2 shed), a
+ * token-bucket exhaustion run (8 ok + 2 throttled, recovering the
+ * SLO on the way), a parser poisoning, and an aborted queued
+ * request. Everything is logical (step indices, granule deadlines,
+ * pure-fold burn math), so the canonical export must be
+ * byte-identical at any pool width.
+ */
+std::string
+runObservatoryScenario()
+{
+    tracer().enable(1 << 14);
+
+    StubService svc;
+    ServeOptions opts;
+    opts.maxQueueDepth = 2;
+    opts.maxRequestsPerStep = 1;
+    opts.requestDeadlineGranules = 2;
+    opts.bucketCapacity = 8.0;
+    Server server(opts, svc);
+
+    SloObjective avail;
+    avail.name = "golden_availability";
+    avail.target = 0.9;
+    avail.fastWindow = 4;
+    avail.slowWindow = 16;
+    avail.burnThreshold = 2.0;
+    avail.recoverFactor = 0.5;
+    avail.recoverStable = 4;
+    SloObjective deadline;
+    deadline.name = "golden_deadline";
+    deadline.kind = SloKind::Latency;
+    deadline.target = 0.9;
+    deadline.fastWindow = 4;
+    deadline.slowWindow = 16;
+    deadline.burnThreshold = 1e9; // classification only
+    serve::ServerObservatory obs({avail, deadline});
+    server.setObservatory(&obs);
+
+    auto connect = [&](const std::string &id) {
+        auto pipe = std::make_shared<MemoryTransport>();
+        server.addConnection(std::make_unique<SharedTransport>(pipe),
+                             id);
+        return pipe;
+    };
+    auto oneShot = [&](std::shared_ptr<MemoryTransport> &pipe,
+                       const std::string &req) {
+        pipe->clientWrite(req);
+        std::string rx;
+        int status = 0;
+        for (int i = 0; i < 200 && status == 0; ++i) {
+            server.step();
+            rx += pipe->clientRead();
+            status = takeResponse(rx);
+        }
+        return status;
+    };
+
+    auto alpha = connect("alpha");
+    oneShot(alpha, simpleGet("/alpha1"));
+    oneShot(alpha, simpleGet("/alpha2"));
+
+    svc.fn = [](const HttpRequest &) -> ServiceReply {
+        for (int i = 0; i < 8; ++i)
+            checkDeadline("golden.slow-handler");
+        return {};
+    };
+    oneShot(alpha, simpleGet("/slow")); // 504, deadline verdict
+
+    svc.fn = [](const HttpRequest &) -> ServiceReply {
+        throw std::runtime_error("golden handler bug");
+    };
+    oneShot(alpha, simpleGet("/boom")); // 500 -> SLO_BURN opens
+    svc.fn = [](const HttpRequest &req) {
+        ServiceReply r;
+        r.body = "{\"echo\":\"" + req.target + "\"}";
+        return r;
+    };
+
+    // Queue overflow: 4 pipelined into a depth-2 queue.
+    auto bravo = connect("bravo");
+    std::string burst;
+    for (int i = 0; i < 4; ++i)
+        burst += simpleGet(strf("/b%d", i));
+    bravo->clientWrite(burst);
+    std::string rx;
+    for (int i = 0, got = 0; i < 200 && got < 4; ++i) {
+        server.step();
+        rx += bravo->clientRead();
+        while (takeResponse(rx) != 0)
+            ++got;
+    }
+
+    // Token-bucket exhaustion: 10 sequential requests against an
+    // 8-token bucket with no refill — the last two are throttled,
+    // and the good run recovers the availability SLO.
+    auto charlie = connect("charlie");
+    for (int i = 0; i < 10; ++i)
+        oneShot(charlie, simpleGet(strf("/c%d", i)));
+
+    auto delta = connect("delta");
+    delta->clientWrite("\x01garbage\r\n\r\n");
+    for (int i = 0; i < 200 && !delta->closed(); ++i)
+        server.step();
+
+    auto echo = connect("echo");
+    echo->clientWrite(simpleGet("/handled") + simpleGet("/queued"));
+    server.step(); // admits both, handles the first
+    server.abortConnections(); // the queued request is dropped
+
+    std::string out;
+    out += "{\"golden_section\":\"access\"}\n";
+    out += obs.accessLog.exportString(/*canonical=*/true);
+    out += "{\"golden_section\":\"slo\"}\n";
+    out += obs.slo.exportString();
+    out += "{\"golden_section\":\"trace\"}\n";
+    TraceExportOptions topts;
+    topts.canonical = true;
+    out += tracer().exportString(topts);
+    return out;
+}
+
+TEST(ServeObservatoryGolden, SerialRunMatchesFixture)
+{
+    PoolWidth width(1);
+    checkGolden("serve_observatory.jsonl",
+                runObservatoryScenario());
+}
+
+TEST(ServeObservatoryGolden, WideRunIsByteIdenticalToFixture)
+{
+    // In update mode the serial test just rewrote the fixture; this
+    // re-run asserts the wide pool reproduces it exactly, so a
+    // thread-dependent scenario cannot be committed.
+    PoolWidth width(8);
+    std::string actual = runObservatoryScenario();
+    std::string expected =
+        readFileOrEmpty(goldenPath("serve_observatory.jsonl"));
+    ASSERT_FALSE(expected.empty())
+        << "fixture missing; run tools/update_goldens.sh";
+    EXPECT_EQ(expected, actual);
+}
+
+TEST(ServeObservatoryGolden, ScenarioCoversEveryVerdict)
+{
+    PoolWidth width(1);
+    std::string out = runObservatoryScenario();
+    for (const char *verdict :
+         {"\"verdict\":\"ok\"", "\"verdict\":\"shed\"",
+          "\"verdict\":\"throttled\"", "\"verdict\":\"deadline\"",
+          "\"verdict\":\"error\"", "\"verdict\":\"parse\"",
+          "\"verdict\":\"dropped\""}) {
+        EXPECT_NE(out.find(verdict), std::string::npos)
+            << "scenario lost coverage of " << verdict;
+    }
+    EXPECT_NE(out.find("\"event\":\"SLO_BURN\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"event\":\"SLO_RECOVERED\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"server.request\""),
+              std::string::npos);
 }
 
 } // namespace

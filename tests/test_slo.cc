@@ -1,0 +1,266 @@
+/**
+ * @file
+ * SLO tracker tests: bad-outcome classification per objective kind,
+ * path slicing, the multi-window burn rule with its full-fast-window
+ * guard, recovery hysteresis, verdict-ring eviction at the window
+ * edges, the bounded event ring, metric mirroring, and the pure-fold
+ * determinism the serve-observatory golden depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/slo.hh"
+#include "common/telemetry.hh"
+
+namespace tomur {
+namespace {
+
+/** A permissive objective: nothing fires unless a test wants it. */
+SloObjective
+quietObjective(const std::string &name)
+{
+    SloObjective o;
+    o.name = name;
+    o.target = 0.9;
+    o.fastWindow = 4;
+    o.slowWindow = 8;
+    o.burnThreshold = 1e9; // never fires
+    return o;
+}
+
+SloOutcome
+outcome(int status, const std::string &path = "/predict",
+        double latencyMs = 1.0, bool deadlineMiss = false)
+{
+    SloOutcome out;
+    out.path = path;
+    out.status = status;
+    out.latencyMs = latencyMs;
+    out.deadlineMiss = deadlineMiss;
+    return out;
+}
+
+TEST(SloTracker, AvailabilityCountsOnly5xxAsBad)
+{
+    SloTracker t({quietObjective("avail_class")});
+    t.ingest(outcome(200));
+    t.ingest(outcome(404)); // client error: not an availability loss
+    t.ingest(outcome(429)); // throttle: refused, not failed
+    t.ingest(outcome(503)); // shed: availability loss
+    t.ingest(outcome(500));
+    auto st = t.states().at(0);
+    EXPECT_EQ(st.total, 5u);
+    EXPECT_EQ(st.bad, 2u);
+}
+
+TEST(SloTracker, LatencyKindCountsThresholdAndDeadline)
+{
+    auto obj = quietObjective("lat_class");
+    obj.kind = SloKind::Latency;
+    obj.latencyThresholdMs = 50.0;
+    SloTracker t({obj});
+    t.ingest(outcome(200, "/predict", 10.0));          // good
+    t.ingest(outcome(200, "/predict", 60.0));          // too slow
+    t.ingest(outcome(200, "/predict", 10.0, true));    // missed
+    t.ingest(outcome(503, "/predict", 1.0));           // 5xx
+    auto st = t.states().at(0);
+    EXPECT_EQ(st.total, 4u);
+    EXPECT_EQ(st.bad, 3u);
+}
+
+TEST(SloTracker, PathFilterSlicesTraffic)
+{
+    auto obj = quietObjective("sliced");
+    obj.pathFilter = "/predict";
+    SloTracker t({obj});
+    t.ingest(outcome(503, "/healthz"));
+    t.ingest(outcome(200, "/predict"));
+    t.ingest(outcome(503, "/predict"));
+    auto st = t.states().at(0);
+    EXPECT_EQ(st.total, 2u); // the /healthz 503 never matched
+    EXPECT_EQ(st.bad, 1u);
+}
+
+/** target 0.9 => burn = bad_fraction / 0.1; threshold 2 needs a bad
+ *  fraction of at least 0.2 in BOTH windows. */
+SloObjective
+burnObjective(const std::string &name)
+{
+    SloObjective o;
+    o.name = name;
+    o.target = 0.9;
+    o.fastWindow = 4;
+    o.slowWindow = 8;
+    o.burnThreshold = 2.0;
+    o.recoverFactor = 0.5;
+    o.recoverStable = 3;
+    return o;
+}
+
+TEST(SloTracker, BurnWaitsForAFullFastWindow)
+{
+    SloTracker t({burnObjective("guarded")});
+    // A lone bad first request is a burn of 1/0.1 = 10 in both
+    // windows — but the fast window isn't full, so nothing fires.
+    auto fired = t.ingest(outcome(503));
+    EXPECT_TRUE(fired.empty());
+    EXPECT_FALSE(t.states().at(0).burning);
+
+    // Three good outcomes fill the fast window: bad fraction 1/4 =
+    // burn 2.5 in both windows, at or above threshold -> SLO_BURN.
+    t.ingest(outcome(200));
+    t.ingest(outcome(200));
+    fired = t.ingest(outcome(200));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].kind, SloEventKind::Burn);
+    EXPECT_EQ(fired[0].objective, "guarded");
+    EXPECT_EQ(fired[0].sample, 4u);
+    EXPECT_NEAR(fired[0].fastBurn, 2.5, 1e-12);
+    EXPECT_TRUE(t.states().at(0).burning);
+}
+
+TEST(SloTracker, RecoveryRequiresStableHysteresis)
+{
+    SloTracker t({burnObjective("recovering")});
+    t.ingest(outcome(503));
+    for (int i = 0; i < 3; ++i)
+        t.ingest(outcome(200)); // fires at the 4th outcome
+    ASSERT_TRUE(t.states().at(0).burning);
+
+    // One more good outcome evicts the bad verdict from the fast
+    // window (fast burn 0 < 0.5*2) — stable for 1, not yet 3.
+    auto fired = t.ingest(outcome(200));
+    EXPECT_TRUE(fired.empty());
+    EXPECT_TRUE(t.states().at(0).burning);
+    fired = t.ingest(outcome(200));
+    EXPECT_TRUE(fired.empty());
+    fired = t.ingest(outcome(200));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].kind, SloEventKind::Recovered);
+    auto st = t.states().at(0);
+    EXPECT_FALSE(st.burning);
+    EXPECT_EQ(st.burnEvents, 1u);
+    EXPECT_EQ(st.recoveredEvents, 1u);
+}
+
+TEST(SloTracker, RecoveryStreakResetsOnRelapse)
+{
+    SloTracker t({burnObjective("relapsing")});
+    t.ingest(outcome(503));
+    for (int i = 0; i < 3; ++i)
+        t.ingest(outcome(200)); // burning
+    // Two stable-good outcomes, then a relapse: the streak restarts,
+    // and the new bad verdict keeps the fast burn at 2.5 until it
+    // slides out of the 4-wide window — so recovery needs the window
+    // to clear AND three more consecutive quiet outcomes.
+    t.ingest(outcome(200));
+    t.ingest(outcome(200));
+    t.ingest(outcome(503)); // fast burn back to 2.5
+    EXPECT_TRUE(t.states().at(0).burning);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(t.ingest(outcome(200)).empty());
+        EXPECT_TRUE(t.states().at(0).burning);
+    }
+    // Window clean since the 4th good; this is quiet outcome 3 of 3.
+    auto fired = t.ingest(outcome(200));
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].kind, SloEventKind::Recovered);
+}
+
+TEST(SloTracker, WindowSlideEvictsOldVerdicts)
+{
+    SloTracker t({quietObjective("sliding")});
+    t.ingest(outcome(503));
+    for (int i = 0; i < 4; ++i)
+        t.ingest(outcome(200));
+    // The bad verdict left the fast window (4) but not the slow (8):
+    // fast burn 0, slow burn (1/5)/0.1 = 2.
+    auto st = t.states().at(0);
+    EXPECT_NEAR(st.fastBurn, 0.0, 1e-12);
+    EXPECT_NEAR(st.slowBurn, 2.0, 1e-12);
+    EXPECT_NEAR(st.budgetRemaining, -1.0, 1e-12);
+    for (int i = 0; i < 4; ++i)
+        t.ingest(outcome(200));
+    // Nine outcomes in: the bad one left the slow window too.
+    st = t.states().at(0);
+    EXPECT_NEAR(st.slowBurn, 0.0, 1e-12);
+    EXPECT_NEAR(st.budgetRemaining, 1.0, 1e-12);
+}
+
+TEST(SloTracker, EventRingBoundsAndDropsOldest)
+{
+    // fast=slow=1, recoverStable=1: every bad outcome opens a burn,
+    // every good one closes it — one event per outcome.
+    SloObjective o;
+    o.name = "flapping";
+    o.target = 0.5;
+    o.fastWindow = 1;
+    o.slowWindow = 1;
+    o.burnThreshold = 1.0;
+    o.recoverFactor = 0.5;
+    o.recoverStable = 1;
+    SloTracker t({o});
+    for (int i = 0; i < 1100; ++i)
+        t.ingest(outcome(i % 2 == 0 ? 503 : 200));
+    EXPECT_EQ(t.events().size(), 1024u);
+    EXPECT_EQ(t.eventsDropped(), 76u);
+    // The export still carries every drop in the trailer.
+    auto text = t.exportString();
+    EXPECT_NE(text.find("\"events_dropped\":76"), std::string::npos);
+}
+
+TEST(SloTracker, MirrorsStateIntoMetrics)
+{
+    SloTracker t({quietObjective("mirrored")});
+    t.ingest(outcome(503));
+    t.ingest(outcome(200));
+    EXPECT_EQ(
+        metrics().counter("tomur_slo_mirrored_requests_total")
+            .value(),
+        2u);
+    EXPECT_EQ(
+        metrics().counter("tomur_slo_mirrored_bad_total").value(),
+        1u);
+    EXPECT_NEAR(
+        metrics().gauge("tomur_slo_mirrored_fast_burn").value(),
+        5.0, 1e-12); // 1 bad of 2, target 0.9
+}
+
+TEST(SloTracker, ExportIsAPureFoldOfTheOutcomeStream)
+{
+    auto drive = [](SloTracker &t) {
+        t.ingest(outcome(503));
+        for (int i = 0; i < 6; ++i)
+            t.ingest(outcome(200));
+        t.ingest(outcome(200, "/predict", 80.0));
+    };
+    SloTracker a({burnObjective("pure_fold")});
+    SloTracker b({burnObjective("pure_fold")});
+    drive(a);
+    drive(b);
+    EXPECT_EQ(a.exportString(), b.exportString());
+    // Event lines precede exactly one summary trailer.
+    auto text = a.exportString();
+    EXPECT_EQ(text.find("{\"event\":\"SLO_BURN\""), 0u);
+    EXPECT_NE(text.find("{\"slo_summary\":{\"objectives\":["),
+              std::string::npos);
+}
+
+TEST(SloTrackerDeath, RejectsMalformedObjectives)
+{
+    SloObjective bad_name = quietObjective("ok_name");
+    bad_name.name = "Has-Caps-And-Dashes";
+    EXPECT_DEATH((void)SloTracker({bad_name}), "metric-safe");
+
+    SloObjective bad_target = quietObjective("bad_target");
+    bad_target.target = 1.0;
+    EXPECT_DEATH((void)SloTracker({bad_target}), "outside");
+
+    SloObjective bad_windows = quietObjective("bad_windows");
+    bad_windows.fastWindow = 9;
+    bad_windows.slowWindow = 8;
+    EXPECT_DEATH((void)SloTracker({bad_windows}), "windows");
+}
+
+} // namespace
+} // namespace tomur

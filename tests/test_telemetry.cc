@@ -183,6 +183,91 @@ TEST(TelemetryRegistry, DumpIsSortedPrometheusText)
               "tomur_c_total 3\n");
 }
 
+TEST(TelemetryRegistry, DumpBucketSeriesAreCumulative)
+{
+    // Prometheus histogram convention: each _bucket series counts
+    // everything at or below its bound, so the series must be
+    // monotonically nondecreasing and end at _count on +Inf.
+    MetricsRegistry r;
+    Histogram &h = r.histogram("tomur_cum_hist", {1.0, 2.0, 4.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(3.0);
+    h.observe(100.0);
+    EXPECT_EQ(r.dumpString(),
+              "# TYPE tomur_cum_hist histogram\n"
+              "tomur_cum_hist_bucket{le=\"1\"} 1\n"
+              "tomur_cum_hist_bucket{le=\"2\"} 2\n"
+              "tomur_cum_hist_bucket{le=\"4\"} 3\n"
+              "tomur_cum_hist_bucket{le=\"+Inf\"} 4\n"
+              "tomur_cum_hist_sum 105\n"
+              "tomur_cum_hist_count 4\n");
+}
+
+TEST(TelemetryRegistry, DumpEmptyHistogramIsAllZeroes)
+{
+    MetricsRegistry r;
+    r.histogram("tomur_empty_hist", {1.0, 2.0});
+    EXPECT_EQ(r.dumpString(),
+              "# TYPE tomur_empty_hist histogram\n"
+              "tomur_empty_hist_bucket{le=\"1\"} 0\n"
+              "tomur_empty_hist_bucket{le=\"2\"} 0\n"
+              "tomur_empty_hist_bucket{le=\"+Inf\"} 0\n"
+              "tomur_empty_hist_sum 0\n"
+              "tomur_empty_hist_count 0\n");
+}
+
+TEST(TelemetryRegistry, DumpSingleBucketAndOverflowOnly)
+{
+    MetricsRegistry r;
+    Histogram &h = r.histogram("tomur_one_hist", {5.0});
+    // Overflow-only: every observation above the lone bound keeps
+    // the finite bucket at zero while +Inf carries the count.
+    h.observe(6.0);
+    h.observe(7.0);
+    EXPECT_EQ(r.dumpString(),
+              "# TYPE tomur_one_hist histogram\n"
+              "tomur_one_hist_bucket{le=\"5\"} 0\n"
+              "tomur_one_hist_bucket{le=\"+Inf\"} 2\n"
+              "tomur_one_hist_sum 13\n"
+              "tomur_one_hist_count 2\n");
+}
+
+TEST(TelemetryRegistry, DumpJsonMirrorsTextConventions)
+{
+    // The /debug/vars body: same sorted order, same cumulative
+    // bucket convention, same number formatting as the text dump —
+    // one JSON object, machine-parseable without Prometheus tooling.
+    MetricsRegistry r;
+    r.histogram("tomur_b_hist", {1.0, 2.0}).observe(1.5);
+    r.counter("tomur_c_total").inc(3);
+    r.gauge("tomur_a_gauge").set(1.5);
+    EXPECT_EQ(r.dumpJsonString(),
+              "{\"tomur_a_gauge\":1.5,"
+              "\"tomur_b_hist\":{\"count\":1,\"sum\":1.5,"
+              "\"buckets\":[{\"le\":1,\"cum\":0},"
+              "{\"le\":2,\"cum\":1},"
+              "{\"le\":\"+Inf\",\"cum\":1}]},"
+              "\"tomur_c_total\":3}");
+}
+
+TEST(TelemetryRegistry, DumpJsonEdgeCases)
+{
+    MetricsRegistry empty;
+    EXPECT_EQ(empty.dumpJsonString(), "{}");
+
+    MetricsRegistry r;
+    r.histogram("tomur_inf_only", {1.0}).observe(9.0);
+    EXPECT_EQ(r.dumpJsonString(),
+              "{\"tomur_inf_only\":{\"count\":1,\"sum\":9,"
+              "\"buckets\":[{\"le\":1,\"cum\":0},"
+              "{\"le\":\"+Inf\",\"cum\":1}]}}");
+
+    DumpOptions opts;
+    opts.excludePrefixes = {"tomur_inf_"};
+    EXPECT_EQ(r.dumpJsonString(opts), "{}");
+}
+
 TEST(TelemetryRegistry, ExcludePrefixesFilterTheDump)
 {
     MetricsRegistry r;

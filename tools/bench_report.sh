@@ -272,4 +272,40 @@ EOF
     rm -f "$base_file"
 fi
 
+echo ""
+echo "=== serve gate: /debug introspection overhead ==="
+# serve_load's phase B adds a sidecar scraper polling /debug/vars
+# and /debug/slo; the phase-B-vs-phase-A p50 delta is the measured
+# cost of live introspection, held to an absolute 5% budget (widened
+# by the serve tolerance — wall-clock p50 on a saturated closed loop
+# is noisy). Runs without the extras object (old binaries) SKIP.
+if [ ! -f "$serve_out" ]; then
+    echo "current run left no $serve_out; skipping debug gate"
+else
+    python3 - "$serve_out" \
+        "${TOMUR_SERVE_TOLERANCE:-0.50}" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+tol = float(sys.argv[2])
+
+cur = current.get("extras", {})
+key = "serve_debug_overhead_frac"
+if key not in cur:
+    print("  SKIP: no serve extras in this run")
+    sys.exit(0)
+if cur.get("debug_polls", 0) <= 0:
+    print("  SKIP: scraper issued no /debug polls")
+    sys.exit(0)
+budget = 0.05 * (1.0 + tol)
+mark = "FAIL" if cur[key] > budget else "ok"
+print(f"  {key}: {cur[key]:.4f} (budget {budget:.4f}, "
+      f"{cur['debug_polls']:.0f} polls) {mark}")
+if cur[key] > budget:
+    sys.exit(1)
+print("debug overhead within budget")
+EOF
+fi
+
 exit "$status"

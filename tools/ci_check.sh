@@ -3,9 +3,11 @@
 #
 #   1. Tier-1: regular build + full ctest suite (the contract every
 #      PR is held to).
-#   2. Serve smoke: start the real daemon on an ephemeral port, hit
-#      /healthz + /predict + /metrics over actual sockets, then
-#      SIGTERM it and assert a clean drain (exit 0). The in-memory
+#   2. Serve smoke: start the real daemon on an ephemeral port with
+#      an access log, hit /healthz + /predict + /metrics plus the
+#      /debug/vars and /debug/slo introspection views over actual
+#      sockets, then SIGTERM it and assert a clean drain (exit 0)
+#      that flushed at least one access-log record. The in-memory
 #      transports cover the core exhaustively; this is the one place
 #      the epoll/signal path is exercised end-to-end.
 #   3. Replay smoke: compile a small scenario script through
@@ -40,7 +42,9 @@ echo "=== Tier 2: serve smoke (daemon + graceful drain) ==="
 smoke_dir=$(mktemp -d)
 port_file="$smoke_dir/port"
 "$build_dir/tools/tomur_cli" serve FlowMonitor --port 0 \
-    --port-file "$port_file" > "$smoke_dir/serve.log" 2>&1 &
+    --port-file "$port_file" \
+    --access-log "$smoke_dir/access.jsonl" \
+    > "$smoke_dir/serve.log" 2>&1 &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' \
     EXIT
@@ -81,19 +85,39 @@ assert pred.get("predicted_pps", 0) > 0, pred
 with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
     metrics = r.read().decode()
 assert "tomur_server_requests_total" in metrics, metrics[:200]
-print("serve smoke: healthz/predict/metrics answered correctly")
+
+# Live introspection: the /debug views must answer while serving.
+with urllib.request.urlopen(base + "/debug/vars", timeout=10) as r:
+    dbg = json.load(r)
+assert "tomur_server_requests_total" in dbg, list(dbg)[:5]
+
+with urllib.request.urlopen(base + "/debug/slo", timeout=10) as r:
+    slo = r.read().decode()
+assert "slo_summary" in slo and "objectives" in slo, slo[:200]
+print("serve smoke: healthz/predict/metrics/debug answered "
+      "correctly")
 EOF
 
 kill -TERM "$serve_pid"
 smoke_status=0
 wait "$serve_pid" || smoke_status=$?
 trap - EXIT
-rm -rf "$smoke_dir"
 if [ "$smoke_status" -ne 0 ]; then
+    cat "$smoke_dir/serve.log" >&2 || true
+    rm -rf "$smoke_dir"
     echo "serve smoke: daemon exit $smoke_status (wanted 0)" >&2
     exit 1
 fi
-echo "serve smoke: SIGTERM drained cleanly (exit 0)"
+# The drained daemon must have flushed at least one access line
+# (one JSON object per answered request).
+if ! grep -q '"verdict"' "$smoke_dir/access.jsonl"; then
+    echo "serve smoke: $smoke_dir/access.jsonl has no records" >&2
+    rm -rf "$smoke_dir"
+    exit 1
+fi
+rm -rf "$smoke_dir"
+echo "serve smoke: SIGTERM drained cleanly (exit 0, access log" \
+    "written)"
 
 echo ""
 echo "=== Tier 3: replay smoke (scenario DSL -> autopilot) ==="

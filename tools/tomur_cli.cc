@@ -63,7 +63,9 @@
 #include "nfs/registry.hh"
 #include "regex/ruleset.hh"
 #include "serve/epoll_server.hh"
+#include "serve/observe.hh"
 #include "serve/registry.hh"
+#include "serve/server.hh"
 #include "serve/service.hh"
 #include "sim/faults.hh"
 #include "tomur/monitor.hh"
@@ -127,11 +129,14 @@ struct Cli
     double drainMs = 5000.0;           ///< --drain-ms
     double rate = 0.0;  ///< --rate: bucket refill per second (0 = off)
     double burst = 0.0; ///< --burst: bucket capacity (0 = off)
+    std::string accessLogPath; ///< --access-log: request JSONL
 
     // report
     std::string reportMetrics; ///< --metrics: dump to render
     std::string reportTrace;   ///< --trace: trace JSONL to render
     std::string reportMonitor; ///< --monitor: event JSONL to render
+    std::string reportSlo;     ///< --slo: SLO JSONL to render
+    std::string reportAccess;  ///< --access: access-log JSONL
     bool reportHtml = false;   ///< --html: HTML instead of text
 };
 
@@ -162,11 +167,13 @@ usage()
         "  replay <NF> [--scenario FILE] [--profile-out FILE]\n"
         "          [autopilot opts] [traffic opts]\n"
         "  report [--metrics FILE] [--trace FILE]\n"
-        "          [--monitor FILE] [--out FILE] [--html]\n"
+        "          [--monitor FILE] [--slo FILE] [--access FILE]\n"
+        "          [--out FILE] [--html]\n"
         "  serve <NF> [--port P] [--bind ADDR] [--port-file FILE]\n"
         "          [--model FILE] [--quota Q] [--deadline-ms MS]\n"
         "          [--max-connections N] [--queue-depth N]\n"
         "          [--drain-ms MS] [--rate R] [--burst B]\n"
+        "          [--access-log FILE] [--profile-out FILE]\n"
         "          [--faults P] [traffic opts]\n"
         "common options:\n"
         "  --trace-out FILE    write a JSONL span trace of the run\n"
@@ -331,12 +338,18 @@ parse(int argc, char **argv)
             cli.rate = numArg(argc, argv, i);
         } else if (arg == "--burst") {
             cli.burst = numArg(argc, argv, i);
+        } else if (arg == "--access-log") {
+            cli.accessLogPath = strArg(argc, argv, i);
         } else if (arg == "--metrics") {
             cli.reportMetrics = strArg(argc, argv, i);
         } else if (arg == "--trace") {
             cli.reportTrace = strArg(argc, argv, i);
         } else if (arg == "--monitor") {
             cli.reportMonitor = strArg(argc, argv, i);
+        } else if (arg == "--slo") {
+            cli.reportSlo = strArg(argc, argv, i);
+        } else if (arg == "--access") {
+            cli.reportAccess = strArg(argc, argv, i);
         } else if (arg == "--html") {
             cli.reportHtml = true;
         } else if (arg == "--faults") {
@@ -998,12 +1011,41 @@ cmdServe(const Cli &cli)
                                            : cli.modelPath);
     serve::ModelService service(registry, ref.levels, cli.nf);
 
+    // The observatory rides the single-threaded core: the server
+    // writes it (access log, SLO folds, phase profiling), /debug
+    // reads it. The tracer gets a bounded ring so /debug/trace has
+    // recent spans without unbounded daemon memory.
+    SamplingProfiler profiler;
+    serve::ServerObservatory observatory;
+    observatory.profiler = &profiler;
+    std::ofstream accessOut;
+    if (!cli.accessLogPath.empty()) {
+        accessOut.open(cli.accessLogPath);
+        if (!accessOut) {
+            std::fprintf(
+                stderr,
+                "error: cannot write access log '%s': %s\n",
+                cli.accessLogPath.c_str(), std::strerror(errno));
+            return kExitIo;
+        }
+        observatory.accessSink =
+            [&accessOut](const serve::AccessRecord &rec) {
+                accessOut << serve::AccessLog::formatRecord(
+                                 rec, /*canonical=*/false)
+                          << "\n";
+            };
+    }
+    if (!tracer().enabled())
+        tracer().enable(1 << 14);
+    service.attachObservatory(&observatory);
+
     serve::ServeOptions sopts;
     sopts.maxConnections = cli.maxConnections;
     sopts.maxQueueDepth = cli.queueDepth;
     sopts.requestDeadlineMs = cli.deadlineMs;
     sopts.bucketCapacity = cli.burst;
     serve::Server core(sopts, service);
+    core.setObservatory(&observatory);
 
     serve::EpollOptions eopts;
     eopts.bindAddress = cli.bindAddress;
@@ -1041,6 +1083,30 @@ cmdServe(const Cli &cli)
                 s.requestsHandled, s.shed + s.acceptShed,
                 s.throttled, s.deadlineMisses, s.parseErrors,
                 s.internalErrors);
+    for (const auto &slo : observatory.slo.states()) {
+        std::printf("  slo %s: %llu/%llu bad, budget %.2f "
+                    "remaining, %llu burns / %llu recoveries%s\n",
+                    slo.name.c_str(),
+                    static_cast<unsigned long long>(slo.bad),
+                    static_cast<unsigned long long>(slo.total),
+                    slo.budgetRemaining,
+                    static_cast<unsigned long long>(slo.burnEvents),
+                    static_cast<unsigned long long>(
+                        slo.recoveredEvents),
+                    slo.burning ? " (still burning)" : "");
+    }
+    if (!cli.profileOut.empty()) {
+        std::ofstream out(cli.profileOut);
+        if (out)
+            profiler.exportText(out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write profile to '%s': %s\n",
+                         cli.profileOut.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+    }
     if (!st.isOk()) {
         std::fprintf(stderr, "error: %s\n", st.toString().c_str());
         return kExitRuntime;
@@ -1076,6 +1142,10 @@ cmdReport(const Cli &cli)
         readArtifactOrExit(cli.reportTrace, "trace export");
     artifacts.monitorJsonl =
         readArtifactOrExit(cli.reportMonitor, "monitor stream");
+    artifacts.sloJsonl =
+        readArtifactOrExit(cli.reportSlo, "SLO stream");
+    artifacts.accessJsonl =
+        readArtifactOrExit(cli.reportAccess, "access log");
 
     ReportOptions ropts;
     ropts.html = cli.reportHtml;

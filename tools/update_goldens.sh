@@ -3,8 +3,10 @@
 # (canonical trace export + filtered metrics dump of the fixed
 # scenario in tests/test_telemetry.cc, the monitor event stream of
 # the fixed replay plus the nonstationary-scenario replay in
-# tests/test_monitor.cc, and the autopilot monitor+supervisor event
-# stream of the crash/resume scenario in tests/test_supervisor.cc).
+# tests/test_monitor.cc, the autopilot monitor+supervisor event
+# stream of the crash/resume scenario in tests/test_supervisor.cc,
+# and the serving observatory's canonical access-log + SLO + trace
+# streams of the fixed server scenario in tests/test_serve.cc).
 #
 # Run this after intentionally changing instrumentation (new spans,
 # new fields, new metrics) and commit the updated fixtures together
@@ -20,7 +22,7 @@ build_dir="$repo_root/build"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_telemetry test_monitor test_supervisor
+    --target test_telemetry test_monitor test_supervisor test_serve
 
 # The serial run writes the fixtures; the wide run then re-runs the
 # scenario at TOMUR_THREADS=8 and asserts it reproduces them
@@ -31,6 +33,8 @@ TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_monitor" \
     --gtest_filter='MonitorGolden.*:ReplayGolden.*'
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_supervisor" \
     --gtest_filter='AutopilotGolden.*'
+TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_serve" \
+    --gtest_filter='ServeObservatoryGolden.*'
 
 echo ""
 echo "updated fixtures:"
