@@ -1,0 +1,100 @@
+#include "chaos_campaign.hh"
+
+#include <filesystem>
+
+#include "chaos/campaign.hh"
+#include "chaos/shrink.hh"
+#include "common/logging.hh"
+
+namespace tomur::bench {
+
+namespace {
+
+/** A serve plan that only fails under the planted registry bug:
+ *  decoy faults around one corrupt reload, so the shrinker has
+ *  something real to strip away. */
+chaos::FaultPlan
+plantedPlan()
+{
+    chaos::FaultPlan plan;
+    plan.seed = 42;
+    plan.target = chaos::PlanTarget::Serve;
+    plan.actions = {
+        {chaos::ActionKind::TransportFault, 2, 0.3, 4, 2},
+        {chaos::ActionKind::QueueStorm, 5, 3.0, 5, 0},
+        {chaos::ActionKind::CorruptReload, 12, 0.0, 1, 1},
+    };
+    return plan;
+}
+
+} // namespace
+
+void
+runChaosCampaignStage(BenchReport &report, bool parallel)
+{
+    // The heavy fixture (testbed sweep + one training run) is built
+    // outside the measured region: the stage times plan execution,
+    // not model construction. Fresh per pass so serial and parallel
+    // both start with a cold solve cache.
+    chaos::ChaosWorld world;
+
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+                   (parallel ? "tomur_bench_chaos_p"
+                             : "tomur_bench_chaos_s");
+    fs::remove_all(dir);
+
+    chaos::CampaignOptions copts;
+    copts.seed = 7;
+    copts.runs = 18;
+    copts.combinatorial = false;
+    copts.serveEveryN = 3;
+    copts.determinismEveryN = 6;
+    copts.shrink = false; // a healthy campaign has nothing to shrink
+    copts.runner.workDir = (dir / "campaign").string();
+
+    chaos::CampaignResult result;
+    double sec = report.measure("chaos_campaign", parallel, [&] {
+        result = chaos::runCampaign(world, copts);
+    });
+
+    if (parallel) {
+        fs::remove_all(dir);
+        return;
+    }
+
+    report.extra("chaos_plans", static_cast<double>(result.plans));
+    report.extra("chaos_violations",
+                 static_cast<double>(result.violations));
+    report.extra("chaos_plans_per_sec",
+                 sec > 0 ? static_cast<double>(result.plans) / sec
+                         : 0.0);
+
+    // Shrinker throughput on a deterministic planted failure: the
+    // plan violates graceful degradation only under the planted
+    // registry bug, and ddmin must strip the two decoy actions.
+    chaos::RunnerOptions ropts;
+    ropts.workDir = (dir / "shrink").string();
+    ropts.plant = chaos::kPlantRegistryNoCommit;
+    auto plan = plantedPlan();
+    auto outcome = chaos::runPlan(world, plan, ropts);
+    auto verdicts = chaos::checkInvariants(plan, outcome,
+                                           ropts.invariants);
+    const chaos::InvariantVerdict *failed = nullptr;
+    for (const auto &v : verdicts) {
+        if (!v.passed)
+            failed = &v;
+    }
+    if (failed == nullptr)
+        fatal("planted chaos failure did not violate any invariant");
+    auto shrunk =
+        chaos::shrinkPlan(world, plan, failed->kind, ropts);
+    if (shrunk.plan.actions.size() >= plan.actions.size())
+        fatal("shrinker failed to remove the decoy actions");
+    report.extra("chaos_shrink_iterations",
+                 static_cast<double>(shrunk.iterations));
+
+    fs::remove_all(dir);
+}
+
+} // namespace tomur::bench

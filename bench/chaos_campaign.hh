@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chaos-campaign benchmark stage: a small seeded campaign of
+ * composed fault plans driven through the runner (autopilot and
+ * serve targets), timing how fast the engine burns through plans.
+ *
+ * Besides the usual serial/parallel wall time ("chaos_campaign"),
+ * the serial pass records campaign health and shrinker numbers as
+ * BENCH_micro.json extras:
+ *
+ *   chaos_plans              plans executed in the measured campaign
+ *   chaos_violations         invariant violations (must be 0 on a
+ *                            healthy tree; gated by
+ *                            tools/bench_report.sh)
+ *   chaos_plans_per_sec      campaign throughput
+ *   chaos_shrink_iterations  ddmin probes spent minimizing a
+ *                            deterministic planted failure (> 0
+ *                            proves the shrinker engaged; gated)
+ */
+
+#ifndef TOMUR_BENCH_CHAOS_CAMPAIGN_HH
+#define TOMUR_BENCH_CHAOS_CAMPAIGN_HH
+
+#include "common.hh"
+
+namespace tomur::bench {
+
+/** Run the chaos stage at the current pool width. Extras are
+ *  recorded on the serial pass only, so the parallel timing stays a
+ *  pure campaign measurement. */
+void runChaosCampaignStage(BenchReport &report, bool parallel);
+
+} // namespace tomur::bench
+
+#endif // TOMUR_BENCH_CHAOS_CAMPAIGN_HH

@@ -18,6 +18,8 @@
  *   --no-scenario     skip the nonstationary replay scenario stage
  *                     (the JSON then omits that stage and its
  *                     extras, rather than publishing zeros)
+ *   --no-chaos        skip the chaos-campaign stage (same omission
+ *                     semantics as --no-scenario)
  *   --json=PATH       output path (default BENCH_micro.json)
  */
 
@@ -28,6 +30,7 @@
 #include <sstream>
 #include <string>
 
+#include "chaos_campaign.hh"
 #include "common.hh"
 #include "common/checkpoint.hh"
 #include "common/logging.hh"
@@ -248,7 +251,7 @@ BENCHMARK(BM_WorkloadProfiling);
  */
 int
 runPipeline(bench::BenchReport &report, bool parallel, int threads,
-            bool scenario)
+            bool scenario, bool chaos)
 {
     setGlobalThreadCount(threads);
     int actual = globalThreadCount();
@@ -417,6 +420,12 @@ runPipeline(bench::BenchReport &report, bool parallel, int threads,
     if (scenario)
         bench::runReplayScenarioStage(report, parallel);
 
+    // Stage 9: the chaos-campaign engine — a small seeded sweep of
+    // composed fault plans, with campaign-health and shrinker
+    // extras on the serial pass.
+    if (chaos)
+        bench::runChaosCampaignStage(report, parallel);
+
     return actual;
 }
 
@@ -428,6 +437,7 @@ main(int argc, char **argv)
     bool pipeline = true;
     bool micro = true;
     bool scenario = true;
+    bool chaos = true;
     std::string json_path = "BENCH_micro.json";
 
     // Strip our flags before google-benchmark sees the rest.
@@ -439,6 +449,8 @@ main(int argc, char **argv)
             pipeline = false;
         } else if (std::strcmp(argv[i], "--no-scenario") == 0) {
             scenario = false;
+        } else if (std::strcmp(argv[i], "--no-chaos") == 0) {
+            chaos = false;
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
         } else {
@@ -457,10 +469,10 @@ main(int argc, char **argv)
         bench::BenchReport report("micro");
         std::printf("\npipeline stages (serial vs %d threads):\n",
                     hw_threads);
-        int serial_w =
-            runPipeline(report, /*parallel=*/false, 1, scenario);
+        int serial_w = runPipeline(report, /*parallel=*/false, 1,
+                                   scenario, chaos);
         int parallel_w = runPipeline(report, /*parallel=*/true,
-                                     hw_threads, scenario);
+                                     hw_threads, scenario, chaos);
         if (parallel_w < 2) {
             // One-thread "parallel" numbers are serial numbers: say
             // so rather than report a fake speedup baseline (the

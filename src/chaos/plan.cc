@@ -1,0 +1,489 @@
+#include "chaos/plan.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/strutil.hh"
+#include "common/threadpool.hh"
+
+namespace tomur::chaos {
+
+namespace {
+
+const char *const kActionNames[numActionKinds] = {
+    "fault_burst",     "bias",          "degraded_accel",
+    "crash",           "ckpt_crash",    "recal_pressure",
+    "transport_fault", "corrupt_reload", "queue_storm",
+    "drain_drill",
+};
+
+/** Base traffic profile every generated scenario starts from. */
+traffic::TrafficProfile
+basePlanProfile()
+{
+    return traffic::TrafficProfile::defaults();
+}
+
+/** key=value parsing shared by the plan/action lines. */
+struct KvLine
+{
+    std::string directive;
+    std::vector<std::pair<std::string, std::string>> kv;
+};
+
+Result<KvLine>
+splitKvLine(const std::string &line)
+{
+    KvLine out;
+    std::istringstream in(line);
+    in >> out.directive;
+    std::string tok;
+    while (in >> tok) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= tok.size()) {
+            return Status::invalidArgument(
+                "malformed key=value token '" + tok + "'");
+        }
+        out.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return out;
+}
+
+Result<double>
+parseNum(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != value.size() || !std::isfinite(v)) {
+        return Status::invalidArgument("bad numeric value for '" +
+                                       key + "': '" + value + "'");
+    }
+    return v;
+}
+
+/** Exact u64 parse (seeds do not survive a double round trip). */
+Result<std::uint64_t>
+parseU64(const std::string &key, const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::invalidArgument(
+            "bad unsigned value for '" + key + "': '" + value + "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size()) {
+        return Status::invalidArgument(
+            "bad unsigned value for '" + key + "': '" + value + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+const char *
+actionKindName(ActionKind kind)
+{
+    return kActionNames[static_cast<int>(kind)];
+}
+
+Result<ActionKind>
+actionKindByName(const std::string &name)
+{
+    for (int i = 0; i < numActionKinds; ++i) {
+        if (name == kActionNames[i])
+            return static_cast<ActionKind>(i);
+    }
+    return Status::invalidArgument("unknown action kind '" + name +
+                                   "'");
+}
+
+const char *
+planTargetName(PlanTarget target)
+{
+    return target == PlanTarget::Autopilot ? "autopilot" : "serve";
+}
+
+Result<PlanTarget>
+planTargetByName(const std::string &name)
+{
+    if (name == "autopilot")
+        return PlanTarget::Autopilot;
+    if (name == "serve")
+        return PlanTarget::Serve;
+    return Status::invalidArgument("unknown plan target '" + name +
+                                   "'");
+}
+
+std::size_t
+planSamples(const FaultPlan &plan)
+{
+    if (plan.target == PlanTarget::Serve)
+        return kServePlanSteps;
+    return traffic::scenarioSamples(plan.scenario);
+}
+
+std::string
+emitPlan(const FaultPlan &plan)
+{
+    std::string out =
+        strf("plan seed=%llu target=%s\n",
+             static_cast<unsigned long long>(plan.seed),
+             planTargetName(plan.target));
+    if (!plan.scenario.empty())
+        out += traffic::emitScenario(plan.scenario);
+    for (const auto &a : plan.actions) {
+        out += strf("action kind=%s at=%zu magnitude=%.17g "
+                    "span=%zu variant=%d\n",
+                    actionKindName(a.kind), a.at, a.magnitude,
+                    a.span, a.variant);
+    }
+    return out;
+}
+
+Result<FaultPlan>
+parsePlan(std::istream &in)
+{
+    FaultPlan plan;
+    bool sawHeader = false;
+    std::string scenarioText;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string trimmed = line;
+        auto hash = trimmed.find('#');
+        if (hash != std::string::npos)
+            trimmed.erase(hash);
+        if (trimmed.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+
+        auto kvline = splitKvLine(trimmed);
+        if (!kvline) {
+            return kvline.status().withContext(
+                strf("plan line %d", lineno));
+        }
+        const auto &d = kvline.value().directive;
+        if (d == "plan") {
+            if (sawHeader) {
+                return Status::invalidArgument(
+                    strf("line %d: duplicate plan header", lineno));
+            }
+            sawHeader = true;
+            for (const auto &[k, v] : kvline.value().kv) {
+                if (k == "seed") {
+                    auto n = parseU64(k, v);
+                    if (!n)
+                        return n.status();
+                    plan.seed = n.value();
+                } else if (k == "target") {
+                    auto t = planTargetByName(v);
+                    if (!t)
+                        return t.status();
+                    plan.target = t.value();
+                } else {
+                    return Status::invalidArgument(
+                        strf("line %d: unknown plan key '%s'",
+                             lineno, k.c_str()));
+                }
+            }
+        } else if (d == "action") {
+            if (!sawHeader) {
+                return Status::invalidArgument(
+                    strf("line %d: action before plan header",
+                         lineno));
+            }
+            FaultAction a;
+            bool sawKind = false;
+            for (const auto &[k, v] : kvline.value().kv) {
+                if (k == "kind") {
+                    auto kind = actionKindByName(v);
+                    if (!kind)
+                        return kind.status();
+                    a.kind = kind.value();
+                    sawKind = true;
+                    continue;
+                }
+                auto n = parseNum(k, v);
+                if (!n)
+                    return n.status().withContext(
+                        strf("plan line %d", lineno));
+                if (k == "at") {
+                    if (n.value() < 0)
+                        return Status::invalidArgument(
+                            "action at must be >= 0");
+                    a.at = static_cast<std::size_t>(n.value());
+                } else if (k == "magnitude") {
+                    a.magnitude = n.value();
+                } else if (k == "span") {
+                    if (n.value() < 1)
+                        return Status::invalidArgument(
+                            "action span must be >= 1");
+                    a.span = static_cast<std::size_t>(n.value());
+                } else if (k == "variant") {
+                    a.variant = static_cast<int>(n.value());
+                } else {
+                    return Status::invalidArgument(
+                        strf("line %d: unknown action key '%s'",
+                             lineno, k.c_str()));
+                }
+            }
+            if (!sawKind) {
+                return Status::invalidArgument(
+                    strf("line %d: action without kind", lineno));
+            }
+            plan.actions.push_back(a);
+        } else {
+            // Anything else is a traffic scenario directive; defer
+            // to the DSL parser so repro files can embed any shape
+            // the scenario language can express.
+            scenarioText += trimmed;
+            scenarioText += '\n';
+        }
+    }
+    if (!sawHeader)
+        return Status::invalidArgument("missing plan header line");
+    if (!scenarioText.empty()) {
+        std::istringstream sin(scenarioText);
+        auto steps = traffic::parseScenario(sin);
+        if (!steps)
+            return steps.status().withContext("plan scenario");
+        plan.scenario = std::move(steps.value());
+    }
+    if (plan.target == PlanTarget::Autopilot &&
+        plan.scenario.empty()) {
+        return Status::invalidArgument(
+            "autopilot plan has no traffic scenario");
+    }
+    if (!std::is_sorted(plan.actions.begin(), plan.actions.end(),
+                        [](const FaultAction &x,
+                           const FaultAction &y) {
+                            return x.at < y.at;
+                        })) {
+        return Status::invalidArgument(
+            "action list is not sorted by at=");
+    }
+    return plan;
+}
+
+// ---------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------
+
+namespace {
+
+/** A quantized scenario family; tail is always steady so recovery
+ *  has room to be observed. */
+std::vector<traffic::SynthStep>
+scenarioFamily(Rng &rng)
+{
+    auto base = basePlanProfile();
+    switch (rng.uniformInt(std::uint64_t{4})) {
+    case 0:
+    default:
+        return traffic::steadySteps(base, 36);
+    case 1: {
+        traffic::FlashCrowdOptions f;
+        f.base = base;
+        f.peak = rng.chance(0.5) ? 3.0 : 5.0;
+        f.ramp = 2;
+        f.hold = 4;
+        f.decay = 2;
+        auto steps = traffic::steadySteps(base, 10);
+        auto flash = traffic::flashCrowdSteps(f);
+        steps.insert(steps.end(), flash.begin(), flash.end());
+        auto tail = traffic::steadySteps(base, 16);
+        steps.insert(steps.end(), tail.begin(), tail.end());
+        return steps;
+    }
+    case 2: {
+        traffic::FlowChurnOptions c;
+        c.base = base;
+        c.fromFlows = 16000.0;
+        c.toFlows = 64000.0;
+        c.steps = 6;
+        auto steps = traffic::steadySteps(base, 8);
+        auto churn = traffic::flowChurnSteps(c);
+        steps.insert(steps.end(), churn.begin(), churn.end());
+        auto tail = traffic::steadySteps(base, 16);
+        steps.insert(steps.end(), tail.begin(), tail.end());
+        return steps;
+    }
+    case 3: {
+        traffic::MtbrSpikeOptions m;
+        m.base = base;
+        m.mtbr = rng.chance(0.5) ? 900.0 : 1100.0;
+        m.ramp = 2;
+        m.hold = 4;
+        auto steps = traffic::steadySteps(base, 8);
+        auto spike = traffic::mtbrSpikeSteps(m);
+        steps.insert(steps.end(), spike.begin(), spike.end());
+        auto tail = traffic::steadySteps(base, 16);
+        steps.insert(steps.end(), tail.begin(), tail.end());
+        return steps;
+    }
+    }
+}
+
+FaultAction
+randomAutopilotAction(Rng &rng, std::size_t samples)
+{
+    // Leave a clean tail for the bounded-recovery invariant.
+    const std::size_t lastStart = samples > 18 ? samples - 18 : 1;
+    FaultAction a;
+    a.at = rng.uniformInt(std::uint64_t{lastStart});
+    switch (rng.uniformInt(std::uint64_t{6})) {
+    case 0:
+    default:
+        a.kind = ActionKind::FaultBurst;
+        a.magnitude = 0.2 + 0.3 * static_cast<double>(
+                                rng.uniformInt(std::uint64_t{3}));
+        a.span = 3 + rng.uniformInt(std::uint64_t{5});
+        a.variant = static_cast<int>(
+                        rng.uniformInt(std::uint64_t{8})) -
+                    1; // -1 = uniform, 0..6 = one mode
+        if (a.variant > 6)
+            a.variant = -1;
+        break;
+    case 1:
+        a.kind = ActionKind::Bias;
+        a.magnitude = rng.chance(0.5) ? 0.5 : 0.7;
+        a.span = 4 + rng.uniformInt(std::uint64_t{5});
+        break;
+    case 2:
+        a.kind = ActionKind::DegradedAccel;
+        a.magnitude = 0.5;
+        a.span = 4 + rng.uniformInt(std::uint64_t{5});
+        break;
+    case 3:
+        a.kind = ActionKind::Crash;
+        a.magnitude = 0.0;
+        a.span = 1;
+        break;
+    case 4:
+        a.kind = ActionKind::CheckpointCrash;
+        a.span = 1;
+        a.variant = 1 + static_cast<int>(
+                            rng.uniformInt(std::uint64_t{4}));
+        break;
+    case 5:
+        a.kind = ActionKind::RecalPressure;
+        a.span = 4 + rng.uniformInt(std::uint64_t{5});
+        break;
+    }
+    return a;
+}
+
+FaultAction
+randomServeAction(Rng &rng)
+{
+    const std::size_t lastStart = kServePlanSteps - 20;
+    FaultAction a;
+    a.at = 1 + rng.uniformInt(std::uint64_t{lastStart});
+    switch (rng.uniformInt(std::uint64_t{4})) {
+    case 0:
+    default:
+        a.kind = ActionKind::TransportFault;
+        a.magnitude = rng.chance(0.5) ? 0.1 : 0.3;
+        a.span = 4 + rng.uniformInt(std::uint64_t{8});
+        a.variant =
+            static_cast<int>(rng.uniformInt(std::uint64_t{4}));
+        break;
+    case 1:
+        a.kind = ActionKind::CorruptReload;
+        a.span = 1;
+        a.variant =
+            static_cast<int>(rng.uniformInt(std::uint64_t{3}));
+        break;
+    case 2:
+        a.kind = ActionKind::QueueStorm;
+        a.magnitude = rng.chance(0.5) ? 6.0 : 10.0;
+        a.span = 2 + rng.uniformInt(std::uint64_t{3});
+        break;
+    case 3:
+        a.kind = ActionKind::DrainDrill;
+        a.at = kServePlanSteps - 10; // always near the end
+        a.span = 1;
+        break;
+    }
+    return a;
+}
+
+} // namespace
+
+FaultPlan
+randomPlan(std::uint64_t campaign_seed, std::size_t index,
+           PlanTarget target)
+{
+    Rng rng(deriveSeed(campaign_seed, 0x9e3779b9u + index));
+    FaultPlan plan;
+    plan.seed = deriveSeed(campaign_seed, index);
+    plan.target = target;
+    std::size_t n = 1 + rng.uniformInt(std::uint64_t{3});
+    if (target == PlanTarget::Autopilot) {
+        plan.scenario = scenarioFamily(rng);
+        std::size_t samples = traffic::scenarioSamples(plan.scenario);
+        for (std::size_t i = 0; i < n; ++i)
+            plan.actions.push_back(
+                randomAutopilotAction(rng, samples));
+    } else {
+        bool sawDrain = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto a = randomServeAction(rng);
+            if (a.kind == ActionKind::DrainDrill) {
+                if (sawDrain)
+                    continue; // one drain per plan is plenty
+                sawDrain = true;
+            }
+            plan.actions.push_back(a);
+        }
+    }
+    std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                     [](const FaultAction &x, const FaultAction &y) {
+                         return x.at < y.at;
+                     });
+    return plan;
+}
+
+std::vector<FaultPlan>
+modePairPlans(std::uint64_t campaign_seed)
+{
+    std::vector<FaultPlan> plans;
+    auto base = basePlanProfile();
+    for (int i = 0; i < 7; ++i) {
+        for (int j = i + 1; j < 7; ++j) {
+            FaultPlan p;
+            p.seed = deriveSeed(campaign_seed,
+                                0x70000000u +
+                                    static_cast<std::uint64_t>(
+                                        i * 7 + j));
+            p.target = PlanTarget::Autopilot;
+            p.scenario = traffic::steadySteps(base, 36);
+            FaultAction a;
+            a.kind = ActionKind::FaultBurst;
+            a.at = 4;
+            a.magnitude = 0.5;
+            a.span = 8;
+            a.variant = i;
+            FaultAction b = a;
+            b.at = 8; // overlaps a: the pair composes, not chains
+            b.variant = j;
+            p.actions = {a, b};
+            plans.push_back(std::move(p));
+        }
+    }
+    return plans;
+}
+
+} // namespace tomur::chaos

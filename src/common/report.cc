@@ -312,6 +312,82 @@ parseAccessJsonl(const std::string &body)
     return d;
 }
 
+ChaosDigest
+parseChaosJsonl(const std::string &body)
+{
+    ChaosDigest d;
+    std::istringstream in(body);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"chaos_summary\"") != std::string::npos) {
+            d.hasSummary = true;
+            d.crashes = jsonNumber(line, "crashes");
+            d.resumes = jsonNumber(line, "resumes");
+            d.faultsInjected = jsonNumber(line, "faults_injected");
+            d.determinismReruns =
+                jsonNumber(line, "determinism_reruns");
+            d.shrinkIterations =
+                jsonNumber(line, "shrink_iterations");
+            continue;
+        }
+        if (line.find("\"chaos_plan\"") == std::string::npos)
+            continue;
+        ++d.plans;
+        auto violations = static_cast<std::size_t>(
+            jsonNumber(line, "violations"));
+        d.violations += violations;
+        if (violations > 0) {
+            ++d.violatingPlans;
+            d.violatingLines.push_back(line);
+            if (d.violatingLines.size() > kLastEvents)
+                d.violatingLines.erase(d.violatingLines.begin());
+        }
+        // Walk the verdicts object: "name":"pass" / "name":"FAIL".
+        std::string open = "\"verdicts\":{";
+        auto start = line.find(open);
+        if (start == std::string::npos)
+            continue;
+        start += open.size();
+        auto end = line.find('}', start);
+        if (end == std::string::npos)
+            continue;
+        std::string obj = line.substr(start, end - start);
+        std::size_t pos = 0;
+        while ((pos = obj.find('"', pos)) != std::string::npos) {
+            auto nameEnd = obj.find('"', pos + 1);
+            if (nameEnd == std::string::npos)
+                break;
+            std::string name = obj.substr(pos + 1,
+                                          nameEnd - pos - 1);
+            auto valStart = obj.find('"', nameEnd + 1);
+            if (valStart == std::string::npos)
+                break;
+            auto valEnd = obj.find('"', valStart + 1);
+            if (valEnd == std::string::npos)
+                break;
+            std::string val =
+                obj.substr(valStart + 1, valEnd - valStart - 1);
+            ChaosInvariantRow *row = nullptr;
+            for (auto &r : d.invariants) {
+                if (r.name == name) {
+                    row = &r;
+                    break;
+                }
+            }
+            if (!row) {
+                d.invariants.push_back({name, 0, 0});
+                row = &d.invariants.back();
+            }
+            if (val == "pass")
+                ++row->passes;
+            else
+                ++row->failures;
+            pos = valEnd + 1;
+        }
+    }
+    return d;
+}
+
 Result<std::string>
 renderReport(const ReportArtifacts &artifacts,
              const ReportOptions &opts)
@@ -320,10 +396,11 @@ renderReport(const ReportArtifacts &artifacts,
         artifacts.traceJsonl.empty() &&
         artifacts.monitorJsonl.empty() &&
         artifacts.sloJsonl.empty() &&
-        artifacts.accessJsonl.empty()) {
+        artifacts.accessJsonl.empty() &&
+        artifacts.chaosJsonl.empty()) {
         return Status::invalidArgument(
             "no artifacts to render (metrics, trace, monitor, SLO, "
-            "and access streams are all empty)");
+            "access, and chaos streams are all empty)");
     }
 
     auto metric_samples = parseMetricsText(artifacts.metricsText);
@@ -331,9 +408,11 @@ renderReport(const ReportArtifacts &artifacts,
     auto monitor = parseMonitorJsonl(artifacts.monitorJsonl);
     auto slo = parseSloJsonl(artifacts.sloJsonl);
     auto access = parseAccessJsonl(artifacts.accessJsonl);
+    auto chaos = parseChaosJsonl(artifacts.chaosJsonl);
     bool have_monitor = !artifacts.monitorJsonl.empty();
     bool have_slo = !artifacts.sloJsonl.empty();
     bool have_access = access.records > 0;
+    bool have_chaos = chaos.plans > 0;
 
     std::string out;
     if (!opts.html) {
@@ -435,6 +514,35 @@ renderReport(const ReportArtifacts &artifacts,
                 out += strf("%-26s %.3f\n", "mean handle ms",
                             access.totalHandleMs /
                                 static_cast<double>(answered));
+            }
+        }
+        if (have_chaos) {
+            out += strf("\n-- Chaos campaign (%zu plans) --\n",
+                        chaos.plans);
+            out += strf("%-26s %10s %10s\n", "invariant", "pass",
+                        "fail");
+            for (const auto &r : chaos.invariants) {
+                out += strf("%-26s %10zu %10zu\n", r.name.c_str(),
+                            r.passes, r.failures);
+            }
+            out += strf("%-26s %zu (%zu plans)\n", "violations",
+                        chaos.violations, chaos.violatingPlans);
+            if (chaos.hasSummary) {
+                out += strf("%-26s %.0f\n", "crashes injected",
+                            chaos.crashes);
+                out += strf("%-26s %.0f\n", "checkpoint resumes",
+                            chaos.resumes);
+                out += strf("%-26s %.0f\n", "faults injected",
+                            chaos.faultsInjected);
+                out += strf("%-26s %.0f\n", "determinism re-runs",
+                            chaos.determinismReruns);
+                out += strf("%-26s %.0f\n", "shrink iterations",
+                            chaos.shrinkIterations);
+            }
+            if (!chaos.violatingLines.empty()) {
+                out += "violating plans:\n";
+                for (const auto &l : chaos.violatingLines)
+                    out += "  " + l + "\n";
             }
         }
         if (!trace_stats.empty()) {
@@ -567,6 +675,38 @@ renderReport(const ReportArtifacts &artifacts,
                     "<td>%zu</td></tr>\n",
                     access.deadlineMisses);
         out += "</table>\n";
+    }
+    if (have_chaos) {
+        out += strf("<h2>Chaos campaign (%zu plans)</h2>\n",
+                    chaos.plans);
+        out += "<table><tr><th>invariant</th><th>pass</th>"
+               "<th>fail</th></tr>\n";
+        for (const auto &r : chaos.invariants) {
+            out += strf("<tr><td>%s</td><td>%zu</td>"
+                        "<td>%zu</td></tr>\n",
+                        htmlEscape(r.name).c_str(), r.passes,
+                        r.failures);
+        }
+        out += "</table>\n";
+        out += strf("<p>violations: %zu (%zu plans)",
+                    chaos.violations, chaos.violatingPlans);
+        if (chaos.hasSummary) {
+            out += strf(" &middot; crashes %.0f &middot; resumes "
+                        "%.0f &middot; faults %.0f &middot; "
+                        "determinism re-runs %.0f &middot; shrink "
+                        "iterations %.0f",
+                        chaos.crashes, chaos.resumes,
+                        chaos.faultsInjected,
+                        chaos.determinismReruns,
+                        chaos.shrinkIterations);
+        }
+        out += "</p>\n";
+        if (!chaos.violatingLines.empty()) {
+            out += "<h2>Violating plans</h2>\n<pre>";
+            for (const auto &l : chaos.violatingLines)
+                out += htmlEscape(l) + "\n";
+            out += "</pre>\n";
+        }
     }
     if (!trace_stats.empty()) {
         out += "<h2>Trace spans</h2>\n<table>"

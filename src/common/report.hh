@@ -30,6 +30,7 @@ struct ReportArtifacts
     std::string monitorJsonl; ///< monitor events + summary trailer
     std::string sloJsonl;     ///< SLO events + slo_summary trailer
     std::string accessJsonl;  ///< serving access log (JSONL)
+    std::string chaosJsonl;   ///< chaos campaign ledger + trailer
 };
 
 /** Rendering options. */
@@ -114,6 +115,31 @@ struct AccessDigest
     double totalHandleMs = 0.0; ///< summed over answered requests
 };
 
+/** Per-invariant pass/fail tally from a chaos campaign ledger. */
+struct ChaosInvariantRow
+{
+    std::string name; ///< wire name ("no_hang", ...)
+    std::size_t passes = 0;
+    std::size_t failures = 0;
+};
+
+/** Parsed chaos campaign ledger (plan lines + chaos_summary). */
+struct ChaosDigest
+{
+    std::size_t plans = 0;      ///< chaos_plan lines seen
+    std::size_t violations = 0; ///< summed per-plan violations
+    std::size_t violatingPlans = 0;
+    double crashes = 0.0;
+    double resumes = 0.0;
+    double faultsInjected = 0.0;
+    double determinismReruns = 0.0;
+    double shrinkIterations = 0.0;
+    bool hasSummary = false;
+    /** Invariant rows in first-seen verdict order. */
+    std::vector<ChaosInvariantRow> invariants;
+    std::vector<std::string> violatingLines; ///< raw, most recent
+};
+
 /** Access-log verdict wire names, in AccessDigest counter order. */
 extern const char *const kVerdictNames[7];
 
@@ -131,6 +157,9 @@ SloDigest parseSloJsonl(const std::string &body);
 
 /** Digest an access-log stream (/debug/access or --access-log). */
 AccessDigest parseAccessJsonl(const std::string &body);
+
+/** Digest a chaos campaign ledger (`tomur chaos --events-out`). */
+ChaosDigest parseChaosJsonl(const std::string &body);
 
 /**
  * Render the dashboard. Returns an error only when every artifact is

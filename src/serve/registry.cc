@@ -26,6 +26,14 @@ swapFailCounter()
     return c;
 }
 
+Counter &
+reloadFailCounter()
+{
+    static Counter &c =
+        metrics().counter("tomur_server_reload_failures_total");
+    return c;
+}
+
 Gauge &
 versionGauge()
 {
@@ -90,6 +98,7 @@ ModelRegistry::swapFrom(const Loader &loader, std::string source)
             ++swapsFailed_;
         }
         swapFailCounter().inc();
+        reloadFailCounter().inc();
         warnEvent("server", "model-swap-failed",
                   {{"source", source},
                    {"error", loaded.status().message()}});

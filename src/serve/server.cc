@@ -163,6 +163,7 @@ Server::addConnection(std::unique_ptr<Transport> transport,
         HttpResponse resp;
         resp.status = 503;
         resp.close = true;
+        resp.extraHeaders.push_back("Retry-After: 1");
         resp.body = errorBody(draining_ ? "draining"
                                         : "connection limit");
         std::string bytes = renderResponse(resp);
@@ -287,6 +288,7 @@ Server::admit(const std::shared_ptr<Connection> &conn)
             HttpResponse resp;
             resp.status = 503;
             resp.close = true;
+            resp.extraHeaders.push_back("Retry-After: 1");
             resp.body = errorBody("draining");
             refuse(std::move(resp), "shed");
             continue;
@@ -308,6 +310,7 @@ Server::admit(const std::shared_ptr<Connection> &conn)
             HttpResponse resp;
             resp.status = 503;
             resp.close = !req.keepAlive;
+            resp.extraHeaders.push_back("Retry-After: 1");
             resp.body = errorBody("request queue is full");
             refuse(std::move(resp), "shed");
             continue;

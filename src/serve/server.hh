@@ -9,7 +9,9 @@
  *  - *Shed, don't collapse.* Admission is checked the moment a
  *    request finishes parsing: a client over its token budget gets
  *    429 (+Retry-After) while the connection stays usable; a full
- *    ready queue or a connection cap gets 503. Overload produces
+ *    ready queue or a connection cap gets 503 (+Retry-After, so
+ *    backoff-aware clients treat shedding and throttling
+ *    uniformly). Overload produces
  *    fast, well-formed refusals, never an unbounded queue.
  *  - *Bound every request's time.* Each admitted request runs under
  *    its own Deadline (wall-clock in production, granule-counted in

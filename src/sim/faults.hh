@@ -137,8 +137,16 @@ class FaultInjectingTestbed : public Testbed
         const std::vector<std::vector<framework::WorkloadProfile>>
             &batch) override;
 
-    /** Replace the fault configuration (keeps the Rng stream). */
-    void setConfig(const FaultConfig &config) { config_ = config; }
+    /** Replace the fault configuration (keeps the Rng stream).
+     *  Injection counters reset so stats() reflects only the new
+     *  config — per-plan fault accounting in chaos campaigns depends
+     *  on reconfigure starting from a clean ledger. */
+    void
+    setConfig(const FaultConfig &config)
+    {
+        config_ = config;
+        resetStats();
+    }
     const FaultConfig &faultConfig() const { return config_; }
 
     /** Injection counters so far. */

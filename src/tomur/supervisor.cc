@@ -716,6 +716,8 @@ runAutopilot(ReplayContext &ctx,
             break;
         }
         checkDeadline("supervisor.autopilot");
+        if (opts.beforeSample)
+            opts.beforeSample(sample0);
         const std::size_t i = stepOfSample[sample0];
         const auto &step = schedule[i];
         const auto &w = deployments[i][0];

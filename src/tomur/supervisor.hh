@@ -235,6 +235,17 @@ struct AutopilotOptions
      * one cannot perturb the event stream. Null = no profiling.
      */
     SamplingProfiler *profiler = nullptr;
+    /**
+     * Chaos hook: invoked serially at the top of every sample (after
+     * the cooperative deadline check, before the bias switch and any
+     * measurement), with the 0-based sample index about to run. The
+     * chaos-campaign runner uses it to apply scheduled fault actions
+     * mid-run. The callee must be deterministic given the sample
+     * index — it is re-invoked for the same indices on a crash-resume
+     * replay — and must consume no inner-testbed randomness of its
+     * own (setConfig/setCrashPoint style mutations only). Null = off.
+     */
+    std::function<void(std::size_t)> beforeSample;
 };
 
 /** Autopilot outcome. */

@@ -168,6 +168,32 @@ TEST(FaultInjection, InjectsAndCountsFaults)
               0u);
 }
 
+TEST(FaultInjection, ReconfigureResetsStatsButKeepsRngStream)
+{
+    sim::Testbed bed(hw::blueField2(), {});
+    sim::FaultInjectingTestbed faulty(
+        bed, sim::FaultConfig::uniformCorruption(0.6, 7));
+    auto w = memBenchWorkload();
+    for (int i = 0; i < 20; ++i)
+        faulty.run({w, w});
+    ASSERT_GT(faulty.stats().total(), 0u);
+
+    // Re-arming mid-run must not carry the old campaign's injection
+    // counts into the new config's ledger.
+    faulty.setConfig(sim::FaultConfig::uniformCorruption(0.1, 99));
+    EXPECT_EQ(faulty.stats().total(), 0u);
+    EXPECT_EQ(faulty.stats().batches, 0u);
+    EXPECT_EQ(faulty.stats().measurements, 0u);
+    for (std::size_t c : faulty.stats().injected)
+        EXPECT_EQ(c, 0u);
+
+    // And the new config is live: fresh counts accumulate.
+    for (int i = 0; i < 40; ++i)
+        faulty.run({w, w});
+    EXPECT_GT(faulty.stats().total(), 0u);
+    EXPECT_EQ(faulty.stats().batches, 40u);
+}
+
 TEST(FaultInjection, DegradedAccelIsDeterministic)
 {
     auto rules = regex::defaultRuleSet();

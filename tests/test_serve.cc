@@ -19,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "common/sampler.hh"
 #include "common/slo.hh"
 #include "common/strutil.hh"
+#include "common/telemetry.hh"
 #include "common/threadpool.hh"
 #include "common/trace.hh"
 #include "serve/observe.hh"
@@ -94,6 +96,19 @@ drainResponses(std::string &rx)
     while (int s = takeResponse(rx))
         statuses.push_back(s);
     return statuses;
+}
+
+/** takeResponse plus whether the header block carried Retry-After. */
+int
+takeResponseRetryAfter(std::string &rx, bool *retry_after)
+{
+    std::size_t hdr_end = rx.find("\r\n\r\n");
+    if (hdr_end == std::string::npos)
+        return 0;
+    std::size_t ra = rx.find("Retry-After:");
+    if (retry_after != nullptr)
+        *retry_after = ra != std::string::npos && ra < hdr_end;
+    return takeResponse(rx);
 }
 
 /** Service stub with a pluggable handler. */
@@ -606,6 +621,91 @@ TEST(ServerCore, DrainingServerRefusesNewConnections)
     EXPECT_TRUE(h.server.drained());
 }
 
+TEST(ServerCore, EveryRefusalPathCarriesRetryAfter)
+{
+    // Refusals are back-pressure signals, not errors: 429s and all
+    // three 503 shed paths (queue overflow, connection cap, drain)
+    // must tell the client when to come back.
+
+    // Queue overflow: two 503s carry Retry-After, 200s don't.
+    {
+        ServeOptions opts;
+        opts.maxQueueDepth = 2;
+        opts.maxRequestsPerStep = 1;
+        CoreHarness h(opts);
+        auto pipe = h.connect("c1");
+        std::string burst;
+        for (int i = 0; i < 4; ++i)
+            burst += simpleGet(strf("/r%d", i));
+        pipe->clientWrite(burst);
+        stepUntil(h.server, [&] {
+            return h.server.stats().requestsHandled >= 2;
+        });
+        std::string rx = pipe->clientRead();
+        int refusals = 0;
+        bool ra = false;
+        while (int s = takeResponseRetryAfter(rx, &ra)) {
+            if (s == 503) {
+                ++refusals;
+                EXPECT_TRUE(ra) << "queue-shed 503 lacks Retry-After";
+            } else {
+                EXPECT_FALSE(ra) << "Retry-After on a " << s;
+            }
+        }
+        EXPECT_EQ(refusals, 2);
+    }
+
+    // Token-bucket throttle: 429s carry Retry-After.
+    {
+        ServeOptions opts;
+        opts.bucketCapacity = 2.0;
+        CoreHarness h(opts);
+        auto pipe = h.connect("tenant-a");
+        std::string burst;
+        for (int i = 0; i < 4; ++i)
+            burst += simpleGet("/r");
+        pipe->clientWrite(burst);
+        stepUntil(h.server, [&] {
+            return h.server.stats().requestsHandled >= 2;
+        });
+        std::string rx = pipe->clientRead();
+        int refusals = 0;
+        bool ra = false;
+        while (int s = takeResponseRetryAfter(rx, &ra)) {
+            if (s == 429) {
+                ++refusals;
+                EXPECT_TRUE(ra) << "429 lacks Retry-After";
+            }
+        }
+        EXPECT_EQ(refusals, 2);
+    }
+
+    // Connection cap: the shed connection's 503 carries Retry-After.
+    {
+        ServeOptions opts;
+        opts.maxConnections = 1;
+        CoreHarness h(opts);
+        auto keep = h.connect("c1");
+        auto shed = h.connect("c2");
+        (void)keep;
+        std::string rx = shed->clientRead();
+        bool ra = false;
+        EXPECT_EQ(takeResponseRetryAfter(rx, &ra), 503);
+        EXPECT_TRUE(ra) << "accept-shed 503 lacks Retry-After";
+    }
+
+    // Drain: late connections get a 503 with Retry-After.
+    {
+        CoreHarness h;
+        h.server.beginDrain();
+        auto pipe = h.connect("late");
+        std::string rx = pipe->clientRead();
+        bool ra = false;
+        EXPECT_EQ(takeResponseRetryAfter(rx, &ra), 503);
+        EXPECT_TRUE(ra) << "drain 503 lacks Retry-After";
+    }
+}
+
 TEST(ServerCore, WriteBufferOverflowDropsNonReadingClient)
 {
     ServeOptions opts;
@@ -910,6 +1010,72 @@ TEST(ModelRegistry, FailedSwapKeepsPreviousVersionServing)
     EXPECT_GT(b.predicted, 0.0);
 }
 
+TEST(ModelRegistry, CorruptedModelCorpusNeverDisplacesServing)
+{
+    ASSERT_TRUE(world().saveStatus.isOk())
+        << world().saveStatus.toString();
+    std::string good;
+    {
+        std::ifstream in(world().modelFile, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        good = ss.str();
+    }
+    ASSERT_GT(good.size(), 16u);
+
+    // Three ways a model file arrives broken: cut short mid-write,
+    // bit-rotted in place, and zero-length after a failed copy.
+    struct Corrupt
+    {
+        const char *name;
+        std::string bytes;
+    };
+    std::string flipped = good;
+    flipped[flipped.size() / 2] ^= 0x20;
+    std::vector<Corrupt> corpus = {
+        {"truncated", good.substr(0, good.size() / 2)},
+        {"bitflip", flipped},
+        {"empty", ""},
+    };
+
+    serve::ModelRegistry reg;
+    reg.install(world().model, "trained");
+    auto before = reg.current();
+    auto &reloadFails =
+        metrics().counter("tomur_server_reload_failures_total");
+
+    std::size_t fails = 0;
+    for (const auto &c : corpus) {
+        std::string path = testing::TempDir() +
+                           strf("tomur_serve_corpus_%s.v2", c.name);
+        {
+            std::ofstream out(path, std::ios::binary);
+            out.write(c.bytes.data(),
+                      static_cast<std::streamsize>(c.bytes.size()));
+        }
+        std::uint64_t metricBefore = reloadFails.value();
+        auto swapped = reg.swapFromFile(path);
+        EXPECT_FALSE(swapped.isOk()) << c.name << " swapped in";
+        EXPECT_EQ(reloadFails.value(), metricBefore + 1)
+            << c.name << " not counted as a reload failure";
+        ++fails;
+        EXPECT_EQ(reg.swapsFailed(), fails);
+        EXPECT_EQ(reg.version(), 1u) << c.name;
+        EXPECT_EQ(reg.current().model.get(), before.model.get())
+            << c.name << " displaced the serving snapshot";
+    }
+
+    // After the whole corpus, the retained model still predicts.
+    auto b = reg.current().model->predictDetailed(
+        world().levels, traffic::TrafficProfile::defaults());
+    EXPECT_GT(b.predicted, 0.0);
+
+    // And a good file still swaps in afterwards.
+    auto ok = reg.swapFromFile(world().modelFile);
+    ASSERT_TRUE(ok.isOk()) << ok.status().toString();
+    EXPECT_EQ(reg.version(), 2u);
+}
+
 TEST(ModelRegistry, SnapshotOutlivesSwap)
 {
     serve::ModelRegistry reg;
@@ -1039,6 +1205,64 @@ TEST(ModelServiceEndpoints, ReloadHotSwapsAndReportsFailure)
     EXPECT_NE(h.body.find("\"retained_version\":2"),
               std::string::npos);
     EXPECT_EQ(h.registry.version(), 2u); // still serving v2
+}
+
+TEST(ModelServiceEndpoints, ReloadOfCorruptCorpusKeepsServing)
+{
+    ASSERT_TRUE(world().saveStatus.isOk())
+        << world().saveStatus.toString();
+    std::string good;
+    {
+        std::ifstream in(world().modelFile, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        good = ss.str();
+    }
+    std::string flipped = good;
+    flipped[flipped.size() / 2] ^= 0x20;
+    std::vector<std::pair<const char *, std::string>> corpus = {
+        {"truncated", good.substr(0, good.size() / 2)},
+        {"bitflip", flipped},
+        {"empty", ""},
+    };
+
+    ServiceHarness h;
+    auto before = h.registry.current();
+    auto &reloadFails =
+        metrics().counter("tomur_server_reload_failures_total");
+
+    for (const auto &c : corpus) {
+        std::string path = testing::TempDir() +
+                           strf("tomur_reload_corpus_%s.v2", c.first);
+        {
+            std::ofstream out(path, std::ios::binary);
+            out.write(c.second.data(),
+                      static_cast<std::streamsize>(c.second.size()));
+        }
+        std::uint64_t metricBefore = reloadFails.value();
+        int status = h.roundTrip(
+            simplePost("/reload", "{\"model\":\"" + path + "\"}"));
+        // A bad file is the client's fault, never a server error.
+        EXPECT_GE(status, 400) << c.first;
+        EXPECT_LT(status, 500) << c.first;
+        EXPECT_NE(h.body.find("\"retained_version\":1"),
+                  std::string::npos)
+            << c.first << ": " << h.body;
+        EXPECT_EQ(reloadFails.value(), metricBefore + 1) << c.first;
+        EXPECT_EQ(h.registry.version(), 1u) << c.first;
+        EXPECT_EQ(h.registry.current().model.get(),
+                  before.model.get())
+            << c.first << " displaced the serving snapshot";
+
+        // The retained model answers predictions between failures.
+        EXPECT_EQ(h.roundTrip(simplePost(
+                      "/predict",
+                      "{\"flows\":20000,\"size\":512,\"mtbr\":400}")),
+                  200)
+            << c.first;
+        EXPECT_NE(h.body.find("\"predicted_pps\":"),
+                  std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------

@@ -179,6 +179,54 @@ EOF
 fi
 
 echo ""
+echo "=== chaos gate: campaign health + shrinker engagement ==="
+# The chaos_campaign stage records extras: a healthy tree must pass
+# the whole seeded campaign with zero invariant violations, and the
+# planted-failure self-test must have actually exercised the ddmin
+# shrinker (> 0 probe runs). Runs without the chaos stage
+# (--no-chaos) simply have no extras and SKIP.
+if [ ! -f "$out" ]; then
+    echo "current run left no $out; skipping chaos gate"
+else
+    python3 - "$out" <<'EOF' || status=$?
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+
+cur = current.get("extras", {})
+if "chaos_plans" not in cur:
+    print("  SKIP: no chaos extras in this run "
+          "(chaos stage disabled?)")
+    sys.exit(0)
+
+failed = False
+plans = cur.get("chaos_plans", 0)
+violations = cur.get("chaos_violations", 0)
+mark = "FAIL" if violations > 0 or plans <= 0 else "ok"
+print(f"  chaos_violations: {violations:.0f} over {plans:.0f} "
+      f"plans (required 0) {mark}")
+if violations > 0 or plans <= 0:
+    failed = True
+
+shrink = cur.get("chaos_shrink_iterations", 0)
+mark = "FAIL" if shrink <= 0 else "ok"
+print(f"  chaos_shrink_iterations: {shrink:.0f} "
+      f"(required > 0) {mark}")
+if shrink <= 0:
+    failed = True
+
+rate = cur.get("chaos_plans_per_sec", 0)
+print(f"  chaos_plans_per_sec: {rate:.2f}")
+
+if failed:
+    print("chaos gate failed")
+    sys.exit(1)
+print("campaign healthy, shrinker engaged")
+EOF
+fi
+
+echo ""
 echo "=== speedup gate: train_predict parallel scaling ==="
 # The training hot path must actually scale: at TOMUR_THREADS=8 the
 # parallel train_predict stage is required to beat the serial run by

@@ -14,9 +14,14 @@
 #      `tomur_cli replay --scenario` and assert the run recovers
 #      from its regime change (the CLI + DSL + autopilot wiring,
 #      end-to-end, without the minutes-long bench stage).
-#   4. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
+#   4. Chaos smoke: a small seeded campaign through `tomur_cli
+#      chaos` must pass with zero violations, and a planted
+#      regression (--plant registry-no-commit) must be caught,
+#      shrunk to a tiny repro, and replay deterministically — the
+#      detect/shrink/replay loop proven live on every merge.
+#   5. Sanitizers: tools/run_sanitized_tests.sh (ASan+UBSan full
 #      suite, TSan on the parallel-engine tests).
-#   5. Performance: tools/bench_report.sh (micro benchmark stages and
+#   6. Performance: tools/bench_report.sh (micro benchmark stages and
 #      serving QPS/latency gated against the committed BENCH_*.json
 #      baselines, plus the train_predict parallel-speedup assertion —
 #      >= 1.5x at TOMUR_THREADS=8, skipped on single-core machines).
@@ -153,11 +158,75 @@ rm -rf "$replay_dir"
 echo "replay smoke: scenario ran through the autopilot"
 
 echo ""
-echo "=== Tier 4: sanitizer passes ==="
+echo "=== Tier 4: chaos smoke (campaign + planted regression) ==="
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$chaos_dir"' EXIT
+# A healthy tree survives a small seeded campaign with zero
+# violations (exit 0).
+"$build_dir/tools/tomur_cli" chaos --seed 7 --runs 12 \
+    --work-dir "$chaos_dir/clean" \
+    > "$chaos_dir/clean.log" 2>&1 || {
+    echo "chaos smoke: clean campaign reported violations" >&2
+    cat "$chaos_dir/clean.log" >&2
+    exit 1
+}
+grep -q " 0 violations" "$chaos_dir/clean.log" || {
+    echo "chaos smoke: clean campaign summary missing" >&2
+    cat "$chaos_dir/clean.log" >&2
+    exit 1
+}
+# A planted registry bug must be detected (exit != 0), shrunk, and
+# written out as a replayable repro.
+if "$build_dir/tools/tomur_cli" chaos --seed 7 --runs 30 \
+    --plant registry-no-commit \
+    --work-dir "$chaos_dir/planted" \
+    --repro-out "$chaos_dir/repro.chaos" \
+    > "$chaos_dir/planted.log" 2>&1; then
+    echo "chaos smoke: planted regression went undetected" >&2
+    cat "$chaos_dir/planted.log" >&2
+    exit 1
+fi
+if [ ! -s "$chaos_dir/repro.chaos" ]; then
+    echo "chaos smoke: no repro written for planted failure" >&2
+    cat "$chaos_dir/planted.log" >&2
+    exit 1
+fi
+actions=$(grep -c '^action ' "$chaos_dir/repro.chaos" || true)
+if [ "$actions" -gt 3 ]; then
+    echo "chaos smoke: shrunk repro still has $actions actions" >&2
+    cat "$chaos_dir/repro.chaos" >&2
+    exit 1
+fi
+# The repro replays deterministically: still failing with the
+# plant, passing without it.
+if "$build_dir/tools/tomur_cli" chaos \
+    --replay "$chaos_dir/repro.chaos" \
+    --plant registry-no-commit \
+    --work-dir "$chaos_dir/replay" \
+    > "$chaos_dir/replay.log" 2>&1; then
+    echo "chaos smoke: repro did not reproduce under plant" >&2
+    cat "$chaos_dir/replay.log" >&2
+    exit 1
+fi
+"$build_dir/tools/tomur_cli" chaos \
+    --replay "$chaos_dir/repro.chaos" \
+    --work-dir "$chaos_dir/replay2" \
+    > "$chaos_dir/replay2.log" 2>&1 || {
+    echo "chaos smoke: repro fails even without the plant" >&2
+    cat "$chaos_dir/replay2.log" >&2
+    exit 1
+}
+trap - EXIT
+rm -rf "$chaos_dir"
+echo "chaos smoke: clean campaign green; planted regression" \
+    "caught, shrunk ($actions actions), replayed"
+
+echo ""
+echo "=== Tier 5: sanitizer passes ==="
 "$repo_root/tools/run_sanitized_tests.sh"
 
 echo ""
-echo "=== Tier 5: performance gate ==="
+echo "=== Tier 6: performance gate ==="
 "$repo_root/tools/bench_report.sh"
 
 echo ""

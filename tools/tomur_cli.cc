@@ -46,6 +46,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -53,6 +54,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "chaos/campaign.hh"
 #include "common/checkpoint.hh"
 #include "common/deadline.hh"
 #include "common/logging.hh"
@@ -131,12 +133,21 @@ struct Cli
     double burst = 0.0; ///< --burst: bucket capacity (0 = off)
     std::string accessLogPath; ///< --access-log: request JSONL
 
+    // chaos
+    std::uint64_t chaosSeed = 7;   ///< --seed
+    std::size_t chaosRuns = 50;    ///< --runs: random-tier plans
+    std::string reproOut;          ///< --repro-out: shrunk repro file
+    std::string replayPath;        ///< --replay: repro file to re-run
+    std::string plant;             ///< --plant: planted regression
+    std::string workDir;           ///< --work-dir: scratch directory
+
     // report
     std::string reportMetrics; ///< --metrics: dump to render
     std::string reportTrace;   ///< --trace: trace JSONL to render
     std::string reportMonitor; ///< --monitor: event JSONL to render
     std::string reportSlo;     ///< --slo: SLO JSONL to render
     std::string reportAccess;  ///< --access: access-log JSONL
+    std::string reportChaos;   ///< --chaos: campaign ledger JSONL
     bool reportHtml = false;   ///< --html: HTML instead of text
 };
 
@@ -168,7 +179,10 @@ usage()
         "          [autopilot opts] [traffic opts]\n"
         "  report [--metrics FILE] [--trace FILE]\n"
         "          [--monitor FILE] [--slo FILE] [--access FILE]\n"
-        "          [--out FILE] [--html]\n"
+        "          [--chaos FILE] [--out FILE] [--html]\n"
+        "  chaos [NF] [--seed S] [--runs N] [--events-out FILE]\n"
+        "          [--repro-out FILE] [--replay FILE]\n"
+        "          [--plant NAME] [--work-dir DIR]\n"
         "  serve <NF> [--port P] [--bind ADDR] [--port-file FILE]\n"
         "          [--model FILE] [--quota Q] [--deadline-ms MS]\n"
         "          [--max-connections N] [--queue-depth N]\n"
@@ -239,7 +253,11 @@ parse(int argc, char **argv)
     Cli cli;
     cli.command = argv[1];
     int i = 2;
-    if (cli.command != "catalog" && cli.command != "report") {
+    if (cli.command == "chaos") {
+        // The NF operand is optional (defaults to FlowStats).
+        if (i < argc && argv[i][0] != '-')
+            cli.nf = argv[i++];
+    } else if (cli.command != "catalog" && cli.command != "report") {
         if (i >= argc) {
             std::fprintf(stderr, "error: command '%s' needs an NF\n",
                          cli.command.c_str());
@@ -340,6 +358,20 @@ parse(int argc, char **argv)
             cli.burst = numArg(argc, argv, i);
         } else if (arg == "--access-log") {
             cli.accessLogPath = strArg(argc, argv, i);
+        } else if (arg == "--seed") {
+            cli.chaosSeed =
+                static_cast<std::uint64_t>(numArg(argc, argv, i));
+        } else if (arg == "--runs") {
+            cli.chaosRuns =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (arg == "--repro-out") {
+            cli.reproOut = strArg(argc, argv, i);
+        } else if (arg == "--replay") {
+            cli.replayPath = strArg(argc, argv, i);
+        } else if (arg == "--plant") {
+            cli.plant = strArg(argc, argv, i);
+        } else if (arg == "--work-dir") {
+            cli.workDir = strArg(argc, argv, i);
         } else if (arg == "--metrics") {
             cli.reportMetrics = strArg(argc, argv, i);
         } else if (arg == "--trace") {
@@ -350,6 +382,8 @@ parse(int argc, char **argv)
             cli.reportSlo = strArg(argc, argv, i);
         } else if (arg == "--access") {
             cli.reportAccess = strArg(argc, argv, i);
+        } else if (arg == "--chaos") {
+            cli.reportChaos = strArg(argc, argv, i);
         } else if (arg == "--html") {
             cli.reportHtml = true;
         } else if (arg == "--faults") {
@@ -1133,6 +1167,122 @@ readArtifactOrExit(const std::string &path, const char *what)
 }
 
 int
+cmdChaos(const Cli &cli)
+{
+    chaos::ChaosWorld world(cli.nf.empty() ? "FlowStats" : cli.nf);
+    chaos::RunnerOptions ropts;
+    ropts.workDir = cli.workDir;
+    if (ropts.workDir.empty()) {
+        ropts.workDir =
+            (std::filesystem::temp_directory_path() / "tomur-chaos")
+                .string();
+    }
+    ropts.plant = cli.plant;
+
+    if (!cli.replayPath.empty()) {
+        std::ifstream in(cli.replayPath);
+        if (!in) {
+            std::fprintf(stderr,
+                         "error: cannot read repro '%s': %s\n",
+                         cli.replayPath.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+        auto plan = chaos::parsePlan(in);
+        if (!plan) {
+            std::fprintf(stderr, "error: bad repro file: %s\n",
+                         plan.status().toString().c_str());
+            return kExitUsage;
+        }
+        auto outcome = chaos::runPlan(world, plan.value(), ropts);
+        auto verdicts = chaos::checkInvariants(
+            plan.value(), outcome, ropts.invariants);
+        std::size_t violations = 0;
+        std::printf("replay %s: seed=%llu target=%s actions=%zu "
+                    "samples=%zu crashes=%zu stream=%016llx\n",
+                    cli.replayPath.c_str(),
+                    static_cast<unsigned long long>(
+                        plan.value().seed),
+                    chaos::planTargetName(plan.value().target),
+                    plan.value().actions.size(), outcome.samples,
+                    outcome.crashes,
+                    static_cast<unsigned long long>(
+                        outcome.streamHash));
+        for (const auto &v : verdicts) {
+            std::printf("  %-22s %s%s%s\n",
+                        chaos::invariantName(v.kind),
+                        v.passed ? "pass" : "FAIL",
+                        v.passed ? "" : " — ",
+                        v.detail.c_str());
+            violations += v.passed ? 0 : 1;
+        }
+        return violations == 0 ? kExitOk : kExitRuntime;
+    }
+
+    chaos::CampaignOptions copts;
+    copts.seed = cli.chaosSeed;
+    copts.runs = cli.chaosRuns;
+    copts.runner = ropts;
+    auto result = chaos::runCampaign(world, copts);
+
+    std::printf("chaos campaign: %zu plans, %zu violations "
+                "(%zu plans), %zu crashes, %zu resumes, "
+                "%zu faults injected, %zu determinism re-runs\n",
+                result.plans, result.violations,
+                result.violatingPlans, result.crashes,
+                result.resumes, result.faultsInjected,
+                result.determinismReruns);
+    for (int k = 0; k < chaos::numInvariants; ++k) {
+        std::printf("  %-22s %s\n",
+                    chaos::invariantName(
+                        static_cast<chaos::InvariantKind>(k)),
+                    result.invariantFailures[k] == 0
+                        ? "pass"
+                        : strf("FAIL x%zu",
+                               result.invariantFailures[k])
+                              .c_str());
+    }
+    if (result.haveRepro) {
+        std::printf("first violation: plan %zu, %s — %s "
+                    "(shrunk to %zu actions in %zu probe runs)\n",
+                    result.firstViolationIndex,
+                    chaos::invariantName(result.firstViolationKind),
+                    result.firstViolationDetail.c_str(),
+                    result.shrunkPlan.actions.size(),
+                    result.shrinkIterations);
+        if (!cli.reproOut.empty()) {
+            std::ofstream out(cli.reproOut);
+            if (out)
+                out << result.reproText;
+            if (!out) {
+                std::fprintf(stderr,
+                             "error: cannot write repro to "
+                             "'%s': %s\n",
+                             cli.reproOut.c_str(),
+                             std::strerror(errno));
+                return kExitIo;
+            }
+            std::printf("repro written to %s\n",
+                        cli.reproOut.c_str());
+        }
+    }
+    if (!cli.eventsOut.empty()) {
+        std::ofstream out(cli.eventsOut);
+        if (out)
+            out << result.jsonl;
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write campaign ledger to "
+                         "'%s': %s\n",
+                         cli.eventsOut.c_str(),
+                         std::strerror(errno));
+            return kExitIo;
+        }
+    }
+    return result.violations == 0 ? kExitOk : kExitRuntime;
+}
+
+int
 cmdReport(const Cli &cli)
 {
     ReportArtifacts artifacts;
@@ -1146,6 +1296,8 @@ cmdReport(const Cli &cli)
         readArtifactOrExit(cli.reportSlo, "SLO stream");
     artifacts.accessJsonl =
         readArtifactOrExit(cli.reportAccess, "access log");
+    artifacts.chaosJsonl =
+        readArtifactOrExit(cli.reportChaos, "chaos ledger");
 
     ReportOptions ropts;
     ropts.html = cli.reportHtml;
@@ -1196,6 +1348,8 @@ runCommand(const Cli &cli)
         return cmdAutopilot(cli);
     if (cli.command == "replay")
         return cmdReplay(cli);
+    if (cli.command == "chaos")
+        return cmdChaos(cli);
     if (cli.command == "report")
         return cmdReport(cli);
     if (cli.command == "serve")

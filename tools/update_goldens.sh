@@ -5,8 +5,10 @@
 # the fixed replay plus the nonstationary-scenario replay in
 # tests/test_monitor.cc, the autopilot monitor+supervisor event
 # stream of the crash/resume scenario in tests/test_supervisor.cc,
-# and the serving observatory's canonical access-log + SLO + trace
-# streams of the fixed server scenario in tests/test_serve.cc).
+# the serving observatory's canonical access-log + SLO + trace
+# streams of the fixed server scenario in tests/test_serve.cc, and
+# the chaos-campaign JSONL ledger of the fixed seeded campaign in
+# tests/test_chaos.cc).
 #
 # Run this after intentionally changing instrumentation (new spans,
 # new fields, new metrics) and commit the updated fixtures together
@@ -22,7 +24,8 @@ build_dir="$repo_root/build"
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
-    --target test_telemetry test_monitor test_supervisor test_serve
+    --target test_telemetry test_monitor test_supervisor \
+    --target test_serve test_chaos
 
 # The serial run writes the fixtures; the wide run then re-runs the
 # scenario at TOMUR_THREADS=8 and asserts it reproduces them
@@ -35,6 +38,8 @@ TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_supervisor" \
     --gtest_filter='AutopilotGolden.*'
 TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_serve" \
     --gtest_filter='ServeObservatoryGolden.*'
+TOMUR_UPDATE_GOLDENS=1 "$build_dir/tests/test_chaos" \
+    --gtest_filter='ChaosGolden.*'
 
 echo ""
 echo "updated fixtures:"
